@@ -1,0 +1,69 @@
+// Ablation: the tree order Gamma. Corollary 1 predicts Full's amortized
+// cost per block merged into a level at about (Gamma + 1)/2; Theorem 2
+// caps ChooseBest's per-merge cost at Gamma + 1 per merged block. This
+// sweep measures both against their predictions.
+
+#include <iostream>
+
+#include "bench/harness/experiment.h"
+
+namespace lsmssd::bench {
+namespace {
+
+double AmortizedPerMergedBlock(const Experiment& exp, const LsmStats& delta,
+                               size_t level) {
+  const double merged_blocks =
+      static_cast<double>(delta.records_merged_into[level]) /
+      exp.options().records_per_block();
+  if (merged_blocks <= 0) return 0;
+  return static_cast<double>(delta.BlocksWrittenForLevel(level)) /
+         merged_blocks;
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintHeader("Ablation: Gamma",
+              "tree order sweep — Full vs ChooseBest amortized cost per "
+              "block merged into L1 (insert-only Uniform; Corollary 1 "
+              "predicts (Gamma+1)/2 for Full, Theorem 2 caps ChooseBest at "
+              "Gamma+1)",
+              BenchOptions());
+
+  const double dataset_mb = 1.5 * scale;
+  const double window_mb = 3.0 * scale;
+
+  TablePrinter table({"gamma", "full_L1_cost", "full_prediction",
+                      "choosebest_L1_cost", "choosebest_bound"});
+  for (double gamma : {4.0, 6.0, 8.0, 10.0}) {
+    Options options = BenchOptions();
+    options.gamma = gamma;
+    options.preserve_blocks = false;  // The analysis ignores preservation.
+
+    double costs[2] = {0, 0};
+    const PolicySpec specs[2] = {
+        {"Full", PolicyKind::kFull, false},
+        {"ChooseBest", PolicyKind::kChooseBest, false},
+    };
+    for (int i = 0; i < 2; ++i) {
+      WorkloadSpec spec;
+      spec.kind = WorkloadKind::kUniform;
+      Experiment exp(options, specs[i], spec);
+      Status st = exp.PrepareSteadyState(dataset_mb);
+      LSMSSD_CHECK(st.ok()) << st.ToString();
+      auto metrics = exp.Measure(window_mb);
+      LSMSSD_CHECK(metrics.ok());
+      costs[i] = AmortizedPerMergedBlock(exp, metrics->stats_delta, 1);
+    }
+    table.AddRowValues(gamma, costs[0], (gamma + 1.0) / 2.0, costs[1],
+                       gamma + 1.0);
+    std::cerr << "  [abl-gamma] " << gamma << " done\n";
+  }
+  table.Print(std::cout, "abl_gamma");
+  std::cout << "\ncheck: full_L1_cost tracks (Gamma+1)/2 within a small "
+               "factor; choosebest_L1_cost stays below Gamma+1.\n";
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

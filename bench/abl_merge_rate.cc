@@ -1,0 +1,74 @@
+// Ablation: the merge rate delta. Theorem 2 caps every ChooseBest merge
+// into L_i at delta * (1/Gamma + 1) * K_i blocks, so delta directly
+// trades per-merge latency against merge frequency. This sweep reports
+// the amortized cost and the observed worst single merge against the
+// bound.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/harness/experiment.h"
+
+namespace lsmssd::bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintHeader("Ablation: delta",
+              "merge rate sweep under ChooseBest (Uniform 50/50)",
+              BenchOptions());
+
+  const double dataset_mb = 1.5 * scale;
+  const double window_mb = 3.0 * scale;
+
+  TablePrinter table({"delta", "blocks_per_mb", "max_single_merge_L2",
+                      "theorem2_bound_L2", "merges_into_L2"});
+  for (double delta : {0.02, 0.05, 0.07, 0.1, 0.2}) {
+    Options options = BenchOptions();
+    options.delta = delta;
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kUniform;
+    PolicySpec policy{"ChooseBest", PolicyKind::kChooseBest, true};
+    Experiment exp(options, policy, spec);
+    Status st = exp.PrepareSteadyState(dataset_mb);
+    LSMSSD_CHECK(st.ok()) << st.ToString();
+
+    // Sample per-merge write deltas into L2 across the window.
+    uint64_t prev_writes = exp.tree().stats().blocks_written_into[2];
+    uint64_t prev_merges = exp.tree().stats().merges_into[2];
+    uint64_t max_single = 0;
+    const uint64_t window_requests =
+        RecordsForMb(options, window_mb);
+    const uint64_t device_before = exp.device().stats().block_writes();
+    for (uint64_t i = 0; i < window_requests; ++i) {
+      LSMSSD_CHECK(exp.driver().Run(1).ok());
+      const LsmStats& s = exp.tree().stats();
+      if (s.merges_into[2] == prev_merges + 1) {
+        max_single =
+            std::max(max_single, s.blocks_written_into[2] - prev_writes);
+      }
+      prev_merges = s.merges_into[2];
+      prev_writes = s.blocks_written_into[2];
+    }
+    const double blocks_per_mb =
+        static_cast<double>(exp.device().stats().block_writes() -
+                            device_before) /
+        window_mb;
+    // Theorem 2 bound, plus the X window itself (output includes X's own
+    // data re-written into L2).
+    const double bound =
+        delta * (1.0 / options.gamma + 1.0) *
+        static_cast<double>(options.LevelCapacityBlocks(2));
+    table.AddRowValues(delta, blocks_per_mb, max_single, bound,
+                       exp.tree().stats().merges_into[2]);
+    std::cerr << "  [abl-delta] " << delta << " done\n";
+  }
+  table.Print(std::cout, "abl_delta");
+  std::cout << "\nTheorem 2 check: max_single_merge_L2 <= theorem2_bound_L2 "
+               "(+ a pairwise-repair block) for every delta.\n";
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

@@ -1,0 +1,64 @@
+// Ablation: the waste threshold epsilon. Section II-B fixes epsilon=0.2
+// and Theorem 3 bounds the amortized compaction cost at 1/(1-delta)+o(1)
+// per block merged. This sweep shows how epsilon trades preservation
+// opportunities (tighter budgets block preservation) against compaction
+// frequency, and verifies compactions stay rare at the paper's setting.
+
+#include <iostream>
+
+#include "bench/harness/experiment.h"
+
+namespace lsmssd::bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintHeader("Ablation: epsilon",
+              "waste threshold sweep under ChooseBest (Uniform 50/50)",
+              BenchOptions());
+
+  const double dataset_mb = 1.5 * scale;
+  const double window_mb = 3.0 * scale;
+
+  TablePrinter table({"epsilon", "blocks_per_mb", "preserved_blocks",
+                      "compactions", "compaction_share_pct",
+                      "amortized_compaction_per_merged_block"});
+  for (double epsilon : {0.05, 0.1, 0.2, 0.3, 0.5}) {
+    Options options = BenchOptions();
+    options.epsilon = epsilon;
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kUniform;
+    PolicySpec policy{"ChooseBest", PolicyKind::kChooseBest, true};
+    Experiment exp(options, policy, spec);
+    Status st = exp.PrepareSteadyState(dataset_mb);
+    LSMSSD_CHECK(st.ok()) << st.ToString();
+    auto metrics = exp.Measure(window_mb);
+    LSMSSD_CHECK(metrics.ok());
+
+    const LsmStats& d = metrics->stats_delta;
+    uint64_t preserved = 0, compactions = 0, maintenance = 0, merged = 0;
+    for (size_t i = 1; i < exp.tree().num_levels(); ++i) {
+      preserved += d.blocks_preserved_into[i];
+      compactions += d.compactions[i];
+      maintenance += d.maintenance_blocks_written[i];
+      merged += d.records_merged_into[i];
+    }
+    const double merged_blocks =
+        static_cast<double>(merged) / options.records_per_block();
+    table.AddRowValues(
+        epsilon, metrics->BlocksPerMb(), preserved, compactions,
+        100.0 * maintenance /
+            std::max<uint64_t>(metrics->blocks_written, 1),
+        merged_blocks > 0 ? maintenance / merged_blocks : 0.0);
+    std::cerr << "  [abl-epsilon] " << epsilon << " done\n";
+  }
+  table.Print(std::cout, "abl_epsilon");
+  std::cout << "\nTheorem 3 check: amortized maintenance per merged block "
+               "should stay well below 1/(1-delta) = "
+            << 1.0 / (1.0 - BenchOptions().delta) << ".\n";
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

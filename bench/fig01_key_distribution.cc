@@ -1,0 +1,73 @@
+// Figure 1: key-density snapshot of the two lowest levels of a 3-level
+// index under a partial merge policy running a uniform insert/delete mix.
+//
+// Paper shape to reproduce: the bottom level (most of the data) mirrors
+// the workload's uniform distribution, while L1 is skewed — sparsest just
+// behind the next-merge cursor (recently merged) and densest ahead of it.
+
+#include <iostream>
+
+#include "bench/harness/experiment.h"
+#include "src/util/histogram.h"
+
+namespace lsmssd::bench {
+namespace {
+
+constexpr Key kKeyMax = 1'000'000'000;
+constexpr size_t kBuckets = 100;  // The paper divides the key space in 100.
+
+void FillHistogram(const Level& level, Histogram* h) {
+  for (size_t i = 0; i < level.num_leaves(); ++i) {
+    auto leaf = level.ReadLeaf(i);
+    LSMSSD_CHECK(leaf.ok());
+    for (const auto& r : leaf.value()) h->Add(r.key);
+  }
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  const Options options = BenchOptions();
+  PrintHeader("Figure 1",
+              "key distribution in L1 vs the bottom level under partial "
+              "merges (uniform 50/50 mix, random instant)",
+              options);
+
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kUniform;
+  PolicySpec policy{"ChooseBest", PolicyKind::kChooseBest, true};
+  Experiment exp(options, policy, spec);
+  Status st = exp.PrepareSteadyState(1.5 * scale);
+  LSMSSD_CHECK(st.ok()) << st.ToString();
+  // Advance to a "random time instant" mid-steady-state.
+  LSMSSD_CHECK(exp.Measure(1.0 * scale).ok());
+
+  LsmTree& tree = exp.tree();
+  LSMSSD_CHECK(tree.num_levels() >= 3u);
+  const size_t bottom = tree.num_levels() - 1;
+
+  Histogram l1(0, kKeyMax, kBuckets);
+  Histogram lb(0, kKeyMax, kBuckets);
+  FillHistogram(tree.level(1), &l1);
+  FillHistogram(tree.level(bottom), &lb);
+
+  TablePrinter table({"bucket_low", "L1_freq", "Lbottom_freq"});
+  for (size_t i = 0; i < kBuckets; ++i) {
+    table.AddRowValues(l1.BucketLow(i), l1.Frequency(i), lb.Frequency(i));
+  }
+  table.Print(std::cout, "fig01");
+
+  std::cout << "\nskew summary (coefficient of variation of bucket "
+               "frequencies; 0 = perfectly flat):\n"
+            << "  L1      cv = " << l1.FrequencyCv() << "\n"
+            << "  L" << bottom << " (bottom) cv = " << lb.FrequencyCv()
+            << "\n"
+            << "paper shape check: L1 skewed, bottom flat -> expect "
+               "cv(L1) >> cv(bottom): "
+            << (l1.FrequencyCv() > 2.0 * lb.FrequencyCv() ? "OK" : "MISS")
+            << "\n";
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

@@ -1,0 +1,84 @@
+// Figure 4: the Figure 3 plot extended with TestMixed (ChooseBest from
+// L0, Full into the bottom) on the same 3-level setup.
+//
+// Paper shape to reproduce: TestMixed's cumulative cost into L1 is the
+// lowest of the three (periodically emptying L1 with full merges makes
+// partial merges into it cheaper); its cost into L2 tracks Full's; its
+// total beats both Full (~34% in the paper) and ChooseBest (~20%).
+
+#include <iostream>
+
+#include "bench/harness/experiment.h"
+
+namespace lsmssd::bench {
+namespace {
+
+struct Totals {
+  uint64_t l1 = 0;
+  uint64_t l2 = 0;
+  uint64_t total() const { return l1 + l2; }
+};
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  const Options options = BenchOptions();
+  PrintHeader("Figure 4",
+              "cumulative blocks written by level over time: TestMixed vs "
+              "Full vs ChooseBest (Uniform 50/50)",
+              options);
+
+  const double dataset_mb = 0.8 * scale;  // Bottom level ~30% full, the paper's Fig 3 regime.
+  const double total_mb = 12.0 * scale;
+  const double sample_mb = 0.25 * scale;
+
+  const std::vector<PolicySpec> policies = {
+      {"Full", PolicyKind::kFull, true},
+      {"ChooseBest", PolicyKind::kChooseBest, true},
+      {"TestMixed", PolicyKind::kTestMixed, true},
+  };
+
+  TablePrinter table(
+      {"requests_mb", "policy", "cum_into_L1", "cum_into_L2"});
+  std::vector<Totals> totals;
+  for (const auto& policy : policies) {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kUniform;
+    Experiment exp(options, policy, spec);
+    Status st = exp.PrepareSteadyState(dataset_mb);
+    LSMSSD_CHECK(st.ok()) << st.ToString();
+    LSMSSD_CHECK(exp.tree().num_levels() >= 3u);
+
+    const LsmStats base = exp.tree().stats();
+    double elapsed_mb = 0;
+    while (elapsed_mb + 1e-9 < total_mb) {
+      LSMSSD_CHECK(exp.Measure(sample_mb).ok());
+      elapsed_mb += sample_mb;
+      const LsmStats delta = exp.tree().stats().DeltaSince(base);
+      table.AddRowValues(elapsed_mb, policy.name,
+                         delta.BlocksWrittenForLevel(1),
+                         delta.BlocksWrittenForLevel(2));
+    }
+    const LsmStats final_delta = exp.tree().stats().DeltaSince(base);
+    totals.push_back(Totals{final_delta.BlocksWrittenForLevel(1),
+                            final_delta.BlocksWrittenForLevel(2)});
+    std::cerr << "  [fig04] " << policy.name << " done\n";
+  }
+  table.Print(std::cout, "fig04");
+
+  const double vs_full =
+      100.0 * (1.0 - static_cast<double>(totals[2].total()) /
+                         static_cast<double>(totals[0].total()));
+  const double vs_cb =
+      100.0 * (1.0 - static_cast<double>(totals[2].total()) /
+                         static_cast<double>(totals[1].total()));
+  std::cout << "\ntotals: Full=" << totals[0].total()
+            << " ChooseBest=" << totals[1].total()
+            << " TestMixed=" << totals[2].total() << "\n"
+            << "TestMixed saves " << vs_full << "% vs Full (paper: ~34%) and "
+            << vs_cb << "% vs ChooseBest (paper: ~20%)\n";
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

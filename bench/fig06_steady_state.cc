@@ -1,0 +1,80 @@
+// Figure 6 (a/b/c): steady-state write cost (blocks written per 1 MB of
+// requests) across dataset sizes, for all seven merge policies, under
+// Uniform, Normal(0.5%, 10k), and TPC with a 50/50 insert/delete mix.
+//
+// Paper shape to reproduce: Mixed lowest (or tied with ChooseBest);
+// ChooseBest < Full everywhere; RR ~ ChooseBest under the skewless
+// Uniform/TPC but clearly worse under Normal; costs rise with dataset
+// size within a level count, then *dip* when the index gains its fourth
+// level (the new bottom is almost empty, making full merges into it cheap).
+
+#include <iostream>
+#include <map>
+
+#include "bench/harness/experiment.h"
+
+namespace lsmssd::bench {
+namespace {
+
+void RunWorkload(const std::string& tag, const WorkloadSpec& spec,
+                 const std::vector<PolicySpec>& policies,
+                 const std::vector<double>& sizes_mb, double window_mb) {
+  const Options options = BenchOptions();
+  std::vector<std::string> columns = {"dataset_mb", "levels"};
+  for (const auto& p : policies) columns.push_back(p.name);
+  TablePrinter table(columns);
+
+  for (double size_mb : sizes_mb) {
+    std::vector<std::string> row = {
+        internal_table::FormatCell(size_mb)};
+    std::string levels;
+    for (const auto& policy : policies) {
+      Experiment exp(options, policy, spec);
+      Status st = exp.PrepareSteadyState(size_mb);
+      LSMSSD_CHECK(st.ok()) << st.ToString();
+      auto metrics = exp.Measure(window_mb);
+      LSMSSD_CHECK(metrics.ok()) << metrics.status().ToString();
+      row.push_back(internal_table::FormatCell(metrics->BlocksPerMb()));
+      levels = std::to_string(exp.tree().num_levels());
+    }
+    row.insert(row.begin() + 1, levels);
+    table.AddRow(row);
+    std::cerr << "  [fig06-" << tag << "] " << size_mb << " MB done\n";
+  }
+  std::cout << "--- Figure 6" << tag << " ---\n";
+  table.Print(std::cout, "fig06" + tag);
+  std::cout << "\n";
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  const Options options = BenchOptions();
+  PrintHeader("Figure 6",
+              "steady-state blocks written per 1 MB of requests vs dataset "
+              "size (50/50 insert/delete)",
+              options);
+
+  std::vector<double> sizes_mb;
+  for (double s : {0.5, 1.0, 1.5, 2.0, 2.5, 3.5, 4.5}) {
+    sizes_mb.push_back(s * scale);
+  }
+  const double window_mb = 2.0 * scale;
+
+  WorkloadSpec uniform;
+  uniform.kind = WorkloadKind::kUniform;
+  RunWorkload("a-Uniform", uniform, SevenPolicies(), sizes_mb, window_mb);
+
+  WorkloadSpec normal;
+  normal.kind = WorkloadKind::kNormal;
+  RunWorkload("b-Normal", normal, SevenPolicies(), sizes_mb, window_mb);
+
+  // The paper's Figure 6c plots only the four block-preserving policies.
+  WorkloadSpec tpc;
+  tpc.kind = WorkloadKind::kTpc;
+  RunWorkload("c-TPC", tpc, FourPreservingPolicies(), sizes_mb, window_mb);
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

@@ -1,0 +1,73 @@
+// Figure 10: insert-only Normal(0.5%, 10k) — each policy starts from an
+// empty index; we track the cumulative average write cost (blocks written
+// per MB since the beginning) as the dataset grows.
+//
+// Paper shape to reproduce: Mixed is the overall winner and Full the
+// worst; block-preserving variants beat their "-P" twins much more
+// clearly than in the steady-state runs (insert-only Normal concentrates
+// keys harder, so preservation fires more).
+
+#include <iostream>
+
+#include "bench/harness/experiment.h"
+
+namespace lsmssd::bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  const Options options = BenchOptions();
+  PrintHeader("Figure 10",
+              "amortized writes over time while growing an index with "
+              "insert-only Normal(0.5%, 10k)",
+              options);
+
+  const double final_mb = 4.0 * scale;
+  const double sample_mb = 0.5 * scale;
+
+  std::vector<std::string> columns = {"dataset_mb"};
+  for (const auto& p : SevenPolicies()) columns.push_back(p.name);
+  TablePrinter table(columns);
+
+  // One experiment per policy, sampled in lockstep.
+  std::vector<std::unique_ptr<Experiment>> experiments;
+  for (const auto& policy : SevenPolicies()) {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kNormal;
+    spec.insert_ratio = 1.0;
+    auto exp = std::make_unique<Experiment>(options, policy, spec);
+    LSMSSD_CHECK(exp->PrepareEmptyInsertOnly().ok());
+    experiments.push_back(std::move(exp));
+  }
+
+  std::vector<uint64_t> requests(experiments.size(), 0);
+  for (double target_mb = sample_mb; target_mb <= final_mb + 1e-9;
+       target_mb += sample_mb) {
+    std::vector<std::string> row;
+    for (size_t i = 0; i < experiments.size(); ++i) {
+      Experiment& exp = *experiments[i];
+      const uint64_t target_records =
+          RecordsForMb(exp.options(), target_mb);
+      while (exp.tree().TotalRecords() < target_records) {
+        LSMSSD_CHECK(exp.driver().Run(1).ok());
+        ++requests[i];
+      }
+      const double mb_so_far =
+          MbForRecords(exp.options(),
+                       requests[i]);  // Requests == records (insert-only).
+      const double blocks_per_mb =
+          static_cast<double>(exp.device().stats().block_writes()) /
+          (mb_so_far > 0 ? mb_so_far : 1.0);
+      row.push_back(internal_table::FormatCell(blocks_per_mb));
+    }
+    row.insert(row.begin(), internal_table::FormatCell(target_mb));
+    table.AddRow(row);
+    std::cerr << "  [fig10] " << target_mb << " MB done\n";
+  }
+  table.Print(std::cout, "fig10");
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main() { lsmssd::bench::Main(); }

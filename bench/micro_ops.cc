@@ -1,0 +1,166 @@
+// Microbenchmarks (google-benchmark) of the hot primitives underneath the
+// merge engine: block encode/decode, memtable ops, leaf-directory lookup,
+// the ChooseBest metadata scan, and the LRU cache. These quantify the CPU
+// overhead that Section V reports as 2%-16% of total request time.
+
+#include <benchmark/benchmark.h>
+
+#include "src/format/record_block.h"
+#include "src/lsm/level.h"
+#include "src/lsm/memtable.h"
+#include "src/policy/choose_best_policy.h"
+#include "src/storage/lru_cache.h"
+#include "src/storage/mem_block_device.h"
+#include "src/util/golden_section.h"
+#include "src/util/random.h"
+
+namespace lsmssd {
+namespace {
+
+Options MicroOptions() {
+  Options options;
+  options.block_size = 4096;
+  options.key_size = 4;
+  options.payload_size = 100;  // Paper defaults: B = 38.
+  return options;
+}
+
+std::vector<Record> MakeRecords(const Options& options, size_t n) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(
+        Record::Put(i * 7 + 1, std::string(options.payload_size, 'x')));
+  }
+  return records;
+}
+
+void BM_RecordBlockEncode(benchmark::State& state) {
+  const Options options = MicroOptions();
+  const auto records = MakeRecords(options, options.records_per_block());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeRecordBlock(options, records));
+  }
+  state.SetBytesProcessed(state.iterations() * options.block_size);
+}
+BENCHMARK(BM_RecordBlockEncode);
+
+void BM_RecordBlockDecode(benchmark::State& state) {
+  const Options options = MicroOptions();
+  const BlockData data = EncodeRecordBlock(
+      options, MakeRecords(options, options.records_per_block()));
+  for (auto _ : state) {
+    auto records = DecodeRecordBlock(options, data);
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() * options.block_size);
+}
+BENCHMARK(BM_RecordBlockDecode);
+
+void BM_MemtablePut(benchmark::State& state) {
+  const Options options = MicroOptions();
+  Random rng(1);
+  Memtable mem;
+  const std::string payload(options.payload_size, 'x');
+  for (auto _ : state) {
+    mem.Put(rng.Uniform(1'000'000'000), payload);
+    if (mem.size() > 200'000) {
+      state.PauseTiming();
+      mem.ExtractAll();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_MemtablePut);
+
+void BM_MemtableGet(benchmark::State& state) {
+  const Options options = MicroOptions();
+  Random rng(2);
+  Memtable mem;
+  const std::string payload(options.payload_size, 'x');
+  for (int i = 0; i < 100'000; ++i) {
+    mem.Put(rng.Uniform(1'000'000'000), payload);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.Get(rng.Uniform(1'000'000'000)));
+  }
+}
+BENCHMARK(BM_MemtableGet);
+
+/// Builds a level with `leaves` synthetic full leaves (metadata only needs
+/// the device for splices; lookups read real blocks).
+void BuildLevel(const Options& options, MemBlockDevice* device, Level* level,
+                size_t leaves) {
+  const size_t b = options.records_per_block();
+  Key key = 1;
+  for (size_t i = 0; i < leaves; ++i) {
+    std::vector<Record> records;
+    for (size_t j = 0; j < b; ++j) {
+      records.push_back(
+          Record::Put(key, std::string(options.payload_size, 'x')));
+      key += 3;
+    }
+    auto id = device->WriteNewBlock(EncodeRecordBlock(options, records));
+    LSMSSD_CHECK(id.ok());
+    level->AppendLeaf(MakeLeafMeta(options, records, id.value()));
+    key += 17;
+  }
+}
+
+void BM_LevelLookup(benchmark::State& state) {
+  const Options options = MicroOptions();
+  MemBlockDevice device(options.block_size);
+  Level level(options, &device, 1);
+  BuildLevel(options, &device, &level, state.range(0));
+  Random rng(3);
+  const Key max_key = level.max_key();
+  Record out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(level.Lookup(rng.Uniform(max_key), &out));
+  }
+}
+BENCHMARK(BM_LevelLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ChooseBestScan(benchmark::State& state) {
+  // The paper's Section III-C CPU overhead: one simultaneous metadata scan
+  // over source and target leaf directories.
+  const Options options = MicroOptions();
+  MemBlockDevice device(options.block_size);
+  Level source(options, &device, 1);
+  Level target(options, &device, 2);
+  BuildLevel(options, &device, &source, state.range(0));
+  BuildLevel(options, &device, &target, state.range(0) * 10);
+  const size_t window = std::max<size_t>(1, state.range(0) / 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectChooseBestFromLevel(source, target, window));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 11);
+}
+BENCHMARK(BM_ChooseBestScan)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_LruCacheGetHit(benchmark::State& state) {
+  LruCache cache(4096);
+  for (BlockId id = 0; id < 4096; ++id) cache.Put(id, BlockData(4096, 1));
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(rng.Uniform(4096)));
+  }
+}
+BENCHMARK(BM_LruCacheGetHit);
+
+void BM_GoldenSectionSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = GoldenSectionMinimize(11, [](size_t i) {
+      const double d = static_cast<double>(i) - 4.0;
+      return d * d;
+    });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GoldenSectionSearch);
+
+}  // namespace
+}  // namespace lsmssd
+
+BENCHMARK_MAIN();

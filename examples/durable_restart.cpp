@@ -1,0 +1,139 @@
+// Scenario: durability and restart. Runs the full recovery protocol on a
+// persistent file-backed device:
+//
+//   session 1: open device -> write -> checkpoint (manifest) -> keep
+//              writing with a WAL -> "crash" (process exit)
+//   session 2: reopen device -> restore manifest -> replay WAL -> verify
+//
+//   ./build/examples/durable_restart [workdir]
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/lsm/lsm_tree.h"
+#include "src/lsm/manifest.h"
+#include "src/lsm/wal.h"
+#include "src/policy/policy_factory.h"
+#include "src/storage/file_block_device.h"
+#include "src/workload/driver.h"
+
+using namespace lsmssd;
+
+namespace {
+
+Options DemoOptions() {
+  Options options;
+  options.payload_size = 64;
+  options.level0_capacity_blocks = 32;
+  options.bloom_bits_per_key = 10;
+  return options;
+}
+
+int Session1(const std::string& device_path, const std::string& manifest_path,
+             const std::string& wal_path) {
+  const Options options = DemoOptions();
+  FileBlockDevice::FileOptions fopts;
+  fopts.block_size = options.block_size;
+  fopts.remove_on_close = false;  // The device must survive the "crash".
+  auto device = FileBlockDevice::Open(device_path, fopts);
+  LSMSSD_CHECK(device.ok()) << device.status().ToString();
+  auto tree_or = LsmTree::Open(options, device.value().get(),
+                               CreatePolicy(PolicyKind::kChooseBest));
+  LSMSSD_CHECK(tree_or.ok());
+  LsmTree& tree = *tree_or.value();
+
+  // Checkpointed history: 20k orders.
+  for (Key k = 0; k < 20'000; ++k) {
+    LSMSSD_CHECK(tree.Put(k, MakePayload(options, k)).ok());
+  }
+  LSMSSD_CHECK(SaveManifestToFile(tree, manifest_path).ok());
+  std::cout << "session 1: checkpointed " << tree.TotalRecords()
+            << " records across " << tree.num_levels() << " levels\n";
+
+  // Post-checkpoint writes go through the WAL (and the tree).
+  auto wal = WalWriter::Open(wal_path);
+  LSMSSD_CHECK(wal.ok());
+  for (Key k = 20'000; k < 20'500; ++k) {
+    const Record r = Record::Put(k, MakePayload(options, k));
+    LSMSSD_CHECK(wal.value()->Append(r).ok());
+    LSMSSD_CHECK(tree.Put(r.key, r.payload).ok());
+  }
+  for (Key k = 0; k < 100; ++k) {
+    LSMSSD_CHECK(wal.value()->Append(Record::Tombstone(k * 7)).ok());
+    LSMSSD_CHECK(tree.Delete(k * 7).ok());
+  }
+  LSMSSD_CHECK(wal.value()->Sync().ok());
+  std::cout << "session 1: logged 600 post-checkpoint requests, then "
+               "\"crashed\" without checkpointing again\n";
+  // NOTE: the post-checkpoint writes here all stay in the in-memory L0
+  // (no merge fires), so no checkpoint-referenced block is freed or its
+  // slot reused before the crash. A production system must make that a
+  // guarantee rather than an accident: pin manifest-referenced blocks
+  // (defer slot reuse) until the next checkpoint, and garbage-collect
+  // unreferenced slots on recovery.
+  return 0;
+}
+
+int Session2(const std::string& device_path, const std::string& manifest_path,
+             const std::string& wal_path) {
+  auto manifest = LoadManifestFromFile(manifest_path);
+  LSMSSD_CHECK(manifest.ok()) << manifest.status().ToString();
+
+  FileBlockDevice::FileOptions fopts;
+  fopts.block_size = manifest->options.block_size;
+  fopts.remove_on_close = true;  // Clean up after the demo.
+  fopts.truncate = false;
+  auto device = FileBlockDevice::Open(device_path, fopts);
+  LSMSSD_CHECK(device.ok());
+
+  std::vector<BlockId> live;
+  for (const auto& level : manifest->levels) {
+    for (const auto& leaf : level) live.push_back(leaf.block);
+  }
+  LSMSSD_CHECK(device.value()->RestoreLive(live).ok());
+
+  auto tree_or = LsmTree::Restore(manifest.value(), device.value().get(),
+                                  CreatePolicy(PolicyKind::kChooseBest));
+  LSMSSD_CHECK(tree_or.ok()) << tree_or.status().ToString();
+  LsmTree& tree = *tree_or.value();
+  std::cout << "session 2: restored " << tree.TotalRecords()
+            << " records from the manifest\n";
+
+  auto replay = WalReader::ReadAll(wal_path);
+  LSMSSD_CHECK(replay.ok());
+  for (const Record& r : replay.value()) {
+    if (r.is_tombstone()) {
+      LSMSSD_CHECK(tree.Delete(r.key).ok());
+    } else {
+      LSMSSD_CHECK(tree.Put(r.key, r.payload).ok());
+    }
+  }
+  std::cout << "session 2: replayed " << replay->size() << " WAL entries\n";
+
+  // Verify a few invariants of the recovered state.
+  LSMSSD_CHECK(tree.CheckInvariants().ok());
+  int errors = 0;
+  errors += !tree.Get(20'499).ok();                    // Post-checkpoint put.
+  errors += !tree.Get(0).status().IsNotFound();        // Deleted (0*7).
+  errors += !tree.Get(20'000 - 1).ok();                // Checkpointed put.
+  std::cout << (errors == 0 ? "recovery verified: all probes correct\n"
+                            : "RECOVERY MISMATCH\n");
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workdir = argc > 1 ? argv[1] : "/tmp";
+  const std::string device_path = workdir + "/lsmssd_demo.dev";
+  const std::string manifest_path = workdir + "/lsmssd_demo.manifest";
+  const std::string wal_path = workdir + "/lsmssd_demo.wal";
+
+  const int rc1 = Session1(device_path, manifest_path, wal_path);
+  if (rc1 != 0) return rc1;
+  const int rc2 = Session2(device_path, manifest_path, wal_path);
+  std::remove(manifest_path.c_str());
+  std::remove(wal_path.c_str());
+  return rc2;
+}

@@ -1,0 +1,32 @@
+#include "src/format/key_codec.h"
+
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+Key MaxKeyForSize(size_t key_size) {
+  LSMSSD_CHECK_GE(key_size, 1u);
+  LSMSSD_CHECK_LE(key_size, 8u);
+  if (key_size == 8) return std::numeric_limits<Key>::max();
+  return (Key{1} << (8 * key_size)) - 1;
+}
+
+void EncodeKey(Key key, size_t key_size, uint8_t* dst) {
+  LSMSSD_DCHECK(key <= MaxKeyForSize(key_size))
+      << "key " << key << " does not fit in " << key_size << " bytes";
+  for (size_t i = 0; i < key_size; ++i) {
+    dst[i] = static_cast<uint8_t>(key >> (8 * (key_size - 1 - i)));
+  }
+}
+
+Key DecodeKey(const uint8_t* src, size_t key_size) {
+  Key key = 0;
+  for (size_t i = 0; i < key_size; ++i) {
+    key = (key << 8) | src[i];
+  }
+  return key;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,24 @@
+#ifndef LSMSSD_FORMAT_KEY_CODEC_H_
+#define LSMSSD_FORMAT_KEY_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsmssd {
+
+/// Logical key type. The serialized width is Options::key_size bytes;
+/// encoding is big-endian so byte order equals key order.
+using Key = uint64_t;
+
+/// Largest key representable in `key_size` bytes.
+Key MaxKeyForSize(size_t key_size);
+
+/// Writes `key` big-endian into `dst[0..key_size)`. `key` must fit.
+void EncodeKey(Key key, size_t key_size, uint8_t* dst);
+
+/// Reads a big-endian key of `key_size` bytes from `src`.
+Key DecodeKey(const uint8_t* src, size_t key_size);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_FORMAT_KEY_CODEC_H_

@@ -1,0 +1,121 @@
+#ifndef LSMSSD_FORMAT_OPTIONS_H_
+#define LSMSSD_FORMAT_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/storage/block.h"
+
+namespace lsmssd {
+
+/// Configuration of an LSM tree. Defaults reproduce the paper's
+/// experimental setup (Section V): 4 KB blocks, 4-byte keys in [0, 1e9],
+/// 100-byte payloads, order Gamma = 10, K0 = 4000 blocks (16 MB),
+/// max waste factor epsilon = 0.2, merge rate delta = 0.07.
+struct Options {
+  /// Device block size in bytes. Must match the device the tree runs on.
+  size_t block_size = kDefaultBlockSize;
+
+  /// Serialized key width in bytes (1..8). Keys are uint64 in the API; a
+  /// key must fit in key_size bytes.
+  size_t key_size = 4;
+
+  /// Fixed payload width in bytes. Records are 1 (type) + key_size +
+  /// payload_size bytes; tombstones occupy a full record slot, as in the
+  /// paper's fixed-slot block model.
+  size_t payload_size = 100;
+
+  /// L0 capacity K0 in blocks. L0 is memory-resident; its capacity is
+  /// expressed in equivalent data blocks (K0 * B records).
+  uint64_t level0_capacity_blocks = 4000;
+
+  /// Order Gamma of the tree: K_i = K0 * Gamma^i.
+  double gamma = 10.0;
+
+  /// Maximum waste factor epsilon (<= 0.5): each on-SSD level with at least
+  /// two data blocks keeps its fraction of empty record slots <= epsilon.
+  double epsilon = 0.2;
+
+  /// Merge rate delta: partial merges move (up to) delta * K_source blocks
+  /// of the source level.
+  double delta = 0.07;
+
+  /// Enables block-preserving merges (Section II-B). The "-P" policy
+  /// variants of the paper are obtained by switching this off.
+  bool preserve_blocks = true;
+
+  /// Buffer-cache capacity in blocks for CachedBlockDevice users
+  /// (0 disables). Does not affect write counts.
+  size_t cache_blocks = 0;
+
+  /// Number of on-SSD levels to pre-create at Open (0 = grow on demand,
+  /// the paper's behavior). The paper's Section V-A observes that a
+  /// relatively empty extra bottom level makes merges dramatically
+  /// cheaper and asks "whether we can increase the number of levels
+  /// strategically to gain performance"; this knob implements that
+  /// strategy and bench/abl_level_growth measures it.
+  size_t initial_levels = 0;
+
+  /// Bits per key for the per-leaf Bloom filters kept in memory beside the
+  /// leaf directory (0 disables them, the paper's main-text setup; its
+  /// technical report discusses Bloom filters as an orthogonal lookup
+  /// optimization). ~10 bits/key gives a ~1% false-positive rate and lets
+  /// negative lookups skip the data-block read.
+  size_t bloom_bits_per_key = 0;
+
+  /// When a tombstone meets a matching insert during a merge into a
+  /// NON-bottom level, annihilate both (the paper's "net effect"
+  /// consolidation, Section II-A). Only safe when the workload never
+  /// re-inserts a key that may still have an older version in a deeper
+  /// level — true for all of the paper's workloads, which draw insert keys
+  /// from un-indexed keys. When false (the safe default), the tombstone
+  /// replaces the insert and keeps moving down; it is dropped on reaching
+  /// the bottom level either way.
+  bool annihilate_delete_put = false;
+
+  /// Bytes of one serialized record.
+  size_t record_size() const { return 1 + key_size + payload_size; }
+
+  /// B: records per block, net of the 4-byte block header.
+  size_t records_per_block() const {
+    return (block_size - 4) / record_size();
+  }
+
+  /// K_i in blocks (i = 0 is L0).
+  uint64_t LevelCapacityBlocks(size_t level) const {
+    double cap = static_cast<double>(level0_capacity_blocks);
+    for (size_t i = 0; i < level; ++i) cap *= gamma;
+    return static_cast<uint64_t>(cap);
+  }
+
+  /// Number of source blocks a partial merge moves out of `source_level`
+  /// (at least 1).
+  uint64_t PartialMergeBlocks(size_t source_level) const {
+    const double b = delta * static_cast<double>(LevelCapacityBlocks(source_level));
+    const auto n = static_cast<uint64_t>(b);
+    return n == 0 ? 1 : n;
+  }
+
+  /// Sanity-check the configuration; returns false (and a reason via
+  /// `*why` if non-null) when inconsistent.
+  bool Validate(const char** why = nullptr) const {
+    auto fail = [&](const char* reason) {
+      if (why != nullptr) *why = reason;
+      return false;
+    };
+    if (key_size < 1 || key_size > 8) return fail("key_size must be in 1..8");
+    if (block_size < 4 + record_size())
+      return fail("block_size too small for even one record");
+    if (records_per_block() < 1) return fail("records_per_block < 1");
+    if (gamma <= 1.0) return fail("gamma must exceed 1");
+    if (epsilon <= 0.0 || epsilon > 0.5)
+      return fail("epsilon must be in (0, 0.5]");
+    if (delta <= 0.0 || delta >= 1.0) return fail("delta must be in (0,1)");
+    if (level0_capacity_blocks < 1) return fail("K0 must be >= 1 block");
+    return true;
+  }
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_FORMAT_OPTIONS_H_

@@ -1,0 +1,28 @@
+#include "src/format/record.h"
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+bool ConsolidateRecords(const Record& upper, const Record& lower,
+                        bool annihilate_delete_put, Record* out) {
+  LSMSSD_DCHECK(upper.key == lower.key);
+  if (upper.type == RecordType::kPut) {
+    *out = upper;  // Newer value shadows the older one (or revives a delete).
+    return true;
+  }
+  // Upper is a tombstone.
+  if (lower.type == RecordType::kPut) {
+    if (annihilate_delete_put) {
+      return false;  // Delete cancels out the insert: net effect is nothing.
+    }
+    // An older version of the key may still exist in a deeper level, so
+    // the tombstone must keep moving down (it replaces the insert).
+    *out = upper;
+    return true;
+  }
+  *out = upper;  // Two tombstones collapse into one.
+  return true;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,56 @@
+#ifndef LSMSSD_FORMAT_RECORD_H_
+#define LSMSSD_FORMAT_RECORD_H_
+
+#include <string>
+
+#include "src/format/key_codec.h"
+
+namespace lsmssd {
+
+/// Index record kinds. LSM logs modifications as records: an insert/update
+/// carries a payload; a delete is a tombstone that cancels out a matching
+/// record in a lower level during merges (Section II-A). Updates are
+/// blind-write Puts in this model (one record per key per level), so no
+/// separate type is needed.
+enum class RecordType : uint8_t {
+  kPut = 0,
+  kDelete = 1,
+};
+
+/// One index record. Payloads are fixed-width (Options::payload_size);
+/// tombstone payloads are empty in memory and zero-filled on disk.
+struct Record {
+  Key key = 0;
+  RecordType type = RecordType::kPut;
+  std::string payload;
+
+  static Record Put(Key key, std::string payload) {
+    return Record{key, RecordType::kPut, std::move(payload)};
+  }
+  static Record Tombstone(Key key) {
+    return Record{key, RecordType::kDelete, std::string()};
+  }
+
+  bool is_tombstone() const { return type == RecordType::kDelete; }
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.type == b.type && a.payload == b.payload;
+  }
+};
+
+/// Consolidates two records with the same key, `upper` being the newer one
+/// (from the higher level). Returns the net effect:
+///  * upper Put    + lower anything -> upper Put (value replaced)
+///  * upper Delete + lower Put      -> nothing when `annihilate_delete_put`
+///    (the paper's net-effect rule; safe only if no older version of the
+///    key can exist in a deeper level), otherwise the Delete survives and
+///    keeps moving down
+///  * upper Delete + lower Delete   -> one Delete (keeps moving down)
+/// `*out` receives the surviving record when the function returns true;
+/// false means both records vanish.
+bool ConsolidateRecords(const Record& upper, const Record& lower,
+                        bool annihilate_delete_put, Record* out);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_FORMAT_RECORD_H_

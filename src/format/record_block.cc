@@ -1,0 +1,123 @@
+#include "src/format/record_block.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+constexpr size_t kHeaderSize = 4;
+
+void PutU16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v & 0xff);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t GetU16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         (static_cast<uint16_t>(src[1]) << 8);
+}
+}  // namespace
+
+RecordBlockBuilder::RecordBlockBuilder(const Options& options)
+    : options_(options), capacity_(options.records_per_block()) {
+  LSMSSD_CHECK_GE(capacity_, 1u);
+}
+
+void RecordBlockBuilder::Add(const Record& record) {
+  LSMSSD_CHECK(!full());
+  if (!records_.empty()) {
+    LSMSSD_CHECK_LT(records_.back().key, record.key)
+        << "records must be added in strictly increasing key order";
+  }
+  LSMSSD_DCHECK(record.payload.size() == options_.payload_size ||
+                (record.is_tombstone() && record.payload.empty()))
+      << "payload size " << record.payload.size() << " vs configured "
+      << options_.payload_size;
+  records_.push_back(record);
+}
+
+Key RecordBlockBuilder::min_key() const {
+  LSMSSD_CHECK(!records_.empty());
+  return records_.front().key;
+}
+
+Key RecordBlockBuilder::max_key() const {
+  LSMSSD_CHECK(!records_.empty());
+  return records_.back().key;
+}
+
+BlockData RecordBlockBuilder::Finish() {
+  BlockData data = EncodeRecordBlock(options_, records_);
+  records_.clear();
+  return data;
+}
+
+BlockData EncodeRecordBlock(const Options& options,
+                            const std::vector<Record>& records) {
+  const size_t record_size = options.record_size();
+  LSMSSD_CHECK_LE(records.size(), options.records_per_block());
+  BlockData data(kHeaderSize + records.size() * record_size, 0);
+  PutU16(data.data(), static_cast<uint16_t>(records.size()));
+  PutU16(data.data() + 2, static_cast<uint16_t>(record_size));
+  uint8_t* slot = data.data() + kHeaderSize;
+  for (const Record& r : records) {
+    slot[0] = static_cast<uint8_t>(r.type);
+    EncodeKey(r.key, options.key_size, slot + 1);
+    if (!r.payload.empty()) {
+      std::memcpy(slot + 1 + options.key_size, r.payload.data(),
+                  r.payload.size());
+    }
+    slot += record_size;
+  }
+  return data;
+}
+
+StatusOr<std::vector<Record>> DecodeRecordBlock(const Options& options,
+                                                const BlockData& data) {
+  if (data.size() < kHeaderSize) {
+    return Status::Corruption("block smaller than header");
+  }
+  const size_t count = GetU16(data.data());
+  const size_t record_size = GetU16(data.data() + 2);
+  if (record_size != options.record_size()) {
+    return Status::Corruption("record size mismatch: block says " +
+                              std::to_string(record_size) + ", options say " +
+                              std::to_string(options.record_size()));
+  }
+  if (count > options.records_per_block()) {
+    return Status::Corruption("record count exceeds block capacity");
+  }
+  if (kHeaderSize + count * record_size > data.size()) {
+    return Status::Corruption("record slots exceed block size");
+  }
+
+  std::vector<Record> records;
+  records.reserve(count);
+  const uint8_t* slot = data.data() + kHeaderSize;
+  Key prev_key = 0;
+  for (size_t i = 0; i < count; ++i) {
+    Record r;
+    if (slot[0] > static_cast<uint8_t>(RecordType::kDelete)) {
+      return Status::Corruption("unknown record type " +
+                                std::to_string(slot[0]));
+    }
+    r.type = static_cast<RecordType>(slot[0]);
+    r.key = DecodeKey(slot + 1, options.key_size);
+    if (i > 0 && r.key <= prev_key) {
+      return Status::Corruption("records out of order within block");
+    }
+    prev_key = r.key;
+    if (!r.is_tombstone()) {
+      r.payload.assign(
+          reinterpret_cast<const char*>(slot + 1 + options.key_size),
+          options.payload_size);
+    }
+    records.push_back(std::move(r));
+    slot += record_size;
+  }
+  return records;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,64 @@
+#ifndef LSMSSD_FORMAT_RECORD_BLOCK_H_
+#define LSMSSD_FORMAT_RECORD_BLOCK_H_
+
+#include <vector>
+
+#include "src/format/options.h"
+#include "src/format/record.h"
+#include "src/storage/block.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Serializes records into one data block.
+///
+/// Layout: [uint16 LE record_count][uint16 LE record_size] followed by
+/// record_count fixed-width slots of record_size bytes each, sorted by key:
+/// [uint8 type][big-endian key][payload (zero-padded for tombstones)].
+/// A block holds at most B = Options::records_per_block() records; slots
+/// beyond record_count are empty ("waste" in the paper's constraints).
+class RecordBlockBuilder {
+ public:
+  explicit RecordBlockBuilder(const Options& options);
+
+  /// Appends one record. Keys must arrive in strictly increasing order and
+  /// the block must not be full. Payload size must be 0 (tombstone) or
+  /// exactly Options::payload_size.
+  void Add(const Record& record);
+
+  bool empty() const { return records_.empty(); }
+  bool full() const { return records_.size() >= capacity_; }
+  size_t count() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  Key min_key() const;
+  Key max_key() const;
+
+  /// Serializes the buffered records and resets the builder.
+  BlockData Finish();
+
+  /// Drops buffered records without serializing.
+  void Reset() { records_.clear(); }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  const Options& options_;
+  size_t capacity_;
+  std::vector<Record> records_;
+};
+
+/// Parses a data block written by RecordBlockBuilder. Fails with Corruption
+/// on malformed headers or slot contents.
+StatusOr<std::vector<Record>> DecodeRecordBlock(const Options& options,
+                                                const BlockData& data);
+
+/// Serializes `records` (already sorted, size <= B) into a block image.
+/// Convenience used by compaction and tests.
+BlockData EncodeRecordBlock(const Options& options,
+                            const std::vector<Record>& records);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_FORMAT_RECORD_BLOCK_H_

@@ -1,0 +1,50 @@
+#ifndef LSMSSD_LSM_ITERATOR_H_
+#define LSMSSD_LSM_ITERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/format/record.h"
+#include "src/util/status.h"
+
+namespace lsmssd {
+
+/// Forward iterator over the live (non-deleted, consolidated) records of
+/// an LSM tree, in key order. Obtained from LsmTree::NewIterator(); the
+/// tree must not be modified while an iterator is open (single-threaded
+/// design; concurrency control is out of scope, as in the paper).
+///
+/// Usage:
+///   auto it = tree.NewIterator();
+///   for (it->SeekToFirst(); it->Valid(); it->Next()) {
+///     use(it->key(), it->value());
+///   }
+///   LSMSSD_CHECK(it->status().ok());
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  /// True iff the iterator is positioned on a record. key()/value() may
+  /// only be called when Valid().
+  virtual bool Valid() const = 0;
+
+  /// Positions on the smallest key (invalid if the tree is empty).
+  virtual void SeekToFirst() = 0;
+
+  /// Positions on the first record with key >= target.
+  virtual void Seek(Key target) = 0;
+
+  /// Advances to the next live record. Requires Valid().
+  virtual void Next() = 0;
+
+  virtual Key key() const = 0;
+  virtual const std::string& value() const = 0;
+
+  /// Non-OK if an I/O or corruption error interrupted iteration; the
+  /// iterator becomes invalid in that case.
+  virtual Status status() const = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_LSM_ITERATOR_H_

@@ -1,0 +1,207 @@
+#include "src/lsm/lsm_tree.h"
+
+#include <algorithm>
+
+
+#include "src/lsm/merge.h"
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(
+    const Options& options, BlockDevice* device,
+    std::unique_ptr<MergePolicy> policy) {
+  const char* why = nullptr;
+  if (!options.Validate(&why)) {
+    return Status::InvalidArgument(std::string("bad options: ") + why);
+  }
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (device->block_size() != options.block_size) {
+    return Status::InvalidArgument("device block size mismatch");
+  }
+  if (policy == nullptr) return Status::InvalidArgument("null merge policy");
+  return std::unique_ptr<LsmTree>(
+      new LsmTree(options, device, std::move(policy)));
+}
+
+LsmTree::LsmTree(const Options& options, BlockDevice* device,
+                 std::unique_ptr<MergePolicy> policy)
+    : options_(options), device_(device), policy_(std::move(policy)) {
+  stats_.EnsureLevels(2);
+  // Strategic pre-creation of levels (Section V-A's open question): an
+  // empty deep level makes merges into it cheap from the start.
+  for (size_t i = 0; i < options_.initial_levels; ++i) AddLevel();
+}
+
+const Level& LsmTree::level(size_t i) const {
+  LSMSSD_CHECK_GE(i, 1u);
+  LSMSSD_CHECK_LT(i, num_levels());
+  return *levels_[i - 1];
+}
+
+Level* LsmTree::mutable_level(size_t i) {
+  LSMSSD_CHECK_GE(i, 1u);
+  LSMSSD_CHECK_LT(i, num_levels());
+  return levels_[i - 1].get();
+}
+
+void LsmTree::set_policy(std::unique_ptr<MergePolicy> policy) {
+  LSMSSD_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+}
+
+Status LsmTree::Put(Key key, std::string_view payload) {
+  if (payload.size() != options_.payload_size) {
+    return Status::InvalidArgument("payload must be exactly payload_size");
+  }
+  if (key > MaxKeyForSize(options_.key_size)) {
+    return Status::InvalidArgument("key does not fit in key_size bytes");
+  }
+  memtable_.Put(key, std::string(payload));
+  ++stats_.puts;
+  return MaybeMerge();
+}
+
+Status LsmTree::Delete(Key key) {
+  if (key > MaxKeyForSize(options_.key_size)) {
+    return Status::InvalidArgument("key does not fit in key_size bytes");
+  }
+  memtable_.Delete(key);
+  ++stats_.deletes;
+  return MaybeMerge();
+}
+
+StatusOr<std::string> LsmTree::Get(Key key) {
+  ++stats_.gets;
+  if (const Record* r = memtable_.Get(key)) {
+    if (r->is_tombstone()) return Status::NotFound("deleted");
+    return r->payload;
+  }
+  for (size_t i = 1; i < num_levels(); ++i) {
+    Record r;
+    Status st = level(i).Lookup(key, &r);
+    if (st.ok()) {
+      if (r.is_tombstone()) return Status::NotFound("deleted");
+      return r.payload;
+    }
+    if (!st.IsNotFound()) return st;
+  }
+  return Status::NotFound("no such key");
+}
+
+Status LsmTree::Scan(Key lo, Key hi,
+                     std::vector<std::pair<Key, std::string>>* out) {
+  ++stats_.scans;
+  if (lo > hi) return Status::InvalidArgument("scan range inverted");
+  std::unique_ptr<Iterator> it = NewIterator();
+  for (it->Seek(lo); it->Valid() && it->key() <= hi; it->Next()) {
+    out->emplace_back(it->key(), it->value());
+  }
+  return it->status();
+}
+
+bool LsmTree::LevelOverflowing(size_t i) const {
+  if (i == 0) {
+    const uint64_t capacity_records =
+        options_.level0_capacity_blocks * options_.records_per_block();
+    return memtable_.size() >= capacity_records;
+  }
+  return level(i).size_blocks() > LevelCapacityBlocks(i);
+}
+
+Status LsmTree::MaybeMerge() {
+  size_t i = 0;
+  while (i < num_levels()) {
+    if (!LevelOverflowing(i)) {
+      ++i;
+      continue;
+    }
+    if (i + 1 == num_levels()) AddLevel();
+    LSMSSD_RETURN_IF_ERROR(ExecuteMerge(i));
+    // Re-check the same level: a partial merge may leave it overflowing
+    // (e.g., right after a big full merge landed from above).
+  }
+  return Status::OK();
+}
+
+void LsmTree::AddLevel() {
+  levels_.push_back(
+      std::make_unique<Level>(options_, device_, levels_.size() + 1));
+  stats_.EnsureLevels(num_levels());
+}
+
+Status LsmTree::ExecuteMerge(size_t source_level) {
+  const size_t target_index = source_level + 1;
+  LSMSSD_CHECK_LT(target_index, num_levels());
+  MergeSelection sel = policy_->SelectMerge(*this, source_level);
+
+  Level* target = mutable_level(target_index);
+  const bool bottom = IsBottomLevel(target_index);
+  MergeExecutor executor(options_, device_, target, bottom,
+                         options_.preserve_blocks);
+
+  MergeSource source;
+  if (source_level == 0) {
+    std::vector<Record> records =
+        sel.full ? memtable_.ExtractAll()
+                 : memtable_.Extract(sel.record_begin, sel.record_count);
+    if (records.empty()) {
+      return Status::Internal("policy selected an empty L0 range");
+    }
+    source = MergeSource::FromL0(std::move(records));
+  } else {
+    Level* src = mutable_level(source_level);
+    const size_t begin = sel.full ? 0 : sel.leaf_begin;
+    const size_t end =
+        sel.full ? src->num_leaves() : sel.leaf_begin + sel.leaf_count;
+    if (begin >= end || end > src->num_leaves()) {
+      return Status::Internal("policy selected an invalid leaf range");
+    }
+    source = MergeSource::FromLevel(src, begin, end);
+  }
+
+  auto result_or = executor.Merge(std::move(source));
+  if (!result_or.ok()) return result_or.status();
+  const MergeResult& r = result_or.value();
+
+  stats_.EnsureLevels(num_levels());
+  ++stats_.merges_into[target_index];
+  if (sel.full) ++stats_.full_merges_into[target_index];
+  stats_.blocks_written_into[target_index] += r.output_blocks_written;
+  stats_.maintenance_blocks_written[target_index] +=
+      r.target_maintenance_writes;
+  stats_.records_merged_into[target_index] += r.source_records;
+  stats_.blocks_preserved_into[target_index] += r.blocks_preserved;
+  stats_.pairwise_repairs[target_index] += r.target_pairwise_repairs;
+  if (r.target_compacted) ++stats_.compactions[target_index];
+  if (source_level >= 1) {
+    stats_.maintenance_blocks_written[source_level] +=
+        r.source_maintenance_writes;
+    stats_.pairwise_repairs[source_level] += r.source_pairwise_repairs;
+    if (r.source_compacted) ++stats_.compactions[source_level];
+  }
+  return Status::OK();
+}
+
+uint64_t LsmTree::TotalRecords() const {
+  uint64_t total = memtable_.size();
+  for (size_t i = 1; i < num_levels(); ++i) total += level(i).record_count();
+  return total;
+}
+
+uint64_t LsmTree::ApproximateDataBytes() const {
+  return TotalRecords() * options_.record_size();
+}
+
+Status LsmTree::CheckInvariants(bool deep) const {
+  for (size_t i = 1; i < num_levels(); ++i) {
+    LSMSSD_RETURN_IF_ERROR(level(i).CheckInvariants(deep));
+    // Levels may only exceed capacity transiently inside MaybeMerge.
+    if (level(i).size_blocks() > LevelCapacityBlocks(i)) {
+      return Status::Internal("level above capacity at rest");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,134 @@
+#ifndef LSMSSD_LSM_LSM_TREE_H_
+#define LSMSSD_LSM_LSM_TREE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/format/options.h"
+#include "src/format/record.h"
+#include "src/lsm/iterator.h"
+#include "src/lsm/level.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/stats.h"
+#include "src/policy/merge_policy.h"
+#include "src/storage/block_device.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+struct Manifest;
+
+/// The LSM tree of the paper: a memory-resident L0 plus on-SSD levels
+/// L1..L_{h-1} with geometrically increasing capacities (K_i = K0 *
+/// Gamma^i), relaxed level storage, and pluggable merge policies
+/// (Section II). Modifications enter L0; overflowing levels are merged
+/// down by the configured policy; reads walk the levels top-down.
+///
+/// Typical usage:
+///
+///   Options options;
+///   MemBlockDevice device(options.block_size);
+///   auto tree = LsmTree::Open(options, &device,
+///                             CreatePolicy(PolicyKind::kChooseBest));
+///   tree.value()->Put(42, std::string(options.payload_size, 'x'));
+///
+/// Single-threaded by design; the paper's concurrency control is an
+/// orthogonal concern (Section II).
+class LsmTree {
+ public:
+  /// Validates `options` (which must match `device->block_size()`), and
+  /// builds an empty tree. `device` must outlive the tree.
+  static StatusOr<std::unique_ptr<LsmTree>> Open(
+      const Options& options, BlockDevice* device,
+      std::unique_ptr<MergePolicy> policy);
+
+  /// Reconstructs a tree from a Manifest snapshot (src/lsm/manifest.h)
+  /// whose data blocks are already present on `device`. Bloom filters are
+  /// rebuilt from the data blocks when enabled; leaf metadata is verified
+  /// against block contents in that case.
+  static StatusOr<std::unique_ptr<LsmTree>> Restore(
+      const Manifest& manifest, BlockDevice* device,
+      std::unique_ptr<MergePolicy> policy);
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  // ---- Modifications (may trigger merges) ---------------------------
+
+  /// Inserts or blind-updates `key`. `payload` must be exactly
+  /// Options::payload_size bytes.
+  Status Put(Key key, std::string_view payload);
+
+  /// Deletes `key` (logs a tombstone; the key need not exist).
+  Status Delete(Key key);
+
+  // ---- Reads ---------------------------------------------------------
+
+  /// Returns the payload for `key`, or NotFound.
+  StatusOr<std::string> Get(Key key);
+
+  /// Collects all live (non-deleted) records with keys in [lo, hi], in key
+  /// order.
+  Status Scan(Key lo, Key hi,
+              std::vector<std::pair<Key, std::string>>* out);
+
+  /// Streaming forward iterator over all live records (see iterator.h).
+  /// The tree must not be modified while the iterator is in use.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  // ---- Introspection (used by policies, tests, benches) --------------
+
+  /// Total number of levels h, *including* the memory-resident L0.
+  size_t num_levels() const { return 1 + levels_.size(); }
+  const Memtable& memtable() const { return memtable_; }
+  /// On-SSD level L_i, 1 <= i < num_levels().
+  const Level& level(size_t i) const;
+  Level* mutable_level(size_t i);
+  const Options& options() const { return options_; }
+  BlockDevice* device() { return device_; }
+  const LsmStats& stats() const { return stats_; }
+  MergePolicy* policy() { return policy_.get(); }
+  /// Swaps the merge policy (e.g., while learning Mixed parameters).
+  void set_policy(std::unique_ptr<MergePolicy> policy);
+
+  /// K_i in blocks.
+  uint64_t LevelCapacityBlocks(size_t i) const {
+    return options_.LevelCapacityBlocks(i);
+  }
+  bool IsBottomLevel(size_t i) const { return i + 1 == num_levels(); }
+
+  /// Records across all levels (including tombstones).
+  uint64_t TotalRecords() const;
+  /// Live-record payload bytes, approximated as records * record_size.
+  uint64_t ApproximateDataBytes() const;
+
+  /// Verifies structural invariants of every level (plus, with `deep`,
+  /// block contents against metadata). Test/debug helper.
+  Status CheckInvariants(bool deep = false) const;
+
+ private:
+  LsmTree(const Options& options, BlockDevice* device,
+          std::unique_ptr<MergePolicy> policy);
+
+  bool LevelOverflowing(size_t i) const;
+  /// Runs merges until no level overflows (top-down cascade).
+  Status MaybeMerge();
+  /// One merge out of `source_level`, as selected by the policy.
+  Status ExecuteMerge(size_t source_level);
+  void AddLevel();
+
+  Options options_;
+  BlockDevice* device_;
+  std::unique_ptr<MergePolicy> policy_;
+  Memtable memtable_;
+  std::vector<std::unique_ptr<Level>> levels_;  // levels_[0] is L1.
+  LsmStats stats_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_LSM_LSM_TREE_H_

@@ -1,0 +1,49 @@
+#ifndef LSMSSD_LSM_MANIFEST_H_
+#define LSMSSD_LSM_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/format/options.h"
+#include "src/format/record.h"
+#include "src/lsm/level.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+class LsmTree;
+
+/// A point-in-time snapshot of an LSM tree's *metadata*: the options, the
+/// memtable contents, and every level's leaf directory (block ids + key
+/// ranges + counts). Data blocks themselves live on the block device; a
+/// manifest plus a persistent device (FileBlockDevice with
+/// remove_on_close=false) is enough to reopen the index after a restart.
+///
+/// The paper observes (Section V, footnote 1) that the internal B+tree
+/// nodes can be reconstructed from data blocks and need not be persisted;
+/// the manifest is the practical checkpoint of exactly that in-memory
+/// state. Bloom filters are not serialized — they are rebuilt from the
+/// data blocks on restore when enabled.
+struct Manifest {
+  Options options;
+  std::vector<Record> memtable_records;       ///< In key order.
+  std::vector<std::vector<LeafMeta>> levels;  ///< levels[0] is L1.
+};
+
+/// Serializes the live state of `tree` into a portable byte string
+/// (little-endian, versioned, checksummed).
+std::string EncodeManifest(const LsmTree& tree);
+
+/// Parses a manifest; fails with Corruption on malformed input.
+StatusOr<Manifest> DecodeManifest(const std::string& data);
+
+/// Convenience: EncodeManifest + atomic-ish write to `path`.
+Status SaveManifestToFile(const LsmTree& tree, const std::string& path);
+
+/// Reads and decodes a manifest file.
+StatusOr<Manifest> LoadManifestFromFile(const std::string& path);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_LSM_MANIFEST_H_

@@ -1,0 +1,88 @@
+#include "src/lsm/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+void LsmStats::EnsureLevels(size_t levels) {
+  auto grow = [levels](std::vector<uint64_t>& v) {
+    if (v.size() < levels) v.resize(levels, 0);
+  };
+  grow(merges_into);
+  grow(full_merges_into);
+  grow(blocks_written_into);
+  grow(maintenance_blocks_written);
+  grow(records_merged_into);
+  grow(blocks_preserved_into);
+  grow(compactions);
+  grow(pairwise_repairs);
+}
+
+uint64_t LsmStats::TotalBlocksWritten() const {
+  uint64_t total = 0;
+  for (uint64_t v : blocks_written_into) total += v;
+  for (uint64_t v : maintenance_blocks_written) total += v;
+  return total;
+}
+
+uint64_t LsmStats::BlocksWrittenForLevel(size_t level) const {
+  uint64_t total = 0;
+  if (level < blocks_written_into.size()) total += blocks_written_into[level];
+  if (level < maintenance_blocks_written.size()) {
+    total += maintenance_blocks_written[level];
+  }
+  return total;
+}
+
+LsmStats LsmStats::DeltaSince(const LsmStats& earlier) const {
+  auto diff = [](const std::vector<uint64_t>& now,
+                 const std::vector<uint64_t>& then) {
+    std::vector<uint64_t> out(now.size(), 0);
+    for (size_t i = 0; i < now.size(); ++i) {
+      const uint64_t before = i < then.size() ? then[i] : 0;
+      LSMSSD_CHECK_GE(now[i], before);
+      out[i] = now[i] - before;
+    }
+    return out;
+  };
+  LsmStats d;
+  d.merges_into = diff(merges_into, earlier.merges_into);
+  d.full_merges_into = diff(full_merges_into, earlier.full_merges_into);
+  d.blocks_written_into =
+      diff(blocks_written_into, earlier.blocks_written_into);
+  d.maintenance_blocks_written =
+      diff(maintenance_blocks_written, earlier.maintenance_blocks_written);
+  d.records_merged_into =
+      diff(records_merged_into, earlier.records_merged_into);
+  d.blocks_preserved_into =
+      diff(blocks_preserved_into, earlier.blocks_preserved_into);
+  d.compactions = diff(compactions, earlier.compactions);
+  d.pairwise_repairs = diff(pairwise_repairs, earlier.pairwise_repairs);
+  d.puts = puts - earlier.puts;
+  d.deletes = deletes - earlier.deletes;
+  d.gets = gets - earlier.gets;
+  d.scans = scans - earlier.scans;
+  return d;
+}
+
+std::string LsmStats::ToString() const {
+  std::ostringstream out;
+  out << "requests: puts=" << puts << " deletes=" << deletes
+      << " gets=" << gets << " scans=" << scans << "\n";
+  for (size_t i = 1; i < merges_into.size(); ++i) {
+    out << "L" << i << ": merges=" << merges_into[i] << " (full "
+        << full_merges_into[i] << ")"
+        << " blocks_written=" << blocks_written_into[i]
+        << " maintenance=" << maintenance_blocks_written[i]
+        << " records_in=" << records_merged_into[i]
+        << " preserved=" << blocks_preserved_into[i]
+        << " compactions=" << compactions[i]
+        << " pair_repairs=" << pairwise_repairs[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,63 @@
+#ifndef LSMSSD_LSM_STATS_H_
+#define LSMSSD_LSM_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsmssd {
+
+/// Per-level merge/write accounting. Vectors are indexed by destination
+/// level (index 0 unused — nothing merges *into* L0). These counters drive
+/// every figure of the paper: Figures 3/4 plot cumulative
+/// `blocks_written_into` per level over time; amortized costs divide the
+/// same counters by `records_merged_into`; the Mixed learner reads them to
+/// measure C(tau).
+struct LsmStats {
+  /// Grows the per-level vectors to cover `levels` entries.
+  void EnsureLevels(size_t levels);
+
+  /// Number of merges into each level (full + partial).
+  std::vector<uint64_t> merges_into;
+  /// Number of full merges into each level.
+  std::vector<uint64_t> full_merges_into;
+  /// Data blocks written by merges into each level: new output blocks plus
+  /// pairwise-repair rewrites on the destination side.
+  std::vector<uint64_t> blocks_written_into;
+  /// Blocks written by source-side maintenance attributed to each level:
+  /// pairwise repairs and compactions triggered by removing a merged range
+  /// *from* that level (Cases 1-2), plus destination compactions (Case 4)
+  /// attributed to the destination.
+  std::vector<uint64_t> maintenance_blocks_written;
+  /// Records that entered each level via merges.
+  std::vector<uint64_t> records_merged_into;
+  /// Input blocks preserved (reused without rewriting) by merges into each
+  /// level.
+  std::vector<uint64_t> blocks_preserved_into;
+  /// Compactions run on each level.
+  std::vector<uint64_t> compactions;
+  /// Pairwise-waste repairs (adjacent-block coalesces) on each level.
+  std::vector<uint64_t> pairwise_repairs;
+
+  /// Request counters.
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  uint64_t scans = 0;
+
+  /// Total data blocks written across all levels (sum of the two write
+  /// vectors). Tests cross-check this against the device's IoStats.
+  uint64_t TotalBlocksWritten() const;
+
+  /// Writes attributed to one level (merge output + maintenance).
+  uint64_t BlocksWrittenForLevel(size_t level) const;
+
+  /// Element-wise difference (this - earlier) for windowed measurements.
+  LsmStats DeltaSince(const LsmStats& earlier) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_LSM_STATS_H_

@@ -1,0 +1,242 @@
+// LsmTree::NewIterator(): a k-way merge across L0 and every on-SSD level,
+// with upper levels shadowing lower ones and tombstones suppressed.
+
+#include <algorithm>
+#include <vector>
+
+#include "src/lsm/iterator.h"
+#include "src/lsm/lsm_tree.h"
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+
+/// Cursor over one source (the memtable or one level), exposing records in
+/// key order including tombstones. The merged iterator consolidates.
+class SourceCursor {
+ public:
+  virtual ~SourceCursor() = default;
+  virtual bool Valid() const = 0;
+  virtual Status SeekToFirst() = 0;
+  virtual Status Seek(Key target) = 0;
+  virtual Status Next() = 0;
+  virtual const Record& record() const = 0;
+};
+
+class MemtableCursor : public SourceCursor {
+ public:
+  explicit MemtableCursor(const Memtable* memtable) : memtable_(memtable) {}
+
+  bool Valid() const override { return valid_; }
+
+  Status SeekToFirst() override { return Seek(0); }
+
+  Status Seek(Key target) override {
+    // Memtable exposes sorted positions; reuse the slice API to avoid
+    // widening its interface: position = count of keys < target.
+    index_ = memtable_->UpperBoundIndex(target);
+    // UpperBoundIndex returns first key > target; step back if the
+    // previous key equals target.
+    if (index_ > 0) {
+      const auto prev = memtable_->Slice(index_ - 1, 1);
+      if (!prev.empty() && prev.front().key == target) --index_;
+    }
+    return Load();
+  }
+
+  Status Next() override {
+    ++index_;
+    return Load();
+  }
+
+  const Record& record() const override {
+    LSMSSD_DCHECK(valid_);
+    return current_;
+  }
+
+ private:
+  Status Load() {
+    auto slice = memtable_->Slice(index_, 1);
+    valid_ = !slice.empty();
+    if (valid_) current_ = std::move(slice.front());
+    return Status::OK();
+  }
+
+  const Memtable* memtable_;
+  size_t index_ = 0;
+  bool valid_ = false;
+  Record current_;
+};
+
+class LevelCursor : public SourceCursor {
+ public:
+  explicit LevelCursor(const Level* level) : level_(level) {}
+
+  bool Valid() const override { return valid_; }
+
+  Status SeekToFirst() override {
+    leaf_ = 0;
+    pos_ = 0;
+    return LoadLeaf();
+  }
+
+  Status Seek(Key target) override {
+    const auto [begin, end] = level_->OverlapRange(target, target);
+    if (begin < end) {
+      leaf_ = begin;
+      LSMSSD_RETURN_IF_ERROR(LoadLeaf());
+      if (!valid_) return Status::OK();
+      auto it = std::lower_bound(
+          records_.begin(), records_.end(), target,
+          [](const Record& r, Key k) { return r.key < k; });
+      pos_ = static_cast<size_t>(it - records_.begin());
+      if (pos_ >= records_.size()) return AdvanceLeaf();
+      return Status::OK();
+    }
+    // No leaf contains target: the first leaf starting after it (if any).
+    leaf_ = begin;  // OverlapRange's begin == first leaf with max >= target.
+    pos_ = 0;
+    return LoadLeaf();
+  }
+
+  Status Next() override {
+    LSMSSD_DCHECK(valid_);
+    ++pos_;
+    if (pos_ >= records_.size()) return AdvanceLeaf();
+    return Status::OK();
+  }
+
+  const Record& record() const override {
+    LSMSSD_DCHECK(valid_);
+    return records_[pos_];
+  }
+
+ private:
+  Status AdvanceLeaf() {
+    ++leaf_;
+    pos_ = 0;
+    return LoadLeaf();
+  }
+
+  Status LoadLeaf() {
+    valid_ = false;
+    if (leaf_ >= level_->num_leaves()) return Status::OK();
+    auto records_or = level_->ReadLeaf(leaf_);
+    if (!records_or.ok()) return records_or.status();
+    records_ = std::move(records_or).value();
+    valid_ = !records_.empty();
+    return Status::OK();
+  }
+
+  const Level* level_;
+  size_t leaf_ = 0;
+  size_t pos_ = 0;
+  bool valid_ = false;
+  std::vector<Record> records_;
+};
+
+/// Merges the cursors: smallest key wins; among equal keys the youngest
+/// source (lowest index, L0 first) shadows the rest; tombstones are
+/// skipped.
+class MergedIterator : public Iterator {
+ public:
+  explicit MergedIterator(std::vector<std::unique_ptr<SourceCursor>> sources)
+      : sources_(std::move(sources)) {}
+
+  bool Valid() const override { return valid_ && status_.ok(); }
+
+  void SeekToFirst() override {
+    for (auto& s : sources_) {
+      if (!Check(s->SeekToFirst())) return;
+    }
+    FindNextLive();
+  }
+
+  void Seek(Key target) override {
+    for (auto& s : sources_) {
+      if (!Check(s->Seek(target))) return;
+    }
+    FindNextLive();
+  }
+
+  void Next() override {
+    LSMSSD_CHECK(Valid());
+    if (!AdvancePast(current_.key)) return;
+    FindNextLive();
+  }
+
+  Key key() const override {
+    LSMSSD_DCHECK(Valid());
+    return current_.key;
+  }
+
+  const std::string& value() const override {
+    LSMSSD_DCHECK(Valid());
+    return current_.payload;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  bool Check(Status st) {
+    if (!st.ok()) {
+      status_ = std::move(st);
+      valid_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  /// Advances every source positioned on `key`.
+  bool AdvancePast(Key key) {
+    for (auto& s : sources_) {
+      if (s->Valid() && s->record().key == key) {
+        if (!Check(s->Next())) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Consolidates the current minimum across sources; skips tombstones.
+  void FindNextLive() {
+    for (;;) {
+      const SourceCursor* winner = nullptr;
+      for (const auto& s : sources_) {
+        if (!s->Valid()) continue;
+        if (winner == nullptr || s->record().key < winner->record().key) {
+          winner = s.get();  // Lowest index wins ties (scanned in order).
+        }
+      }
+      if (winner == nullptr) {
+        valid_ = false;
+        return;
+      }
+      current_ = winner->record();
+      if (!current_.is_tombstone()) {
+        valid_ = true;
+        return;
+      }
+      if (!AdvancePast(current_.key)) return;  // Deleted: keep looking.
+    }
+  }
+
+  std::vector<std::unique_ptr<SourceCursor>> sources_;
+  Record current_;
+  bool valid_ = false;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> LsmTree::NewIterator() const {
+  std::vector<std::unique_ptr<SourceCursor>> sources;
+  sources.reserve(num_levels());
+  sources.push_back(std::make_unique<MemtableCursor>(&memtable_));
+  for (size_t i = 1; i < num_levels(); ++i) {
+    sources.push_back(std::make_unique<LevelCursor>(&level(i)));
+  }
+  return std::make_unique<MergedIterator>(std::move(sources));
+}
+
+}  // namespace lsmssd

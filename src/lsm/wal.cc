@@ -1,0 +1,135 @@
+#include "src/lsm/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+
+uint32_t Fnv1a(const std::string& data) {
+  uint32_t h = 2166136261u;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(path, f));
+}
+
+WalWriter::WalWriter(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(const Record& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  PutU64(&payload, record.key);
+  payload.append(record.payload);
+
+  std::string entry;
+  PutU32(&entry, static_cast<uint32_t>(payload.size()));
+  PutU32(&entry, Fnv1a(payload));
+  entry += payload;
+  if (std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size()) {
+    return Status::IoError("short WAL append");
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed");
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot truncate WAL " + path_);
+  }
+  return Sync();
+}
+
+StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::vector<Record>{};  // Nothing to replay.
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  std::vector<Record> records;
+  size_t pos = 0;
+  while (pos + 8 <= data.size()) {
+    const uint32_t length = GetU32(data.data() + pos);
+    const uint32_t checksum = GetU32(data.data() + pos + 4);
+    if (length < 9 || pos + 8 + length > data.size()) break;  // Torn tail.
+    const std::string payload = data.substr(pos + 8, length);
+    if (Fnv1a(payload) != checksum) break;  // Torn/corrupt tail: stop.
+    Record record;
+    const auto type = static_cast<uint8_t>(payload[0]);
+    if (type > static_cast<uint8_t>(RecordType::kDelete)) {
+      return Status::Corruption("WAL entry with unknown record type");
+    }
+    record.type = static_cast<RecordType>(type);
+    record.key = GetU64(payload.data() + 1);
+    record.payload = payload.substr(9);
+    records.push_back(std::move(record));
+    pos += 8 + length;
+  }
+  return records;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,68 @@
+#ifndef LSMSSD_LSM_WAL_H_
+#define LSMSSD_LSM_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/format/record.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Write-ahead log for the memory-resident L0. LSM's durability gap is
+/// exactly L0 (everything else lives on the block device); the paper
+/// treats recovery as out of scope, so this is the standard complement: a
+/// checkpoint (Manifest) plus a WAL of the modifications since.
+///
+/// Protocol:
+///   * append every Put/Delete to the WAL before applying it;
+///   * on checkpoint: SaveManifestToFile(tree, ...), then Truncate();
+///   * on restart: LsmTree::Restore(manifest, ...), then replay
+///     WalReader::ReadAll() in order.
+///
+/// Entry framing: [u32 LE length][u32 LE FNV-1a of payload][payload],
+/// payload = [u8 type][u64 LE key][payload bytes]. A torn final entry
+/// (crash mid-append) is detected and dropped; anything after it is
+/// ignored.
+class WalWriter {
+ public:
+  /// Opens (creating or appending to) the log at `path`.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one logged modification (Put carries the payload; Delete an
+  /// empty one).
+  Status Append(const Record& record);
+
+  /// Flushes userspace buffers and fsyncs.
+  Status Sync();
+
+  /// Empties the log (after a successful checkpoint).
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_;
+};
+
+/// Reads a WAL back; tolerant of a torn tail.
+class WalReader {
+ public:
+  /// Returns all complete entries in append order. A missing file yields
+  /// an empty vector (nothing to replay).
+  static StatusOr<std::vector<Record>> ReadAll(const std::string& path);
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_LSM_WAL_H_

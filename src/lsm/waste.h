@@ -1,0 +1,84 @@
+#ifndef LSMSSD_LSM_WASTE_H_
+#define LSMSSD_LSM_WASTE_H_
+
+#include <cstdint>
+
+namespace lsmssd {
+
+/// Waste-constraint predicates from Section II-B.
+///
+/// Pairwise: any two consecutive data blocks must store strictly more than
+/// B records total (prevents runs of nearly-empty blocks that would defeat
+/// partial-merge cost bounds).
+inline bool PairwiseWasteOk(uint64_t count_a, uint64_t count_b, uint64_t b) {
+  return count_a + count_b > b;
+}
+
+/// Level-wise: the fraction of empty record slots across a level's data
+/// blocks must be <= epsilon. Levels with fewer than two blocks are
+/// exempt, as are levels that are already maximally packed (fewer than one
+/// block's worth of empty slots — leaves == ceil(records/B), so no
+/// compaction could reduce the waste further; this case only arises for
+/// levels a few blocks long, far below the paper's operating scale).
+inline bool LevelWasteOk(uint64_t records, uint64_t leaves, uint64_t b,
+                         double epsilon) {
+  if (leaves < 2) return true;
+  const uint64_t empty = leaves * b - records;
+  if (empty < b) return true;  // Already as compact as possible.
+  return static_cast<double>(empty) <=
+         epsilon * static_cast<double>(leaves * b);
+}
+
+/// Per-level slack ledger for block-preserving merges (Section II-B).
+///
+/// Each merge into a level is allowed to increase the level's count of
+/// empty record slots by at most epsilon * (merge size in records); unused
+/// allowance carries over to later merges ("any unused slack can be claimed
+/// by subsequent merges"). During a merge, preserving an input block is
+/// permitted only while the cumulative net increase `w` stays within
+/// `allowance - B + 1` — the final output block may be forced to carry up
+/// to B-1 empty slots, hence the headroom. A compaction resets the ledger.
+class WasteLedger {
+ public:
+  /// Called at the start of each merge into the owning level.
+  /// `per_merge_slack` = epsilon * (capacity in records of the merged
+  /// source range), i.e. epsilon * delta * K_source * B for partial merges.
+  void OnMergeStart(double per_merge_slack) {
+    ++merges_since_compaction_;
+    slack_allowance_ += per_merge_slack;
+  }
+
+  /// True iff the level's net empty-slot increase may reach
+  /// `prospective_w` without busting the budget for a block of capacity
+  /// `b`.
+  bool WithinBudget(int64_t prospective_w, uint64_t b) const {
+    return static_cast<double>(prospective_w) <=
+           slack_allowance_ - static_cast<double>(b) + 1.0;
+  }
+
+  /// Accounts the net empty-slot delta observed at the end of a merge.
+  void OnMergeEnd(int64_t net_empty_slot_delta) {
+    net_increase_ += net_empty_slot_delta;
+  }
+
+  void OnCompaction() {
+    merges_since_compaction_ = 0;
+    slack_allowance_ = 0.0;
+    net_increase_ = 0;
+  }
+
+  uint64_t merges_since_compaction() const {
+    return merges_since_compaction_;
+  }
+  double slack_allowance() const { return slack_allowance_; }
+  int64_t net_increase() const { return net_increase_; }
+
+ private:
+  uint64_t merges_since_compaction_ = 0;
+  double slack_allowance_ = 0.0;
+  int64_t net_increase_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_LSM_WASTE_H_

@@ -1,0 +1,10 @@
+#include "src/policy/full_policy.h"
+
+namespace lsmssd {
+
+MergeSelection FullPolicy::SelectMerge(const LsmTree& /*tree*/,
+                                       size_t /*source_level*/) {
+  return MergeSelection::Full();
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,21 @@
+#ifndef LSMSSD_POLICY_FULL_POLICY_H_
+#define LSMSSD_POLICY_FULL_POLICY_H_
+
+#include "src/policy/merge_policy.h"
+
+namespace lsmssd {
+
+/// The original LSM merge policy (Section III-A): an overflowing level is
+/// always merged in its entirety into the next one. Worst-case cost of one
+/// merge into L_i is K_i; amortized cost is (K_i + Delta)/2 per merge
+/// (Proposition 1), i.e. about (Gamma + 1)/2 per block merged (Cor. 1).
+class FullPolicy : public MergePolicy {
+ public:
+  std::string_view name() const override { return "Full"; }
+  MergeSelection SelectMerge(const LsmTree& tree,
+                             size_t source_level) override;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_POLICY_FULL_POLICY_H_

@@ -1,0 +1,195 @@
+#include "src/policy/mixed_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "src/policy/choose_best_policy.h"
+#include "src/policy/full_policy.h"
+#include "src/util/golden_section.h"
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+
+/// Probe policy of Definition 1: Mixed rules for merges into levels up to
+/// `probe_level`, Full from L_{probe_level} down, ChooseBest below that.
+class LearnerProbePolicy : public MergePolicy {
+ public:
+  LearnerProbePolicy(MixedParams params, size_t probe_level)
+      : mixed_(std::move(params)), probe_level_(probe_level) {}
+
+  std::string_view name() const override { return "LearnerProbe"; }
+
+  MergeSelection SelectMerge(const LsmTree& tree,
+                             size_t source_level) override {
+    if (source_level < probe_level_) {
+      return mixed_.SelectMerge(tree, source_level);
+    }
+    if (source_level == probe_level_) return MergeSelection::Full();
+    return choose_best_.SelectMerge(tree, source_level);
+  }
+
+ private:
+  MixedPolicy mixed_;
+  ChooseBestPolicy choose_best_;
+  size_t probe_level_;
+};
+
+/// Runs requests until full_merges_into[level] increments (cycle
+/// boundary), or fails after the safety cap.
+Status RunUntilFullMergeInto(LsmTree* tree,
+                             const MixedLearner::RequestFn& next_request,
+                             size_t level, uint64_t max_requests) {
+  auto counter = [&]() -> uint64_t {
+    const auto& v = tree->stats().full_merges_into;
+    return level < v.size() ? v[level] : 0;
+  };
+  const uint64_t start = counter();
+  for (uint64_t i = 0; i < max_requests; ++i) {
+    LSMSSD_RETURN_IF_ERROR(next_request(tree));
+    if (counter() > start) return Status::OK();
+  }
+  return Status::Internal("no full merge observed within request budget");
+}
+
+/// Runs requests until records_merged_into[1] grows by `target_records`.
+Status RunUntilRecordsIntoL1(LsmTree* tree,
+                             const MixedLearner::RequestFn& next_request,
+                             uint64_t target_records,
+                             uint64_t max_requests) {
+  auto counter = [&]() -> uint64_t {
+    const auto& v = tree->stats().records_merged_into;
+    return v.size() > 1 ? v[1] : 0;
+  };
+  const uint64_t start = counter();
+  for (uint64_t i = 0; i < max_requests; ++i) {
+    LSMSSD_RETURN_IF_ERROR(next_request(tree));
+    if (counter() - start >= target_records) return Status::OK();
+  }
+  return Status::Internal("request budget exhausted before target volume");
+}
+
+/// Amortized cost over a stats window: blocks written into L1..max_level
+/// divided by records merged into L1 (Definition 1's ratio).
+double WindowCost(const LsmStats& delta, size_t max_level) {
+  double cost = 0;
+  for (size_t j = 1; j <= max_level; ++j) {
+    cost += static_cast<double>(delta.BlocksWrittenForLevel(j));
+  }
+  const auto denom = static_cast<double>(
+      delta.records_merged_into.size() > 1 ? delta.records_merged_into[1]
+                                           : 0);
+  if (denom <= 0) return std::numeric_limits<double>::infinity();
+  return cost / denom;
+}
+
+}  // namespace
+
+StatusOr<double> MixedLearner::MeasureThresholdCost(
+    LsmTree* tree, const RequestFn& next_request, const MixedParams& params,
+    size_t probe_level, const Config& config) {
+  tree->set_policy(
+      std::make_unique<LearnerProbePolicy>(params, probe_level));
+  // Align to a cycle boundary: a full merge into L_{probe_level + 1}
+  // empties L_{probe_level}.
+  LSMSSD_RETURN_IF_ERROR(
+      RunUntilFullMergeInto(tree, next_request, probe_level + 1,
+                            config.max_requests_per_measurement));
+  const LsmStats before = tree->stats();
+  const uint64_t cycles = std::max<uint64_t>(1, config.cycles_per_measurement);
+  for (uint64_t c = 0; c < cycles; ++c) {
+    LSMSSD_RETURN_IF_ERROR(
+        RunUntilFullMergeInto(tree, next_request, probe_level + 1,
+                              config.max_requests_per_measurement));
+  }
+  return WindowCost(tree->stats().DeltaSince(before), probe_level);
+}
+
+StatusOr<double> MixedLearner::MeasureBetaCost(LsmTree* tree,
+                                               const RequestFn& next_request,
+                                               MixedParams params, bool beta,
+                                               const Config& config) {
+  params.beta = beta;
+  const size_t h = tree->num_levels();
+  LSMSSD_CHECK_GE(h, 2u);
+  const size_t bottom = h - 1;
+  tree->set_policy(std::make_unique<MixedPolicy>(params));
+
+  if (beta) {
+    // One bottom-level period: full merge into the bottom to the next.
+    LSMSSD_RETURN_IF_ERROR(RunUntilFullMergeInto(
+        tree, next_request, bottom, config.max_requests_per_measurement));
+    const LsmStats before = tree->stats();
+    LSMSSD_RETURN_IF_ERROR(RunUntilFullMergeInto(
+        tree, next_request, bottom, config.max_requests_per_measurement));
+    return WindowCost(tree->stats().DeltaSince(before), bottom);
+  }
+
+  // With partial merges into the bottom, costs settle to a steady slope.
+  // Warm up for one second-to-last-level volume, then measure over another.
+  const uint64_t volume =
+      tree->LevelCapacityBlocks(bottom >= 1 ? bottom - 1 : 0) *
+      tree->options().records_per_block();
+  LSMSSD_RETURN_IF_ERROR(RunUntilRecordsIntoL1(
+      tree, next_request, volume, config.max_requests_per_measurement));
+  const LsmStats before = tree->stats();
+  LSMSSD_RETURN_IF_ERROR(RunUntilRecordsIntoL1(
+      tree, next_request, volume, config.max_requests_per_measurement));
+  return WindowCost(tree->stats().DeltaSince(before), bottom);
+}
+
+StatusOr<MixedParams> MixedLearner::Learn(LsmTree* tree,
+                                          const RequestFn& next_request,
+                                          const Config& config) {
+  LSMSSD_CHECK_GT(config.tau_step, 0.0);
+  const size_t h = tree->num_levels();
+  MixedParams params;
+  params.tau.assign(std::max<size_t>(h, 3), 0.0);
+
+  const auto grid_size =
+      static_cast<size_t>(std::round(1.0 / config.tau_step)) + 1;
+
+  // Top-down: tau_2, tau_3, ..., tau_{h-2} (Definition 2 / Theorem 4).
+  for (size_t i = 2; i + 1 < h; ++i) {
+    Status measurement_error = Status::OK();
+    auto evaluate = [&](size_t idx) -> double {
+      MixedParams candidate = params;
+      candidate.tau[i] = static_cast<double>(idx) * config.tau_step;
+      auto cost_or =
+          MeasureThresholdCost(tree, next_request, candidate, i, config);
+      if (!cost_or.ok()) {
+        if (measurement_error.ok()) measurement_error = cost_or.status();
+        return std::numeric_limits<double>::infinity();
+      }
+      return cost_or.value();
+    };
+    const MinimizeResult result =
+        config.use_golden_section
+            ? GoldenSectionMinimize(grid_size, evaluate)
+            : LinearScanMinimize(grid_size, evaluate);
+    LSMSSD_RETURN_IF_ERROR(measurement_error);
+    params.tau[i] = static_cast<double>(result.best_index) * config.tau_step;
+    LSMSSD_LOG(Info) << "learned tau_" << i << " = " << params.tau[i]
+                     << " (C=" << result.best_value << ", "
+                     << result.evaluations << " measurements)";
+  }
+
+  // Finally the bottom decision beta.
+  auto cost_full_or =
+      MeasureBetaCost(tree, next_request, params, /*beta=*/true, config);
+  if (!cost_full_or.ok()) return cost_full_or.status();
+  auto cost_partial_or =
+      MeasureBetaCost(tree, next_request, params, /*beta=*/false, config);
+  if (!cost_partial_or.ok()) return cost_partial_or.status();
+  params.beta = cost_full_or.value() <= cost_partial_or.value();
+  LSMSSD_LOG(Info) << "learned beta=" << (params.beta ? "true" : "false")
+                   << " (C_full=" << cost_full_or.value()
+                   << " C_partial=" << cost_partial_or.value() << ")";
+  return params;
+}
+
+}  // namespace lsmssd

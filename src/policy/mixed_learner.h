@@ -1,0 +1,77 @@
+#ifndef LSMSSD_POLICY_MIXED_LEARNER_H_
+#define LSMSSD_POLICY_MIXED_LEARNER_H_
+
+#include <functional>
+
+#include "src/lsm/lsm_tree.h"
+#include "src/policy/mixed_policy.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Learns the Mixed policy parameters for a workload (Section IV-C).
+///
+/// Parameters are learned top-down, one level at a time (Definition 2);
+/// Theorem 4 shows the per-level optima compose into the global optimum.
+/// Each threshold candidate is evaluated by measuring the amortized cost
+/// C(tau_2*, ..., tau_i) over one cycle of L_i — from the full merge into
+/// L_{i+1} that empties L_i until L_i fills up again — while the probe
+/// policy runs Mixed above L_i, Full from L_i to L_{i+1}, and ChooseBest
+/// below. Because -C(tau) is unimodal under the cost model of Theorem 5,
+/// the search needs only O(log |D_tau|) measurements (golden section), or
+/// an early-stopping linear scan for the paper's coarse 10% grid.
+class MixedLearner {
+ public:
+  /// Applies one workload request to the tree (the learner replays the
+  /// live mix on a scratch tree).
+  using RequestFn = std::function<Status(LsmTree*)>;
+
+  struct Config {
+    /// Grid step of the discretized threshold domain D_tau.
+    double tau_step = 0.1;
+    /// Golden-section search instead of the early-stopping linear scan.
+    bool use_golden_section = false;
+    /// Safety valve: abort a measurement that fails to complete a cycle
+    /// within this many requests.
+    uint64_t max_requests_per_measurement = 200'000'000;
+    /// Cycles of L_i averaged per threshold measurement. The paper
+    /// measures one cycle; more cycles trade learning time for lower
+    /// measurement noise (useful at small scales where one cycle is only
+    /// a few thousand requests).
+    uint64_t cycles_per_measurement = 1;
+  };
+
+  /// Learns thresholds tau_2..tau_{h-2} and the bottom decision beta.
+  /// `tree` must be a scratch tree already at the steady-state dataset
+  /// size of the target workload; its policy is replaced during learning.
+  /// `next_request` feeds the (deterministic) workload mix.
+  static StatusOr<MixedParams> Learn(LsmTree* tree,
+                                     const RequestFn& next_request,
+                                     const Config& config);
+  static StatusOr<MixedParams> Learn(LsmTree* tree,
+                                     const RequestFn& next_request) {
+    return Learn(tree, next_request, Config());
+  }
+
+  /// Measures C(params prefix up to `probe_level`) over one cycle of
+  /// L_{probe_level} (Definition 1). Exposed for tests and the Figure 5
+  /// bench, which plots this curve across tau.
+  static StatusOr<double> MeasureThresholdCost(LsmTree* tree,
+                                               const RequestFn& next_request,
+                                               const MixedParams& params,
+                                               size_t probe_level,
+                                               const Config& config);
+
+  /// Measures the full-policy cost C(params) with the given beta over a
+  /// bottom-level period (beta = true) or an equivalent request volume
+  /// (beta = false).
+  static StatusOr<double> MeasureBetaCost(LsmTree* tree,
+                                          const RequestFn& next_request,
+                                          MixedParams params, bool beta,
+                                          const Config& config);
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_POLICY_MIXED_LEARNER_H_

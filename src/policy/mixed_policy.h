@@ -1,0 +1,59 @@
+#ifndef LSMSSD_POLICY_MIXED_POLICY_H_
+#define LSMSSD_POLICY_MIXED_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/policy/merge_policy.h"
+
+namespace lsmssd {
+
+/// Parameters of the Mixed policy (Section IV-B): one threshold tau_i in
+/// [0, 1] per internal level i (2 <= i <= h-2) and a Boolean decision beta
+/// for the bottom level.
+struct MixedParams {
+  /// tau[i] is the threshold for merges *into* level i. Indices 0, 1 and
+  /// anything >= h-1 are ignored; missing entries default to 0 (never do a
+  /// full merge into that level).
+  std::vector<double> tau;
+  /// Full merges into the bottom level iff true.
+  bool beta = false;
+
+  double TauFor(size_t level) const {
+    return level < tau.size() ? tau[level] : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Mixed (Section IV-B): judiciously alternates Full and ChooseBest.
+///  * merges out of L0 are always ChooseBest partials (there is no benefit
+///    to emptying the in-memory level);
+///  * a merge into an internal level L_i (2 <= i <= h-2) is Full while
+///    S(L_i) < tau_i * K_i, else a ChooseBest partial;
+///  * merges into the bottom level are Full iff beta.
+/// A full merge into a small level is cheap and leaves it empty, making
+/// subsequent merges into it cheap too; the thresholds (learned by
+/// MixedLearner) decide when that trade wins.
+class MixedPolicy : public MergePolicy {
+ public:
+  explicit MixedPolicy(MixedParams params);
+
+  /// The fixed test policy of Section IV-A for a 3-level tree: ChooseBest
+  /// from L0, Full into the bottom (i.e., beta = true, no thresholds).
+  static MixedPolicy TestMixed();
+
+  std::string_view name() const override { return "Mixed"; }
+  MergeSelection SelectMerge(const LsmTree& tree,
+                             size_t source_level) override;
+
+  const MixedParams& params() const { return params_; }
+  void set_params(MixedParams params) { params_ = std::move(params); }
+
+ private:
+  MixedParams params_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_POLICY_MIXED_POLICY_H_

@@ -1,0 +1,24 @@
+#ifndef LSMSSD_POLICY_PARTITIONED_POLICY_H_
+#define LSMSSD_POLICY_PARTITIONED_POLICY_H_
+
+#include "src/policy/merge_policy.h"
+
+namespace lsmssd {
+
+/// HyperLevelDB-style restricted ChooseBest (Section VI): the key space of
+/// each level is pre-partitioned — here into aligned runs of delta * K
+/// blocks, the analogue of fixed SSTable boundaries — and the policy picks
+/// the best candidate *only among those partitions*, instead of sliding a
+/// window over every position like ChooseBest. The paper argues
+/// ChooseBest(-P) lower-bounds this policy's cost: with strictly fewer
+/// candidates, the selected overlap can only be equal or worse.
+class PartitionedChooseBestPolicy : public MergePolicy {
+ public:
+  std::string_view name() const override { return "PartitionedCB"; }
+  MergeSelection SelectMerge(const LsmTree& tree,
+                             size_t source_level) override;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_POLICY_PARTITIONED_POLICY_H_

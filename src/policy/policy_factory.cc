@@ -1,0 +1,68 @@
+#include "src/policy/policy_factory.h"
+
+#include "src/policy/choose_best_policy.h"
+#include "src/policy/full_policy.h"
+#include "src/policy/partitioned_policy.h"
+#include "src/policy/rr_policy.h"
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+std::unique_ptr<MergePolicy> CreatePolicy(PolicyKind kind,
+                                          const MixedParams& mixed_params) {
+  switch (kind) {
+    case PolicyKind::kFull:
+      return std::make_unique<FullPolicy>();
+    case PolicyKind::kRr:
+      return std::make_unique<RrPolicy>();
+    case PolicyKind::kChooseBest:
+      return std::make_unique<ChooseBestPolicy>();
+    case PolicyKind::kMixed:
+      return std::make_unique<MixedPolicy>(mixed_params);
+    case PolicyKind::kTestMixed:
+      return std::make_unique<MixedPolicy>(MixedPolicy::TestMixed());
+    case PolicyKind::kPartitioned:
+      return std::make_unique<PartitionedChooseBestPolicy>();
+  }
+  LSMSSD_CHECK(false) << "unknown policy kind";
+  return nullptr;
+}
+
+bool ParsePolicyKind(std::string_view name, PolicyKind* out) {
+  if (name == "Full") {
+    *out = PolicyKind::kFull;
+  } else if (name == "RR") {
+    *out = PolicyKind::kRr;
+  } else if (name == "ChooseBest") {
+    *out = PolicyKind::kChooseBest;
+  } else if (name == "Mixed") {
+    *out = PolicyKind::kMixed;
+  } else if (name == "TestMixed") {
+    *out = PolicyKind::kTestMixed;
+  } else if (name == "PartitionedCB") {
+    *out = PolicyKind::kPartitioned;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFull:
+      return "Full";
+    case PolicyKind::kRr:
+      return "RR";
+    case PolicyKind::kChooseBest:
+      return "ChooseBest";
+    case PolicyKind::kMixed:
+      return "Mixed";
+    case PolicyKind::kTestMixed:
+      return "TestMixed";
+    case PolicyKind::kPartitioned:
+      return "PartitionedCB";
+  }
+  return "?";
+}
+
+}  // namespace lsmssd

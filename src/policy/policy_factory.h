@@ -1,0 +1,37 @@
+#ifndef LSMSSD_POLICY_POLICY_FACTORY_H_
+#define LSMSSD_POLICY_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/policy/merge_policy.h"
+#include "src/policy/mixed_policy.h"
+
+namespace lsmssd {
+
+/// The merge policies studied in the paper. Block preservation is
+/// orthogonal (Options::preserve_blocks): e.g. the paper's "Full-P" is
+/// kFull with preservation off.
+enum class PolicyKind {
+  kFull,        ///< Always merge the whole level (basic LSM).
+  kRr,          ///< Round-robin partials (LevelDB-like).
+  kChooseBest,  ///< Minimum-overlap partials (Theorem 2 guarantee).
+  kMixed,       ///< Threshold-mixed Full/ChooseBest (Section IV).
+  kTestMixed,   ///< Fixed Mixed of Section IV-A (beta=true, no thresholds).
+  kPartitioned, ///< HyperLevelDB-like partition-restricted ChooseBest.
+};
+
+/// Creates a policy. `mixed_params` is used by kMixed only.
+std::unique_ptr<MergePolicy> CreatePolicy(
+    PolicyKind kind, const MixedParams& mixed_params = MixedParams());
+
+/// Parses "Full", "RR", "ChooseBest", "Mixed", "TestMixed", "PartitionedCB"
+/// (case-sensitive); returns false on unknown names.
+bool ParsePolicyKind(std::string_view name, PolicyKind* out);
+
+/// Canonical display name of `kind`.
+std::string_view PolicyKindName(PolicyKind kind);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_POLICY_POLICY_FACTORY_H_

@@ -1,0 +1,32 @@
+#ifndef LSMSSD_POLICY_RR_POLICY_H_
+#define LSMSSD_POLICY_RR_POLICY_H_
+
+#include <unordered_map>
+
+#include "src/format/key_codec.h"
+#include "src/policy/merge_policy.h"
+
+namespace lsmssd {
+
+/// Round-robin partial merges (Section III-B; roughly LevelDB's policy).
+/// Each merge out of a level takes the next delta * K run of blocks in key
+/// order, resuming after the largest key involved in the previous merge
+/// from that level and wrapping around at the end of the key range.
+/// Amortized cost into L_i is (1/(1-delta) + o(1)) * Gamma per merged
+/// block (Theorem 1), but a single unlucky merge can still rewrite nearly
+/// the whole next level.
+class RrPolicy : public MergePolicy {
+ public:
+  std::string_view name() const override { return "RR"; }
+  MergeSelection SelectMerge(const LsmTree& tree,
+                             size_t source_level) override;
+  void Reset() override { cursors_.clear(); }
+
+ private:
+  /// Largest key selected by the previous merge out of each source level.
+  std::unordered_map<size_t, Key> cursors_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_POLICY_RR_POLICY_H_

@@ -1,0 +1,27 @@
+#ifndef LSMSSD_STORAGE_BLOCK_H_
+#define LSMSSD_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lsmssd {
+
+/// Identifier of one device block. Blocks of an LSM level may live at
+/// arbitrary, non-contiguous ids (the paper's relaxed level storage,
+/// Section II-B): on SSDs random block reads are cheap, so levels do not
+/// need physically sequential leaves.
+using BlockId = uint64_t;
+
+inline constexpr BlockId kInvalidBlockId =
+    std::numeric_limits<BlockId>::max();
+
+/// Default device block size. Matches the paper's experimental setup (4 KB).
+inline constexpr size_t kDefaultBlockSize = 4096;
+
+/// Raw block contents.
+using BlockData = std::vector<uint8_t>;
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_STORAGE_BLOCK_H_

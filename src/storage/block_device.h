@@ -1,0 +1,54 @@
+#ifndef LSMSSD_STORAGE_BLOCK_DEVICE_H_
+#define LSMSSD_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/storage/block.h"
+#include "src/storage/io_stats.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Abstract SSD-like block store. Blocks are written once at allocation
+/// time and never updated in place (LSM's defining property); they are read
+/// any number of times and eventually freed. Implementations must account
+/// every physical read/write in stats().
+///
+/// Thread-compatibility: instances are not thread-safe; the library drives
+/// one device per LSM tree from a single thread (merges in the paper are
+/// synchronous; concurrency control is explicitly out of scope, Section II).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Size in bytes of every block on this device.
+  virtual size_t block_size() const = 0;
+
+  /// Allocates a fresh block and writes `data` into it. `data.size()` must
+  /// be <= block_size(); shorter payloads are zero-padded. Counts one block
+  /// write. Returns the new block's id.
+  virtual StatusOr<BlockId> WriteNewBlock(const BlockData& data) = 0;
+
+  /// Reads block `id` into `*out` (resized to block_size()). Counts one
+  /// block read.
+  virtual Status ReadBlock(BlockId id, BlockData* out) = 0;
+
+  /// Releases block `id`. The id must be live. After freeing, reads of `id`
+  /// fail.
+  virtual Status FreeBlock(BlockId id) = 0;
+
+  /// Number of live (allocated, not yet freed) blocks.
+  virtual uint64_t live_blocks() const = 0;
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ protected:
+  IoStats stats_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,118 @@
+#include "src/storage/file_block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, const FileOptions& options) {
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  int flags = O_RDWR | O_CREAT;
+  if (options.truncate) flags |= O_TRUNC;
+  if (options.use_osync) flags |= O_SYNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open " + path);
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(path, options, fd));
+}
+
+FileBlockDevice::FileBlockDevice(std::string path, FileOptions options,
+                                 int fd)
+    : path_(std::move(path)), options_(options), fd_(fd) {}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+  if (options_.remove_on_close) ::unlink(path_.c_str());
+}
+
+StatusOr<BlockId> FileBlockDevice::WriteNewBlock(const BlockData& data) {
+  if (data.size() > options_.block_size) {
+    return Status::InvalidArgument("block payload larger than block size");
+  }
+  BlockId slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = next_slot_++;
+  }
+
+  BlockData padded = data;
+  padded.resize(options_.block_size, 0);
+  const off_t offset =
+      static_cast<off_t>(slot) * static_cast<off_t>(options_.block_size);
+  ssize_t n = ::pwrite(fd_, padded.data(), padded.size(), offset);
+  if (n != static_cast<ssize_t>(padded.size())) {
+    free_slots_.push_back(slot);
+    return Errno("pwrite block " + std::to_string(slot));
+  }
+  live_.insert(slot);
+  stats_.RecordAllocate();
+  stats_.RecordWrite();
+  return slot;
+}
+
+Status FileBlockDevice::ReadBlock(BlockId id, BlockData* out) {
+  if (!live_.contains(id)) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  out->resize(options_.block_size);
+  const off_t offset =
+      static_cast<off_t>(id) * static_cast<off_t>(options_.block_size);
+  ssize_t n = ::pread(fd_, out->data(), out->size(), offset);
+  if (n != static_cast<ssize_t>(out->size())) {
+    return Errno("pread block " + std::to_string(id));
+  }
+  stats_.RecordRead();
+  return Status::OK();
+}
+
+Status FileBlockDevice::RestoreLive(const std::vector<BlockId>& live_blocks) {
+  if (next_slot_ != 1 || !live_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreLive on a device that already allocated blocks");
+  }
+  BlockId max_slot = 0;
+  for (BlockId id : live_blocks) {
+    if (id == 0) return Status::InvalidArgument("slot 0 is reserved");
+    if (!live_.insert(id).second) {
+      return Status::InvalidArgument("duplicate live block id");
+    }
+    max_slot = std::max(max_slot, id);
+  }
+  next_slot_ = max_slot + 1;
+  for (BlockId slot = 1; slot < next_slot_; ++slot) {
+    if (!live_.contains(slot)) free_slots_.push_back(slot);
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::FreeBlock(BlockId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound("free of unallocated block " +
+                            std::to_string(id));
+  }
+  live_.erase(it);
+  free_slots_.push_back(id);
+  stats_.RecordFree();
+  return Status::OK();
+}
+
+}  // namespace lsmssd

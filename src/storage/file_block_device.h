@@ -1,0 +1,66 @@
+#ifndef LSMSSD_STORAGE_FILE_BLOCK_DEVICE_H_
+#define LSMSSD_STORAGE_FILE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/block_device.h"
+
+namespace lsmssd {
+
+/// File-backed block device using positional unbuffered I/O, optionally
+/// with O_SYNC (approximating the paper's ext4 + O_DIRECT|O_SYNC setup).
+/// Blocks are slots in one backing file managed by a free list. Used by the
+/// wall-clock experiment (Figure 7) and by durability-minded examples; the
+/// write-count experiments use MemBlockDevice, which accounts identically.
+class FileBlockDevice : public BlockDevice {
+ public:
+  struct FileOptions {
+    size_t block_size = kDefaultBlockSize;
+    bool use_osync = false;       ///< Open with O_SYNC.
+    bool remove_on_close = true;  ///< Unlink the backing file in dtor.
+    /// Truncate on open (fresh device). Set false together with
+    /// remove_on_close=false to reopen a persisted device; then declare
+    /// the live blocks with RestoreLive() (e.g. from a Manifest).
+    bool truncate = true;
+  };
+
+  /// Factory; fails if the backing file cannot be created/opened.
+  static StatusOr<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, const FileOptions& options);
+
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  size_t block_size() const override { return options_.block_size; }
+  StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
+  Status ReadBlock(BlockId id, BlockData* out) override;
+  Status FreeBlock(BlockId id) override;
+  uint64_t live_blocks() const override { return live_.size(); }
+
+  const std::string& path() const { return path_; }
+
+  /// Declares the set of live blocks after reopening a persisted file
+  /// (truncate=false). Unlisted slots below the maximum become free. Must
+  /// be called before any I/O; fails if blocks were already allocated.
+  Status RestoreLive(const std::vector<BlockId>& live_blocks);
+
+ private:
+  FileBlockDevice(std::string path, FileOptions options, int fd);
+
+  std::string path_;
+  FileOptions options_;
+  int fd_;
+  uint64_t next_slot_ = 1;  // Slot 0 unused, as in MemBlockDevice.
+  std::vector<BlockId> free_slots_;
+  std::unordered_set<BlockId> live_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_STORAGE_FILE_BLOCK_DEVICE_H_

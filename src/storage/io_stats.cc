@@ -1,0 +1,23 @@
+#include "src/storage/io_stats.h"
+
+#include <sstream>
+
+namespace lsmssd {
+
+void IoStats::Reset() {
+  block_writes_ = 0;
+  block_reads_ = 0;
+  cached_reads_ = 0;
+  block_frees_ = 0;
+  block_allocs_ = 0;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream out;
+  out << "writes=" << block_writes_ << " reads=" << block_reads_
+      << " cached_reads=" << cached_reads_ << " allocs=" << block_allocs_
+      << " frees=" << block_frees_;
+  return out.str();
+}
+
+}  // namespace lsmssd

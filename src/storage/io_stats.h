@@ -1,0 +1,44 @@
+#ifndef LSMSSD_STORAGE_IO_STATS_H_
+#define LSMSSD_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lsmssd {
+
+/// Precise device-level I/O accounting. The paper's primary performance
+/// metric is the number of data-block writes, instrumented in code and
+/// independent of the platform (Section V, "Metrics of comparison"); this
+/// struct is that instrument. One IoStats instance is owned by each block
+/// device; the LSM layer additionally keeps per-level write counters that
+/// tests cross-check against these totals.
+class IoStats {
+ public:
+  void RecordWrite() { ++block_writes_; }
+  void RecordRead() { ++block_reads_; }
+  void RecordCachedRead() { ++cached_reads_; }
+  void RecordFree() { ++block_frees_; }
+  void RecordAllocate() { ++block_allocs_; }
+
+  uint64_t block_writes() const { return block_writes_; }
+  uint64_t block_reads() const { return block_reads_; }
+  uint64_t cached_reads() const { return cached_reads_; }
+  uint64_t block_frees() const { return block_frees_; }
+  uint64_t block_allocs() const { return block_allocs_; }
+
+  void Reset();
+
+  /// "writes=... reads=... cached_reads=... allocs=... frees=..."
+  std::string ToString() const;
+
+ private:
+  uint64_t block_writes_ = 0;
+  uint64_t block_reads_ = 0;
+  uint64_t cached_reads_ = 0;
+  uint64_t block_frees_ = 0;
+  uint64_t block_allocs_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_STORAGE_IO_STATS_H_

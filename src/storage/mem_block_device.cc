@@ -1,0 +1,54 @@
+#include "src/storage/mem_block_device.h"
+
+#include <string>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+MemBlockDevice::MemBlockDevice(size_t block_size) : block_size_(block_size) {
+  LSMSSD_CHECK_GT(block_size, 0u);
+}
+
+StatusOr<BlockId> MemBlockDevice::WriteNewBlock(const BlockData& data) {
+  if (data.size() > block_size_) {
+    return Status::InvalidArgument("block payload larger than block size");
+  }
+  BlockData stored = data;
+  stored.resize(block_size_, 0);
+  const BlockId id = next_id_++;
+  blocks_.emplace(id, std::move(stored));
+  stats_.RecordAllocate();
+  stats_.RecordWrite();
+  return id;
+}
+
+Status MemBlockDevice::ReadBlock(BlockId id, BlockData* out) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  *out = it->second;
+  stats_.RecordRead();
+  return Status::OK();
+}
+
+std::unique_ptr<MemBlockDevice> MemBlockDevice::Clone() const {
+  auto clone = std::make_unique<MemBlockDevice>(block_size_);
+  clone->next_id_ = next_id_;
+  clone->blocks_ = blocks_;
+  return clone;
+}
+
+Status MemBlockDevice::FreeBlock(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("free of unallocated block " +
+                            std::to_string(id));
+  }
+  blocks_.erase(it);
+  stats_.RecordFree();
+  return Status::OK();
+}
+
+}  // namespace lsmssd

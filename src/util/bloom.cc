@@ -1,0 +1,51 @@
+#include "src/util/bloom.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+/// 64-bit mix (splitmix64 finalizer) — the base hash for double hashing.
+uint64_t HashKey(Key key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(const std::vector<Key>& keys, size_t bits_per_key) {
+  LSMSSD_CHECK_GE(bits_per_key, 1u);
+  // k = m/n * ln 2, clamped to a sane range.
+  num_probes_ = std::clamp<size_t>(
+      static_cast<size_t>(static_cast<double>(bits_per_key) * 0.69), 1, 30);
+  size_t bits = std::max<size_t>(keys.size() * bits_per_key, 64);
+  bits_.assign((bits + 7) / 8, 0);
+  bits = bits_.size() * 8;
+
+  for (Key key : keys) {
+    uint64_t h = HashKey(key);
+    const uint64_t delta = (h >> 17) | (h << 47);  // Second hash.
+    for (size_t i = 0; i < num_probes_; ++i) {
+      const uint64_t bit = h % bits;
+      bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      h += delta;
+    }
+  }
+}
+
+bool BloomFilter::MayContain(Key key) const {
+  const uint64_t bits = bits_.size() * 8;
+  uint64_t h = HashKey(key);
+  const uint64_t delta = (h >> 17) | (h << 47);
+  for (size_t i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = h % bits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,37 @@
+#ifndef LSMSSD_UTIL_BLOOM_H_
+#define LSMSSD_UTIL_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/format/key_codec.h"
+
+namespace lsmssd {
+
+/// Standard Bloom filter over keys (double hashing, à la LevelDB). The
+/// paper's technical report discusses Bloom filters as an orthogonal
+/// optimization for LSM lookups; here one filter guards each data block
+/// (leaf), living in memory next to the leaf directory, so negative
+/// lookups skip the block read entirely.
+class BloomFilter {
+ public:
+  /// Builds a filter for `keys` with `bits_per_key` bits per key (>= 1;
+  /// ~10 gives a ~1% false-positive rate). The number of probes is derived
+  /// as bits_per_key * ln 2.
+  BloomFilter(const std::vector<Key>& keys, size_t bits_per_key);
+
+  /// False means definitely absent; true means possibly present.
+  bool MayContain(Key key) const;
+
+  size_t SizeBytes() const { return bits_.size(); }
+  size_t num_probes() const { return num_probes_; }
+
+ private:
+  std::vector<uint8_t> bits_;
+  size_t num_probes_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_BLOOM_H_

@@ -1,0 +1,93 @@
+#include "src/util/golden_section.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+
+/// Memoizing wrapper so each index is evaluated at most once.
+class MemoFn {
+ public:
+  explicit MemoFn(const std::function<double(size_t)>& f) : f_(f) {}
+
+  double operator()(size_t i) {
+    auto it = cache_.find(i);
+    if (it != cache_.end()) return it->second;
+    const double v = f_(i);
+    cache_.emplace(i, v);
+    return v;
+  }
+
+  size_t evaluations() const { return cache_.size(); }
+
+ private:
+  const std::function<double(size_t)>& f_;
+  std::map<size_t, double> cache_;
+};
+
+}  // namespace
+
+MinimizeResult GoldenSectionMinimize(
+    size_t n, const std::function<double(size_t)>& f) {
+  LSMSSD_CHECK_GT(n, 0u);
+  MemoFn memo(f);
+
+  // Fibonacci-style shrinking bracket on integer indices. We keep the
+  // invariant that the minimum lies in [lo, hi]; probes m1 < m2 inside the
+  // bracket decide which side to discard. This is the discrete analogue of
+  // golden-section search and needs O(log n) probes.
+  size_t lo = 0, hi = n - 1;
+  while (hi - lo > 2) {
+    const size_t span = hi - lo;
+    // Golden ratio split; guaranteed lo < m1 < m2 < hi for span > 2.
+    size_t m1 = lo + static_cast<size_t>(std::floor(span * 0.382));
+    size_t m2 = lo + static_cast<size_t>(std::ceil(span * 0.618));
+    if (m1 == lo) ++m1;
+    if (m2 == hi) --m2;
+    if (m1 >= m2) m2 = m1 + 1;
+    if (memo(m1) <= memo(m2)) {
+      hi = m2;  // Minimum cannot be right of m2.
+    } else {
+      lo = m1;  // Minimum cannot be left of m1.
+    }
+  }
+
+  MinimizeResult result;
+  result.best_index = lo;
+  result.best_value = memo(lo);
+  for (size_t i = lo + 1; i <= hi; ++i) {
+    const double v = memo(i);
+    if (v < result.best_value) {
+      result.best_value = v;
+      result.best_index = i;
+    }
+  }
+  result.evaluations = memo.evaluations();
+  return result;
+}
+
+MinimizeResult LinearScanMinimize(size_t n,
+                                  const std::function<double(size_t)>& f) {
+  LSMSSD_CHECK_GT(n, 0u);
+  MinimizeResult result;
+  result.best_index = 0;
+  result.best_value = f(0);
+  result.evaluations = 1;
+  for (size_t i = 1; i < n; ++i) {
+    const double v = f(i);
+    ++result.evaluations;
+    if (v < result.best_value) {
+      result.best_value = v;
+      result.best_index = i;
+    } else if (v > result.best_value) {
+      break;  // Unimodal: once the curve turns up, the minimum is behind us.
+    }
+  }
+  return result;
+}
+
+}  // namespace lsmssd

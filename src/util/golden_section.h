@@ -1,0 +1,37 @@
+#ifndef LSMSSD_UTIL_GOLDEN_SECTION_H_
+#define LSMSSD_UTIL_GOLDEN_SECTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace lsmssd {
+
+/// Result of a discrete minimization run.
+struct MinimizeResult {
+  size_t best_index = 0;     ///< Index into the candidate domain.
+  double best_value = 0.0;   ///< f(domain[best_index]).
+  size_t evaluations = 0;    ///< Number of distinct f evaluations performed.
+};
+
+/// Minimizes f over the index domain {0, 1, ..., n-1} assuming -f is
+/// unimodal (f strictly decreases to a unique minimum then increases;
+/// plateaus are tolerated but may return any point of the plateau).
+///
+/// This is the discrete golden-section / ternary search the paper's Mixed
+/// learner uses to find the optimal threshold tau with O(log |D_tau|)
+/// measurements (Section IV-C, Theorem 5). Evaluations are memoized so f is
+/// called at most once per index — measurements are expensive (each one
+/// replays a full level cycle of the workload).
+MinimizeResult GoldenSectionMinimize(size_t n,
+                                     const std::function<double(size_t)>& f);
+
+/// Linear-scan variant: evaluates f at 0, 1, ... and stops as soon as the
+/// value increases (valid under the same unimodality assumption). The paper
+/// notes this is adequate for small D_tau (10% increments).
+MinimizeResult LinearScanMinimize(size_t n,
+                                  const std::function<double(size_t)>& f);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_GOLDEN_SECTION_H_

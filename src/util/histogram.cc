@@ -1,0 +1,72 @@
+#include "src/util/histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+Histogram::Histogram(uint64_t lo, uint64_t hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  LSMSSD_CHECK_GT(buckets, 0u);
+  LSMSSD_CHECK_LE(lo, hi);
+  const double width = static_cast<double>(hi - lo) + 1.0;
+  inv_width_ = static_cast<double>(buckets) / width;
+}
+
+size_t Histogram::BucketOf(uint64_t value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  auto idx =
+      static_cast<size_t>(static_cast<double>(value - lo_) * inv_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  return idx;
+}
+
+void Histogram::Add(uint64_t value) { AddWeighted(value, 1); }
+
+void Histogram::AddWeighted(uint64_t value, uint64_t weight) {
+  counts_[BucketOf(value)] += weight;
+  total_ += weight;
+}
+
+void Histogram::Clear() {
+  for (auto& c : counts_) c = 0;
+  total_ = 0;
+}
+
+double Histogram::Frequency(size_t i) const {
+  LSMSSD_CHECK_LT(i, counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+uint64_t Histogram::BucketLow(size_t i) const {
+  LSMSSD_CHECK_LT(i, counts_.size());
+  const double width =
+      (static_cast<double>(hi_ - lo_) + 1.0) / counts_.size();
+  return lo_ + static_cast<uint64_t>(i * width);
+}
+
+double Histogram::FrequencyCv() const {
+  if (total_ == 0) return 0.0;
+  const double mean = 1.0 / counts_.size();
+  double var = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double d = Frequency(i) - mean;
+    var += d * d;
+  }
+  var /= counts_.size();
+  return std::sqrt(var) / mean;
+}
+
+std::string Histogram::ToCsv() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out << BucketLow(i) << "," << counts_[i] << "," << Frequency(i) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lsmssd

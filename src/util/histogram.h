@@ -1,0 +1,58 @@
+#ifndef LSMSSD_UTIL_HISTOGRAM_H_
+#define LSMSSD_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsmssd {
+
+/// Fixed-bucket histogram over a closed key/value domain [lo, hi]. Used by
+/// the Figure 1 experiment to plot per-level key-density distributions
+/// (the paper divides the key space into 100 buckets) and by tests to
+/// assert distribution shapes.
+class Histogram {
+ public:
+  /// Divides [lo, hi] into `buckets` equal-width buckets. Requires
+  /// buckets > 0 and lo <= hi.
+  Histogram(uint64_t lo, uint64_t hi, size_t buckets);
+
+  /// Adds one observation. Values outside [lo, hi] clamp to the end buckets.
+  void Add(uint64_t value);
+  /// Adds `weight` observations of `value`.
+  void AddWeighted(uint64_t value, uint64_t weight);
+
+  void Clear();
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+
+  /// Fraction of mass in bucket i (0 if empty histogram).
+  double Frequency(size_t i) const;
+
+  /// Inclusive lower bound of bucket i's value range.
+  uint64_t BucketLow(size_t i) const;
+
+  /// Index of the bucket containing `value` (after clamping).
+  size_t BucketOf(uint64_t value) const;
+
+  /// Coefficient of variation of the bucket frequencies; 0 for a perfectly
+  /// flat histogram. Convenient skew summary for tests.
+  double FrequencyCv() const;
+
+  /// One line per bucket: "<bucket_low>,<count>,<frequency>".
+  std::string ToCsv() const;
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+  double inv_width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_HISTOGRAM_H_

@@ -1,0 +1,92 @@
+#ifndef LSMSSD_UTIL_LOGGING_H_
+#define LSMSSD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lsmssd {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows the streamed message of a disabled log statement.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Minimum severity that actually gets printed (default: kWarning, so
+/// library internals stay quiet in benchmarks). Fatal always prints.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+#define LSMSSD_LOG(severity)                                    \
+  ::lsmssd::internal_logging::LogMessage(                       \
+      ::lsmssd::LogSeverity::k##severity, __FILE__, __LINE__)
+
+/// Always-on invariant check; prints the expression, any streamed context,
+/// and aborts on failure. Used for programmer errors, not runtime errors.
+#define LSMSSD_CHECK(cond)                                       \
+  switch (0)                                                     \
+  case 0:                                                        \
+  default:                                                       \
+    (cond) ? (void)0                                             \
+           : ::lsmssd::internal_logging::Voidify() &             \
+                 LSMSSD_LOG(Fatal) << "Check failed: " #cond " "
+
+#define LSMSSD_CHECK_EQ(a, b) \
+  LSMSSD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LSMSSD_CHECK_NE(a, b) \
+  LSMSSD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LSMSSD_CHECK_LE(a, b) \
+  LSMSSD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LSMSSD_CHECK_LT(a, b) \
+  LSMSSD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LSMSSD_CHECK_GE(a, b) \
+  LSMSSD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LSMSSD_CHECK_GT(a, b) \
+  LSMSSD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define LSMSSD_DCHECK(cond) LSMSSD_CHECK(cond)
+#else
+#define LSMSSD_DCHECK(cond) \
+  while (false) ::lsmssd::internal_logging::NullStream()
+#endif
+
+namespace internal_logging {
+/// Makes the ternary in LSMSSD_CHECK type-check (LogMessage is not void).
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+}  // namespace internal_logging
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_LOGGING_H_

@@ -1,0 +1,138 @@
+#ifndef LSMSSD_UTIL_STATUS_H_
+#define LSMSSD_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lsmssd {
+
+/// Error categories used across the library. The library does not use
+/// exceptions; every fallible operation returns a Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kIoError = 4,
+  kOutOfRange = 5,
+  kFailedPrecondition = 6,
+  kResourceExhausted = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error indicator. An OK status carries no message and is
+/// cheap to copy; error statuses carry a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s(StatusCodeToString(code_));
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define LSMSSD_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::lsmssd::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_STATUS_H_

@@ -1,0 +1,71 @@
+#ifndef LSMSSD_UTIL_STATUSOR_H_
+#define LSMSSD_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace lsmssd {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    LSMSSD_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LSMSSD_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    LSMSSD_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    LSMSSD_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define LSMSSD_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  LSMSSD_ASSIGN_OR_RETURN_IMPL_(                \
+      LSMSSD_CONCAT_(_statusor_, __LINE__), lhs, rexpr)
+
+#define LSMSSD_CONCAT_INNER_(a, b) a##b
+#define LSMSSD_CONCAT_(a, b) LSMSSD_CONCAT_INNER_(a, b)
+#define LSMSSD_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value()
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_STATUSOR_H_

@@ -1,0 +1,82 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace internal_table {
+
+std::string FormatCell(const std::string& v) { return v; }
+std::string FormatCell(const char* v) { return std::string(v); }
+
+std::string FormatCell(double v) {
+  char buf[64];
+  // %.6g keeps integers clean and gives enough precision for cost ratios.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+std::string FormatCell(float v) { return FormatCell(static_cast<double>(v)); }
+
+}  // namespace internal_table
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  LSMSSD_CHECK(!columns_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  LSMSSD_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToAligned() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(columns_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) rule += widths[c] + 2;
+  out << std::string(rule > 2 ? rule - 2 : rule, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out << columns_[c] << (c + 1 == columns_.size() ? "\n" : ",");
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    }
+  }
+  return out.str();
+}
+
+void TablePrinter::Print(std::ostream& out, const std::string& tag) const {
+  out << ToAligned();
+  out << "# begin-csv " << tag << "\n";
+  out << ToCsv();
+  out << "# end-csv\n";
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,61 @@
+#ifndef LSMSSD_UTIL_TABLE_PRINTER_H_
+#define LSMSSD_UTIL_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsmssd {
+
+/// Accumulates rows and renders them both as an aligned human-readable
+/// table and as CSV. Every bench binary emits its figure's series through
+/// one of these so the output format is uniform across experiments.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly as many cells as there are columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Aligned fixed-width table with a header rule.
+  std::string ToAligned() const;
+
+  /// RFC-4180-ish CSV (no quoting; cells must not contain commas).
+  std::string ToCsv() const;
+
+  /// Writes the aligned table followed by a CSV block delimited by
+  /// "# begin-csv <tag>" / "# end-csv" markers for machine scraping.
+  void Print(std::ostream& out, const std::string& tag) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace internal_table {
+std::string FormatCell(const std::string& v);
+std::string FormatCell(const char* v);
+std::string FormatCell(double v);
+std::string FormatCell(float v);
+
+template <typename T>
+std::string FormatCell(const T& v) {
+  return std::to_string(v);
+}
+}  // namespace internal_table
+
+template <typename... Ts>
+void TablePrinter::AddRowValues(const Ts&... values) {
+  AddRow({internal_table::FormatCell(values)...});
+}
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,115 @@
+#include "src/workload/driver.h"
+
+#include <chrono>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+std::string MakePayload(const Options& options, Key key) {
+  std::string payload(options.payload_size, '\0');
+  // Cheap key-derived pattern; xorshift of the key seeds every byte.
+  uint64_t x = key * 0x9e3779b97f4a7c15ULL + 1;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    payload[i] = static_cast<char>(x & 0xff);
+  }
+  return payload;
+}
+
+Status ApplyRequest(LsmTree* tree, const WorkloadRequest& request) {
+  switch (request.kind) {
+    case WorkloadRequest::Kind::kInsert:
+      return tree->Put(request.key,
+                       MakePayload(tree->options(), request.key));
+    case WorkloadRequest::Kind::kDelete:
+      return tree->Delete(request.key);
+  }
+  return Status::Internal("unknown request kind");
+}
+
+double WindowMetrics::BlocksPerMb() const {
+  if (request_bytes == 0) return 0.0;
+  const double mb = static_cast<double>(request_bytes) / (1024.0 * 1024.0);
+  return static_cast<double>(blocks_written) / mb;
+}
+
+double WindowMetrics::SecondsPerMb() const {
+  if (request_bytes == 0) return 0.0;
+  const double mb = static_cast<double>(request_bytes) / (1024.0 * 1024.0);
+  return elapsed_seconds / mb;
+}
+
+WorkloadDriver::WorkloadDriver(LsmTree* tree, Workload* workload)
+    : tree_(tree), workload_(workload) {
+  LSMSSD_CHECK(tree != nullptr);
+  LSMSSD_CHECK(workload != nullptr);
+}
+
+Status WorkloadDriver::Run(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    LSMSSD_RETURN_IF_ERROR(ApplyRequest(tree_, workload_->Next()));
+    ++requests_applied_;
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::GrowTo(uint64_t target_bytes) {
+  workload_->set_insert_ratio(1.0);
+  while (tree_->ApproximateDataBytes() < target_bytes) {
+    LSMSSD_RETURN_IF_ERROR(Run(1));
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::ReachSteadyState(double steady_insert_ratio) {
+  workload_->set_insert_ratio(steady_insert_ratio);
+  const size_t h = tree_->num_levels();
+  if (h < 2) return Status::OK();
+  const size_t bottom = h - 1;
+  const uint64_t target =
+      tree_->LevelCapacityBlocks(bottom >= 1 ? bottom - 1 : 0) *
+      tree_->options().records_per_block();
+  auto merged_into_bottom = [&]() -> uint64_t {
+    const auto& v = tree_->stats().records_merged_into;
+    return bottom < v.size() ? v[bottom] : 0;
+  };
+  const uint64_t start = merged_into_bottom();
+  while (merged_into_bottom() - start < target) {
+    LSMSSD_RETURN_IF_ERROR(Run(1));
+  }
+  return Status::OK();
+}
+
+StatusOr<WindowMetrics> WorkloadDriver::MeasureWindow(
+    uint64_t request_bytes) {
+  const uint64_t record_size = tree_->options().record_size();
+  const uint64_t n = (request_bytes + record_size - 1) / record_size;
+
+  const LsmStats before = tree_->stats();
+  const uint64_t device_writes_before = tree_->device()->stats().block_writes();
+  const auto t0 = std::chrono::steady_clock::now();
+  LSMSSD_RETURN_IF_ERROR(Run(n));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  WindowMetrics m;
+  m.requests = n;
+  m.request_bytes = n * record_size;
+  m.blocks_written =
+      tree_->device()->stats().block_writes() - device_writes_before;
+  m.elapsed_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  m.stats_delta = tree_->stats().DeltaSince(before);
+  return m;
+}
+
+std::function<Status(LsmTree*)> WorkloadDriver::RequestFn() {
+  return [this](LsmTree* tree) {
+    ++requests_applied_;
+    return ApplyRequest(tree, workload_->Next());
+  };
+}
+
+}  // namespace lsmssd

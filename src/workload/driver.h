@@ -1,0 +1,77 @@
+#ifndef LSMSSD_WORKLOAD_DRIVER_H_
+#define LSMSSD_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/lsm/lsm_tree.h"
+#include "src/workload/workload.h"
+
+namespace lsmssd {
+
+/// Deterministic payload for `key` (pattern derived from the key so tests
+/// can verify Get() results without remembering values).
+std::string MakePayload(const Options& options, Key key);
+
+/// Applies one workload request to the tree.
+Status ApplyRequest(LsmTree* tree, const WorkloadRequest& request);
+
+/// Measurements of one experiment window.
+struct WindowMetrics {
+  uint64_t requests = 0;
+  uint64_t request_bytes = 0;      ///< requests * record_size.
+  uint64_t blocks_written = 0;     ///< Data-block writes in the window.
+  double elapsed_seconds = 0.0;    ///< Wall clock.
+  LsmStats stats_delta;            ///< Full per-level delta.
+
+  /// The paper's headline metric: blocks written per 1 MB worth of
+  /// requests.
+  double BlocksPerMb() const;
+  /// Seconds per 1 MB worth of requests (Figure 7's metric).
+  double SecondsPerMb() const;
+};
+
+/// Drives a tree with a workload through the paper's experiment protocol
+/// (Section V-A): grow with inserts to a target dataset size, switch to
+/// the steady-state mix, wait until at least one second-to-last-level
+/// worth of data has merged into the bottom level, then measure windows.
+class WorkloadDriver {
+ public:
+  /// `tree` and `workload` must outlive the driver.
+  WorkloadDriver(LsmTree* tree, Workload* workload);
+
+  /// Applies `n` requests.
+  Status Run(uint64_t n);
+
+  /// Applies requests until the tree's dataset reaches `target_bytes`
+  /// (approximate record bytes), using insert-only requests.
+  Status GrowTo(uint64_t target_bytes);
+
+  /// Restores the steady-state insert ratio and runs until at least
+  /// `K_{h-2} * B` records have merged into the bottom level since the
+  /// call, so measurements see steady-state behavior.
+  Status ReachSteadyState(double steady_insert_ratio = 0.5);
+
+  /// Runs `request_bytes` worth of requests and returns the window's
+  /// metrics.
+  StatusOr<WindowMetrics> MeasureWindow(uint64_t request_bytes);
+
+  /// Adapter for MixedLearner: applies one request from this driver's
+  /// workload. (The learner replays on a scratch tree, so pass a scratch
+  /// driver's function.)
+  std::function<Status(LsmTree*)> RequestFn();
+
+  LsmTree* tree() { return tree_; }
+  Workload* workload() { return workload_; }
+  uint64_t requests_applied() const { return requests_applied_; }
+
+ private:
+  LsmTree* tree_;
+  Workload* workload_;
+  uint64_t requests_applied_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_DRIVER_H_

@@ -1,0 +1,67 @@
+#include "src/workload/normal_workload.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+NormalWorkload::NormalWorkload(const Params& params)
+    : params_(params),
+      insert_ratio_(params.insert_ratio),
+      rng_(params.seed) {
+  LSMSSD_CHECK_LT(params.key_min, params.key_max);
+  LSMSSD_CHECK_GT(params.sigma_fraction, 0.0);
+  LSMSSD_CHECK_GT(params.omega, 0u);
+  const double domain =
+      static_cast<double>(params.key_max - params.key_min) + 1.0;
+  sigma_keys_ = params.sigma_fraction * domain;
+  mean_ = rng_.UniformRange(params.key_min, params.key_max);
+}
+
+void NormalWorkload::MaybeMoveMean() {
+  if (++inserts_since_move_ >= params_.omega) {
+    inserts_since_move_ = 0;
+    mean_ = rng_.UniformRange(params_.key_min, params_.key_max);
+  }
+}
+
+Key NormalWorkload::SampleInsertKey() {
+  // Draw until the (truncated) variate lands on an un-indexed key. The
+  // dense center of a tight distribution can saturate; fall back to a
+  // fresh uniform key if that happens.
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    const double x =
+        static_cast<double>(mean_) + rng_.NextGaussian() * sigma_keys_;
+    if (x < static_cast<double>(params_.key_min) ||
+        x > static_cast<double>(params_.key_max)) {
+      continue;  // Truncate to the key space.
+    }
+    const Key k = static_cast<Key>(std::llround(x));
+    if (!indexed_.Contains(k)) return k;
+  }
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    const Key k = rng_.UniformRange(params_.key_min, params_.key_max);
+    if (!indexed_.Contains(k)) return k;
+  }
+  LSMSSD_CHECK(false) << "key domain saturated; enlarge [key_min, key_max]";
+  return 0;
+}
+
+WorkloadRequest NormalWorkload::Next() {
+  const bool insert = indexed_.empty() || rng_.Bernoulli(insert_ratio_);
+  WorkloadRequest request;
+  if (insert) {
+    request.kind = WorkloadRequest::Kind::kInsert;
+    request.key = SampleInsertKey();
+    indexed_.Insert(request.key);
+    MaybeMoveMean();
+  } else {
+    request.kind = WorkloadRequest::Kind::kDelete;
+    request.key = indexed_.Sample(&rng_);
+    indexed_.Erase(request.key);
+  }
+  return request;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,49 @@
+#ifndef LSMSSD_WORKLOAD_NORMAL_WORKLOAD_H_
+#define LSMSSD_WORKLOAD_NORMAL_WORKLOAD_H_
+
+#include "src/workload/workload.h"
+
+namespace lsmssd {
+
+/// The paper's Normal(sigma, omega) workload (Section V): insert keys are
+/// drawn from a normal distribution truncated to the key domain, whose
+/// mean jumps to a uniformly random location after every omega inserts.
+/// sigma is expressed as a fraction of the key-domain length. Deletes are
+/// generated exactly like Uniform's (existing keys, uniformly at random).
+class NormalWorkload : public Workload {
+ public:
+  struct Params {
+    Key key_min = 0;
+    Key key_max = 1'000'000'000;
+    /// Standard deviation / key-domain length. Paper default: 0.5%.
+    double sigma_fraction = 0.005;
+    /// Inserts between mean relocations. Paper default: 10,000.
+    uint64_t omega = 10'000;
+    double insert_ratio = 0.5;
+    uint64_t seed = 1;
+  };
+
+  explicit NormalWorkload(const Params& params);
+
+  WorkloadRequest Next() override;
+  uint64_t indexed_keys() const override { return indexed_.size(); }
+  void set_insert_ratio(double ratio) override { insert_ratio_ = ratio; }
+
+  Key current_mean() const { return mean_; }
+
+ private:
+  Key SampleInsertKey();
+  void MaybeMoveMean();
+
+  Params params_;
+  double insert_ratio_;
+  Random rng_;
+  SampledKeySet indexed_;
+  Key mean_;
+  double sigma_keys_;
+  uint64_t inserts_since_move_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_NORMAL_WORKLOAD_H_

@@ -1,0 +1,105 @@
+#include "src/workload/tpc_workload.h"
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+uint32_t BitsFor(uint32_t n) {
+  uint32_t bits = 0;
+  while ((1u << bits) < n) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+}  // namespace
+
+TpcWorkload::TpcWorkload(const Params& params)
+    : params_(params),
+      insert_ratio_(params.insert_ratio),
+      rng_(params.seed),
+      districts_(static_cast<size_t>(params.warehouses) *
+                 params.districts_per_warehouse) {
+  LSMSSD_CHECK_GT(params.warehouses, 0u);
+  LSMSSD_CHECK_GT(params.districts_per_warehouse, 0u);
+  LSMSSD_CHECK_GT(params.deletes_per_batch, 0u);
+  const uint32_t w_bits = BitsFor(params.warehouses);
+  const uint32_t d_bits = BitsFor(params.districts_per_warehouse);
+  LSMSSD_CHECK_GT(params.key_bits, w_bits + d_bits)
+      << "key_bits too small for warehouse/district encoding";
+  order_bits_ = params.key_bits - w_bits - d_bits;
+}
+
+Key TpcWorkload::MakeKey(uint32_t warehouse, uint32_t district,
+                         uint64_t order) const {
+  const uint32_t d_bits = BitsFor(params_.districts_per_warehouse);
+  LSMSSD_DCHECK(order < (uint64_t{1} << order_bits_))
+      << "order id overflowed its bit field; raise key_bits";
+  return (static_cast<Key>(warehouse) << (d_bits + order_bits_)) |
+         (static_cast<Key>(district) << order_bits_) | order;
+}
+
+TpcWorkload::District& TpcWorkload::DistrictAt(uint32_t warehouse,
+                                               uint32_t district) {
+  return districts_[static_cast<size_t>(warehouse) *
+                        params_.districts_per_warehouse +
+                    district];
+}
+
+void TpcWorkload::EnqueueDeleteBatch() {
+  // Pick a random district with enough live orders; give up after a few
+  // tries (the caller falls back to an insert).
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    const auto w = static_cast<uint32_t>(rng_.Uniform(params_.warehouses));
+    const auto d = static_cast<uint32_t>(
+        rng_.Uniform(params_.districts_per_warehouse));
+    District& district = DistrictAt(w, d);
+    if (district.live() < params_.deletes_per_batch) continue;
+    for (uint32_t i = 0; i < params_.deletes_per_batch; ++i) {
+      pending_deletes_.push_back(MakeKey(w, d, district.oldest_order));
+      ++district.oldest_order;
+    }
+    return;
+  }
+}
+
+WorkloadRequest TpcWorkload::Next() {
+  WorkloadRequest request;
+  if (!pending_deletes_.empty()) {
+    request.kind = WorkloadRequest::Kind::kDelete;
+    request.key = pending_deletes_.front();
+    pending_deletes_.pop_front();
+    --indexed_keys_;
+    return request;
+  }
+
+  // insert_ratio is a *request*-level ratio, but one delete transaction
+  // expands into a batch of deletes_per_batch requests. Convert to the
+  // per-transaction insert probability q with
+  //   q / (q + batch * (1 - q)) = insert_ratio.
+  const double r = insert_ratio_;
+  const double batch = params_.deletes_per_batch;
+  const double q =
+      r >= 1.0 ? 1.0 : (r * batch) / (1.0 - r + r * batch);
+  if (!rng_.Bernoulli(q)) {
+    EnqueueDeleteBatch();
+    if (!pending_deletes_.empty()) {
+      request.kind = WorkloadRequest::Kind::kDelete;
+      request.key = pending_deletes_.front();
+      pending_deletes_.pop_front();
+      --indexed_keys_;
+      return request;
+    }
+    // No district has a full batch yet: insert instead.
+  }
+
+  const auto w = static_cast<uint32_t>(rng_.Uniform(params_.warehouses));
+  const auto d =
+      static_cast<uint32_t>(rng_.Uniform(params_.districts_per_warehouse));
+  District& district = DistrictAt(w, d);
+  request.kind = WorkloadRequest::Kind::kInsert;
+  request.key = MakeKey(w, d, district.next_order);
+  ++district.next_order;
+  ++indexed_keys_;
+  return request;
+}
+
+}  // namespace lsmssd

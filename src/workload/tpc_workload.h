@@ -1,0 +1,65 @@
+#ifndef LSMSSD_WORKLOAD_TPC_WORKLOAD_H_
+#define LSMSSD_WORKLOAD_TPC_WORKLOAD_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace lsmssd {
+
+/// The paper's TPC workload (Section V), loosely based on TPC-C
+/// NEW_ORDER: an insert picks a warehouse and district at random and
+/// creates the next (sequential) order id there; a delete transaction
+/// picks a warehouse and district at random and removes its 10 oldest
+/// orders. Keys pack (warehouse, district, order id) into a bit string —
+/// uniform across districts, sequential within one, i.e. skewless overall
+/// (which is why the paper's TPC plots resemble Uniform).
+class TpcWorkload : public Workload {
+ public:
+  struct Params {
+    uint32_t warehouses = 16;
+    uint32_t districts_per_warehouse = 10;
+    /// Orders removed per delete transaction (TPC-C delivery batch).
+    uint32_t deletes_per_batch = 10;
+    /// Fraction of transactions that are inserts; each delete transaction
+    /// expands into deletes_per_batch individual requests.
+    double insert_ratio = 0.5;
+    uint64_t seed = 1;
+    /// Total key width in bits; must not exceed 8 * Options::key_size.
+    uint32_t key_bits = 32;
+  };
+
+  explicit TpcWorkload(const Params& params);
+
+  WorkloadRequest Next() override;
+  uint64_t indexed_keys() const override { return indexed_keys_; }
+  void set_insert_ratio(double ratio) override { insert_ratio_ = ratio; }
+
+  /// Bit-packed key: [warehouse | district | order id]. Order ids get 20
+  /// bits (~1M live orders per district); warehouse/district widths are
+  /// sized from the params.
+  Key MakeKey(uint32_t warehouse, uint32_t district, uint64_t order) const;
+
+ private:
+  struct District {
+    uint64_t next_order = 0;   ///< Next order id to insert.
+    uint64_t oldest_order = 0; ///< Oldest still-live order id.
+    uint64_t live() const { return next_order - oldest_order; }
+  };
+
+  District& DistrictAt(uint32_t warehouse, uint32_t district);
+  void EnqueueDeleteBatch();
+
+  Params params_;
+  double insert_ratio_;
+  Random rng_;
+  std::vector<District> districts_;
+  std::deque<Key> pending_deletes_;
+  uint64_t indexed_keys_ = 0;
+  uint32_t order_bits_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_TPC_WORKLOAD_H_

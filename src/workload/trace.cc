@@ -1,0 +1,124 @@
+#include "src/workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'S', 'M', 'T', 'R', 'C', '0', '1'};
+
+uint64_t Fnv1a64(const std::string& data, size_t begin, size_t end) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = begin; i < end; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<WorkloadRequest> CaptureTrace(Workload* source, uint64_t n) {
+  LSMSSD_CHECK(source != nullptr);
+  std::vector<WorkloadRequest> trace;
+  trace.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) trace.push_back(source->Next());
+  return trace;
+}
+
+Status SaveTraceToFile(const std::vector<WorkloadRequest>& trace,
+                       const std::string& path) {
+  std::string data(kMagic, sizeof(kMagic));
+  for (const WorkloadRequest& r : trace) {
+    data.push_back(static_cast<char>(r.kind));
+    PutU64(&data, r.key);
+  }
+  PutU64(&data, Fnv1a64(data, sizeof(kMagic), data.size()));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) return Status::IoError("short trace write");
+  return Status::OK();
+}
+
+StatusOr<std::vector<WorkloadRequest>> LoadTraceFromFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  if (data.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad trace magic");
+  }
+  const size_t body = data.size() - 8;
+  if ((body - sizeof(kMagic)) % 9 != 0) {
+    return Status::Corruption("trace body not a whole number of entries");
+  }
+  if (GetU64(data.data() + body) != Fnv1a64(data, sizeof(kMagic), body)) {
+    return Status::Corruption("trace checksum mismatch");
+  }
+
+  std::vector<WorkloadRequest> trace;
+  trace.reserve((body - sizeof(kMagic)) / 9);
+  for (size_t pos = sizeof(kMagic); pos < body; pos += 9) {
+    WorkloadRequest r;
+    const auto kind = static_cast<uint8_t>(data[pos]);
+    if (kind > static_cast<uint8_t>(WorkloadRequest::Kind::kDelete)) {
+      return Status::Corruption("unknown trace request kind");
+    }
+    r.kind = static_cast<WorkloadRequest::Kind>(kind);
+    r.key = GetU64(data.data() + pos + 1);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+TraceWorkload::TraceWorkload(std::vector<WorkloadRequest> trace, bool loop)
+    : trace_(std::move(trace)), loop_(loop) {
+  LSMSSD_CHECK(!trace_.empty()) << "empty trace";
+}
+
+WorkloadRequest TraceWorkload::Next() {
+  LSMSSD_CHECK(!exhausted()) << "trace exhausted";
+  const WorkloadRequest r = trace_[position_++];
+  if (loop_ && position_ >= trace_.size()) position_ = 0;
+  if (r.kind == WorkloadRequest::Kind::kInsert) {
+    ++indexed_keys_;
+  } else if (indexed_keys_ > 0) {
+    --indexed_keys_;
+  }
+  return r;
+}
+
+uint64_t TraceWorkload::remaining() const {
+  if (loop_) return std::numeric_limits<uint64_t>::max();
+  return trace_.size() - position_;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,59 @@
+#ifndef LSMSSD_WORKLOAD_TRACE_H_
+#define LSMSSD_WORKLOAD_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+#include "src/workload/workload.h"
+
+namespace lsmssd {
+
+/// Workload trace capture and replay. Traces make experiments portable
+/// and exactly repeatable across machines and implementations — record a
+/// generator's request stream once, replay it anywhere (including against
+/// other LSM implementations for apples-to-apples write counts).
+///
+/// File format: "LSMTRC01" magic, then one 9-byte entry per request
+/// ([u8 kind][u64 LE key]), then a trailing u64 FNV-1a checksum.
+
+/// Captures `n` requests from `source` into an in-memory trace.
+std::vector<WorkloadRequest> CaptureTrace(Workload* source, uint64_t n);
+
+/// Serializes a trace to `path`.
+Status SaveTraceToFile(const std::vector<WorkloadRequest>& trace,
+                       const std::string& path);
+
+/// Loads a trace; fails with Corruption on malformed files.
+StatusOr<std::vector<WorkloadRequest>> LoadTraceFromFile(
+    const std::string& path);
+
+/// A Workload that replays a fixed trace, optionally looping. The
+/// insert-ratio knob is ignored (the trace already fixes the mix);
+/// indexed_keys() tracks the net insert/delete balance.
+class TraceWorkload : public Workload {
+ public:
+  explicit TraceWorkload(std::vector<WorkloadRequest> trace,
+                         bool loop = false);
+
+  WorkloadRequest Next() override;
+  uint64_t indexed_keys() const override { return indexed_keys_; }
+  void set_insert_ratio(double /*ratio*/) override {}
+
+  /// Requests remaining before the trace is exhausted (SIZE_MAX when
+  /// looping).
+  uint64_t remaining() const;
+  bool exhausted() const { return !loop_ && position_ >= trace_.size(); }
+
+ private:
+  std::vector<WorkloadRequest> trace_;
+  bool loop_;
+  size_t position_ = 0;
+  uint64_t indexed_keys_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_TRACE_H_

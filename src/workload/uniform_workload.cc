@@ -1,0 +1,41 @@
+#include "src/workload/uniform_workload.h"
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+UniformWorkload::UniformWorkload(const Params& params)
+    : params_(params),
+      insert_ratio_(params.insert_ratio),
+      rng_(params.seed) {
+  LSMSSD_CHECK_LE(params.key_min, params.key_max);
+}
+
+Key UniformWorkload::SampleFreshKey() {
+  // Rejection sampling: the indexed set is a vanishing fraction of the
+  // 1e9-key domain in all experiments, so this terminates immediately in
+  // practice. The cap guards against degenerate configurations.
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    const Key k = rng_.UniformRange(params_.key_min, params_.key_max);
+    if (!indexed_.Contains(k)) return k;
+  }
+  LSMSSD_CHECK(false) << "key domain saturated; enlarge [key_min, key_max]";
+  return 0;
+}
+
+WorkloadRequest UniformWorkload::Next() {
+  const bool insert = indexed_.empty() || rng_.Bernoulli(insert_ratio_);
+  WorkloadRequest request;
+  if (insert) {
+    request.kind = WorkloadRequest::Kind::kInsert;
+    request.key = SampleFreshKey();
+    indexed_.Insert(request.key);
+  } else {
+    request.kind = WorkloadRequest::Kind::kDelete;
+    request.key = indexed_.Sample(&rng_);
+    indexed_.Erase(request.key);
+  }
+  return request;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,38 @@
+#ifndef LSMSSD_WORKLOAD_UNIFORM_WORKLOAD_H_
+#define LSMSSD_WORKLOAD_UNIFORM_WORKLOAD_H_
+
+#include "src/workload/workload.h"
+
+namespace lsmssd {
+
+/// The paper's Uniform workload (Section V): insert keys are drawn
+/// uniformly at random from the keys *not* currently indexed; delete keys
+/// uniformly at random from the keys currently indexed. Request types are
+/// chosen independently with the configured insert ratio.
+class UniformWorkload : public Workload {
+ public:
+  struct Params {
+    Key key_min = 0;
+    Key key_max = 1'000'000'000;  ///< Paper: keys in [0, 1e9].
+    double insert_ratio = 0.5;
+    uint64_t seed = 1;
+  };
+
+  explicit UniformWorkload(const Params& params);
+
+  WorkloadRequest Next() override;
+  uint64_t indexed_keys() const override { return indexed_.size(); }
+  void set_insert_ratio(double ratio) override { insert_ratio_ = ratio; }
+
+ private:
+  Key SampleFreshKey();
+
+  Params params_;
+  double insert_ratio_;
+  Random rng_;
+  SampledKeySet indexed_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_UNIFORM_WORKLOAD_H_

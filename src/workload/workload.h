@@ -1,0 +1,86 @@
+#ifndef LSMSSD_WORKLOAD_WORKLOAD_H_
+#define LSMSSD_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/format/key_codec.h"
+#include "src/util/random.h"
+
+namespace lsmssd {
+
+/// One modification request produced by a workload generator.
+struct WorkloadRequest {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  Key key = 0;
+};
+
+/// Deterministic request generator. Implementations track the set of
+/// currently indexed keys so deletes target existing records and (for the
+/// synthetic workloads) inserts target new keys — keeping the dataset size
+/// in steady state under a 50/50 mix, as in Section V.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Produces the next request.
+  virtual WorkloadRequest Next() = 0;
+
+  /// Number of currently indexed keys (as tracked by the generator).
+  virtual uint64_t indexed_keys() const = 0;
+
+  /// Fraction of requests that are inserts. Ratio 1.0 turns the workload
+  /// insert-only (used for the grow phase and the Figure 10 experiment).
+  virtual void set_insert_ratio(double ratio) = 0;
+};
+
+/// Set of keys supporting O(1) insert, erase, membership, and uniform
+/// random sampling (vector + position map with swap-remove). Workload
+/// generators use it to model "delete an existing key chosen uniformly at
+/// random".
+class SampledKeySet {
+ public:
+  /// Returns false if the key was already present.
+  bool Insert(Key key);
+  /// Returns false if the key was absent.
+  bool Erase(Key key);
+  bool Contains(Key key) const { return index_.contains(key); }
+  uint64_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// Uniform random member. Requires non-empty.
+  Key Sample(Random* rng) const;
+
+ private:
+  std::vector<Key> keys_;
+  std::unordered_map<Key, size_t> index_;
+};
+
+inline bool SampledKeySet::Insert(Key key) {
+  auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  if (!inserted) return false;
+  keys_.push_back(key);
+  return true;
+}
+
+inline bool SampledKeySet::Erase(Key key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const size_t pos = it->second;
+  const Key last = keys_.back();
+  keys_[pos] = last;
+  index_[last] = pos;
+  keys_.pop_back();
+  index_.erase(it);
+  return true;
+}
+
+inline Key SampledKeySet::Sample(Random* rng) const {
+  return keys_[rng->Uniform(keys_.size())];
+}
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_WORKLOAD_H_

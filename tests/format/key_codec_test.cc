@@ -1,0 +1,74 @@
+#include "src/format/key_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace lsmssd {
+namespace {
+
+TEST(KeyCodecTest, MaxKeyPerWidth) {
+  EXPECT_EQ(MaxKeyForSize(1), 0xffu);
+  EXPECT_EQ(MaxKeyForSize(2), 0xffffu);
+  EXPECT_EQ(MaxKeyForSize(4), 0xffffffffu);
+  EXPECT_EQ(MaxKeyForSize(8), ~uint64_t{0});
+}
+
+TEST(KeyCodecTest, RoundTripAllWidths) {
+  Random rng(3);
+  for (size_t width = 1; width <= 8; ++width) {
+    for (int i = 0; i < 200; ++i) {
+      const Key k = rng.Next() & MaxKeyForSize(width);
+      uint8_t buf[8];
+      EncodeKey(k, width, buf);
+      EXPECT_EQ(DecodeKey(buf, width), k) << "width " << width;
+    }
+  }
+}
+
+TEST(KeyCodecTest, EncodingIsBigEndian) {
+  uint8_t buf[4];
+  EncodeKey(0x01020304u, 4, buf);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(KeyCodecTest, ByteOrderEqualsKeyOrder) {
+  // The defining property of big-endian keys: memcmp order == numeric
+  // order.
+  Random rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Key a = rng.Uniform(1'000'000'000);
+    const Key b = rng.Uniform(1'000'000'000);
+    uint8_t ba[4], bb[4];
+    EncodeKey(a, 4, ba);
+    EncodeKey(b, 4, bb);
+    const int cmp = std::memcmp(ba, bb, 4);
+    if (a < b) {
+      EXPECT_LT(cmp, 0);
+    } else if (a > b) {
+      EXPECT_GT(cmp, 0);
+    } else {
+      EXPECT_EQ(cmp, 0);
+    }
+  }
+}
+
+TEST(KeyCodecTest, BoundaryValues) {
+  for (size_t width = 1; width <= 8; ++width) {
+    uint8_t buf[8];
+    EncodeKey(0, width, buf);
+    EXPECT_EQ(DecodeKey(buf, width), 0u);
+    EncodeKey(MaxKeyForSize(width), width, buf);
+    EXPECT_EQ(DecodeKey(buf, width), MaxKeyForSize(width));
+  }
+}
+
+}  // namespace
+}  // namespace lsmssd

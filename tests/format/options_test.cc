@@ -1,0 +1,115 @@
+#include "src/format/options.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+TEST(OptionsTest, PaperDefaultsAreValid) {
+  Options o;
+  const char* why = nullptr;
+  EXPECT_TRUE(o.Validate(&why)) << why;
+  EXPECT_EQ(o.block_size, 4096u);
+  EXPECT_EQ(o.key_size, 4u);
+  EXPECT_EQ(o.payload_size, 100u);
+  EXPECT_EQ(o.record_size(), 105u);
+  EXPECT_EQ(o.level0_capacity_blocks, 4000u);
+  EXPECT_DOUBLE_EQ(o.gamma, 10.0);
+  EXPECT_DOUBLE_EQ(o.epsilon, 0.2);
+  EXPECT_DOUBLE_EQ(o.delta, 0.07);
+}
+
+TEST(OptionsTest, LevelCapacitiesAreGeometric) {
+  Options o;
+  o.level0_capacity_blocks = 7;
+  o.gamma = 10.0;
+  EXPECT_EQ(o.LevelCapacityBlocks(0), 7u);
+  EXPECT_EQ(o.LevelCapacityBlocks(1), 70u);
+  EXPECT_EQ(o.LevelCapacityBlocks(2), 700u);
+  EXPECT_EQ(o.LevelCapacityBlocks(3), 7000u);
+}
+
+TEST(OptionsTest, FractionalGamma) {
+  Options o;
+  o.level0_capacity_blocks = 100;
+  o.gamma = 2.5;
+  EXPECT_EQ(o.LevelCapacityBlocks(1), 250u);
+  EXPECT_EQ(o.LevelCapacityBlocks(2), 625u);
+}
+
+TEST(OptionsTest, PartialMergeBlocksAtLeastOne) {
+  Options o;
+  o.level0_capacity_blocks = 4;
+  o.delta = 0.1;  // 0.4 blocks -> clamp to 1.
+  EXPECT_EQ(o.PartialMergeBlocks(0), 1u);
+}
+
+TEST(OptionsTest, PartialMergeBlocksScalesWithLevel) {
+  Options o;  // K0=4000, delta=0.07.
+  EXPECT_EQ(o.PartialMergeBlocks(0), 280u);
+  EXPECT_EQ(o.PartialMergeBlocks(1), 2800u);
+}
+
+TEST(OptionsTest, ValidateRejectsBadConfigs) {
+  const char* why = nullptr;
+  {
+    Options o;
+    o.key_size = 0;
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.key_size = 9;
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.block_size = 32;  // Smaller than one 105-byte record.
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.gamma = 1.0;
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.epsilon = 0.6;  // Paper requires epsilon <= 0.5.
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.epsilon = 0.0;
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.delta = 1.0;
+    EXPECT_FALSE(o.Validate(&why));
+  }
+  {
+    Options o;
+    o.level0_capacity_blocks = 0;
+    EXPECT_FALSE(o.Validate(&why));
+  }
+}
+
+TEST(OptionsTest, ValidateExplainsFailure) {
+  Options o;
+  o.gamma = 0.5;
+  const char* why = nullptr;
+  ASSERT_FALSE(o.Validate(&why));
+  ASSERT_NE(why, nullptr);
+  EXPECT_NE(std::string(why).find("gamma"), std::string::npos);
+}
+
+TEST(OptionsTest, RecordsPerBlockAccountsForHeader) {
+  Options o;
+  o.block_size = 4096;
+  o.key_size = 4;
+  o.payload_size = 100;  // 105-byte records; (4096-4)/105 = 38.
+  EXPECT_EQ(o.records_per_block(), 38u);
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,128 @@
+#include "src/format/record_block.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+
+std::string Payload(const Options& o, char c) {
+  return std::string(o.payload_size, c);
+}
+
+TEST(RecordBlockTest, CapacityMatchesOptions) {
+  const Options o = TinyOptions();  // 256B blocks, 25B records, 4B header.
+  EXPECT_EQ(o.records_per_block(), 10u);
+  RecordBlockBuilder b(o);
+  EXPECT_EQ(b.capacity(), 10u);
+}
+
+TEST(RecordBlockTest, RoundTripPutsAndTombstones) {
+  const Options o = TinyOptions();
+  RecordBlockBuilder b(o);
+  b.Add(Record::Put(1, Payload(o, 'a')));
+  b.Add(Record::Tombstone(5));
+  b.Add(Record::Put(9, Payload(o, 'b')));
+  EXPECT_EQ(b.min_key(), 1u);
+  EXPECT_EQ(b.max_key(), 9u);
+
+  const BlockData data = b.Finish();
+  EXPECT_TRUE(b.empty());  // Finish resets.
+
+  auto records_or = DecodeRecordBlock(o, data);
+  ASSERT_TRUE(records_or.ok()) << records_or.status().ToString();
+  const auto& rs = records_or.value();
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[0], Record::Put(1, Payload(o, 'a')));
+  EXPECT_EQ(rs[1], Record::Tombstone(5));
+  EXPECT_EQ(rs[2], Record::Put(9, Payload(o, 'b')));
+}
+
+TEST(RecordBlockTest, FullBlockRoundTrip) {
+  const Options o = TinyOptions();
+  RecordBlockBuilder b(o);
+  for (Key k = 0; k < o.records_per_block(); ++k) {
+    EXPECT_FALSE(b.full());
+    b.Add(Record::Put(k * 3, Payload(o, 'x')));
+  }
+  EXPECT_TRUE(b.full());
+  auto records_or = DecodeRecordBlock(o, b.Finish());
+  ASSERT_TRUE(records_or.ok());
+  EXPECT_EQ(records_or.value().size(), o.records_per_block());
+}
+
+TEST(RecordBlockTest, EmptyBlockRoundTrip) {
+  const Options o = TinyOptions();
+  auto records_or = DecodeRecordBlock(o, EncodeRecordBlock(o, {}));
+  ASSERT_TRUE(records_or.ok());
+  EXPECT_TRUE(records_or.value().empty());
+}
+
+TEST(RecordBlockTest, SerializedSizeFitsBlock) {
+  const Options o = TinyOptions();
+  std::vector<Record> rs;
+  for (Key k = 0; k < o.records_per_block(); ++k) {
+    rs.push_back(Record::Put(k, Payload(o, 'x')));
+  }
+  EXPECT_LE(EncodeRecordBlock(o, rs).size(), o.block_size);
+}
+
+TEST(RecordBlockTest, DecodeRejectsTruncatedHeader) {
+  const Options o = TinyOptions();
+  EXPECT_TRUE(DecodeRecordBlock(o, BlockData{1, 2}).status().IsCorruption());
+}
+
+TEST(RecordBlockTest, DecodeRejectsRecordSizeMismatch) {
+  Options writer = TinyOptions();
+  Options reader = TinyOptions();
+  reader.payload_size = writer.payload_size + 4;
+  const BlockData data =
+      EncodeRecordBlock(writer, {Record::Put(1, Payload(writer, 'a'))});
+  EXPECT_TRUE(DecodeRecordBlock(reader, data).status().IsCorruption());
+}
+
+TEST(RecordBlockTest, DecodeRejectsCorruptType) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(o, {Record::Put(1, Payload(o, 'a'))});
+  data[4] = 0x77;  // First record's type byte.
+  EXPECT_TRUE(DecodeRecordBlock(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockTest, DecodeRejectsOutOfOrderKeys) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(
+      o, {Record::Put(5, Payload(o, 'a')), Record::Put(9, Payload(o, 'b'))});
+  // Swap the two key fields to invert the order.
+  const size_t r0_key = 4 + 1;
+  const size_t r1_key = 4 + o.record_size() + 1;
+  for (size_t i = 0; i < o.key_size; ++i) {
+    std::swap(data[r0_key + i], data[r1_key + i]);
+  }
+  EXPECT_TRUE(DecodeRecordBlock(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockTest, DecodeRejectsOverflowingCount) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(o, {Record::Put(1, Payload(o, 'a'))});
+  data[0] = 0xff;  // Claim 255 records.
+  data[1] = 0x00;
+  EXPECT_TRUE(DecodeRecordBlock(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockTest, PaperPayloadGeometry) {
+  // Paper Section V-C: with 4 KB blocks and 4-byte keys, 25-byte payloads
+  // give 136 records per block and 4000-byte payloads give 1.
+  Options o;
+  o.block_size = 4096;
+  o.key_size = 4;
+  o.payload_size = 25;
+  EXPECT_EQ(o.records_per_block(), 136u);
+  o.payload_size = 4000;
+  EXPECT_EQ(o.records_per_block(), 1u);
+}
+
+}  // namespace
+}  // namespace lsmssd

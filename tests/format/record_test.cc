@@ -1,0 +1,67 @@
+#include "src/format/record.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+TEST(RecordTest, Factories) {
+  Record p = Record::Put(7, "abc");
+  EXPECT_EQ(p.key, 7u);
+  EXPECT_FALSE(p.is_tombstone());
+  EXPECT_EQ(p.payload, "abc");
+
+  Record t = Record::Tombstone(9);
+  EXPECT_EQ(t.key, 9u);
+  EXPECT_TRUE(t.is_tombstone());
+  EXPECT_TRUE(t.payload.empty());
+}
+
+TEST(RecordTest, Equality) {
+  EXPECT_EQ(Record::Put(1, "a"), Record::Put(1, "a"));
+  EXPECT_FALSE(Record::Put(1, "a") == Record::Put(1, "b"));
+  EXPECT_FALSE(Record::Put(1, "") == Record::Tombstone(1));
+}
+
+TEST(ConsolidateTest, UpperPutShadowsLowerPut) {
+  Record out;
+  ASSERT_TRUE(ConsolidateRecords(Record::Put(1, "new"),
+                                 Record::Put(1, "old"), false, &out));
+  EXPECT_EQ(out.payload, "new");
+}
+
+TEST(ConsolidateTest, UpperPutRevivesDeletedKey) {
+  Record out;
+  ASSERT_TRUE(ConsolidateRecords(Record::Put(1, "v"), Record::Tombstone(1),
+                                 false, &out));
+  EXPECT_FALSE(out.is_tombstone());
+  EXPECT_EQ(out.payload, "v");
+}
+
+TEST(ConsolidateTest, DeletePlusPutAnnihilatesWhenAllowed) {
+  Record out;
+  EXPECT_FALSE(ConsolidateRecords(Record::Tombstone(1), Record::Put(1, "v"),
+                                  /*annihilate_delete_put=*/true, &out));
+}
+
+TEST(ConsolidateTest, DeletePlusPutKeepsTombstoneByDefault) {
+  // The safe rule: an older version may still exist deeper down, so the
+  // tombstone must survive.
+  Record out;
+  ASSERT_TRUE(ConsolidateRecords(Record::Tombstone(1), Record::Put(1, "v"),
+                                 /*annihilate_delete_put=*/false, &out));
+  EXPECT_TRUE(out.is_tombstone());
+}
+
+TEST(ConsolidateTest, TwoTombstonesCollapse) {
+  Record out;
+  ASSERT_TRUE(ConsolidateRecords(Record::Tombstone(1), Record::Tombstone(1),
+                                 false, &out));
+  EXPECT_TRUE(out.is_tombstone());
+  ASSERT_TRUE(ConsolidateRecords(Record::Tombstone(1), Record::Tombstone(1),
+                                 true, &out));
+  EXPECT_TRUE(out.is_tombstone());
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,116 @@
+// Block preservation end-to-end: the "-P" variants must write strictly
+// more blocks when records are large (Figure 9's mechanism), and
+// preservation must never change query results.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/uniform_workload.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+/// Tiny config with one record per block: every merge can preserve every
+/// block (the paper's 4000-byte payload extreme).
+Options OneRecordPerBlockOptions() {
+  Options options = TinyOptions();
+  options.block_size = 256;
+  options.payload_size = 200;  // 1 + 4 + 200 = 205 > (256-4)/2: B = 1.
+  return options;
+}
+
+struct RunResult {
+  uint64_t writes = 0;
+  uint64_t preserved = 0;
+  std::vector<std::pair<Key, std::string>> content;
+};
+
+RunResult RunChurn(const Options& options, PolicyKind kind, uint64_t seed) {
+  TreeFixture fx(options, kind);
+  UniformWorkload::Params wp;
+  wp.key_max = 10'000'000;
+  wp.seed = seed;
+  UniformWorkload workload(wp);
+  WorkloadDriver driver(fx.tree.get(), &workload);
+  LSMSSD_CHECK(driver.GrowTo(500 * options.record_size()).ok());
+  workload.set_insert_ratio(0.5);
+  LSMSSD_CHECK(driver.Run(8000).ok());
+  LSMSSD_CHECK(fx.tree->CheckInvariants(true).ok());
+
+  RunResult result;
+  result.writes = fx.tree->device()->stats().block_writes();
+  for (size_t i = 1; i < fx.tree->num_levels(); ++i) {
+    result.preserved += fx.tree->stats().blocks_preserved_into[i];
+  }
+  LSMSSD_CHECK(fx.tree->Scan(0, wp.key_max, &result.content).ok());
+  return result;
+}
+
+TEST(BlockPreservingTest, OneRecordPerBlockPreservesAlmostEverything) {
+  const Options options = OneRecordPerBlockOptions();
+  ASSERT_EQ(options.records_per_block(), 1u);
+
+  Options no_preserve = options;
+  no_preserve.preserve_blocks = false;
+
+  const RunResult with = RunChurn(options, PolicyKind::kChooseBest, 7);
+  const RunResult without = RunChurn(no_preserve, PolicyKind::kChooseBest, 7);
+
+  EXPECT_GT(with.preserved, 0u);
+  EXPECT_EQ(without.preserved, 0u);
+  // With B = 1 all blocks can be squeezed between neighbours: preservation
+  // must cut writes dramatically (paper: all policies converge at the
+  // 4000-byte payload extreme).
+  EXPECT_LT(with.writes, without.writes / 2)
+      << "with=" << with.writes << " without=" << without.writes;
+  // Same content either way.
+  EXPECT_EQ(with.content, without.content);
+}
+
+TEST(BlockPreservingTest, PreservationNeverChangesResults) {
+  for (PolicyKind kind : {PolicyKind::kFull, PolicyKind::kRr,
+                          PolicyKind::kChooseBest, PolicyKind::kTestMixed}) {
+    Options preserve = TinyOptions();
+    Options no_preserve = TinyOptions();
+    no_preserve.preserve_blocks = false;
+    const RunResult with = RunChurn(preserve, kind, 11);
+    const RunResult without = RunChurn(no_preserve, kind, 11);
+    EXPECT_EQ(with.content, without.content) << PolicyKindName(kind);
+    EXPECT_LE(with.writes, without.writes * 1.02) << PolicyKindName(kind);
+  }
+}
+
+TEST(BlockPreservingTest, SmallRecordsRarelyPreserve) {
+  // Mirrors the paper's Figure 6a observation: with many records per
+  // block, preservation opportunities under Uniform are rare, so "-P"
+  // variants perform nearly identically.
+  Options options = TinyOptions();  // B = 10.
+  Options no_preserve = options;
+  no_preserve.preserve_blocks = false;
+  const RunResult with = RunChurn(options, PolicyKind::kChooseBest, 13);
+  const RunResult without =
+      RunChurn(no_preserve, PolicyKind::kChooseBest, 13);
+  const double ratio = static_cast<double>(with.writes) /
+                       static_cast<double>(without.writes);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LE(ratio, 1.05);
+}
+
+TEST(BlockPreservingTest, PreservedCountsReportedInStats) {
+  const Options options = OneRecordPerBlockOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 300; ++k) {
+    ASSERT_TRUE(fx.Put(k * 101 + 7).ok());
+  }
+  uint64_t preserved = 0;
+  for (size_t i = 1; i < fx.tree->num_levels(); ++i) {
+    preserved += fx.tree->stats().blocks_preserved_into[i];
+  }
+  EXPECT_GT(preserved, 0u);
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,124 @@
+// Property sweep: the full LSM invariant set (reference-model agreement,
+// waste constraints, capacity limits, write-accounting consistency) must
+// hold across a grid of configurations — block sizes, payload widths,
+// Gamma, delta, epsilon, bloom — not just the defaults.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TreeFixture;
+
+struct GridPoint {
+  size_t block_size;
+  size_t payload_size;
+  double gamma;
+  double delta;
+  double epsilon;
+  size_t bloom_bits;
+  PolicyKind policy;
+};
+
+std::string GridName(const ::testing::TestParamInfo<GridPoint>& info) {
+  const GridPoint& g = info.param;
+  std::string name = std::string(PolicyKindName(g.policy)) + "_bs" +
+                     std::to_string(g.block_size) + "_p" +
+                     std::to_string(g.payload_size) + "_g" +
+                     std::to_string(static_cast<int>(g.gamma * 10)) + "_d" +
+                     std::to_string(static_cast<int>(g.delta * 100)) + "_e" +
+                     std::to_string(static_cast<int>(g.epsilon * 100)) +
+                     "_b" + std::to_string(g.bloom_bits);
+  return name;
+}
+
+class OptionsGridTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(OptionsGridTest, InvariantsHoldEverywhere) {
+  const GridPoint& g = GetParam();
+  Options options;
+  options.block_size = g.block_size;
+  options.key_size = 4;
+  options.payload_size = g.payload_size;
+  options.level0_capacity_blocks = 4;
+  options.gamma = g.gamma;
+  options.delta = g.delta;
+  options.epsilon = g.epsilon;
+  options.bloom_bits_per_key = g.bloom_bits;
+  options.preserve_blocks = true;
+  const char* why = nullptr;
+  ASSERT_TRUE(options.Validate(&why)) << why;
+
+  TreeFixture fx(options, g.policy);
+  std::map<Key, std::string> reference;
+  Random rng(1234 + g.block_size + g.payload_size);
+  constexpr Key kDomain = 2500;
+
+  for (int step = 0; step < 4000; ++step) {
+    const Key key = rng.Uniform(kDomain);
+    if (rng.Bernoulli(0.65)) {
+      const std::string payload = MakePayload(options, key + step);
+      ASSERT_TRUE(fx.tree->Put(key, payload).ok());
+      reference[key] = payload;
+    } else {
+      ASSERT_TRUE(fx.tree->Delete(key).ok());
+      reference.erase(key);
+    }
+    if (step % 1000 == 999) {
+      ASSERT_TRUE(fx.tree->CheckInvariants(true).ok())
+          << fx.tree->CheckInvariants(true).ToString();
+    }
+  }
+
+  // Reference agreement via iterator.
+  auto it = fx.tree->NewIterator();
+  auto ref = reference.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++ref) {
+    ASSERT_NE(ref, reference.end());
+    ASSERT_EQ(it->key(), ref->first);
+    ASSERT_EQ(it->value(), ref->second);
+  }
+  EXPECT_EQ(ref, reference.end());
+  ASSERT_TRUE(it->status().ok());
+
+  // Accounting consistency.
+  EXPECT_EQ(fx.tree->stats().TotalBlocksWritten(),
+            fx.device.stats().block_writes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptionsGridTest,
+    ::testing::Values(
+        // Block-size extremes.
+        GridPoint{128, 10, 4.0, 0.25, 0.2, 0, PolicyKind::kChooseBest},
+        GridPoint{4096, 100, 4.0, 0.25, 0.2, 0, PolicyKind::kChooseBest},
+        // One record per block (preservation everywhere).
+        GridPoint{256, 200, 4.0, 0.25, 0.2, 0, PolicyKind::kChooseBest},
+        GridPoint{256, 200, 4.0, 0.25, 0.2, 0, PolicyKind::kRr},
+        // Gamma extremes.
+        GridPoint{256, 20, 2.0, 0.25, 0.2, 0, PolicyKind::kChooseBest},
+        GridPoint{256, 20, 16.0, 0.25, 0.2, 0, PolicyKind::kTestMixed},
+        // Delta extremes.
+        GridPoint{256, 20, 4.0, 0.05, 0.2, 0, PolicyKind::kChooseBest},
+        GridPoint{256, 20, 4.0, 0.6, 0.2, 0, PolicyKind::kChooseBest},
+        // Epsilon extremes.
+        GridPoint{256, 20, 4.0, 0.25, 0.01, 0, PolicyKind::kChooseBest},
+        GridPoint{256, 20, 4.0, 0.25, 0.5, 0, PolicyKind::kRr},
+        // Bloom filters on, across policies.
+        GridPoint{256, 20, 4.0, 0.25, 0.2, 10, PolicyKind::kFull},
+        GridPoint{256, 20, 4.0, 0.25, 0.2, 10, PolicyKind::kChooseBest},
+        GridPoint{256, 20, 4.0, 0.25, 0.2, 2, PolicyKind::kTestMixed},
+        // The extra baseline policy.
+        GridPoint{256, 20, 4.0, 0.25, 0.2, 0, PolicyKind::kPartitioned},
+        GridPoint{512, 40, 8.0, 0.1, 0.2, 10, PolicyKind::kPartitioned},
+        // Fractional gamma.
+        GridPoint{256, 20, 2.5, 0.25, 0.2, 0, PolicyKind::kChooseBest}),
+    GridName);
+
+}  // namespace
+}  // namespace lsmssd

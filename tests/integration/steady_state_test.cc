@@ -1,0 +1,135 @@
+// Scaled-down versions of the paper's headline comparisons: under a
+// steady-state uniform mix, ChooseBest must beat Full on write cost
+// (Figure 2/6), and the RR-induced skew of L1's key distribution (Figure
+// 1) must emerge.
+
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+#include "src/workload/uniform_workload.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+/// Grows a tree to `records`, reaches the steady state, then measures
+/// blocks written per MB over `window_records` requests.
+double MeasureSteadyCost(PolicyKind kind, bool preserve, uint64_t records,
+                         uint64_t window_records, uint64_t seed) {
+  Options options = TinyOptions();
+  options.preserve_blocks = preserve;
+  TreeFixture fx(options, kind);
+  UniformWorkload::Params wp;
+  wp.key_max = 100'000'000;
+  wp.seed = seed;
+  UniformWorkload workload(wp);
+  WorkloadDriver driver(fx.tree.get(), &workload);
+  LSMSSD_CHECK(driver.GrowTo(records * options.record_size()).ok());
+  LSMSSD_CHECK(driver.ReachSteadyState(0.5).ok());
+  auto metrics = driver.MeasureWindow(window_records * options.record_size());
+  LSMSSD_CHECK(metrics.ok());
+  LSMSSD_CHECK(fx.tree->CheckInvariants(true).ok());
+  return metrics->BlocksPerMb();
+}
+
+TEST(SteadyStateTest, ChooseBestBeatsFullOnUniform) {
+  const double full = MeasureSteadyCost(PolicyKind::kFull, true, 600,
+                                        20000, 101);
+  const double choose_best = MeasureSteadyCost(PolicyKind::kChooseBest, true,
+                                               600, 20000, 101);
+  EXPECT_LT(choose_best, full)
+      << "ChooseBest=" << choose_best << " Full=" << full;
+}
+
+TEST(SteadyStateTest, RrStaysWithinConstantFactorOfFull) {
+  // At paper scale RR roughly matches ChooseBest under Uniform (Figure
+  // 6a); at this unit-test scale the merge windows are a single block, so
+  // we only guard against pathological blowup here — the full-scale
+  // comparison lives in bench/fig06_steady_state.
+  const double full =
+      MeasureSteadyCost(PolicyKind::kFull, true, 600, 20000, 103);
+  const double rr = MeasureSteadyCost(PolicyKind::kRr, true, 600, 20000, 103);
+  EXPECT_LT(rr, full * 1.5) << "RR=" << rr << " Full=" << full;
+}
+
+TEST(SteadyStateTest, L1DistributionSkewsUnderPartialMerges) {
+  // Figure 1: under a partial policy, L1's key density is skewed (recently
+  // merged regions are sparse) while the bottom level stays uniform.
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  UniformWorkload::Params wp;
+  wp.key_max = 100'000'000;
+  wp.seed = 107;
+  UniformWorkload workload(wp);
+  WorkloadDriver driver(fx.tree.get(), &workload);
+  ASSERT_TRUE(driver.GrowTo(700 * options.record_size()).ok());
+  ASSERT_TRUE(driver.ReachSteadyState(0.5).ok());
+  ASSERT_TRUE(driver.Run(20000).ok());
+
+  ASSERT_GE(fx.tree->num_levels(), 3u);
+  Histogram l1(0, wp.key_max, 20);
+  Histogram bottom(0, wp.key_max, 20);
+  const size_t bottom_index = fx.tree->num_levels() - 1;
+  for (size_t i = 0; i < fx.tree->level(1).num_leaves(); ++i) {
+    auto leaf = fx.tree->level(1).ReadLeaf(i);
+    ASSERT_TRUE(leaf.ok());
+    for (const auto& r : leaf.value()) l1.Add(r.key);
+  }
+  const Level& bl = fx.tree->level(bottom_index);
+  for (size_t i = 0; i < bl.num_leaves(); ++i) {
+    auto leaf = bl.ReadLeaf(i);
+    ASSERT_TRUE(leaf.ok());
+    for (const auto& r : leaf.value()) bottom.Add(r.key);
+  }
+  // The bottom holds most data and mirrors the workload's uniformity;
+  // L1's distribution is measurably more skewed.
+  EXPECT_GT(l1.FrequencyCv(), bottom.FrequencyCv())
+      << "L1 cv=" << l1.FrequencyCv() << " bottom cv=" << bottom.FrequencyCv();
+}
+
+TEST(SteadyStateTest, DatasetSizeStableUnderFiftyFiftyMix) {
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  UniformWorkload::Params wp;
+  wp.key_max = 100'000'000;
+  wp.seed = 109;
+  UniformWorkload workload(wp);
+  WorkloadDriver driver(fx.tree.get(), &workload);
+  ASSERT_TRUE(driver.GrowTo(600 * options.record_size()).ok());
+  ASSERT_TRUE(driver.ReachSteadyState(0.5).ok());
+
+  const uint64_t live_before = workload.indexed_keys();
+  ASSERT_TRUE(driver.Run(10000).ok());
+  const uint64_t live_after = workload.indexed_keys();
+  EXPECT_NEAR(static_cast<double>(live_after),
+              static_cast<double>(live_before), 0.25 * live_before);
+}
+
+TEST(SteadyStateTest, AllPoliciesAgreeOnFinalContent) {
+  // Same workload stream -> identical final key sets regardless of policy
+  // (merge policy affects cost, never contents).
+  std::vector<std::vector<std::pair<Key, std::string>>> contents;
+  for (PolicyKind kind : {PolicyKind::kFull, PolicyKind::kRr,
+                          PolicyKind::kChooseBest, PolicyKind::kTestMixed}) {
+    Options options = TinyOptions();
+    TreeFixture fx(options, kind);
+    UniformWorkload::Params wp;
+    wp.key_max = 1'000'000;
+    wp.seed = 113;
+    UniformWorkload workload(wp);
+    WorkloadDriver driver(fx.tree.get(), &workload);
+    ASSERT_TRUE(driver.Run(5000).ok());
+    std::vector<std::pair<Key, std::string>> out;
+    ASSERT_TRUE(fx.tree->Scan(0, wp.key_max, &out).ok());
+    contents.push_back(std::move(out));
+  }
+  for (size_t i = 1; i < contents.size(); ++i) {
+    EXPECT_EQ(contents[i], contents[0]) << "policy #" << i;
+  }
+}
+
+}  // namespace
+}  // namespace lsmssd

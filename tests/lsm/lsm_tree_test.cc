@@ -1,0 +1,184 @@
+#include "src/lsm/lsm_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+TEST(LsmTreeOpenTest, RejectsInvalidOptions) {
+  Options bad = TinyOptions();
+  bad.gamma = 0.5;
+  MemBlockDevice device(bad.block_size);
+  auto tree = LsmTree::Open(bad, &device, CreatePolicy(PolicyKind::kFull));
+  EXPECT_TRUE(tree.status().IsInvalidArgument());
+}
+
+TEST(LsmTreeOpenTest, RejectsBlockSizeMismatch) {
+  Options options = TinyOptions();
+  MemBlockDevice device(options.block_size * 2);
+  auto tree =
+      LsmTree::Open(options, &device, CreatePolicy(PolicyKind::kFull));
+  EXPECT_TRUE(tree.status().IsInvalidArgument());
+}
+
+TEST(LsmTreeOpenTest, RejectsNulls) {
+  Options options = TinyOptions();
+  MemBlockDevice device(options.block_size);
+  EXPECT_TRUE(LsmTree::Open(options, nullptr,
+                            CreatePolicy(PolicyKind::kFull))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LsmTree::Open(options, &device, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LsmTreeTest, EmptyTreeBehaviour) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  EXPECT_EQ(fx.tree->num_levels(), 1u);  // Just L0.
+  EXPECT_TRUE(fx.tree->Get(5).status().IsNotFound());
+  std::vector<std::pair<Key, std::string>> out;
+  ASSERT_TRUE(fx.tree->Scan(0, 100, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(fx.tree->TotalRecords(), 0u);
+}
+
+TEST(LsmTreeTest, PutGetWithoutMerge) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  ASSERT_TRUE(fx.Put(7).ok());
+  auto v = fx.tree->Get(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), MakePayload(fx.options_copy, 7));
+  // Nothing merged yet: zero device writes.
+  EXPECT_EQ(fx.device.stats().block_writes(), 0u);
+}
+
+TEST(LsmTreeTest, PayloadSizeValidated) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  EXPECT_TRUE(fx.tree->Put(1, "short").IsInvalidArgument());
+  EXPECT_TRUE(
+      fx.tree->Put(1, std::string(999, 'x')).IsInvalidArgument());
+}
+
+TEST(LsmTreeTest, KeyWidthValidated) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);  // 4-byte keys.
+  const std::string payload(fx.options_copy.payload_size, 'x');
+  EXPECT_TRUE(
+      fx.tree->Put(uint64_t{1} << 40, payload).IsInvalidArgument());
+  EXPECT_TRUE(fx.tree->Delete(uint64_t{1} << 40).IsInvalidArgument());
+}
+
+TEST(LsmTreeTest, DeleteHidesKeyImmediately) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  ASSERT_TRUE(fx.Put(5).ok());
+  ASSERT_TRUE(fx.tree->Delete(5).ok());
+  EXPECT_TRUE(fx.tree->Get(5).status().IsNotFound());
+}
+
+TEST(LsmTreeTest, OverflowSpillsToLevel1) {
+  Options options = TinyOptions();  // L0 capacity = 4 blocks * 10 = 40.
+  TreeFixture fx(options, PolicyKind::kFull);
+  for (Key k = 0; k < 40; ++k) ASSERT_TRUE(fx.Put(k * 10).ok());
+  EXPECT_GE(fx.tree->num_levels(), 2u);
+  EXPECT_GT(fx.tree->level(1).record_count(), 0u);
+  EXPECT_GT(fx.device.stats().block_writes(), 0u);
+  // All keys still readable after the merge.
+  for (Key k = 0; k < 40; ++k) {
+    EXPECT_TRUE(fx.tree->Get(k * 10).ok()) << "key " << k * 10;
+  }
+}
+
+TEST(LsmTreeTest, GrowsMultipleLevels) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  for (Key k = 0; k < 2000; ++k) ASSERT_TRUE(fx.Put(k * 7 + 1).ok());
+  EXPECT_GE(fx.tree->num_levels(), 3u);
+  ASSERT_TRUE(fx.tree->CheckInvariants(true).ok());
+  // No level above capacity at rest (checked inside CheckInvariants too).
+  for (size_t i = 1; i < fx.tree->num_levels(); ++i) {
+    EXPECT_LE(fx.tree->level(i).size_blocks(),
+              fx.tree->LevelCapacityBlocks(i));
+  }
+}
+
+TEST(LsmTreeTest, ScanSpansAllLevels) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  for (Key k = 0; k < 500; ++k) ASSERT_TRUE(fx.Put(k).ok());
+  // Some keys are now in lower levels; newest overwrites sit in L0.
+  ASSERT_TRUE(fx.tree->Put(100, std::string(20, 'Z')).ok());
+  ASSERT_TRUE(fx.tree->Delete(101).ok());
+
+  std::vector<std::pair<Key, std::string>> out;
+  ASSERT_TRUE(fx.tree->Scan(95, 105, &out).ok());
+  ASSERT_EQ(out.size(), 10u);  // 95..105 minus deleted 101.
+  EXPECT_EQ(out[5].first, 100u);
+  EXPECT_EQ(out[5].second, std::string(20, 'Z'));  // L0 shadows L1+.
+  for (const auto& [k, v] : out) EXPECT_NE(k, 101u);
+}
+
+TEST(LsmTreeTest, StatsCountRequests) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  ASSERT_TRUE(fx.Put(1).ok());
+  ASSERT_TRUE(fx.Put(2).ok());
+  ASSERT_TRUE(fx.tree->Delete(1).ok());
+  (void)fx.tree->Get(2);
+  std::vector<std::pair<Key, std::string>> out;
+  (void)fx.tree->Scan(0, 10, &out);
+  EXPECT_EQ(fx.tree->stats().puts, 2u);
+  EXPECT_EQ(fx.tree->stats().deletes, 1u);
+  EXPECT_EQ(fx.tree->stats().gets, 1u);
+  EXPECT_EQ(fx.tree->stats().scans, 1u);
+}
+
+TEST(LsmTreeTest, StatsWritesMatchDevice) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kRr);
+  for (Key k = 0; k < 3000; ++k) ASSERT_TRUE(fx.Put(k * 13 + 5).ok());
+  EXPECT_EQ(fx.tree->stats().TotalBlocksWritten(),
+            fx.device.stats().block_writes());
+}
+
+TEST(LsmTreeTest, SetPolicyMidStream) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kFull);
+  for (Key k = 0; k < 500; ++k) ASSERT_TRUE(fx.Put(k * 3).ok());
+  fx.tree->set_policy(CreatePolicy(PolicyKind::kChooseBest));
+  for (Key k = 0; k < 500; ++k) ASSERT_TRUE(fx.Put(k * 3 + 1).ok());
+  ASSERT_TRUE(fx.tree->CheckInvariants(true).ok());
+  EXPECT_EQ(fx.tree->policy()->name(), "ChooseBest");
+}
+
+TEST(LsmTreeTest, ApproximateDataBytes) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  for (Key k = 0; k < 100; ++k) ASSERT_TRUE(fx.Put(k).ok());
+  EXPECT_EQ(fx.tree->ApproximateDataBytes(),
+            fx.tree->TotalRecords() * fx.options_copy.record_size());
+}
+
+TEST(LsmTreeTest, ScanRejectsInvertedRange) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  std::vector<std::pair<Key, std::string>> out;
+  EXPECT_TRUE(fx.tree->Scan(10, 5, &out).IsInvalidArgument());
+}
+
+TEST(LsmTreeTest, TombstonesPurgedAtBottomKeepDatasetBounded) {
+  // Insert/delete churn over a fixed small key set: tombstones must not
+  // accumulate without bound (they die at the bottom level).
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (int round = 0; round < 50; ++round) {
+    for (Key k = 0; k < 60; ++k) ASSERT_TRUE(fx.Put(k).ok());
+    for (Key k = 0; k < 60; ++k) ASSERT_TRUE(fx.tree->Delete(k).ok());
+  }
+  // Everything was deleted; total records bounded by the live churn, far
+  // below the 6000 requests issued.
+  EXPECT_LT(fx.tree->TotalRecords(), 600u);
+  for (Key k = 0; k < 60; ++k) {
+    EXPECT_TRUE(fx.tree->Get(k).status().IsNotFound());
+  }
+}
+
+}  // namespace
+}  // namespace lsmssd

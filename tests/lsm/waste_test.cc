@@ -1,0 +1,83 @@
+#include "src/lsm/waste.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+TEST(PairwiseWasteTest, StrictlyMoreThanB) {
+  EXPECT_FALSE(PairwiseWasteOk(5, 5, 10));  // Exactly B: violation.
+  EXPECT_TRUE(PairwiseWasteOk(5, 6, 10));
+  EXPECT_TRUE(PairwiseWasteOk(10, 1, 10));
+  EXPECT_FALSE(PairwiseWasteOk(1, 1, 10));
+}
+
+TEST(LevelWasteTest, ExemptBelowTwoBlocks) {
+  EXPECT_TRUE(LevelWasteOk(/*records=*/1, /*leaves=*/1, /*b=*/10, 0.2));
+  EXPECT_TRUE(LevelWasteOk(0, 0, 10, 0.2));
+}
+
+TEST(LevelWasteTest, ThresholdIsInclusive) {
+  // 100 slots, 80 records -> waste 0.2 == epsilon: OK.
+  EXPECT_TRUE(LevelWasteOk(80, 10, 10, 0.2));
+  // 79 records -> waste 0.21 > epsilon.
+  EXPECT_FALSE(LevelWasteOk(79, 10, 10, 0.2));
+}
+
+TEST(LevelWasteTest, MaximallyPackedLevelsAreExempt) {
+  // Fewer empty slots than one block means leaves == ceil(records/B):
+  // compaction could not improve it, so the constraint is satisfied.
+  EXPECT_TRUE(LevelWasteOk(15, 2, 10, 0.2));  // 5 empties < B.
+  EXPECT_TRUE(LevelWasteOk(11, 2, 10, 0.2));  // 9 empties < B.
+  EXPECT_FALSE(LevelWasteOk(10, 2, 10, 0.2));  // 10 empties: compactable.
+}
+
+TEST(WasteLedgerTest, AllowanceAccumulatesAcrossMerges) {
+  WasteLedger ledger;
+  ledger.OnMergeStart(100.0);
+  EXPECT_EQ(ledger.merges_since_compaction(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.slack_allowance(), 100.0);
+  ledger.OnMergeStart(50.0);
+  EXPECT_EQ(ledger.merges_since_compaction(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.slack_allowance(), 150.0);
+}
+
+TEST(WasteLedgerTest, BudgetHasBlockHeadroom) {
+  // Budget: w <= allowance - B + 1 (the last output block may be forced to
+  // carry B-1 empties).
+  WasteLedger ledger;
+  ledger.OnMergeStart(100.0);
+  EXPECT_TRUE(ledger.WithinBudget(91, 10));
+  EXPECT_FALSE(ledger.WithinBudget(92, 10));
+}
+
+TEST(WasteLedgerTest, UnusedSlackCarriesOver) {
+  WasteLedger ledger;
+  ledger.OnMergeStart(100.0);
+  ledger.OnMergeEnd(10);  // Used only 10 of the allowance.
+  ledger.OnMergeStart(100.0);
+  // Cumulative budget now 200 - B + 1; net increase so far 10.
+  EXPECT_EQ(ledger.net_increase(), 10);
+  EXPECT_TRUE(ledger.WithinBudget(10 + 181, 10));
+  EXPECT_FALSE(ledger.WithinBudget(10 + 182, 10));
+}
+
+TEST(WasteLedgerTest, NegativeDeltasReduceNetIncrease) {
+  WasteLedger ledger;
+  ledger.OnMergeStart(50.0);
+  ledger.OnMergeEnd(-20);  // The merge packed records tighter than before.
+  EXPECT_EQ(ledger.net_increase(), -20);
+}
+
+TEST(WasteLedgerTest, CompactionResetsEverything) {
+  WasteLedger ledger;
+  ledger.OnMergeStart(100.0);
+  ledger.OnMergeEnd(42);
+  ledger.OnCompaction();
+  EXPECT_EQ(ledger.merges_since_compaction(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.slack_allowance(), 0.0);
+  EXPECT_EQ(ledger.net_increase(), 0);
+}
+
+}  // namespace
+}  // namespace lsmssd

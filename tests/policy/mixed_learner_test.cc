@@ -1,0 +1,109 @@
+#include "src/policy/mixed_learner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/uniform_workload.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+/// Builds a steady-state scratch tree of roughly `records` live records
+/// plus the workload that produced it.
+struct LearnerRig {
+  LearnerRig(uint64_t records, uint64_t seed)
+      : fx(TinyOptions(), PolicyKind::kChooseBest) {
+    UniformWorkload::Params wp;
+    wp.key_max = 40'000'000;
+    wp.seed = seed;
+    workload = std::make_unique<UniformWorkload>(wp);
+    driver = std::make_unique<WorkloadDriver>(fx.tree.get(), workload.get());
+    const uint64_t bytes = records * fx.options_copy.record_size();
+    LSMSSD_CHECK(driver->GrowTo(bytes).ok());
+    LSMSSD_CHECK(driver->ReachSteadyState(0.5).ok());
+  }
+
+  TreeFixture fx;
+  std::unique_ptr<UniformWorkload> workload;
+  std::unique_ptr<WorkloadDriver> driver;
+};
+
+TEST(MixedLearnerTest, LearnsBetaOnThreeLevelTree) {
+  LearnerRig rig(500, 11);
+  ASSERT_EQ(rig.fx.tree->num_levels(), 3u);
+
+  auto params_or =
+      MixedLearner::Learn(rig.fx.tree.get(), rig.driver->RequestFn());
+  ASSERT_TRUE(params_or.ok()) << params_or.status().ToString();
+  // Three levels: no internal thresholds to learn, only beta; the learned
+  // parameter set must drive a working Mixed policy.
+  TreeFixture fresh(TinyOptions(), PolicyKind::kMixed, params_or.value());
+  for (Key k = 0; k < 500; ++k) ASSERT_TRUE(fresh.Put(k * 3 + 1).ok());
+  EXPECT_TRUE(fresh.tree->CheckInvariants(true).ok());
+}
+
+TEST(MixedLearnerTest, BetaCostsAreFiniteAndPositive) {
+  LearnerRig rig(500, 13);
+  MixedLearner::Config config;
+  MixedParams params;
+  auto full_or = MixedLearner::MeasureBetaCost(
+      rig.fx.tree.get(), rig.driver->RequestFn(), params, true, config);
+  ASSERT_TRUE(full_or.ok()) << full_or.status().ToString();
+  auto partial_or = MixedLearner::MeasureBetaCost(
+      rig.fx.tree.get(), rig.driver->RequestFn(), params, false, config);
+  ASSERT_TRUE(partial_or.ok()) << partial_or.status().ToString();
+  EXPECT_GT(full_or.value(), 0.0);
+  EXPECT_TRUE(std::isfinite(full_or.value()));
+  EXPECT_GT(partial_or.value(), 0.0);
+  EXPECT_TRUE(std::isfinite(partial_or.value()));
+}
+
+TEST(MixedLearnerTest, ThresholdCostMeasurableOnFourLevelTree) {
+  LearnerRig rig(2200, 17);
+  ASSERT_GE(rig.fx.tree->num_levels(), 4u);
+
+  MixedLearner::Config config;
+  MixedParams params;
+  params.tau.assign(4, 0.0);
+  params.tau[2] = 0.5;
+  auto cost_or = MixedLearner::MeasureThresholdCost(
+      rig.fx.tree.get(), rig.driver->RequestFn(), params, 2, config);
+  ASSERT_TRUE(cost_or.ok()) << cost_or.status().ToString();
+  EXPECT_GT(cost_or.value(), 0.0);
+  EXPECT_TRUE(std::isfinite(cost_or.value()));
+}
+
+TEST(MixedLearnerTest, LearnsFullParameterSetTopDown) {
+  LearnerRig rig(2200, 19);
+  ASSERT_GE(rig.fx.tree->num_levels(), 4u);
+  const size_t h = rig.fx.tree->num_levels();
+
+  MixedLearner::Config config;
+  config.tau_step = 0.25;  // Coarse grid keeps the test fast.
+  auto params_or = MixedLearner::Learn(rig.fx.tree.get(),
+                                       rig.driver->RequestFn(), config);
+  ASSERT_TRUE(params_or.ok()) << params_or.status().ToString();
+  const MixedParams& p = params_or.value();
+  for (size_t i = 2; i + 1 < h; ++i) {
+    EXPECT_GE(p.TauFor(i), 0.0);
+    EXPECT_LE(p.TauFor(i), 1.0);
+  }
+}
+
+TEST(MixedLearnerTest, RequestBudgetFailureSurfaces) {
+  LearnerRig rig(500, 23);
+  MixedLearner::Config config;
+  config.max_requests_per_measurement = 5;  // Absurdly small.
+  MixedParams params;
+  auto cost_or = MixedLearner::MeasureBetaCost(
+      rig.fx.tree.get(), rig.driver->RequestFn(), params, true, config);
+  EXPECT_FALSE(cost_or.ok());
+}
+
+}  // namespace
+}  // namespace lsmssd

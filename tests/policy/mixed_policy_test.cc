@@ -1,0 +1,109 @@
+#include "src/policy/mixed_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+TEST(MixedParamsTest, TauForDefaultsToZero) {
+  MixedParams params;
+  EXPECT_DOUBLE_EQ(params.TauFor(2), 0.0);
+  params.tau = {0, 0, 0.4, 0.7};
+  EXPECT_DOUBLE_EQ(params.TauFor(2), 0.4);
+  EXPECT_DOUBLE_EQ(params.TauFor(3), 0.7);
+  EXPECT_DOUBLE_EQ(params.TauFor(9), 0.0);
+}
+
+TEST(MixedParamsTest, ToStringMentionsBeta) {
+  MixedParams params;
+  params.beta = true;
+  EXPECT_NE(params.ToString().find("beta=true"), std::string::npos);
+}
+
+TEST(MixedPolicyTest, L0MergesAreAlwaysPartialInTallTrees) {
+  // Once the tree has >= 3 levels under TestMixed, merges into L1 must all
+  // be partial (rule 1) and merges into the bottom all full (beta = true).
+  // Measure as a delta after the growth phase: while the tree had only two
+  // levels, L1 *was* the bottom and legitimately received full merges.
+  TreeFixture fx(TinyOptions(), PolicyKind::kTestMixed);
+  Key k = 0;
+  while (fx.tree->num_levels() < 4) {
+    ASSERT_TRUE(fx.Put(k * 7 + 1).ok());
+    ++k;
+  }
+  const LsmStats before = fx.tree->stats();
+  const size_t bottom = fx.tree->num_levels() - 1;
+  // Capacity up to L3 is ~3400 records at TinyOptions; 300 more inserts
+  // stay below it, so the height (and thus the bottom index) is stable.
+  for (Key extra = 0; extra < 300; ++extra) {
+    ASSERT_TRUE(fx.Put(k * 7 + 1).ok());
+    ++k;
+  }
+  ASSERT_EQ(fx.tree->num_levels(), bottom + 1);
+
+  const LsmStats delta = fx.tree->stats().DeltaSince(before);
+  EXPECT_GT(delta.merges_into[1], 0u);
+  EXPECT_EQ(delta.full_merges_into[1], 0u);  // Rule 1: never full from L0.
+  if (delta.merges_into[bottom] > 0) {
+    EXPECT_EQ(delta.full_merges_into[bottom], delta.merges_into[bottom]);
+  }
+}
+
+TEST(MixedPolicyTest, BetaFalseMakesBottomMergesPartial) {
+  MixedParams params;
+  params.beta = false;
+  TreeFixture fx(TinyOptions(), PolicyKind::kMixed, params);
+  for (Key k = 0; k < 3000; ++k) ASSERT_TRUE(fx.Put(k * 7 + 1).ok());
+  ASSERT_GE(fx.tree->num_levels(), 3u);
+  const size_t bottom = fx.tree->num_levels() - 1;
+  EXPECT_GT(fx.tree->stats().merges_into[bottom], 0u);
+  EXPECT_EQ(fx.tree->stats().full_merges_into[bottom], 0u);
+}
+
+TEST(MixedPolicyTest, ThresholdGovernsInternalLevels) {
+  // With tau_2 = 1.0 every merge into L2 happens while S(L2) < K2, i.e.
+  // all merges into L2 are full until it is at capacity; with tau_2 = 0
+  // none are.
+  for (double tau2 : {0.0, 1.0}) {
+    MixedParams params;
+    params.tau = {0, 0, tau2};
+    params.beta = false;
+    TreeFixture fx(TinyOptions(), PolicyKind::kMixed, params);
+    for (Key k = 0; k < 12000; ++k) ASSERT_TRUE(fx.Put(k * 5 + 1).ok());
+    ASSERT_GE(fx.tree->num_levels(), 4u) << "need L2 internal";
+    const LsmStats& stats = fx.tree->stats();
+    ASSERT_GT(stats.merges_into[2], 0u);
+    if (tau2 == 0.0) {
+      EXPECT_EQ(stats.full_merges_into[2], 0u);
+    } else {
+      EXPECT_GT(stats.full_merges_into[2], 0u);
+    }
+    ASSERT_TRUE(fx.tree->CheckInvariants(true).ok());
+  }
+}
+
+TEST(MixedPolicyTest, TestMixedMatchesPaperDescription) {
+  // "ChooseBest for all merges from L0 to L1, Full for all merges from L1
+  // to L2" on a 3-level tree.
+  MixedPolicy policy = MixedPolicy::TestMixed();
+  EXPECT_TRUE(policy.params().beta);
+  EXPECT_TRUE(policy.params().tau.empty());
+}
+
+TEST(MixedPolicyTest, SetParamsSwapsBehaviour) {
+  MixedPolicy policy{MixedParams{}};
+  MixedParams p;
+  p.beta = true;
+  p.tau = {0, 0, 0.5};
+  policy.set_params(p);
+  EXPECT_TRUE(policy.params().beta);
+  EXPECT_DOUBLE_EQ(policy.params().TauFor(2), 0.5);
+}
+
+}  // namespace
+}  // namespace lsmssd

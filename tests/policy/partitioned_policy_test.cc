@@ -1,0 +1,103 @@
+#include "src/policy/partitioned_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/policy/choose_best_policy.h"
+#include "src/workload/normal_workload.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+TEST(PartitionedPolicyTest, FactoryAndName) {
+  auto policy = CreatePolicy(PolicyKind::kPartitioned);
+  EXPECT_EQ(policy->name(), "PartitionedCB");
+  PolicyKind parsed;
+  ASSERT_TRUE(ParsePolicyKind("PartitionedCB", &parsed));
+  EXPECT_EQ(parsed, PolicyKind::kPartitioned);
+}
+
+TEST(PartitionedPolicyTest, SelectionsAreAlignedToPartitions) {
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 600; ++k) ASSERT_TRUE(fx.Put(k).ok());
+  for (Key k = 0; k < 30; ++k) {
+    ASSERT_TRUE(fx.tree->Put(100000 + k, MakePayload(options, k)).ok());
+  }
+  PartitionedChooseBestPolicy policy;
+  const size_t window =
+      options.PartialMergeBlocks(0) * options.records_per_block();
+  for (int i = 0; i < 5; ++i) {
+    const MergeSelection sel = policy.SelectMerge(*fx.tree, 0);
+    EXPECT_FALSE(sel.full);
+    EXPECT_EQ(sel.record_begin % window, 0u) << "unaligned partition";
+  }
+}
+
+TEST(PartitionedPolicyTest, NeverBeatsChooseBestOnOverlap) {
+  // ChooseBest considers every window, Partitioned only the aligned ones:
+  // for identical tree states, ChooseBest's selected overlap is a lower
+  // bound (Section VI's HyperLevelDB argument).
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 3000; ++k) ASSERT_TRUE(fx.Put(k * 13 + 1).ok());
+  ASSERT_GE(fx.tree->num_levels(), 3u);
+
+  const Level& source = fx.tree->level(1);
+  const Level& target = fx.tree->level(2);
+  if (source.num_leaves() < 4) GTEST_SKIP() << "L1 too small";
+
+  auto overlap_of = [&](const MergeSelection& sel) {
+    const Key lo = source.leaf(sel.leaf_begin).min_key;
+    const Key hi =
+        source.leaf(sel.leaf_begin + sel.leaf_count - 1).max_key;
+    const auto [b, e] = target.OverlapRange(lo, hi);
+    return e - b;
+  };
+
+  PartitionedChooseBestPolicy partitioned;
+  const MergeSelection p = partitioned.SelectMerge(*fx.tree, 1);
+  const MergeSelection c = SelectChooseBestFromLevel(
+      source, target, fx.options_copy.PartialMergeBlocks(1));
+  EXPECT_LE(overlap_of(c), overlap_of(p));
+}
+
+TEST(PartitionedPolicyTest, EndToEndCorrectness) {
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kPartitioned);
+  NormalWorkload::Params wp;
+  wp.seed = 77;
+  NormalWorkload workload(wp);
+  WorkloadDriver driver(fx.tree.get(), &workload);
+  ASSERT_TRUE(driver.Run(6000).ok());
+  ASSERT_TRUE(fx.tree->CheckInvariants(true).ok());
+  EXPECT_EQ(fx.tree->stats().TotalBlocksWritten(),
+            fx.device.stats().block_writes());
+}
+
+TEST(PartitionedPolicyTest, CostBetweenChooseBestAndRr) {
+  // Sanity on relative cost: Partitioned (a restricted ChooseBest) should
+  // not beat ChooseBest by more than noise, and should not collapse.
+  auto measure = [&](PolicyKind kind) {
+    Options options = TinyOptions();
+    TreeFixture fx(options, kind);
+    NormalWorkload::Params wp;
+    wp.seed = 99;
+    NormalWorkload workload(wp);
+    WorkloadDriver driver(fx.tree.get(), &workload);
+    LSMSSD_CHECK(driver.GrowTo(600 * options.record_size()).ok());
+    workload.set_insert_ratio(0.5);
+    LSMSSD_CHECK(driver.Run(15000).ok());
+    return static_cast<double>(fx.device.stats().block_writes());
+  };
+  const double cb = measure(PolicyKind::kChooseBest);
+  const double part = measure(PolicyKind::kPartitioned);
+  EXPECT_GT(part, cb * 0.9);
+  EXPECT_LT(part, cb * 1.6);
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,145 @@
+// Factory plumbing plus behavioral tests of the Full and RR policies.
+
+#include <gtest/gtest.h>
+
+#include "src/policy/full_policy.h"
+#include "src/policy/policy_factory.h"
+#include "src/policy/rr_policy.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::AddLeafOfKeys;
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+TEST(PolicyFactoryTest, CreatesEveryKind) {
+  EXPECT_EQ(CreatePolicy(PolicyKind::kFull)->name(), "Full");
+  EXPECT_EQ(CreatePolicy(PolicyKind::kRr)->name(), "RR");
+  EXPECT_EQ(CreatePolicy(PolicyKind::kChooseBest)->name(), "ChooseBest");
+  EXPECT_EQ(CreatePolicy(PolicyKind::kMixed)->name(), "Mixed");
+  EXPECT_EQ(CreatePolicy(PolicyKind::kTestMixed)->name(), "Mixed");
+}
+
+TEST(PolicyFactoryTest, ParseRoundTrip) {
+  for (PolicyKind kind :
+       {PolicyKind::kFull, PolicyKind::kRr, PolicyKind::kChooseBest,
+        PolicyKind::kMixed, PolicyKind::kTestMixed}) {
+    PolicyKind parsed;
+    ASSERT_TRUE(ParsePolicyKind(PolicyKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PolicyKind unused;
+  EXPECT_FALSE(ParsePolicyKind("full", &unused));  // Case-sensitive.
+  EXPECT_FALSE(ParsePolicyKind("Bogus", &unused));
+}
+
+TEST(FullPolicyTest, AlwaysSelectsFull) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kFull);
+  for (Key k = 0; k < 100; ++k) ASSERT_TRUE(fx.Put(k * 5).ok());
+  FullPolicy policy;
+  const MergeSelection sel = policy.SelectMerge(*fx.tree, 0);
+  EXPECT_TRUE(sel.full);
+}
+
+TEST(FullPolicyTest, FullMergesEmptyTheSourceLevel) {
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kFull);
+  // Push exactly one L0 overflow through.
+  const uint64_t l0_records =
+      options.level0_capacity_blocks * options.records_per_block();
+  for (Key k = 0; k < l0_records; ++k) ASSERT_TRUE(fx.Put(k * 3).ok());
+  // After a Full merge, L0 drained completely.
+  EXPECT_EQ(fx.tree->memtable().size(), 0u);
+  EXPECT_EQ(fx.tree->stats().full_merges_into[1],
+            fx.tree->stats().merges_into[1]);
+}
+
+TEST(RrPolicyTest, FirstSelectionStartsAtFront) {
+  Options options = TinyOptions();
+  MemBlockDevice device(options.block_size);
+  auto tree_or =
+      LsmTree::Open(options, &device, CreatePolicy(PolicyKind::kRr));
+  ASSERT_TRUE(tree_or.ok());
+  // Give L0 some records without triggering a merge.
+  for (Key k = 0; k < 30; ++k) {
+    ASSERT_TRUE(
+        tree_or.value()->Put(k, MakePayload(options, k)).ok());
+  }
+  RrPolicy policy;
+  // Need a level 1 to exist before selecting; grow by hand is overkill —
+  // instead check the L0 path on a 2-level tree.
+  // (L0 window = PartialMergeBlocks(0) * B = 1 * 10.)
+  // Force level creation through the tree's own machinery:
+  for (Key k = 30; k < 45; ++k) {
+    ASSERT_TRUE(tree_or.value()->Put(k, MakePayload(options, k)).ok());
+  }
+  ASSERT_GE(tree_or.value()->num_levels(), 2u);
+  const MergeSelection sel = policy.SelectMerge(*tree_or.value(), 0);
+  EXPECT_FALSE(sel.full);
+  EXPECT_EQ(sel.record_begin, 0u);
+  EXPECT_EQ(sel.record_count, 10u);
+}
+
+TEST(RrPolicyTest, CursorAdvancesAndWraps) {
+  // Build a standalone source/target pair and call the policy directly on
+  // a real tree whose L1 we populate by hand is complex; instead verify
+  // cursor mechanics through consecutive selections on L0.
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 600; ++k) ASSERT_TRUE(fx.Put(k).ok());
+  ASSERT_GE(fx.tree->num_levels(), 2u);
+
+  // Fill L0 with a known ladder (values 1000..1029 stay below merge
+  // threshold of 40).
+  for (Key k = 0; k < 30; ++k) {
+    ASSERT_TRUE(fx.tree->Put(10000 + k, MakePayload(options, k)).ok());
+  }
+
+  RrPolicy policy;
+  auto s1 = policy.SelectMerge(*fx.tree, 0);
+  auto s2 = policy.SelectMerge(*fx.tree, 0);
+  EXPECT_EQ(s1.record_begin, 0u);
+  // Cursor resumes after the largest key of the previous selection.
+  EXPECT_EQ(s2.record_begin, s1.record_begin + s1.record_count);
+
+  // Selections walk forward and eventually wrap to the beginning.
+  size_t wraps = 0;
+  size_t prev_begin = s2.record_begin;
+  for (int i = 0; i < 20; ++i) {
+    auto s = policy.SelectMerge(*fx.tree, 0);
+    if (s.record_begin < prev_begin) ++wraps;
+    prev_begin = s.record_begin;
+  }
+  EXPECT_GE(wraps, 1u);
+}
+
+TEST(RrPolicyTest, ResetClearsCursors) {
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 600; ++k) ASSERT_TRUE(fx.Put(k).ok());
+  for (Key k = 0; k < 30; ++k) {
+    ASSERT_TRUE(fx.tree->Put(10000 + k, MakePayload(options, k)).ok());
+  }
+  RrPolicy policy;
+  auto s1 = policy.SelectMerge(*fx.tree, 0);
+  (void)policy.SelectMerge(*fx.tree, 0);
+  policy.Reset();
+  auto s3 = policy.SelectMerge(*fx.tree, 0);
+  EXPECT_EQ(s3.record_begin, s1.record_begin);  // Back to the start.
+}
+
+TEST(RrPolicyTest, LevelSelectionsAreRoundRobinInKeyOrder) {
+  // Drive a tree under RR and verify selections from L1 progress through
+  // the key space: consecutive merges into L2 should touch increasing key
+  // ranges (with wraparound).
+  Options options = TinyOptions();
+  TreeFixture fx(options, PolicyKind::kRr);
+  for (Key k = 0; k < 4000; ++k) ASSERT_TRUE(fx.Put(k * 11 + 3).ok());
+  ASSERT_GE(fx.tree->num_levels(), 3u);
+  ASSERT_TRUE(fx.tree->CheckInvariants(true).ok());
+}
+
+}  // namespace
+}  // namespace lsmssd

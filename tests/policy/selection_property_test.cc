@@ -1,0 +1,158 @@
+// Randomized property tests of the selection algorithms: the two-pointer
+// ChooseBest sweep must return exactly what a brute-force scan over every
+// window returns, and Level::OverlapRange must agree with a brute-force
+// overlap test — across many random level layouts.
+
+#include <gtest/gtest.h>
+
+#include "src/policy/choose_best_policy.h"
+#include "src/storage/mem_block_device.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::AddLeafOfKeys;
+using testing::TinyOptions;
+
+/// Builds a level with `n` random non-overlapping leaves (1..B records
+/// each, but pairwise-valid is NOT required here — selection code never
+/// depends on the waste constraints).
+void BuildRandomLevel(const Options& options, MemBlockDevice* device,
+                      Level* level, size_t n, Random* rng) {
+  Key next = rng->Uniform(50);
+  const size_t b = options.records_per_block();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t count = 1 + rng->Uniform(b);
+    std::vector<Key> keys;
+    for (size_t j = 0; j < count; ++j) {
+      next += 1 + rng->Uniform(40);
+      keys.push_back(next);
+    }
+    AddLeafOfKeys(options, device, level, keys);
+    next += 1 + rng->Uniform(200);  // Gap between leaves.
+  }
+}
+
+size_t BruteForceOverlap(const Level& target, Key lo, Key hi) {
+  size_t overlap = 0;
+  for (const LeafMeta& leaf : target.leaves()) {
+    if (leaf.max_key >= lo && leaf.min_key <= hi) ++overlap;
+  }
+  return overlap;
+}
+
+TEST(SelectionPropertyTest, ChooseBestMatchesBruteForce) {
+  const Options options = TinyOptions();
+  Random rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    MemBlockDevice device(options.block_size);
+    Level source(options, &device, 1);
+    Level target(options, &device, 2);
+    BuildRandomLevel(options, &device, &source, 3 + rng.Uniform(25), &rng);
+    BuildRandomLevel(options, &device, &target, rng.Uniform(40), &rng);
+    const size_t window = 1 + rng.Uniform(6);
+
+    const MergeSelection sel =
+        SelectChooseBestFromLevel(source, target, window);
+
+    if (window >= source.num_leaves()) {
+      EXPECT_EQ(sel.leaf_begin, 0u);
+      EXPECT_EQ(sel.leaf_count, source.num_leaves());
+      continue;
+    }
+    // Brute force: overlap of every window; the selection must achieve
+    // the global minimum and be the leftmost such window.
+    size_t best = SIZE_MAX, best_j = 0;
+    for (size_t j = 0; j + window <= source.num_leaves(); ++j) {
+      const size_t overlap = BruteForceOverlap(
+          target, source.leaf(j).min_key,
+          source.leaf(j + window - 1).max_key);
+      if (overlap < best) {
+        best = overlap;
+        best_j = j;
+      }
+    }
+    const size_t selected_overlap = BruteForceOverlap(
+        target, source.leaf(sel.leaf_begin).min_key,
+        source.leaf(sel.leaf_begin + sel.leaf_count - 1).max_key);
+    EXPECT_EQ(selected_overlap, best) << "trial " << trial;
+    EXPECT_EQ(sel.leaf_begin, best_j) << "trial " << trial;
+    EXPECT_EQ(sel.leaf_count, window);
+  }
+}
+
+TEST(SelectionPropertyTest, L0ChooseBestMatchesBruteForce) {
+  const Options options = TinyOptions();
+  Random rng(2025);
+  for (int trial = 0; trial < 40; ++trial) {
+    MemBlockDevice device(options.block_size);
+    Level target(options, &device, 1);
+    BuildRandomLevel(options, &device, &target, 5 + rng.Uniform(30), &rng);
+
+    Memtable mem;
+    const size_t n = 5 + rng.Uniform(60);
+    while (mem.size() < n) mem.Put(rng.Uniform(5000), "v");
+    const size_t window = 1 + rng.Uniform(10);
+    const std::vector<Key> keys = mem.SortedKeys();
+
+    const MergeSelection sel = SelectChooseBestFromL0(mem, target, window);
+    if (window >= keys.size()) {
+      EXPECT_EQ(sel.record_count, keys.size());
+      continue;
+    }
+    size_t best = SIZE_MAX;
+    for (size_t j = 0; j + window <= keys.size(); ++j) {
+      best = std::min(
+          best, BruteForceOverlap(target, keys[j], keys[j + window - 1]));
+    }
+    const size_t selected = BruteForceOverlap(
+        target, keys[sel.record_begin],
+        keys[sel.record_begin + sel.record_count - 1]);
+    EXPECT_EQ(selected, best) << "trial " << trial;
+  }
+}
+
+TEST(SelectionPropertyTest, OverlapRangeMatchesBruteForce) {
+  const Options options = TinyOptions();
+  Random rng(2026);
+  for (int trial = 0; trial < 60; ++trial) {
+    MemBlockDevice device(options.block_size);
+    Level level(options, &device, 1);
+    BuildRandomLevel(options, &device, &level, rng.Uniform(30), &rng);
+
+    for (int probe = 0; probe < 30; ++probe) {
+      Key lo = rng.Uniform(6000);
+      Key hi = lo + rng.Uniform(2000);
+      const auto [begin, end] = level.OverlapRange(lo, hi);
+      for (size_t i = 0; i < level.num_leaves(); ++i) {
+        const bool overlaps = level.leaf(i).max_key >= lo &&
+                              level.leaf(i).min_key <= hi;
+        const bool in_range = i >= begin && i < end;
+        EXPECT_EQ(overlaps, in_range)
+            << "trial " << trial << " leaf " << i << " range [" << lo
+            << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(SelectionPropertyTest, InitialLevelsPreCreatesEmptyLevels) {
+  Options options = TinyOptions();
+  options.initial_levels = 4;
+  testing::TreeFixture fx(options, PolicyKind::kTestMixed);
+  EXPECT_EQ(fx.tree->num_levels(), 5u);  // L0 + 4 on-SSD levels.
+  for (size_t i = 1; i <= 4; ++i) EXPECT_TRUE(fx.tree->level(i).empty());
+
+  // The tree works normally; merges route down through the pre-created
+  // levels and invariants hold.
+  for (Key k = 0; k < 1500; ++k) ASSERT_TRUE(fx.Put(k * 3).ok());
+  ASSERT_TRUE(fx.tree->CheckInvariants(true).ok());
+  for (Key k = 0; k < 1500; ++k) {
+    ASSERT_TRUE(fx.tree->Get(k * 3).ok()) << "key " << k * 3;
+  }
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,125 @@
+#include "src/storage/file_block_device.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name + std::to_string(::getpid());
+}
+
+TEST(FileBlockDeviceTest, OpenCreatesBackingFile) {
+  const std::string path = TempPath("fbd_open");
+  auto dev_or = FileBlockDevice::Open(path, {});
+  ASSERT_TRUE(dev_or.ok()) << dev_or.status().ToString();
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(FileBlockDeviceTest, RemovesFileOnClose) {
+  const std::string path = TempPath("fbd_rm");
+  {
+    auto dev_or = FileBlockDevice::Open(path, {});
+    ASSERT_TRUE(dev_or.ok());
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(FileBlockDeviceTest, WriteReadRoundTrip) {
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_rw"), {});
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  BlockData payload(100, 0xab);
+  auto id = dev.WriteNewBlock(payload);
+  ASSERT_TRUE(id.ok());
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(id.value(), &out).ok());
+  ASSERT_EQ(out.size(), dev.block_size());
+  EXPECT_EQ(out[0], 0xab);
+  EXPECT_EQ(out[99], 0xab);
+  EXPECT_EQ(out[100], 0);  // Padding.
+}
+
+TEST(FileBlockDeviceTest, SlotsAreRecycledAfterFree) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 512;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_recycle"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  auto a = dev.WriteNewBlock(BlockData(1, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(dev.FreeBlock(a.value()).ok());
+  auto b = dev.WriteNewBlock(BlockData(1, 2));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // Freed slot reused.
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(b.value(), &out).ok());
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST(FileBlockDeviceTest, ReadAfterFreeFails) {
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_raf"), {});
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+  auto id = dev.WriteNewBlock(BlockData(1, 1));
+  ASSERT_TRUE(dev.FreeBlock(id.value()).ok());
+  BlockData out;
+  EXPECT_TRUE(dev.ReadBlock(id.value(), &out).IsNotFound());
+}
+
+TEST(FileBlockDeviceTest, OversizedPayloadRejected) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_big"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  EXPECT_TRUE(dev_or.value()
+                  ->WriteNewBlock(BlockData(65, 0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FileBlockDeviceTest, StatsTrackIo) {
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_stats"), {});
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+  auto a = dev.WriteNewBlock(BlockData(1, 1));
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(a.value(), &out).ok());
+  EXPECT_EQ(dev.stats().block_writes(), 1u);
+  EXPECT_EQ(dev.stats().block_reads(), 1u);
+  EXPECT_EQ(dev.live_blocks(), 1u);
+}
+
+TEST(FileBlockDeviceTest, ManyBlocksPersistIndependently) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 128;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_many"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  std::vector<BlockId> ids;
+  for (uint8_t i = 0; i < 50; ++i) {
+    auto id = dev.WriteNewBlock(BlockData(4, i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (uint8_t i = 0; i < 50; ++i) {
+    BlockData out;
+    ASSERT_TRUE(dev.ReadBlock(ids[i], &out).ok());
+    EXPECT_EQ(out[0], i);
+  }
+}
+
+TEST(FileBlockDeviceTest, ZeroBlockSizeRejected) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 0;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_zero"), opts);
+  EXPECT_TRUE(dev_or.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,153 @@
+#include "src/storage/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/mem_block_device.h"
+
+namespace lsmssd {
+namespace {
+
+BlockData Val(uint8_t b) { return BlockData(4, b); }
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(2);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, Val(7));
+  auto hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 7);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.Put(1, Val(1));
+  cache.Put(2, Val(2));
+  ASSERT_NE(cache.Get(1), nullptr);  // 1 becomes MRU.
+  cache.Put(3, Val(3));              // Evicts 2.
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingEntry) {
+  LruCache cache(2);
+  cache.Put(1, Val(1));
+  cache.Put(2, Val(2));
+  cache.Put(1, Val(9));  // Refresh: 1 is MRU now.
+  cache.Put(3, Val(3));  // Evicts 2.
+  auto hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 9);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, PinnedEntriesSurviveEviction) {
+  LruCache cache(2);
+  cache.Put(1, Val(1));
+  EXPECT_TRUE(cache.Pin(1));
+  cache.Put(2, Val(2));
+  cache.Put(3, Val(3));  // Would evict 1 (LRU), but it is pinned -> evict 2.
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, UnpinMakesEvictable) {
+  LruCache cache(1);
+  cache.Put(1, Val(1));
+  cache.Pin(1);
+  cache.Put(2, Val(2));  // 1 pinned: cache stays over... insert skipped or kept.
+  cache.Unpin(1);
+  cache.Put(3, Val(3));
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, PinMissingReturnsFalse) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.Pin(42));
+}
+
+TEST(LruCacheTest, EraseRemovesEvenPinned) {
+  LruCache cache(2);
+  cache.Put(1, Val(1));
+  cache.Pin(1);
+  cache.Erase(1);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache cache(0);
+  cache.Put(1, Val(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesCache) {
+  LruCache cache(4);
+  cache.Put(1, Val(1));
+  cache.Put(2, Val(2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(CachedBlockDeviceTest, ReadsAreServedFromCache) {
+  MemBlockDevice base(32);
+  CachedBlockDevice cached(&base, 8);
+  auto id = cached.WriteNewBlock(Val(5));
+  ASSERT_TRUE(id.ok());
+
+  BlockData out;
+  ASSERT_TRUE(cached.ReadBlock(id.value(), &out).ok());
+  ASSERT_TRUE(cached.ReadBlock(id.value(), &out).ok());
+  // Write-through put the block in cache, so the base device never saw a
+  // read.
+  EXPECT_EQ(base.stats().block_reads(), 0u);
+  EXPECT_EQ(base.stats().cached_reads(), 2u);
+  EXPECT_EQ(out[0], 5);
+}
+
+TEST(CachedBlockDeviceTest, WritesAlwaysReachDevice) {
+  MemBlockDevice base(32);
+  CachedBlockDevice cached(&base, 8);
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cached.WriteNewBlock(Val(i)).ok());
+  }
+  // The headline metric (device writes) must never be absorbed by caching.
+  EXPECT_EQ(base.stats().block_writes(), 5u);
+}
+
+TEST(CachedBlockDeviceTest, MissFallsThroughAndPopulates) {
+  MemBlockDevice base(32);
+  auto id = base.WriteNewBlock(Val(9));  // Written directly to base.
+  ASSERT_TRUE(id.ok());
+
+  CachedBlockDevice cached(&base, 8);
+  BlockData out;
+  ASSERT_TRUE(cached.ReadBlock(id.value(), &out).ok());
+  EXPECT_EQ(base.stats().block_reads(), 1u);
+  ASSERT_TRUE(cached.ReadBlock(id.value(), &out).ok());
+  EXPECT_EQ(base.stats().block_reads(), 1u);  // Second read cached.
+}
+
+TEST(CachedBlockDeviceTest, FreeInvalidatesCacheEntry) {
+  MemBlockDevice base(32);
+  CachedBlockDevice cached(&base, 8);
+  auto id = cached.WriteNewBlock(Val(5));
+  ASSERT_TRUE(cached.FreeBlock(id.value()).ok());
+  BlockData out;
+  EXPECT_TRUE(cached.ReadBlock(id.value(), &out).IsNotFound());
+}
+
+TEST(CachedBlockDeviceTest, EvictionBoundsMemory) {
+  MemBlockDevice base(32);
+  CachedBlockDevice cached(&base, 4);
+  for (uint8_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cached.WriteNewBlock(Val(i)).ok());
+  }
+  EXPECT_LE(cached.cache().size(), 4u);
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,120 @@
+#include "src/storage/mem_block_device.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+BlockData Bytes(std::initializer_list<uint8_t> v) { return BlockData(v); }
+
+TEST(MemBlockDeviceTest, WriteReadRoundTrip) {
+  MemBlockDevice dev(64);
+  auto id = dev.WriteNewBlock(Bytes({1, 2, 3}));
+  ASSERT_TRUE(id.ok());
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(id.value(), &out).ok());
+  ASSERT_EQ(out.size(), 64u);  // Zero-padded to block size.
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST(MemBlockDeviceTest, RejectsOversizedPayload) {
+  MemBlockDevice dev(8);
+  auto id = dev.WriteNewBlock(BlockData(9, 0xff));
+  EXPECT_TRUE(id.status().IsInvalidArgument());
+}
+
+TEST(MemBlockDeviceTest, DistinctIdsPerWrite) {
+  MemBlockDevice dev(16);
+  auto a = dev.WriteNewBlock(Bytes({1}));
+  auto b = dev.WriteNewBlock(Bytes({2}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(MemBlockDeviceTest, FreeMakesBlockUnreadable) {
+  MemBlockDevice dev(16);
+  auto id = dev.WriteNewBlock(Bytes({1}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(dev.FreeBlock(id.value()).ok());
+  BlockData out;
+  EXPECT_TRUE(dev.ReadBlock(id.value(), &out).IsNotFound());
+  EXPECT_FALSE(dev.IsLive(id.value()));
+}
+
+TEST(MemBlockDeviceTest, DoubleFreeFails) {
+  MemBlockDevice dev(16);
+  auto id = dev.WriteNewBlock(Bytes({1}));
+  ASSERT_TRUE(dev.FreeBlock(id.value()).ok());
+  EXPECT_TRUE(dev.FreeBlock(id.value()).IsNotFound());
+}
+
+TEST(MemBlockDeviceTest, ReadOfUnknownIdFails) {
+  MemBlockDevice dev(16);
+  BlockData out;
+  EXPECT_TRUE(dev.ReadBlock(12345, &out).IsNotFound());
+}
+
+TEST(MemBlockDeviceTest, LiveBlockAccounting) {
+  MemBlockDevice dev(16);
+  EXPECT_EQ(dev.live_blocks(), 0u);
+  auto a = dev.WriteNewBlock(Bytes({1}));
+  auto b = dev.WriteNewBlock(Bytes({2}));
+  EXPECT_EQ(dev.live_blocks(), 2u);
+  ASSERT_TRUE(dev.FreeBlock(a.value()).ok());
+  EXPECT_EQ(dev.live_blocks(), 1u);
+  ASSERT_TRUE(dev.FreeBlock(b.value()).ok());
+  EXPECT_EQ(dev.live_blocks(), 0u);
+}
+
+TEST(MemBlockDeviceTest, IoStatsCountEveryOperation) {
+  MemBlockDevice dev(16);
+  auto a = dev.WriteNewBlock(Bytes({1}));
+  auto b = dev.WriteNewBlock(Bytes({2}));
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(a.value(), &out).ok());
+  ASSERT_TRUE(dev.ReadBlock(b.value(), &out).ok());
+  ASSERT_TRUE(dev.ReadBlock(b.value(), &out).ok());
+  ASSERT_TRUE(dev.FreeBlock(a.value()).ok());
+  EXPECT_EQ(dev.stats().block_writes(), 2u);
+  EXPECT_EQ(dev.stats().block_reads(), 3u);
+  EXPECT_EQ(dev.stats().block_allocs(), 2u);
+  EXPECT_EQ(dev.stats().block_frees(), 1u);
+}
+
+TEST(MemBlockDeviceTest, FailedOperationsDoNotCount) {
+  MemBlockDevice dev(8);
+  (void)dev.WriteNewBlock(BlockData(9, 1));  // Too big; rejected.
+  BlockData out;
+  (void)dev.ReadBlock(7, &out);  // Unknown id.
+  EXPECT_EQ(dev.stats().block_writes(), 0u);
+  EXPECT_EQ(dev.stats().block_reads(), 0u);
+}
+
+TEST(IoStatsTest, ResetZeroesEverything) {
+  IoStats s;
+  s.RecordWrite();
+  s.RecordRead();
+  s.RecordCachedRead();
+  s.RecordFree();
+  s.RecordAllocate();
+  s.Reset();
+  EXPECT_EQ(s.block_writes(), 0u);
+  EXPECT_EQ(s.block_reads(), 0u);
+  EXPECT_EQ(s.cached_reads(), 0u);
+  EXPECT_EQ(s.block_frees(), 0u);
+  EXPECT_EQ(s.block_allocs(), 0u);
+}
+
+TEST(IoStatsTest, ToStringMentionsCounts) {
+  IoStats s;
+  s.RecordWrite();
+  s.RecordWrite();
+  EXPECT_NE(s.ToString().find("writes=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsmssd

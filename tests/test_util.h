@@ -1,0 +1,72 @@
+#ifndef LSMSSD_TESTS_TEST_UTIL_H_
+#define LSMSSD_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/format/options.h"
+#include "src/lsm/lsm_tree.h"
+#include "src/policy/policy_factory.h"
+#include "src/storage/mem_block_device.h"
+#include "src/workload/driver.h"
+
+namespace lsmssd::testing {
+
+/// A deliberately tiny configuration so trees grow several levels within a
+/// few thousand requests: 256-byte blocks, 20-byte payloads -> B = 10
+/// records/block; K0 = 4 blocks (40 records); Gamma = 4.
+inline Options TinyOptions() {
+  Options options;
+  options.block_size = 256;
+  options.key_size = 4;
+  options.payload_size = 20;
+  options.level0_capacity_blocks = 4;
+  options.gamma = 4.0;
+  options.epsilon = 0.2;
+  options.delta = 0.25;
+  options.preserve_blocks = true;
+  return options;
+}
+
+/// Device + tree bundle keeping lifetimes straight in tests.
+struct TreeFixture {
+  explicit TreeFixture(const Options& options, PolicyKind kind,
+                       const MixedParams& mixed = MixedParams())
+      : options_copy(options), device(options.block_size) {
+    auto tree_or =
+        LsmTree::Open(options_copy, &device, CreatePolicy(kind, mixed));
+    LSMSSD_CHECK(tree_or.ok()) << tree_or.status().ToString();
+    tree = std::move(tree_or).value();
+  }
+
+  Status Put(Key key) {
+    return tree->Put(key, MakePayload(options_copy, key));
+  }
+
+  Options options_copy;
+  MemBlockDevice device;
+  std::unique_ptr<LsmTree> tree;
+};
+
+/// Writes one leaf of Put records with the given keys into `level`
+/// (payloads derived from keys). Aborts on device failure.
+inline void AddLeafOfKeys(const Options& options, BlockDevice* device,
+                          Level* level, const std::vector<Key>& keys) {
+  std::vector<Record> records;
+  records.reserve(keys.size());
+  for (Key k : keys) {
+    records.push_back(Record::Put(k, MakePayload(options, k)));
+  }
+  auto id = device->WriteNewBlock(EncodeRecordBlock(options, records));
+  LSMSSD_CHECK(id.ok()) << id.status().ToString();
+  LeafMeta meta;
+  meta.block = id.value();
+  meta.min_key = keys.front();
+  meta.max_key = keys.back();
+  meta.count = static_cast<uint32_t>(keys.size());
+  level->AppendLeaf(meta);
+}
+
+}  // namespace lsmssd::testing
+
+#endif  // LSMSSD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,126 @@
+#include "src/util/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  Random rng(1);
+  std::vector<Key> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back(rng.Uniform(1'000'000'000));
+  BloomFilter filter(keys, 10);
+  for (Key k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheory) {
+  Random rng(2);
+  std::vector<Key> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng.Uniform(1'000'000));
+  BloomFilter filter(keys, 10);
+
+  int false_positives = 0, probes = 0;
+  for (Key k = 2'000'000; k < 2'050'000; ++k) {  // Disjoint from inserted.
+    ++probes;
+    false_positives += filter.MayContain(k);
+  }
+  const double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.03);  // Theory: ~1% at 10 bits/key.
+}
+
+TEST(BloomFilterTest, FewerBitsMeansMoreFalsePositives) {
+  Random rng(3);
+  std::vector<Key> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Uniform(1'000'000));
+  BloomFilter tight(keys, 12);
+  BloomFilter loose(keys, 2);
+  int fp_tight = 0, fp_loose = 0;
+  for (Key k = 2'000'000; k < 2'020'000; ++k) {
+    fp_tight += tight.MayContain(k);
+    fp_loose += loose.MayContain(k);
+  }
+  EXPECT_LT(fp_tight, fp_loose);
+}
+
+TEST(BloomFilterTest, EmptyKeySetRejectsEverything) {
+  BloomFilter filter({}, 10);
+  int hits = 0;
+  for (Key k = 0; k < 1000; ++k) hits += filter.MayContain(k);
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomFilterTest, SizeScalesWithKeys) {
+  std::vector<Key> small_keys(100), large_keys(10000);
+  for (size_t i = 0; i < small_keys.size(); ++i) small_keys[i] = i;
+  for (size_t i = 0; i < large_keys.size(); ++i) large_keys[i] = i;
+  BloomFilter small(small_keys, 10);
+  BloomFilter large(large_keys, 10);
+  EXPECT_LT(small.SizeBytes(), large.SizeBytes());
+  EXPECT_NEAR(large.SizeBytes(), 10000 * 10 / 8, 16);
+}
+
+TEST(BloomIntegrationTest, NegativeLookupsSkipBlockReads) {
+  Options options = TinyOptions();
+  options.bloom_bits_per_key = 10;
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 2000; ++k) ASSERT_TRUE(fx.Put(k * 2).ok());
+
+  // Probe keys that are definitely absent (odd keys inside the range).
+  const uint64_t reads_before = fx.device.stats().block_reads();
+  int found = 0;
+  for (Key k = 1; k < 2000; k += 2) found += fx.tree->Get(k).ok();
+  EXPECT_EQ(found, 0);
+  const uint64_t negative_reads =
+      fx.device.stats().block_reads() - reads_before;
+
+  uint64_t skips = 0;
+  for (size_t i = 1; i < fx.tree->num_levels(); ++i) {
+    skips += fx.tree->level(i).bloom_negative_skips();
+  }
+  EXPECT_GT(skips, 800u);  // The vast majority skipped the read.
+  EXPECT_LT(negative_reads, 100u);
+}
+
+TEST(BloomIntegrationTest, PositiveLookupsStillSucceed) {
+  Options options = TinyOptions();
+  options.bloom_bits_per_key = 10;
+  TreeFixture fx(options, PolicyKind::kTestMixed);
+  for (Key k = 0; k < 2000; ++k) ASSERT_TRUE(fx.Put(k * 3 + 1).ok());
+  for (Key k = 0; k < 2000; ++k) {
+    auto v = fx.tree->Get(k * 3 + 1);
+    ASSERT_TRUE(v.ok()) << "key " << k * 3 + 1 << ": "
+                        << v.status().ToString();
+    EXPECT_EQ(v.value(), MakePayload(options, k * 3 + 1));
+  }
+}
+
+TEST(BloomIntegrationTest, FiltersSurviveBlockPreservation) {
+  // Preserved blocks carry their filter across levels (shared_ptr in the
+  // metadata); correctness must hold after heavy churn with preservation.
+  Options options = TinyOptions();
+  options.bloom_bits_per_key = 10;
+  options.block_size = 256;
+  options.payload_size = 200;  // B = 1: preservation everywhere.
+  TreeFixture fx(options, PolicyKind::kChooseBest);
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(fx.tree->Put(k * 7, MakePayload(options, k * 7)).ok());
+  }
+  uint64_t preserved = 0;
+  for (size_t i = 1; i < fx.tree->num_levels(); ++i) {
+    preserved += fx.tree->stats().blocks_preserved_into[i];
+  }
+  ASSERT_GT(preserved, 0u);
+  for (Key k = 0; k < 500; ++k) {
+    EXPECT_TRUE(fx.tree->Get(k * 7).ok()) << "key " << k * 7;
+  }
+  EXPECT_TRUE(fx.tree->Get(3).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace lsmssd

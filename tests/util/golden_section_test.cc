@@ -1,0 +1,106 @@
+#include "src/util/golden_section.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+double Quadratic(size_t i, double minimum_at) {
+  const double d = static_cast<double>(i) - minimum_at;
+  return d * d;
+}
+
+TEST(GoldenSectionTest, FindsInteriorMinimum) {
+  auto result = GoldenSectionMinimize(
+      101, [](size_t i) { return Quadratic(i, 37.0); });
+  EXPECT_EQ(result.best_index, 37u);
+  EXPECT_DOUBLE_EQ(result.best_value, 0.0);
+}
+
+TEST(GoldenSectionTest, FindsBoundaryMinima) {
+  auto left = GoldenSectionMinimize(
+      50, [](size_t i) { return static_cast<double>(i); });
+  EXPECT_EQ(left.best_index, 0u);
+  auto right = GoldenSectionMinimize(
+      50, [](size_t i) { return 49.0 - static_cast<double>(i); });
+  EXPECT_EQ(right.best_index, 49u);
+}
+
+TEST(GoldenSectionTest, SingleCandidate) {
+  auto result = GoldenSectionMinimize(1, [](size_t) { return 5.0; });
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+TEST(GoldenSectionTest, TwoAndThreeCandidates) {
+  auto two = GoldenSectionMinimize(
+      2, [](size_t i) { return i == 1 ? 0.0 : 9.0; });
+  EXPECT_EQ(two.best_index, 1u);
+  auto three = GoldenSectionMinimize(
+      3, [](size_t i) { return Quadratic(i, 1.0); });
+  EXPECT_EQ(three.best_index, 1u);
+}
+
+TEST(GoldenSectionTest, LogarithmicEvaluationCount) {
+  size_t n = 1 << 14;
+  auto result = GoldenSectionMinimize(
+      n, [](size_t i) { return Quadratic(i, 9000.0); });
+  EXPECT_EQ(result.best_index, 9000u);
+  // Each bracket step discards ~38%; ~25 evals suffice for 16k candidates.
+  EXPECT_LE(result.evaluations, 60u);
+}
+
+TEST(GoldenSectionTest, MemoizesEvaluations) {
+  size_t calls = 0;
+  auto result = GoldenSectionMinimize(64, [&](size_t i) {
+    ++calls;
+    return Quadratic(i, 20.0);
+  });
+  EXPECT_EQ(result.best_index, 20u);
+  EXPECT_EQ(calls, result.evaluations);
+}
+
+// Property sweep: the search must find the exact optimum of every
+// unimodal quadratic, wherever the minimum sits.
+class GoldenSectionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenSectionSweep, ExactOnAllMinimumPositions) {
+  const double m = GetParam();
+  auto result =
+      GoldenSectionMinimize(11, [&](size_t i) { return Quadratic(i, m); });
+  EXPECT_EQ(result.best_index, static_cast<size_t>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, GoldenSectionSweep,
+                         ::testing::Range(0, 11));
+
+TEST(LinearScanTest, StopsEarlyAfterTurn) {
+  size_t calls = 0;
+  auto result = LinearScanMinimize(100, [&](size_t i) {
+    ++calls;
+    return Quadratic(i, 3.0);
+  });
+  EXPECT_EQ(result.best_index, 3u);
+  EXPECT_EQ(calls, 5u);  // 0,1,2,3,4 — stops once the curve turns up.
+}
+
+TEST(LinearScanTest, HandlesMonotoneDecreasing) {
+  auto result = LinearScanMinimize(
+      20, [](size_t i) { return 19.0 - static_cast<double>(i); });
+  EXPECT_EQ(result.best_index, 19u);
+}
+
+TEST(LinearScanTest, PlateauDoesNotStopScan) {
+  // f = [3,3,1,...]: equal values must not trigger the early stop.
+  auto result = LinearScanMinimize(4, [](size_t i) {
+    const double v[] = {3, 3, 1, 2};
+    return v[i];
+  });
+  EXPECT_EQ(result.best_index, 2u);
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,78 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace lsmssd {
+namespace {
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h(0, 99, 10);
+  EXPECT_EQ(h.BucketOf(0), 0u);
+  EXPECT_EQ(h.BucketOf(9), 0u);
+  EXPECT_EQ(h.BucketOf(10), 1u);
+  EXPECT_EQ(h.BucketOf(99), 9u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEnds) {
+  Histogram h(100, 199, 10);
+  EXPECT_EQ(h.BucketOf(5), 0u);
+  EXPECT_EQ(h.BucketOf(1000), 9u);
+}
+
+TEST(HistogramTest, CountsAndFrequencies) {
+  Histogram h(0, 9, 2);
+  h.Add(1);
+  h.Add(2);
+  h.Add(7);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_DOUBLE_EQ(h.Frequency(0), 2.0 / 3.0);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0, 9, 2);
+  h.AddWeighted(1, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(0, 9, 2);
+  h.Add(3);
+  h.Clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Frequency(0), 0.0);
+}
+
+TEST(HistogramTest, BucketLowBoundaries) {
+  Histogram h(0, 99, 10);
+  EXPECT_EQ(h.BucketLow(0), 0u);
+  EXPECT_EQ(h.BucketLow(5), 50u);
+}
+
+TEST(HistogramTest, FlatDistributionHasLowCv) {
+  Histogram h(0, 999'999, 100);
+  Random rng(5);
+  for (int i = 0; i < 200000; ++i) h.Add(rng.Uniform(1'000'000));
+  EXPECT_LT(h.FrequencyCv(), 0.1);
+}
+
+TEST(HistogramTest, SkewedDistributionHasHighCv) {
+  Histogram h(0, 999'999, 100);
+  Random rng(5);
+  for (int i = 0; i < 200000; ++i) h.Add(500'000 + rng.Uniform(10'000));
+  EXPECT_GT(h.FrequencyCv(), 2.0);
+}
+
+TEST(HistogramTest, CsvHasOneLinePerBucket) {
+  Histogram h(0, 9, 5);
+  h.Add(1);
+  const std::string csv = h.ToCsv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -1,0 +1,91 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_EQ(Status::Internal("boom").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing").message(), "missing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("k=3").ToString(), "NotFound: k=3");
+  EXPECT_EQ(Status::Corruption("").ToString(), "Corruption");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status {
+    LSMSSD_RETURN_IF_ERROR(Status::IoError("disk gone"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIoError());
+
+  auto succeeds = []() -> Status {
+    LSMSSD_RETURN_IF_ERROR(Status::OK());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_TRUE(succeeds().IsNotFound());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string(1000, 'x'));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::Corruption("bad");
+    return 41;
+  };
+  auto outer = [&](bool fail) -> StatusOr<int> {
+    LSMSSD_ASSIGN_OR_RETURN(int x, inner(fail));
+    return x + 1;
+  };
+  EXPECT_EQ(outer(false).value(), 42);
+  EXPECT_TRUE(outer(true).status().IsCorruption());
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace lsmssd

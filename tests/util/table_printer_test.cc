@@ -1,0 +1,59 @@
+#include "src/util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x", "y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TablePrinterTest, AddRowValuesFormatsMixedTypes) {
+  TablePrinter t({"name", "count", "ratio"});
+  t.AddRowValues("full", 42, 1.5);
+  EXPECT_EQ(t.ToCsv(), "name,count,ratio\nfull,42,1.5\n");
+}
+
+TEST(TablePrinterTest, DoubleFormattingIsCompact) {
+  TablePrinter t({"v"});
+  t.AddRowValues(1234.56789);
+  t.AddRowValues(2.0);
+  EXPECT_EQ(t.ToCsv(), "v\n1234.57\n2\n");
+}
+
+TEST(TablePrinterTest, AlignedColumnsPad) {
+  TablePrinter t({"col", "x"});
+  t.AddRow({"longvalue", "1"});
+  const std::string aligned = t.ToAligned();
+  // Header line padded to the widest cell.
+  EXPECT_NE(aligned.find("col        x"), std::string::npos);
+  EXPECT_NE(aligned.find("longvalue  1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PrintEmitsCsvMarkers) {
+  TablePrinter t({"a"});
+  t.AddRow({"1"});
+  std::ostringstream out;
+  t.Print(out, "fig42");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("# begin-csv fig42\n"), std::string::npos);
+  EXPECT_NE(s.find("# end-csv\n"), std::string::npos);
+  EXPECT_LT(s.find("# begin-csv"), s.find("a\n1\n"));
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace lsmssd

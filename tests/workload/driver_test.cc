@@ -1,0 +1,103 @@
+#include "src/workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/uniform_workload.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+struct DriverRig {
+  DriverRig() : fx(TinyOptions(), PolicyKind::kChooseBest) {
+    UniformWorkload::Params wp;
+    wp.key_max = 10'000'000;
+    wp.seed = 3;
+    workload = std::make_unique<UniformWorkload>(wp);
+    driver = std::make_unique<WorkloadDriver>(fx.tree.get(), workload.get());
+  }
+  TreeFixture fx;
+  std::unique_ptr<UniformWorkload> workload;
+  std::unique_ptr<WorkloadDriver> driver;
+};
+
+TEST(MakePayloadTest, DeterministicAndSized) {
+  const Options o = TinyOptions();
+  EXPECT_EQ(MakePayload(o, 7).size(), o.payload_size);
+  EXPECT_EQ(MakePayload(o, 7), MakePayload(o, 7));
+  EXPECT_NE(MakePayload(o, 7), MakePayload(o, 8));
+}
+
+TEST(DriverTest, RunAppliesExactlyNRequests) {
+  DriverRig rig;
+  ASSERT_TRUE(rig.driver->Run(123).ok());
+  EXPECT_EQ(rig.driver->requests_applied(), 123u);
+  EXPECT_EQ(rig.fx.tree->stats().puts + rig.fx.tree->stats().deletes, 123u);
+}
+
+TEST(DriverTest, GrowToReachesTargetBytes) {
+  DriverRig rig;
+  const uint64_t target = 400 * rig.fx.options_copy.record_size();
+  ASSERT_TRUE(rig.driver->GrowTo(target).ok());
+  EXPECT_GE(rig.fx.tree->ApproximateDataBytes(), target);
+  // Insert-only growth: no deletes issued.
+  EXPECT_EQ(rig.fx.tree->stats().deletes, 0u);
+}
+
+TEST(DriverTest, ReachSteadyStatePushesDataToBottom) {
+  DriverRig rig;
+  ASSERT_TRUE(
+      rig.driver->GrowTo(500 * rig.fx.options_copy.record_size()).ok());
+  ASSERT_TRUE(rig.driver->ReachSteadyState(0.5).ok());
+  const size_t bottom = rig.fx.tree->num_levels() - 1;
+  const uint64_t second_to_last_capacity =
+      rig.fx.tree->LevelCapacityBlocks(bottom - 1) *
+      rig.fx.options_copy.records_per_block();
+  EXPECT_GE(rig.fx.tree->stats().records_merged_into[bottom],
+            second_to_last_capacity);
+}
+
+TEST(DriverTest, MeasureWindowReportsConsistentMetrics) {
+  DriverRig rig;
+  ASSERT_TRUE(
+      rig.driver->GrowTo(400 * rig.fx.options_copy.record_size()).ok());
+  rig.workload->set_insert_ratio(0.5);
+
+  const uint64_t window_bytes = 100 * rig.fx.options_copy.record_size();
+  auto metrics_or = rig.driver->MeasureWindow(window_bytes);
+  ASSERT_TRUE(metrics_or.ok());
+  const WindowMetrics& m = metrics_or.value();
+  EXPECT_EQ(m.requests, 100u);
+  EXPECT_EQ(m.request_bytes,
+            100 * rig.fx.options_copy.record_size());
+  EXPECT_EQ(m.blocks_written, m.stats_delta.TotalBlocksWritten());
+  EXPECT_GE(m.elapsed_seconds, 0.0);
+}
+
+TEST(DriverTest, BlocksPerMbScalesInverselyWithWindow) {
+  WindowMetrics m;
+  m.request_bytes = 1024 * 1024;
+  m.blocks_written = 500;
+  EXPECT_DOUBLE_EQ(m.BlocksPerMb(), 500.0);
+  m.request_bytes = 2 * 1024 * 1024;
+  EXPECT_DOUBLE_EQ(m.BlocksPerMb(), 250.0);
+}
+
+TEST(DriverTest, ZeroByteWindowMetricsAreZero) {
+  WindowMetrics m;
+  EXPECT_DOUBLE_EQ(m.BlocksPerMb(), 0.0);
+  EXPECT_DOUBLE_EQ(m.SecondsPerMb(), 0.0);
+}
+
+TEST(DriverTest, RequestFnDrivesTree) {
+  DriverRig rig;
+  auto fn = rig.driver->RequestFn();
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(fn(rig.fx.tree.get()).ok());
+  EXPECT_EQ(rig.driver->requests_applied(), 50u);
+}
+
+}  // namespace
+}  // namespace lsmssd

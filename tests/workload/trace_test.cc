@@ -1,0 +1,122 @@
+#include "src/workload/trace.h"
+
+#include <unistd.h>
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/uniform_workload.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+using testing::TreeFixture;
+
+std::string TracePath(const char* tag) {
+  return ::testing::TempDir() + "/trace_" + tag + std::to_string(::getpid());
+}
+
+TEST(TraceTest, CaptureMatchesGenerator) {
+  UniformWorkload::Params p;
+  p.seed = 5;
+  UniformWorkload a(p), b(p);
+  const auto trace = CaptureTrace(&a, 500);
+  ASSERT_EQ(trace.size(), 500u);
+  for (const auto& r : trace) {
+    const auto expected = b.Next();
+    EXPECT_EQ(r.kind, expected.kind);
+    EXPECT_EQ(r.key, expected.key);
+  }
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const std::string path = TracePath("rt");
+  UniformWorkload::Params p;
+  p.seed = 6;
+  UniformWorkload w(p);
+  const auto trace = CaptureTrace(&w, 300);
+  ASSERT_TRUE(SaveTraceToFile(trace, path).ok());
+  auto loaded = LoadTraceFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].kind, trace[i].kind);
+    EXPECT_EQ((*loaded)[i].key, trace[i].key);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(TraceTest, CorruptionDetected) {
+  const std::string path = TracePath("bad");
+  UniformWorkload::Params p;
+  UniformWorkload w(p);
+  ASSERT_TRUE(SaveTraceToFile(CaptureTrace(&w, 50), path).ok());
+
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  data[20] ^= 0x10;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  EXPECT_TRUE(LoadTraceFromFile(path).status().IsCorruption());
+  ::unlink(path.c_str());
+}
+
+TEST(TraceWorkloadTest, ReplayIsExact) {
+  std::vector<WorkloadRequest> trace = {
+      {WorkloadRequest::Kind::kInsert, 10},
+      {WorkloadRequest::Kind::kInsert, 20},
+      {WorkloadRequest::Kind::kDelete, 10},
+  };
+  TraceWorkload replay(trace);
+  EXPECT_EQ(replay.remaining(), 3u);
+  EXPECT_EQ(replay.Next().key, 10u);
+  EXPECT_EQ(replay.Next().key, 20u);
+  EXPECT_EQ(replay.indexed_keys(), 2u);
+  EXPECT_EQ(replay.Next().kind, WorkloadRequest::Kind::kDelete);
+  EXPECT_EQ(replay.indexed_keys(), 1u);
+  EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(TraceWorkloadTest, LoopingWrapsAround) {
+  std::vector<WorkloadRequest> trace = {
+      {WorkloadRequest::Kind::kInsert, 1},
+      {WorkloadRequest::Kind::kDelete, 1},
+  };
+  TraceWorkload replay(trace, /*loop=*/true);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(replay.Next().kind, WorkloadRequest::Kind::kInsert);
+    EXPECT_EQ(replay.Next().kind, WorkloadRequest::Kind::kDelete);
+  }
+  EXPECT_FALSE(replay.exhausted());
+}
+
+TEST(TraceWorkloadTest, ReplayedRunsAreByteIdenticalInCost) {
+  // Two trees driven by the same trace must agree on every statistic —
+  // the reproducibility property the trace facility exists for.
+  UniformWorkload::Params p;
+  p.seed = 7;
+  p.key_max = 10'000'000;
+  UniformWorkload source(p);
+  const auto trace = CaptureTrace(&source, 4000);
+
+  uint64_t writes[2];
+  for (int run = 0; run < 2; ++run) {
+    TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+    TraceWorkload replay(trace);
+    WorkloadDriver driver(fx.tree.get(), &replay);
+    ASSERT_TRUE(driver.Run(trace.size()).ok());
+    writes[run] = fx.device.stats().block_writes();
+  }
+  EXPECT_EQ(writes[0], writes[1]);
+}
+
+}  // namespace
+}  // namespace lsmssd

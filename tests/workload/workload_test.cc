@@ -1,0 +1,235 @@
+#include "src/workload/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+#include "src/workload/normal_workload.h"
+#include "src/workload/tpc_workload.h"
+#include "src/workload/uniform_workload.h"
+
+namespace lsmssd {
+namespace {
+
+TEST(SampledKeySetTest, InsertEraseContains) {
+  SampledKeySet set;
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_FALSE(set.Insert(5));  // Duplicate.
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Erase(5));
+  EXPECT_FALSE(set.Erase(5));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(SampledKeySetTest, SampleIsUniformOverMembers) {
+  SampledKeySet set;
+  for (Key k = 0; k < 10; ++k) set.Insert(k);
+  set.Erase(3);
+  Random rng(1);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[set.Sample(&rng)];
+  EXPECT_EQ(counts.count(3), 0u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c, 20000 / 9.0, 400) << "key " << k;
+  }
+}
+
+TEST(UniformWorkloadTest, DeterministicForSeed) {
+  UniformWorkload::Params p;
+  p.seed = 9;
+  UniformWorkload a(p), b(p);
+  for (int i = 0; i < 500; ++i) {
+    const auto ra = a.Next();
+    const auto rb = b.Next();
+    EXPECT_EQ(ra.kind, rb.kind);
+    EXPECT_EQ(ra.key, rb.key);
+  }
+}
+
+TEST(UniformWorkloadTest, InsertsAreFreshDeletesAreExisting) {
+  UniformWorkload::Params p;
+  p.key_max = 100000;
+  UniformWorkload w(p);
+  std::set<Key> live;
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = w.Next();
+    if (r.kind == WorkloadRequest::Kind::kInsert) {
+      EXPECT_EQ(live.count(r.key), 0u);
+      live.insert(r.key);
+    } else {
+      EXPECT_EQ(live.count(r.key), 1u);
+      live.erase(r.key);
+    }
+  }
+  EXPECT_EQ(w.indexed_keys(), live.size());
+}
+
+TEST(UniformWorkloadTest, SteadyStateKeepsSizeStable) {
+  UniformWorkload::Params p;
+  p.insert_ratio = 0.5;
+  UniformWorkload w(p);
+  for (int i = 0; i < 4000; ++i) w.Next();
+  const auto mid = static_cast<int64_t>(w.indexed_keys());
+  for (int i = 0; i < 4000; ++i) w.Next();
+  const auto end = static_cast<int64_t>(w.indexed_keys());
+  EXPECT_LT(std::abs(end - mid), 500);
+}
+
+TEST(UniformWorkloadTest, InsertOnlyModeGrowsMonotonically) {
+  UniformWorkload::Params p;
+  p.insert_ratio = 1.0;
+  UniformWorkload w(p);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(w.Next().kind, WorkloadRequest::Kind::kInsert);
+  }
+  EXPECT_EQ(w.indexed_keys(), 1000u);
+}
+
+TEST(UniformWorkloadTest, KeysCoverDomainUniformly) {
+  UniformWorkload::Params p;
+  p.key_max = 1'000'000'000;
+  p.insert_ratio = 1.0;
+  UniformWorkload w(p);
+  Histogram h(0, p.key_max, 20);
+  for (int i = 0; i < 40000; ++i) h.Add(w.Next().key);
+  EXPECT_LT(h.FrequencyCv(), 0.15);
+}
+
+TEST(NormalWorkloadTest, KeysClusterAroundMean) {
+  NormalWorkload::Params p;
+  p.sigma_fraction = 0.005;
+  p.omega = 1'000'000;  // Mean never moves during this test.
+  p.insert_ratio = 1.0;
+  NormalWorkload w(p);
+  const Key mean = w.current_mean();
+  const double sigma = 0.005 * 1e9;
+  int within_3sigma = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = w.Next();
+    const double d =
+        std::abs(static_cast<double>(r.key) - static_cast<double>(mean));
+    within_3sigma += (d <= 3 * sigma);
+  }
+  EXPECT_GT(within_3sigma, 1950);  // ~99.7% inside 3 sigma.
+}
+
+TEST(NormalWorkloadTest, MeanMovesEveryOmegaInserts) {
+  NormalWorkload::Params p;
+  p.omega = 100;
+  p.insert_ratio = 1.0;
+  NormalWorkload w(p);
+  const Key first = w.current_mean();
+  for (int i = 0; i < 100; ++i) w.Next();
+  EXPECT_NE(w.current_mean(), first);  // Moved (w.h.p. for a 1e9 domain).
+}
+
+TEST(NormalWorkloadTest, KeysStayInDomain) {
+  NormalWorkload::Params p;
+  p.key_min = 1000;
+  p.key_max = 5000;
+  p.sigma_fraction = 0.5;  // Heavy truncation.
+  p.insert_ratio = 1.0;
+  NormalWorkload w(p);
+  // Insert-only, so stay well under the 4001-key domain capacity.
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = w.Next();
+    EXPECT_GE(r.key, 1000u);
+    EXPECT_LE(r.key, 5000u);
+  }
+}
+
+TEST(NormalWorkloadTest, DeletesTargetExistingKeys) {
+  NormalWorkload::Params p;
+  p.insert_ratio = 0.5;
+  NormalWorkload w(p);
+  std::set<Key> live;
+  for (int i = 0; i < 3000; ++i) {
+    const auto r = w.Next();
+    if (r.kind == WorkloadRequest::Kind::kInsert) {
+      EXPECT_EQ(live.count(r.key), 0u);
+      live.insert(r.key);
+    } else {
+      EXPECT_EQ(live.count(r.key), 1u);
+      live.erase(r.key);
+    }
+  }
+}
+
+TEST(TpcWorkloadTest, KeysEncodeWarehouseDistrictOrder) {
+  TpcWorkload::Params p;
+  p.warehouses = 4;
+  p.districts_per_warehouse = 4;
+  TpcWorkload w(p);
+  // 4 warehouses -> 2 bits; 4 districts -> 2 bits; 28 order bits.
+  EXPECT_EQ(w.MakeKey(0, 0, 0), 0u);
+  EXPECT_EQ(w.MakeKey(1, 0, 0), uint64_t{1} << 30);
+  EXPECT_EQ(w.MakeKey(0, 1, 5), (uint64_t{1} << 28) | 5);
+}
+
+TEST(TpcWorkloadTest, OrdersAreSequentialPerDistrict) {
+  TpcWorkload::Params p;
+  p.warehouses = 1;
+  p.districts_per_warehouse = 1;
+  p.insert_ratio = 1.0;
+  TpcWorkload w(p);
+  Key prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto r = w.Next();
+    ASSERT_EQ(r.kind, WorkloadRequest::Kind::kInsert);
+    if (i > 0) {
+      EXPECT_EQ(r.key, prev + 1);
+    }
+    prev = r.key;
+  }
+}
+
+TEST(TpcWorkloadTest, DeletesComeInBatchesOfOldestOrders) {
+  TpcWorkload::Params p;
+  p.warehouses = 1;
+  p.districts_per_warehouse = 1;
+  p.deletes_per_batch = 10;
+  p.insert_ratio = 0.0;  // Delete whenever possible.
+  TpcWorkload w(p);
+
+  // Not enough orders yet: generator must fall back to inserts.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(w.Next().kind, WorkloadRequest::Kind::kInsert);
+  }
+  // One more insert makes 10 -> the next 10 requests delete order 0..9.
+  EXPECT_EQ(w.Next().kind, WorkloadRequest::Kind::kInsert);
+  for (uint64_t i = 0; i < 10; ++i) {
+    const auto r = w.Next();
+    EXPECT_EQ(r.kind, WorkloadRequest::Kind::kDelete);
+    EXPECT_EQ(r.key, i);  // Oldest first.
+  }
+}
+
+TEST(TpcWorkloadTest, RequestLevelRatioHoldsAtSteadyState) {
+  TpcWorkload::Params p;
+  p.insert_ratio = 0.5;
+  TpcWorkload w(p);
+  // Warm up so every district has deletable batches.
+  for (int i = 0; i < 30000; ++i) w.Next();
+  int inserts = 0, deletes = 0;
+  for (int i = 0; i < 30000; ++i) {
+    (w.Next().kind == WorkloadRequest::Kind::kInsert ? inserts : deletes)++;
+  }
+  EXPECT_NEAR(static_cast<double>(inserts) / (inserts + deletes), 0.5, 0.05);
+}
+
+TEST(TpcWorkloadTest, IndexedKeyCountTracksLiveOrders) {
+  TpcWorkload::Params p;
+  p.insert_ratio = 0.7;
+  TpcWorkload w(p);
+  int64_t live = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = w.Next();
+    live += (r.kind == WorkloadRequest::Kind::kInsert) ? 1 : -1;
+  }
+  EXPECT_EQ(w.indexed_keys(), static_cast<uint64_t>(live));
+}
+
+}  // namespace
+}  // namespace lsmssd

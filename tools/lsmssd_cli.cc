@@ -1,0 +1,213 @@
+// lsmssd_cli — command-line driver for the library.
+//
+//   lsmssd_cli run   [--workload=uniform|normal|tpc] [--policy=ChooseBest]
+//                    [--size-mb=1.5] [--requests-mb=2] [--preserve=1]
+//                    [--bloom=0] [--trace-in=FILE]
+//       Grow an index to the target size, reach the steady state, run a
+//       measurement window, and print the paper's metrics.
+//
+//   lsmssd_cli trace [--workload=...] [--n=100000] --out=FILE
+//       Capture a deterministic workload trace for replay.
+//
+//   lsmssd_cli manifest --dump=FILE
+//       Print a summary of a saved manifest.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench/harness/experiment.h"
+#include "src/lsm/manifest.h"
+#include "src/workload/trace.h"
+
+namespace lsmssd::bench {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      std::exit(2);
+    }
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "1";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const Flags& flags, const std::string& name,
+                   const std::string& fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+WorkloadSpec SpecFromFlags(const Flags& flags) {
+  WorkloadSpec spec;
+  const std::string name = FlagOr(flags, "workload", "uniform");
+  if (name == "uniform") {
+    spec.kind = WorkloadKind::kUniform;
+  } else if (name == "normal") {
+    spec.kind = WorkloadKind::kNormal;
+  } else if (name == "tpc") {
+    spec.kind = WorkloadKind::kTpc;
+  } else {
+    std::cerr << "unknown workload: " << name << "\n";
+    std::exit(2);
+  }
+  spec.seed = std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  spec.sigma_fraction =
+      std::atof(FlagOr(flags, "sigma", "0.005").c_str());
+  return spec;
+}
+
+int CmdRun(const Flags& flags) {
+  PolicyKind kind;
+  const std::string policy_name = FlagOr(flags, "policy", "ChooseBest");
+  if (!ParsePolicyKind(policy_name, &kind)) {
+    std::cerr << "unknown policy: " << policy_name
+              << " (use Full|RR|ChooseBest|Mixed|TestMixed|PartitionedCB)\n";
+    return 2;
+  }
+  Options options = BenchOptions();
+  options.bloom_bits_per_key =
+      std::strtoull(FlagOr(flags, "bloom", "0").c_str(), nullptr, 10);
+  PolicySpec policy{policy_name, kind,
+                    FlagOr(flags, "preserve", "1") != "0"};
+
+  const double size_mb = std::atof(FlagOr(flags, "size-mb", "1.5").c_str());
+  const double window_mb =
+      std::atof(FlagOr(flags, "requests-mb", "2").c_str());
+
+  Experiment exp(options, policy, SpecFromFlags(flags));
+
+  // Optional trace replay instead of the generator.
+  std::unique_ptr<TraceWorkload> trace_workload;
+  std::unique_ptr<WorkloadDriver> trace_driver;
+  if (flags.contains("trace-in")) {
+    auto trace = LoadTraceFromFile(flags.at("trace-in"));
+    if (!trace.ok()) {
+      std::cerr << "trace load failed: " << trace.status().ToString()
+                << "\n";
+      return 1;
+    }
+    trace_workload = std::make_unique<TraceWorkload>(std::move(*trace));
+    trace_driver = std::make_unique<WorkloadDriver>(&exp.tree(),
+                                                    trace_workload.get());
+    Status st = trace_driver->Run(trace_workload->remaining());
+    if (!st.ok()) {
+      std::cerr << "replay failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  } else {
+    Status st = exp.PrepareSteadyState(size_mb);
+    if (!st.ok()) {
+      std::cerr << "prepare failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    auto metrics = exp.Measure(window_mb);
+    if (!metrics.ok()) {
+      std::cerr << "measure failed: " << metrics.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "steady-state window (" << window_mb << " MB of requests):\n"
+              << "  blocks written per MB : " << metrics->BlocksPerMb()
+              << "\n"
+              << "  seconds per MB        : " << metrics->SecondsPerMb()
+              << "\n";
+    if (policy.kind == PolicyKind::kMixed) {
+      std::cout << "  learned parameters    : "
+                << exp.learned_params().ToString() << "\n";
+    }
+  }
+
+  LsmTree& tree = exp.tree();
+  std::cout << "\nindex: " << tree.num_levels() << " levels, "
+            << tree.TotalRecords() << " records, "
+            << tree.ApproximateDataBytes() / (1024.0 * 1024.0) << " MB\n";
+  for (size_t i = 1; i < tree.num_levels(); ++i) {
+    std::cout << "  L" << i << ": " << tree.level(i).size_blocks() << "/"
+              << tree.LevelCapacityBlocks(i) << " blocks, waste "
+              << tree.level(i).waste_factor() << "\n";
+  }
+  std::cout << "device: " << exp.device().stats().ToString() << "\n";
+  std::cout << "\nper-level merge stats:\n" << tree.stats().ToString();
+  return 0;
+}
+
+int CmdTrace(const Flags& flags) {
+  if (!flags.contains("out")) {
+    std::cerr << "trace requires --out=FILE\n";
+    return 2;
+  }
+  const auto n = std::strtoull(FlagOr(flags, "n", "100000").c_str(),
+                               nullptr, 10);
+  auto workload = MakeWorkload(SpecFromFlags(flags));
+  const auto trace = CaptureTrace(workload.get(), n);
+  Status st = SaveTraceToFile(trace, flags.at("out"));
+  if (!st.ok()) {
+    std::cerr << "save failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "captured " << trace.size() << " requests to "
+            << flags.at("out") << "\n";
+  return 0;
+}
+
+int CmdManifest(const Flags& flags) {
+  if (!flags.contains("dump")) {
+    std::cerr << "manifest requires --dump=FILE\n";
+    return 2;
+  }
+  auto manifest = LoadManifestFromFile(flags.at("dump"));
+  if (!manifest.ok()) {
+    std::cerr << "load failed: " << manifest.status().ToString() << "\n";
+    return 1;
+  }
+  const Manifest& m = manifest.value();
+  std::cout << "manifest: block_size=" << m.options.block_size
+            << " payload=" << m.options.payload_size
+            << " Gamma=" << m.options.gamma << " K0="
+            << m.options.level0_capacity_blocks << "\n"
+            << "memtable: " << m.memtable_records.size() << " records\n";
+  for (size_t i = 0; i < m.levels.size(); ++i) {
+    uint64_t records = 0;
+    for (const auto& leaf : m.levels[i]) records += leaf.count;
+    std::cout << "L" << i + 1 << ": " << m.levels[i].size() << " leaves, "
+              << records << " records";
+    if (!m.levels[i].empty()) {
+      std::cout << ", keys [" << m.levels[i].front().min_key << ", "
+                << m.levels[i].back().max_key << "]";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: lsmssd_cli run|trace|manifest [--flag=value ...]\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "run") return CmdRun(flags);
+  if (command == "trace") return CmdTrace(flags);
+  if (command == "manifest") return CmdManifest(flags);
+  std::cerr << "unknown command: " << command << "\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace lsmssd::bench
+
+int main(int argc, char** argv) { return lsmssd::bench::Main(argc, argv); }
