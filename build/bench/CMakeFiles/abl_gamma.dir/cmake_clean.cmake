@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gamma.dir/abl_gamma.cc.o"
+  "CMakeFiles/abl_gamma.dir/abl_gamma.cc.o.d"
+  "abl_gamma"
+  "abl_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_level_growth.dir/abl_level_growth.cc.o"
+  "CMakeFiles/abl_level_growth.dir/abl_level_growth.cc.o.d"
+  "abl_level_growth"
+  "abl_level_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_level_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_merge_rate.dir/abl_merge_rate.cc.o"
+  "CMakeFiles/abl_merge_rate.dir/abl_merge_rate.cc.o.d"
+  "abl_merge_rate"
+  "abl_merge_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_merge_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

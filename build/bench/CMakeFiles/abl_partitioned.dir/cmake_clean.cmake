@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partitioned.dir/abl_partitioned.cc.o"
+  "CMakeFiles/abl_partitioned.dir/abl_partitioned.cc.o.d"
+  "abl_partitioned"
+  "abl_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_waste_epsilon.dir/abl_waste_epsilon.cc.o"
+  "CMakeFiles/abl_waste_epsilon.dir/abl_waste_epsilon.cc.o.d"
+  "abl_waste_epsilon"
+  "abl_waste_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_waste_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

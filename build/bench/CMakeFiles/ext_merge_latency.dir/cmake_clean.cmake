@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_merge_latency.dir/ext_merge_latency.cc.o"
+  "CMakeFiles/ext_merge_latency.dir/ext_merge_latency.cc.o.d"
+  "ext_merge_latency"
+  "ext_merge_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_merge_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

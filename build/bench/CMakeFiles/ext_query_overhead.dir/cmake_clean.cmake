@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_query_overhead.dir/ext_query_overhead.cc.o"
+  "CMakeFiles/ext_query_overhead.dir/ext_query_overhead.cc.o.d"
+  "ext_query_overhead"
+  "ext_query_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_query_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

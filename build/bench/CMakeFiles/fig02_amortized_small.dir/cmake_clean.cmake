@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_amortized_small.dir/fig02_amortized_small.cc.o"
+  "CMakeFiles/fig02_amortized_small.dir/fig02_amortized_small.cc.o.d"
+  "fig02_amortized_small"
+  "fig02_amortized_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_amortized_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

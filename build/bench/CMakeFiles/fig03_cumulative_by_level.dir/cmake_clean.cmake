@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cumulative_by_level.dir/fig03_cumulative_by_level.cc.o"
+  "CMakeFiles/fig03_cumulative_by_level.dir/fig03_cumulative_by_level.cc.o.d"
+  "fig03_cumulative_by_level"
+  "fig03_cumulative_by_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cumulative_by_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_cumulative_by_level.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_testmixed_cumulative.dir/fig04_testmixed_cumulative.cc.o"
+  "CMakeFiles/fig04_testmixed_cumulative.dir/fig04_testmixed_cumulative.cc.o.d"
+  "fig04_testmixed_cumulative"
+  "fig04_testmixed_cumulative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_testmixed_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

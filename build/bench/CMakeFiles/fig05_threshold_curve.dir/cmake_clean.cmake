@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_threshold_curve.dir/fig05_threshold_curve.cc.o"
+  "CMakeFiles/fig05_threshold_curve.dir/fig05_threshold_curve.cc.o.d"
+  "fig05_threshold_curve"
+  "fig05_threshold_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_threshold_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_steady_state.dir/fig06_steady_state.cc.o"
+  "CMakeFiles/fig06_steady_state.dir/fig06_steady_state.cc.o.d"
+  "fig06_steady_state"
+  "fig06_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_payload_sweep.dir/fig09_payload_sweep.cc.o"
+  "CMakeFiles/fig09_payload_sweep.dir/fig09_payload_sweep.cc.o.d"
+  "fig09_payload_sweep"
+  "fig09_payload_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_payload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_insert_only.dir/fig10_insert_only.cc.o"
+  "CMakeFiles/fig10_insert_only.dir/fig10_insert_only.cc.o.d"
+  "fig10_insert_only"
+  "fig10_insert_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_insert_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

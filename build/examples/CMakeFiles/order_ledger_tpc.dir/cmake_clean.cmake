@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_ledger_tpc.dir/order_ledger_tpc.cpp.o"
+  "CMakeFiles/order_ledger_tpc.dir/order_ledger_tpc.cpp.o.d"
+  "order_ledger_tpc"
+  "order_ledger_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_ledger_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

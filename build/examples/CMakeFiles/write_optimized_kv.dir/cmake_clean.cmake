@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_optimized_kv.dir/write_optimized_kv.cpp.o"
+  "CMakeFiles/write_optimized_kv.dir/write_optimized_kv.cpp.o.d"
+  "write_optimized_kv"
+  "write_optimized_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_optimized_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

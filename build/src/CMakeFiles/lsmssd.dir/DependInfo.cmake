@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/key_codec.cc" "src/CMakeFiles/lsmssd.dir/format/key_codec.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/format/key_codec.cc.o.d"
+  "/root/repo/src/format/record.cc" "src/CMakeFiles/lsmssd.dir/format/record.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/format/record.cc.o.d"
+  "/root/repo/src/format/record_block.cc" "src/CMakeFiles/lsmssd.dir/format/record_block.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/format/record_block.cc.o.d"
+  "/root/repo/src/lsm/level.cc" "src/CMakeFiles/lsmssd.dir/lsm/level.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/level.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/lsmssd.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/manifest.cc" "src/CMakeFiles/lsmssd.dir/lsm/manifest.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/manifest.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/lsmssd.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/merge.cc" "src/CMakeFiles/lsmssd.dir/lsm/merge.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/merge.cc.o.d"
+  "/root/repo/src/lsm/stats.cc" "src/CMakeFiles/lsmssd.dir/lsm/stats.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/stats.cc.o.d"
+  "/root/repo/src/lsm/tree_iterator.cc" "src/CMakeFiles/lsmssd.dir/lsm/tree_iterator.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/tree_iterator.cc.o.d"
+  "/root/repo/src/lsm/wal.cc" "src/CMakeFiles/lsmssd.dir/lsm/wal.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/wal.cc.o.d"
+  "/root/repo/src/lsm/waste.cc" "src/CMakeFiles/lsmssd.dir/lsm/waste.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/lsm/waste.cc.o.d"
+  "/root/repo/src/policy/choose_best_policy.cc" "src/CMakeFiles/lsmssd.dir/policy/choose_best_policy.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/choose_best_policy.cc.o.d"
+  "/root/repo/src/policy/full_policy.cc" "src/CMakeFiles/lsmssd.dir/policy/full_policy.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/full_policy.cc.o.d"
+  "/root/repo/src/policy/mixed_learner.cc" "src/CMakeFiles/lsmssd.dir/policy/mixed_learner.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/mixed_learner.cc.o.d"
+  "/root/repo/src/policy/mixed_policy.cc" "src/CMakeFiles/lsmssd.dir/policy/mixed_policy.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/mixed_policy.cc.o.d"
+  "/root/repo/src/policy/partitioned_policy.cc" "src/CMakeFiles/lsmssd.dir/policy/partitioned_policy.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/partitioned_policy.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "src/CMakeFiles/lsmssd.dir/policy/policy_factory.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/policy_factory.cc.o.d"
+  "/root/repo/src/policy/rr_policy.cc" "src/CMakeFiles/lsmssd.dir/policy/rr_policy.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/policy/rr_policy.cc.o.d"
+  "/root/repo/src/storage/file_block_device.cc" "src/CMakeFiles/lsmssd.dir/storage/file_block_device.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/storage/file_block_device.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/lsmssd.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/lru_cache.cc" "src/CMakeFiles/lsmssd.dir/storage/lru_cache.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/storage/lru_cache.cc.o.d"
+  "/root/repo/src/storage/mem_block_device.cc" "src/CMakeFiles/lsmssd.dir/storage/mem_block_device.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/storage/mem_block_device.cc.o.d"
+  "/root/repo/src/util/bloom.cc" "src/CMakeFiles/lsmssd.dir/util/bloom.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/util/bloom.cc.o.d"
+  "/root/repo/src/util/golden_section.cc" "src/CMakeFiles/lsmssd.dir/util/golden_section.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/util/golden_section.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/lsmssd.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/lsmssd.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/lsmssd.dir/util/random.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/lsmssd.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/lsmssd.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/normal_workload.cc" "src/CMakeFiles/lsmssd.dir/workload/normal_workload.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/workload/normal_workload.cc.o.d"
+  "/root/repo/src/workload/tpc_workload.cc" "src/CMakeFiles/lsmssd.dir/workload/tpc_workload.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/workload/tpc_workload.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/lsmssd.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/uniform_workload.cc" "src/CMakeFiles/lsmssd.dir/workload/uniform_workload.cc.o" "gcc" "src/CMakeFiles/lsmssd.dir/workload/uniform_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

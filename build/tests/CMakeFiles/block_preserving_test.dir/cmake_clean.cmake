@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_preserving_test.dir/integration/block_preserving_test.cc.o"
+  "CMakeFiles/block_preserving_test.dir/integration/block_preserving_test.cc.o.d"
+  "block_preserving_test"
+  "block_preserving_test.pdb"
+  "block_preserving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_preserving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

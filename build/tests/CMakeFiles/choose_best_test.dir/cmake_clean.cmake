@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choose_best_test.dir/policy/choose_best_test.cc.o"
+  "CMakeFiles/choose_best_test.dir/policy/choose_best_test.cc.o.d"
+  "choose_best_test"
+  "choose_best_test.pdb"
+  "choose_best_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choose_best_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

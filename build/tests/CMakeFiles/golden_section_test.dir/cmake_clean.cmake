@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_section_test.dir/util/golden_section_test.cc.o"
+  "CMakeFiles/golden_section_test.dir/util/golden_section_test.cc.o.d"
+  "golden_section_test"
+  "golden_section_test.pdb"
+  "golden_section_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_section_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_tree_test.dir/lsm/lsm_tree_test.cc.o"
+  "CMakeFiles/lsm_tree_test.dir/lsm/lsm_tree_test.cc.o.d"
+  "lsm_tree_test"
+  "lsm_tree_test.pdb"
+  "lsm_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_block_device_test.dir/storage/mem_block_device_test.cc.o"
+  "CMakeFiles/mem_block_device_test.dir/storage/mem_block_device_test.cc.o.d"
+  "mem_block_device_test"
+  "mem_block_device_test.pdb"
+  "mem_block_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_block_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

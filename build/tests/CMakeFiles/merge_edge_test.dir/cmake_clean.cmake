@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_edge_test.dir/lsm/merge_edge_test.cc.o"
+  "CMakeFiles/merge_edge_test.dir/lsm/merge_edge_test.cc.o.d"
+  "merge_edge_test"
+  "merge_edge_test.pdb"
+  "merge_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_learner_test.dir/policy/mixed_learner_test.cc.o"
+  "CMakeFiles/mixed_learner_test.dir/policy/mixed_learner_test.cc.o.d"
+  "mixed_learner_test"
+  "mixed_learner_test.pdb"
+  "mixed_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_policy_test.dir/policy/mixed_policy_test.cc.o"
+  "CMakeFiles/mixed_policy_test.dir/policy/mixed_policy_test.cc.o.d"
+  "mixed_policy_test"
+  "mixed_policy_test.pdb"
+  "mixed_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

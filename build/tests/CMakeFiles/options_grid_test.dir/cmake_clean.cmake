@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_grid_test.dir/integration/options_grid_test.cc.o"
+  "CMakeFiles/options_grid_test.dir/integration/options_grid_test.cc.o.d"
+  "options_grid_test"
+  "options_grid_test.pdb"
+  "options_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_policy_test.dir/policy/partitioned_policy_test.cc.o"
+  "CMakeFiles/partitioned_policy_test.dir/policy/partitioned_policy_test.cc.o.d"
+  "partitioned_policy_test"
+  "partitioned_policy_test.pdb"
+  "partitioned_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

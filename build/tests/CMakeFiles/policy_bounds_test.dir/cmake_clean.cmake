@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_bounds_test.dir/policy/policy_bounds_test.cc.o"
+  "CMakeFiles/policy_bounds_test.dir/policy/policy_bounds_test.cc.o.d"
+  "policy_bounds_test"
+  "policy_bounds_test.pdb"
+  "policy_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_block_test.dir/format/record_block_test.cc.o"
+  "CMakeFiles/record_block_test.dir/format/record_block_test.cc.o.d"
+  "record_block_test"
+  "record_block_test.pdb"
+  "record_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waste_test.dir/lsm/waste_test.cc.o"
+  "CMakeFiles/waste_test.dir/lsm/waste_test.cc.o.d"
+  "waste_test"
+  "waste_test.pdb"
+  "waste_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waste_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmssd_cli.dir/lsmssd_cli.cc.o"
+  "CMakeFiles/lsmssd_cli.dir/lsmssd_cli.cc.o.d"
+  "lsmssd_cli"
+  "lsmssd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmssd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
