@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/format/record_block_view.h"
 #include "src/util/logging.h"
 
 namespace lsmssd {
@@ -14,10 +15,6 @@ void PutU16(uint8_t* dst, uint16_t v) {
   dst[1] = static_cast<uint8_t>(v >> 8);
 }
 
-uint16_t GetU16(const uint8_t* src) {
-  return static_cast<uint16_t>(src[0]) |
-         (static_cast<uint16_t>(src[1]) << 8);
-}
 }  // namespace
 
 RecordBlockBuilder::RecordBlockBuilder(const Options& options)
@@ -76,48 +73,11 @@ BlockData EncodeRecordBlock(const Options& options,
 
 StatusOr<std::vector<Record>> DecodeRecordBlock(const Options& options,
                                                 const BlockData& data) {
-  if (data.size() < kHeaderSize) {
-    return Status::Corruption("block smaller than header");
-  }
-  const size_t count = GetU16(data.data());
-  const size_t record_size = GetU16(data.data() + 2);
-  if (record_size != options.record_size()) {
-    return Status::Corruption("record size mismatch: block says " +
-                              std::to_string(record_size) + ", options say " +
-                              std::to_string(options.record_size()));
-  }
-  if (count > options.records_per_block()) {
-    return Status::Corruption("record count exceeds block capacity");
-  }
-  if (kHeaderSize + count * record_size > data.size()) {
-    return Status::Corruption("record slots exceed block size");
-  }
-
-  std::vector<Record> records;
-  records.reserve(count);
-  const uint8_t* slot = data.data() + kHeaderSize;
-  Key prev_key = 0;
-  for (size_t i = 0; i < count; ++i) {
-    Record r;
-    if (slot[0] > static_cast<uint8_t>(RecordType::kDelete)) {
-      return Status::Corruption("unknown record type " +
-                                std::to_string(slot[0]));
-    }
-    r.type = static_cast<RecordType>(slot[0]);
-    r.key = DecodeKey(slot + 1, options.key_size);
-    if (i > 0 && r.key <= prev_key) {
-      return Status::Corruption("records out of order within block");
-    }
-    prev_key = r.key;
-    if (!r.is_tombstone()) {
-      r.payload.assign(
-          reinterpret_cast<const char*>(slot + 1 + options.key_size),
-          options.payload_size);
-    }
-    records.push_back(std::move(r));
-    slot += record_size;
-  }
-  return records;
+  // Validation lives in RecordBlockView::Parse; this is the materializing
+  // convenience wrapper (compaction, tests, tools).
+  auto view_or = RecordBlockView::Parse(options, data);
+  if (!view_or.ok()) return view_or.status();
+  return view_or.value().Materialize();
 }
 
 }  // namespace lsmssd

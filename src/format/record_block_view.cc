@@ -1,0 +1,112 @@
+#include "src/format/record_block_view.h"
+
+#include <string>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+constexpr size_t kHeaderSize = 4;
+
+uint16_t GetU16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         (static_cast<uint16_t>(src[1]) << 8);
+}
+}  // namespace
+
+StatusOr<RecordBlockView> RecordBlockView::Parse(const Options& options,
+                                                 const uint8_t* data,
+                                                 size_t size) {
+  if (size < kHeaderSize) {
+    return Status::Corruption("block smaller than header");
+  }
+  const size_t count = GetU16(data);
+  const size_t record_size = GetU16(data + 2);
+  if (record_size != options.record_size()) {
+    return Status::Corruption("record size mismatch: block says " +
+                              std::to_string(record_size) + ", options say " +
+                              std::to_string(options.record_size()));
+  }
+  if (count > options.records_per_block()) {
+    return Status::Corruption("record count exceeds block capacity");
+  }
+  if (kHeaderSize + count * record_size > size) {
+    return Status::Corruption("record slots exceed block size");
+  }
+
+  RecordBlockView view(data + kHeaderSize, count, options.key_size,
+                       options.payload_size);
+  // Validate types and strict key order once; accessors trust the image
+  // afterwards. O(count) key decodes, zero allocation.
+  Key prev_key = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t* slot = view.slot_ptr(i);
+    if (slot[0] > static_cast<uint8_t>(RecordType::kDelete)) {
+      return Status::Corruption("unknown record type " +
+                                std::to_string(slot[0]));
+    }
+    const Key key = DecodeKey(slot + 1, options.key_size);
+    if (i > 0 && key <= prev_key) {
+      return Status::Corruption("records out of order within block");
+    }
+    prev_key = key;
+  }
+  return view;
+}
+
+Key RecordBlockView::key_at(size_t i) const {
+  LSMSSD_DCHECK(i < count_);
+  return DecodeKey(slot_ptr(i) + 1, key_size_);
+}
+
+RecordType RecordBlockView::type_at(size_t i) const {
+  LSMSSD_DCHECK(i < count_);
+  return static_cast<RecordType>(slot_ptr(i)[0]);
+}
+
+std::string_view RecordBlockView::payload_at(size_t i) const {
+  LSMSSD_DCHECK(i < count_);
+  if (is_tombstone_at(i)) return {};
+  return std::string_view(
+      reinterpret_cast<const char*>(slot_ptr(i) + 1 + key_size_),
+      payload_size_);
+}
+
+Record RecordBlockView::record_at(size_t i) const {
+  Record r;
+  r.key = key_at(i);
+  r.type = type_at(i);
+  const std::string_view payload = payload_at(i);
+  r.payload.assign(payload.data(), payload.size());
+  return r;
+}
+
+size_t RecordBlockView::LowerBound(Key key) const {
+  size_t lo = 0, hi = count_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (key_at(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool RecordBlockView::Find(Key key, size_t* slot) const {
+  const size_t i = LowerBound(key);
+  if (i == count_ || key_at(i) != key) return false;
+  *slot = i;
+  return true;
+}
+
+std::vector<Record> RecordBlockView::Materialize() const {
+  std::vector<Record> records;
+  records.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) records.push_back(record_at(i));
+  return records;
+}
+
+}  // namespace lsmssd

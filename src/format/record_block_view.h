@@ -1,0 +1,90 @@
+#ifndef LSMSSD_FORMAT_RECORD_BLOCK_VIEW_H_
+#define LSMSSD_FORMAT_RECORD_BLOCK_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/format/options.h"
+#include "src/format/record.h"
+#include "src/storage/block.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Zero-copy reader over one encoded data block (the image produced by
+/// RecordBlockBuilder / EncodeRecordBlock). Parse() validates the whole
+/// block once — header, slot bounds, record types, strict key order — and
+/// the accessors then address the encoded slots in place: no per-record
+/// Record materialization, no payload string allocation. Point lookups
+/// binary-search the fixed-width slots directly (keys are big-endian, so
+/// decoding one key per probe is a few loads).
+///
+/// The view does NOT own the block image; the caller keeps it alive (the
+/// read path passes a std::shared_ptr<const BlockData> alongside, see
+/// Level::ReadLeafView). Records are only materialized on demand via
+/// record_at()/Materialize(), i.e. for slots a caller actually emits.
+class RecordBlockView {
+ public:
+  RecordBlockView() = default;
+
+  /// Validates `data` (same corruption checks as DecodeRecordBlock) and
+  /// returns a view addressing it. `data` must outlive the view.
+  static StatusOr<RecordBlockView> Parse(const Options& options,
+                                         const uint8_t* data, size_t size);
+  static StatusOr<RecordBlockView> Parse(const Options& options,
+                                         const BlockData& data) {
+    return Parse(options, data.data(), data.size());
+  }
+
+  /// Number of records stored in the block.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Key of slot `i` (i < size()).
+  Key key_at(size_t i) const;
+  RecordType type_at(size_t i) const;
+  bool is_tombstone_at(size_t i) const {
+    return type_at(i) == RecordType::kDelete;
+  }
+  /// Payload bytes of slot `i`, viewed in place; empty for tombstones.
+  std::string_view payload_at(size_t i) const;
+
+  /// Materializes slot `i` as a Record (allocates the payload copy).
+  Record record_at(size_t i) const;
+
+  Key min_key() const { return key_at(0); }
+  Key max_key() const { return key_at(count_ - 1); }
+
+  /// Index of the first slot with key >= `key` (== size() if none).
+  size_t LowerBound(Key key) const;
+
+  /// Finds `key`; returns true and sets `*slot` when present.
+  bool Find(Key key, size_t* slot) const;
+
+  /// Materializes every record (the decode path; one pass, pre-reserved).
+  std::vector<Record> Materialize() const;
+
+ private:
+  RecordBlockView(const uint8_t* slots, size_t count, size_t key_size,
+                  size_t payload_size)
+      : slots_(slots),
+        count_(count),
+        key_size_(key_size),
+        payload_size_(payload_size) {}
+
+  const uint8_t* slot_ptr(size_t i) const {
+    return slots_ + i * (1 + key_size_ + payload_size_);
+  }
+
+  const uint8_t* slots_ = nullptr;  // First slot, just past the header.
+  size_t count_ = 0;
+  size_t key_size_ = 0;
+  size_t payload_size_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_FORMAT_RECORD_BLOCK_VIEW_H_

@@ -16,11 +16,11 @@ LeafMeta MakeLeafMeta(const Options& options,
   meta.max_key = records.back().key;
   meta.count = static_cast<uint32_t>(records.size());
   if (options.bloom_bits_per_key > 0) {
-    std::vector<Key> keys;
-    keys.reserve(records.size());
-    for (const Record& r : records) keys.push_back(r.key);
-    meta.filter =
-        std::make_shared<BloomFilter>(keys, options.bloom_bits_per_key);
+    // Incremental build: no temporary key vector per block.
+    auto filter = std::make_shared<BloomFilter>(records.size(),
+                                                options.bloom_bits_per_key);
+    for (const Record& r : records) filter->AddKey(r.key);
+    meta.filter = std::move(filter);
   }
   return meta;
 }
@@ -69,17 +69,26 @@ bool Level::MeetsPairwiseWaste(size_t i) const {
                          options_.records_per_block());
 }
 
-StatusOr<std::vector<Record>> Level::ReadLeaf(size_t i) const {
+StatusOr<LeafView> Level::ReadLeafView(size_t i) const {
   LSMSSD_CHECK_LT(i, leaves_.size());
-  BlockData data;
-  LSMSSD_RETURN_IF_ERROR(device_->ReadBlock(leaves_[i].block, &data));
-  auto records_or = DecodeRecordBlock(options_, data);
-  if (!records_or.ok()) return records_or.status();
-  if (records_or.value().size() != leaves_[i].count) {
+  auto data_or = device_->ReadBlockShared(leaves_[i].block);
+  if (!data_or.ok()) return data_or.status();
+  LeafView leaf;
+  leaf.data = std::move(data_or).value();
+  auto view_or = RecordBlockView::Parse(options_, *leaf.data);
+  if (!view_or.ok()) return view_or.status();
+  leaf.view = view_or.value();
+  if (leaf.view.size() != leaves_[i].count) {
     return Status::Corruption("leaf record count mismatch at level " +
                               std::to_string(level_index_));
   }
-  return records_or;
+  return leaf;
+}
+
+StatusOr<std::vector<Record>> Level::ReadLeaf(size_t i) const {
+  auto leaf_or = ReadLeafView(i);
+  if (!leaf_or.ok()) return leaf_or.status();
+  return leaf_or.value().view.Materialize();
 }
 
 size_t Level::LowerBoundLeaf(Key key) const {
@@ -103,28 +112,30 @@ Status Level::Lookup(Key key, Record* out) const {
   }
   if (leaves_[i].filter != nullptr && !leaves_[i].filter->MayContain(key)) {
     ++bloom_negative_skips_;  // Definitely absent: skip the block read.
+    device_->stats().RecordBloomSkip();
     return Status::NotFound("key not in leaf (bloom)");
   }
-  auto records_or = ReadLeaf(i);
-  if (!records_or.ok()) return records_or.status();
-  const auto& records = records_or.value();
-  auto it = std::lower_bound(
-      records.begin(), records.end(), key,
-      [](const Record& r, Key k) { return r.key < k; });
-  if (it == records.end() || it->key != key) {
+  auto leaf_or = ReadLeafView(i);
+  if (!leaf_or.ok()) return leaf_or.status();
+  // One in-place binary search over the encoded slots; only the matching
+  // record (if any) is materialized.
+  size_t slot;
+  if (!leaf_or.value().view.Find(key, &slot)) {
     return Status::NotFound("key not in leaf");
   }
-  *out = *it;
+  *out = leaf_or.value().view.record_at(slot);
   return Status::OK();
 }
 
 Status Level::CollectRange(Key lo, Key hi, std::vector<Record>* out) const {
   const auto [begin, end] = OverlapRange(lo, hi);
   for (size_t i = begin; i < end; ++i) {
-    auto records_or = ReadLeaf(i);
-    if (!records_or.ok()) return records_or.status();
-    for (const Record& r : records_or.value()) {
-      if (r.key >= lo && r.key <= hi) out->push_back(r);
+    auto leaf_or = ReadLeafView(i);
+    if (!leaf_or.ok()) return leaf_or.status();
+    const RecordBlockView& view = leaf_or.value().view;
+    for (size_t s = view.LowerBound(lo); s < view.size(); ++s) {
+      if (view.key_at(s) > hi) break;
+      out->push_back(view.record_at(s));
     }
   }
   return Status::OK();
@@ -202,10 +213,13 @@ StatusOr<uint64_t> Level::Compact() {
   RecordBlockBuilder builder(options_);
   auto flush = [&]() -> Status {
     if (builder.empty()) return Status::OK();
-    const std::vector<Record> records = builder.records();
+    // Build the metadata from the buffered records in place, before
+    // Finish() resets the builder — no O(B) record-vector copy.
+    LeafMeta meta = MakeLeafMeta(options_, builder.records(), kInvalidBlockId);
     auto id_or = device_->WriteNewBlock(builder.Finish());
     if (!id_or.ok()) return id_or.status();
-    new_leaves.push_back(MakeLeafMeta(options_, records, id_or.value()));
+    meta.block = id_or.value();
+    new_leaves.push_back(std::move(meta));
     ++writes;
     return Status::OK();
   };
@@ -258,11 +272,11 @@ Status Level::CheckInvariants(bool deep) const {
   }
   if (deep) {
     for (size_t i = 0; i < leaves_.size(); ++i) {
-      auto records_or = ReadLeaf(i);  // Validates count against metadata.
-      if (!records_or.ok()) return records_or.status();
-      const auto& rs = records_or.value();
-      if (rs.front().key != leaves_[i].min_key ||
-          rs.back().key != leaves_[i].max_key) {
+      auto leaf_or = ReadLeafView(i);  // Validates count against metadata.
+      if (!leaf_or.ok()) return leaf_or.status();
+      const RecordBlockView& view = leaf_or.value().view;
+      if (view.min_key() != leaves_[i].min_key ||
+          view.max_key() != leaves_[i].max_key) {
         return Status::Internal("leaf key-range metadata mismatch");
       }
     }

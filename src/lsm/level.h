@@ -11,6 +11,7 @@
 #include "src/format/options.h"
 #include "src/format/record.h"
 #include "src/format/record_block.h"
+#include "src/format/record_block_view.h"
 #include "src/lsm/waste.h"
 #include "src/storage/block_device.h"
 #include "src/util/bloom.h"
@@ -37,6 +38,14 @@ struct LeafMeta {
 /// for a block holding `records` at id `block`.
 LeafMeta MakeLeafMeta(const Options& options,
                       const std::vector<Record>& records, BlockId block);
+
+/// One leaf's block image plus a validated zero-copy view over it (the
+/// unit the read path hands around). The shared image stays valid even if
+/// a later merge frees or evicts the block — readers hold a reference.
+struct LeafView {
+  std::shared_ptr<const BlockData> data;
+  RecordBlockView view;
+};
 
 /// One on-SSD level L_i (i >= 1) under the paper's relaxed storage rules
 /// (Section II-B): leaves live at arbitrary block addresses, need not be
@@ -79,7 +88,13 @@ class Level {
   /// Pairwise constraint for leaves (i, i+1).
   bool MeetsPairwiseWaste(size_t i) const;
 
-  /// Reads and decodes leaf `i`'s records.
+  /// Reads leaf `i` without decoding: shared block image + in-place view.
+  /// The preferred read primitive — lookups, scans, and merge streams all
+  /// run on it; only slots actually consumed are materialized as Records.
+  StatusOr<LeafView> ReadLeafView(size_t i) const;
+
+  /// Reads and decodes leaf `i`'s records (materializing convenience for
+  /// compaction and tests; implemented over ReadLeafView).
   StatusOr<std::vector<Record>> ReadLeaf(size_t i) const;
 
   /// Point lookup. Returns the level's record for `key` via `*out`;

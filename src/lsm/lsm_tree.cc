@@ -26,7 +26,13 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(
 
 LsmTree::LsmTree(const Options& options, BlockDevice* device,
                  std::unique_ptr<MergePolicy> policy)
-    : options_(options), device_(device), policy_(std::move(policy)) {
+    : options_(options),
+      cache_device_(options.cache_blocks > 0
+                        ? std::make_unique<CachedBlockDevice>(
+                              device, options.cache_blocks)
+                        : nullptr),
+      device_(cache_device_ != nullptr ? cache_device_.get() : device),
+      policy_(std::move(policy)) {
   stats_.EnsureLevels(2);
   // Strategic pre-creation of levels (Section V-A's open question): an
   // empty deep level makes merges into it cheap from the start.

@@ -15,6 +15,7 @@
 #include "src/lsm/stats.h"
 #include "src/policy/merge_policy.h"
 #include "src/storage/block_device.h"
+#include "src/storage/lru_cache.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 
@@ -89,7 +90,13 @@ class LsmTree {
   const Level& level(size_t i) const;
   Level* mutable_level(size_t i);
   const Options& options() const { return options_; }
+  /// The device all tree I/O goes through. With Options::cache_blocks > 0
+  /// this is the tree-owned CachedBlockDevice wrapping the device passed
+  /// to Open/Restore; its IoStats mirror the base device's write/alloc/
+  /// free counts, so block-write accounting is unchanged by caching.
   BlockDevice* device() { return device_; }
+  /// The tree-owned buffer cache, or nullptr when cache_blocks == 0.
+  CachedBlockDevice* cache_device() { return cache_device_.get(); }
   const LsmStats& stats() const { return stats_; }
   MergePolicy* policy() { return policy_.get(); }
   /// Swaps the merge policy (e.g., while learning Mixed parameters).
@@ -122,6 +129,9 @@ class LsmTree {
   void AddLevel();
 
   Options options_;
+  /// Owned buffer cache around the caller's device (null when disabled).
+  std::unique_ptr<CachedBlockDevice> cache_device_;
+  /// cache_device_.get() when caching is on, else the caller's device.
   BlockDevice* device_;
   std::unique_ptr<MergePolicy> policy_;
   Memtable memtable_;

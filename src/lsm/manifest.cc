@@ -290,17 +290,22 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Restore(
         continue;
       }
       // Rebuild the Bloom filter from the block, verifying the metadata
-      // against the actual contents as we go.
-      BlockData data;
-      LSMSSD_RETURN_IF_ERROR(device->ReadBlock(leaf.block, &data));
-      auto records_or = DecodeRecordBlock(options, data);
-      if (!records_or.ok()) return records_or.status();
-      const LeafMeta rebuilt =
-          MakeLeafMeta(options, records_or.value(), leaf.block);
-      if (rebuilt.min_key != leaf.min_key || rebuilt.max_key != leaf.max_key ||
-          rebuilt.count != leaf.count) {
+      // against the actual contents as we go. Reads go through the tree's
+      // device so a configured buffer cache is warmed by the restore.
+      auto data_or = tree->device()->ReadBlockShared(leaf.block);
+      if (!data_or.ok()) return data_or.status();
+      auto view_or = RecordBlockView::Parse(options, *data_or.value());
+      if (!view_or.ok()) return view_or.status();
+      const RecordBlockView& view = view_or.value();
+      if (view.empty() || view.min_key() != leaf.min_key ||
+          view.max_key() != leaf.max_key || view.size() != leaf.count) {
         return Status::Corruption("manifest leaf metadata mismatch");
       }
+      LeafMeta rebuilt = leaf;
+      auto filter = std::make_shared<BloomFilter>(view.size(),
+                                                  options.bloom_bits_per_key);
+      for (size_t s = 0; s < view.size(); ++s) filter->AddKey(view.key_at(s));
+      rebuilt.filter = std::move(filter);
       level->AppendLeaf(rebuilt);
     }
   }

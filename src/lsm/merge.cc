@@ -38,6 +38,10 @@ class InputStream {
 /// Streams the leaves [begin, end) of a level. `on_leaf_open` fires when a
 /// leaf is read for element-wise processing (used to subtract Y empties in
 /// the slack accounting); preserved (skipped) leaves never fire it.
+///
+/// Scans through the zero-copy leaf view: keys are compared in place and a
+/// Record is materialized only when the merge actually consumes the slot
+/// (consolidated or emitted) — preserved and skipped slots never allocate.
 class LevelStream : public InputStream {
  public:
   LevelStream(const Level* level, size_t begin, size_t end,
@@ -52,25 +56,25 @@ class LevelStream : public InputStream {
   Key NextKey() const override {
     LSMSSD_DCHECK(HasNext());
     if (!loaded_) return level_->leaf(cur_).min_key;
-    return records_[pos_].key;
+    return leaf_.view.key_at(pos_);
   }
 
   StatusOr<Record> NextRecord() override {
     LSMSSD_CHECK(HasNext());
     if (!loaded_) {
-      auto records_or = level_->ReadLeaf(cur_);
-      if (!records_or.ok()) return records_or.status();
-      records_ = std::move(records_or).value();
+      auto leaf_or = level_->ReadLeafView(cur_);
+      if (!leaf_or.ok()) return leaf_or.status();
+      leaf_ = std::move(leaf_or).value();
       pos_ = 0;
       loaded_ = true;
       if (on_leaf_open_) on_leaf_open_(level_->leaf(cur_));
     }
-    Record r = std::move(records_[pos_++]);
-    if (pos_ >= records_.size()) {
+    Record r = leaf_.view.record_at(pos_++);
+    if (pos_ >= leaf_.view.size()) {
       ++cur_;
       pos_ = 0;
       loaded_ = false;
-      records_.clear();
+      leaf_ = LeafView{};
     }
     return r;
   }
@@ -94,7 +98,7 @@ class LevelStream : public InputStream {
   std::function<void(const LeafMeta&)> on_leaf_open_;
   bool loaded_ = false;
   size_t pos_ = 0;
-  std::vector<Record> records_;
+  LeafView leaf_;
 };
 
 /// Streams records drained from L0. L0 has no on-SSD blocks, so there is
@@ -203,10 +207,12 @@ StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
 
   auto flush = [&]() -> Status {
     if (builder.empty()) return Status::OK();
-    const std::vector<Record> records = builder.records();
+    // Metadata (and Bloom filter) are built from the buffered records in
+    // place, before Finish() resets the builder — no O(B) vector copy.
+    LeafMeta meta = MakeLeafMeta(options_, builder.records(), kInvalidBlockId);
     auto id_or = device_->WriteNewBlock(builder.Finish());
     if (!id_or.ok()) return id_or.status();
-    const LeafMeta meta = MakeLeafMeta(options_, records, id_or.value());
+    meta.block = id_or.value();
     z.push_back(meta);
     ++result.output_blocks_written;
     w_run += empty_of(meta.count);

@@ -1,5 +1,9 @@
 // LsmTree::NewIterator(): a k-way merge across L0 and every on-SSD level,
 // with upper levels shadowing lower ones and tombstones suppressed.
+//
+// Level cursors walk the zero-copy leaf views (Level::ReadLeafView): key
+// comparisons and tombstone checks read the encoded block in place, and a
+// Record is materialized only for the winning source of each yielded key.
 
 #include <algorithm>
 #include <vector>
@@ -12,8 +16,9 @@ namespace lsmssd {
 
 namespace {
 
-/// Cursor over one source (the memtable or one level), exposing records in
+/// Cursor over one source (the memtable or one level), exposing entries in
 /// key order including tombstones. The merged iterator consolidates.
+/// key()/is_tombstone() are allocation-free; record() materializes.
 class SourceCursor {
  public:
   virtual ~SourceCursor() = default;
@@ -21,7 +26,9 @@ class SourceCursor {
   virtual Status SeekToFirst() = 0;
   virtual Status Seek(Key target) = 0;
   virtual Status Next() = 0;
-  virtual const Record& record() const = 0;
+  virtual Key key() const = 0;
+  virtual bool is_tombstone() const = 0;
+  virtual Record record() const = 0;
 };
 
 class MemtableCursor : public SourceCursor {
@@ -50,7 +57,17 @@ class MemtableCursor : public SourceCursor {
     return Load();
   }
 
-  const Record& record() const override {
+  Key key() const override {
+    LSMSSD_DCHECK(valid_);
+    return current_.key;
+  }
+
+  bool is_tombstone() const override {
+    LSMSSD_DCHECK(valid_);
+    return current_.is_tombstone();
+  }
+
+  Record record() const override {
     LSMSSD_DCHECK(valid_);
     return current_;
   }
@@ -76,7 +93,7 @@ class LevelCursor : public SourceCursor {
   bool Valid() const override { return valid_; }
 
   Status SeekToFirst() override {
-    leaf_ = 0;
+    leaf_index_ = 0;
     pos_ = 0;
     return LoadLeaf();
   }
@@ -84,18 +101,15 @@ class LevelCursor : public SourceCursor {
   Status Seek(Key target) override {
     const auto [begin, end] = level_->OverlapRange(target, target);
     if (begin < end) {
-      leaf_ = begin;
+      leaf_index_ = begin;
       LSMSSD_RETURN_IF_ERROR(LoadLeaf());
       if (!valid_) return Status::OK();
-      auto it = std::lower_bound(
-          records_.begin(), records_.end(), target,
-          [](const Record& r, Key k) { return r.key < k; });
-      pos_ = static_cast<size_t>(it - records_.begin());
-      if (pos_ >= records_.size()) return AdvanceLeaf();
+      pos_ = leaf_.view.LowerBound(target);
+      if (pos_ >= leaf_.view.size()) return AdvanceLeaf();
       return Status::OK();
     }
     // No leaf contains target: the first leaf starting after it (if any).
-    leaf_ = begin;  // OverlapRange's begin == first leaf with max >= target.
+    leaf_index_ = begin;  // OverlapRange's begin == first leaf with max >= target.
     pos_ = 0;
     return LoadLeaf();
   }
@@ -103,37 +117,48 @@ class LevelCursor : public SourceCursor {
   Status Next() override {
     LSMSSD_DCHECK(valid_);
     ++pos_;
-    if (pos_ >= records_.size()) return AdvanceLeaf();
+    if (pos_ >= leaf_.view.size()) return AdvanceLeaf();
     return Status::OK();
   }
 
-  const Record& record() const override {
+  Key key() const override {
     LSMSSD_DCHECK(valid_);
-    return records_[pos_];
+    return leaf_.view.key_at(pos_);
+  }
+
+  bool is_tombstone() const override {
+    LSMSSD_DCHECK(valid_);
+    return leaf_.view.is_tombstone_at(pos_);
+  }
+
+  Record record() const override {
+    LSMSSD_DCHECK(valid_);
+    return leaf_.view.record_at(pos_);
   }
 
  private:
   Status AdvanceLeaf() {
-    ++leaf_;
+    ++leaf_index_;
     pos_ = 0;
     return LoadLeaf();
   }
 
   Status LoadLeaf() {
     valid_ = false;
-    if (leaf_ >= level_->num_leaves()) return Status::OK();
-    auto records_or = level_->ReadLeaf(leaf_);
-    if (!records_or.ok()) return records_or.status();
-    records_ = std::move(records_or).value();
-    valid_ = !records_.empty();
+    leaf_ = LeafView{};
+    if (leaf_index_ >= level_->num_leaves()) return Status::OK();
+    auto leaf_or = level_->ReadLeafView(leaf_index_);
+    if (!leaf_or.ok()) return leaf_or.status();
+    leaf_ = std::move(leaf_or).value();
+    valid_ = !leaf_.view.empty();
     return Status::OK();
   }
 
   const Level* level_;
-  size_t leaf_ = 0;
+  size_t leaf_index_ = 0;
   size_t pos_ = 0;
   bool valid_ = false;
-  std::vector<Record> records_;
+  LeafView leaf_;
 };
 
 /// Merges the cursors: smallest key wins; among equal keys the youngest
@@ -191,7 +216,7 @@ class MergedIterator : public Iterator {
   /// Advances every source positioned on `key`.
   bool AdvancePast(Key key) {
     for (auto& s : sources_) {
-      if (s->Valid() && s->record().key == key) {
+      if (s->Valid() && s->key() == key) {
         if (!Check(s->Next())) return false;
       }
     }
@@ -199,12 +224,13 @@ class MergedIterator : public Iterator {
   }
 
   /// Consolidates the current minimum across sources; skips tombstones.
+  /// Only the winner of a live key materializes a Record.
   void FindNextLive() {
     for (;;) {
       const SourceCursor* winner = nullptr;
       for (const auto& s : sources_) {
         if (!s->Valid()) continue;
-        if (winner == nullptr || s->record().key < winner->record().key) {
+        if (winner == nullptr || s->key() < winner->key()) {
           winner = s.get();  // Lowest index wins ties (scanned in order).
         }
       }
@@ -212,12 +238,12 @@ class MergedIterator : public Iterator {
         valid_ = false;
         return;
       }
-      current_ = winner->record();
-      if (!current_.is_tombstone()) {
+      if (!winner->is_tombstone()) {
+        current_ = winner->record();
         valid_ = true;
         return;
       }
-      if (!AdvancePast(current_.key)) return;  // Deleted: keep looking.
+      if (!AdvancePast(winner->key())) return;  // Deleted: keep looking.
     }
   }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "src/storage/block.h"
 #include "src/storage/io_stats.h"
@@ -34,6 +35,20 @@ class BlockDevice {
   /// Reads block `id` into `*out` (resized to block_size()). Counts one
   /// block read.
   virtual Status ReadBlock(BlockId id, BlockData* out) = 0;
+
+  /// Reads block `id` with shared ownership — the zero-copy entry point of
+  /// the read path. Implementations backed by memory (MemBlockDevice, a
+  /// buffer-cache hit in CachedBlockDevice) return their resident image
+  /// without copying; the default falls back to ReadBlock plus one copy.
+  /// The returned data stays valid even if the block is freed afterwards
+  /// (readers hold a reference; the device merely drops its own).
+  /// I/O accounting is identical to ReadBlock.
+  virtual StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
+      BlockId id) {
+    auto data = std::make_shared<BlockData>();
+    LSMSSD_RETURN_IF_ERROR(ReadBlock(id, data.get()));
+    return std::shared_ptr<const BlockData>(std::move(data));
+  }
 
   /// Releases block `id`. The id must be live. After freeing, reads of `id`
   /// fail.

@@ -10,6 +10,9 @@ void IoStats::Reset() {
   cached_reads_ = 0;
   block_frees_ = 0;
   block_allocs_ = 0;
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  bloom_skips_ = 0;
 }
 
 std::string IoStats::ToString() const {
@@ -17,6 +20,10 @@ std::string IoStats::ToString() const {
   out << "writes=" << block_writes_ << " reads=" << block_reads_
       << " cached_reads=" << cached_reads_ << " allocs=" << block_allocs_
       << " frees=" << block_frees_;
+  if (cache_hits_ > 0 || cache_misses_ > 0 || bloom_skips_ > 0) {
+    out << " cache_hits=" << cache_hits_ << " cache_misses=" << cache_misses_
+        << " bloom_skips=" << bloom_skips_;
+  }
   return out.str();
 }
 

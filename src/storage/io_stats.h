@@ -12,6 +12,11 @@ namespace lsmssd {
 /// struct is that instrument. One IoStats instance is owned by each block
 /// device; the LSM layer additionally keeps per-level write counters that
 /// tests cross-check against these totals.
+///
+/// Beyond the paper's write metric, the read path records where each
+/// lookup was answered: a physical block read, a buffer-cache hit, or a
+/// Bloom-filter negative that skipped the block entirely. Benches report
+/// these to break down read cost; none of them affect write counts.
 class IoStats {
  public:
   void RecordWrite() { ++block_writes_; }
@@ -19,16 +24,24 @@ class IoStats {
   void RecordCachedRead() { ++cached_reads_; }
   void RecordFree() { ++block_frees_; }
   void RecordAllocate() { ++block_allocs_; }
+  void RecordCacheHit() { ++cache_hits_; }
+  void RecordCacheMiss() { ++cache_misses_; }
+  void RecordBloomSkip() { ++bloom_skips_; }
 
   uint64_t block_writes() const { return block_writes_; }
   uint64_t block_reads() const { return block_reads_; }
   uint64_t cached_reads() const { return cached_reads_; }
   uint64_t block_frees() const { return block_frees_; }
   uint64_t block_allocs() const { return block_allocs_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t bloom_skips() const { return bloom_skips_; }
 
   void Reset();
 
-  /// "writes=... reads=... cached_reads=... allocs=... frees=..."
+  /// "writes=... reads=... cached_reads=... allocs=... frees=..." plus
+  /// "cache_hits=... cache_misses=... bloom_skips=..." when any is
+  /// non-zero (devices without a cache keep the paper-era format).
   std::string ToString() const;
 
  private:
@@ -37,6 +50,9 @@ class IoStats {
   uint64_t cached_reads_ = 0;
   uint64_t block_frees_ = 0;
   uint64_t block_allocs_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t bloom_skips_ = 0;
 };
 
 }  // namespace lsmssd

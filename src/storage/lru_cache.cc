@@ -20,15 +20,18 @@ std::shared_ptr<const BlockData> LruCache::Get(BlockId id) {
 }
 
 void LruCache::Put(BlockId id, BlockData data) {
+  Put(id, std::make_shared<const BlockData>(std::move(data)));
+}
+
+void LruCache::Put(BlockId id, std::shared_ptr<const BlockData> data) {
   if (capacity_ == 0) return;
   auto it = map_.find(id);
   if (it != map_.end()) {
-    it->second->data = std::make_shared<const BlockData>(std::move(data));
+    it->second->data = std::move(data);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{id, std::make_shared<const BlockData>(std::move(data)),
-                        /*pinned=*/false});
+  lru_.push_front(Entry{id, std::move(data), /*pinned=*/false});
   map_.emplace(id, lru_.begin());
   EvictIfNeeded();
 }
@@ -96,16 +99,28 @@ StatusOr<BlockId> CachedBlockDevice::WriteNewBlock(const BlockData& data) {
 }
 
 Status CachedBlockDevice::ReadBlock(BlockId id, BlockData* out) {
-  if (auto cached = cache_.Get(id)) {
-    *out = *cached;
-    stats_.RecordCachedRead();
-    base_->stats().RecordCachedRead();
-    return Status::OK();
-  }
-  LSMSSD_RETURN_IF_ERROR(base_->ReadBlock(id, out));
-  stats_.RecordRead();
-  cache_.Put(id, *out);
+  auto data_or = ReadBlockShared(id);
+  if (!data_or.ok()) return data_or.status();
+  *out = *data_or.value();
   return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const BlockData>> CachedBlockDevice::ReadBlockShared(
+    BlockId id) {
+  if (auto cached = cache_.Get(id)) {
+    stats_.RecordCachedRead();
+    stats_.RecordCacheHit();
+    base_->stats().RecordCachedRead();
+    base_->stats().RecordCacheHit();
+    return cached;
+  }
+  auto data_or = base_->ReadBlockShared(id);
+  if (!data_or.ok()) return data_or;
+  stats_.RecordRead();
+  stats_.RecordCacheMiss();
+  base_->stats().RecordCacheMiss();
+  cache_.Put(id, data_or.value());
+  return data_or;
 }
 
 Status CachedBlockDevice::FreeBlock(BlockId id) {

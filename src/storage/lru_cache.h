@@ -33,6 +33,10 @@ class LruCache {
   /// insert is skipped (cache stays consistent, caller unaffected).
   void Put(BlockId id, BlockData data);
 
+  /// Same, but adopts an already-shared block image without copying it
+  /// (the zero-copy read path inserts device images directly).
+  void Put(BlockId id, std::shared_ptr<const BlockData> data);
+
   /// Drops `id` if present (pinned or not). Called when a block is freed.
   void Erase(BlockId id);
 
@@ -79,6 +83,11 @@ class CachedBlockDevice : public BlockDevice {
   size_t block_size() const override { return base_->block_size(); }
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
+  /// Zero-copy: a hit returns the cached image itself; a miss forwards to
+  /// the base device's shared read and caches the resulting image, so the
+  /// cache and every outstanding reader share one allocation per block.
+  StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
+      BlockId id) override;
   Status FreeBlock(BlockId id) override;
   uint64_t live_blocks() const override { return base_->live_blocks(); }
 

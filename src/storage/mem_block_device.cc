@@ -17,7 +17,7 @@ StatusOr<BlockId> MemBlockDevice::WriteNewBlock(const BlockData& data) {
   BlockData stored = data;
   stored.resize(block_size_, 0);
   const BlockId id = next_id_++;
-  blocks_.emplace(id, std::move(stored));
+  blocks_.emplace(id, std::make_shared<const BlockData>(std::move(stored)));
   stats_.RecordAllocate();
   stats_.RecordWrite();
   return id;
@@ -28,9 +28,19 @@ Status MemBlockDevice::ReadBlock(BlockId id, BlockData* out) {
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
   }
-  *out = it->second;
+  *out = *it->second;
   stats_.RecordRead();
   return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const BlockData>> MemBlockDevice::ReadBlockShared(
+    BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  stats_.RecordRead();
+  return it->second;
 }
 
 std::unique_ptr<MemBlockDevice> MemBlockDevice::Clone() const {

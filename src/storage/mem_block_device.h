@@ -24,6 +24,11 @@ class MemBlockDevice : public BlockDevice {
   size_t block_size() const override { return block_size_; }
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
+  /// Zero-copy: hands out the resident block image. Freeing the block
+  /// later only drops the device's reference; outstanding readers keep
+  /// the data alive (blocks are immutable once written).
+  StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
+      BlockId id) override;
   Status FreeBlock(BlockId id) override;
   uint64_t live_blocks() const override { return blocks_.size(); }
 
@@ -38,7 +43,9 @@ class MemBlockDevice : public BlockDevice {
  private:
   size_t block_size_;
   BlockId next_id_ = 1;  // 0 is never handed out; eases debugging.
-  std::unordered_map<BlockId, BlockData> blocks_;
+  // Shared so ReadBlockShared serves the image without copying; blocks
+  // are never mutated after WriteNewBlock.
+  std::unordered_map<BlockId, std::shared_ptr<const BlockData>> blocks_;
 };
 
 }  // namespace lsmssd

@@ -16,23 +16,28 @@ uint64_t HashKey(Key key) {
 }
 }  // namespace
 
-BloomFilter::BloomFilter(const std::vector<Key>& keys, size_t bits_per_key) {
+BloomFilter::BloomFilter(size_t expected_keys, size_t bits_per_key) {
   LSMSSD_CHECK_GE(bits_per_key, 1u);
   // k = m/n * ln 2, clamped to a sane range.
   num_probes_ = std::clamp<size_t>(
       static_cast<size_t>(static_cast<double>(bits_per_key) * 0.69), 1, 30);
-  size_t bits = std::max<size_t>(keys.size() * bits_per_key, 64);
+  const size_t bits = std::max<size_t>(expected_keys * bits_per_key, 64);
   bits_.assign((bits + 7) / 8, 0);
-  bits = bits_.size() * 8;
+}
 
-  for (Key key : keys) {
-    uint64_t h = HashKey(key);
-    const uint64_t delta = (h >> 17) | (h << 47);  // Second hash.
-    for (size_t i = 0; i < num_probes_; ++i) {
-      const uint64_t bit = h % bits;
-      bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
-      h += delta;
-    }
+BloomFilter::BloomFilter(const std::vector<Key>& keys, size_t bits_per_key)
+    : BloomFilter(keys.size(), bits_per_key) {
+  for (Key key : keys) AddKey(key);
+}
+
+void BloomFilter::AddKey(Key key) {
+  const uint64_t bits = bits_.size() * 8;
+  uint64_t h = HashKey(key);
+  const uint64_t delta = (h >> 17) | (h << 47);  // Second hash.
+  for (size_t i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = h % bits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    h += delta;
   }
 }
 

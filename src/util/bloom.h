@@ -16,10 +16,21 @@ namespace lsmssd {
 /// lookups skip the block read entirely.
 class BloomFilter {
  public:
-  /// Builds a filter for `keys` with `bits_per_key` bits per key (>= 1;
-  /// ~10 gives a ~1% false-positive rate). The number of probes is derived
-  /// as bits_per_key * ln 2.
+  /// Sizes a filter for `expected_keys` keys at `bits_per_key` bits per
+  /// key (>= 1; ~10 gives a ~1% false-positive rate) with no keys added
+  /// yet. The number of probes is derived as bits_per_key * ln 2. Add
+  /// keys incrementally with AddKey — the construction path for block
+  /// builders, which know their key count but should not have to gather
+  /// the keys into a temporary vector.
+  BloomFilter(size_t expected_keys, size_t bits_per_key);
+
+  /// Convenience: sizes for keys.size() and adds them all.
   BloomFilter(const std::vector<Key>& keys, size_t bits_per_key);
+
+  /// Inserts one key. Adding more than `expected_keys` keys keeps the
+  /// filter correct (no false negatives) but raises the false-positive
+  /// rate.
+  void AddKey(Key key);
 
   /// False means definitely absent; true means possibly present.
   bool MayContain(Key key) const;

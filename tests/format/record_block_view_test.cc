@@ -1,0 +1,184 @@
+#include "src/format/record_block_view.h"
+
+#include <gtest/gtest.h>
+
+#include "src/format/record_block.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+
+std::string Payload(const Options& o, char c) {
+  return std::string(o.payload_size, c);
+}
+
+TEST(RecordBlockViewTest, RoundTripMatchesDecode) {
+  const Options o = TinyOptions();
+  const std::vector<Record> records = {
+      Record::Put(1, Payload(o, 'a')),
+      Record::Tombstone(5),
+      Record::Put(9, Payload(o, 'b')),
+  };
+  const BlockData data = EncodeRecordBlock(o, records);
+
+  auto view_or = RecordBlockView::Parse(o, data);
+  ASSERT_TRUE(view_or.ok()) << view_or.status().ToString();
+  const RecordBlockView& view = view_or.value();
+
+  ASSERT_EQ(view.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(view.key_at(i), records[i].key);
+    EXPECT_EQ(view.type_at(i), records[i].type);
+    EXPECT_EQ(view.is_tombstone_at(i), records[i].is_tombstone());
+    EXPECT_EQ(view.record_at(i), records[i]);
+  }
+  EXPECT_EQ(view.min_key(), 1u);
+  EXPECT_EQ(view.max_key(), 9u);
+
+  // Materialize() reproduces the decode path exactly.
+  auto decoded_or = DecodeRecordBlock(o, data);
+  ASSERT_TRUE(decoded_or.ok());
+  EXPECT_EQ(view.Materialize(), decoded_or.value());
+}
+
+TEST(RecordBlockViewTest, PayloadViewsAddressTheBlockInPlace) {
+  const Options o = TinyOptions();
+  const BlockData data =
+      EncodeRecordBlock(o, {Record::Put(3, Payload(o, 'q'))});
+  auto view_or = RecordBlockView::Parse(o, data);
+  ASSERT_TRUE(view_or.ok());
+  const std::string_view payload = view_or.value().payload_at(0);
+  EXPECT_EQ(payload, Payload(o, 'q'));
+  // Zero-copy: the view points into the encoded image itself.
+  const auto* begin = reinterpret_cast<const char*>(data.data());
+  EXPECT_GE(payload.data(), begin);
+  EXPECT_LE(payload.data() + payload.size(), begin + data.size());
+}
+
+TEST(RecordBlockViewTest, TombstonePayloadIsEmpty) {
+  const Options o = TinyOptions();
+  const BlockData data = EncodeRecordBlock(o, {Record::Tombstone(7)});
+  auto view_or = RecordBlockView::Parse(o, data);
+  ASSERT_TRUE(view_or.ok());
+  EXPECT_TRUE(view_or.value().is_tombstone_at(0));
+  EXPECT_TRUE(view_or.value().payload_at(0).empty());
+  EXPECT_EQ(view_or.value().record_at(0), Record::Tombstone(7));
+}
+
+TEST(RecordBlockViewTest, EmptyBlock) {
+  const Options o = TinyOptions();
+  const BlockData data = EncodeRecordBlock(o, {});
+  auto view_or = RecordBlockView::Parse(o, data);
+  ASSERT_TRUE(view_or.ok());
+  const RecordBlockView& view = view_or.value();
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.LowerBound(0), 0u);
+  size_t slot;
+  EXPECT_FALSE(view.Find(42, &slot));
+  EXPECT_TRUE(view.Materialize().empty());
+}
+
+TEST(RecordBlockViewTest, PartialAndFullBlocks) {
+  const Options o = TinyOptions();
+  for (size_t n : {size_t{1}, o.records_per_block() / 2,
+                   o.records_per_block()}) {
+    std::vector<Record> records;
+    for (size_t i = 0; i < n; ++i) {
+      records.push_back(Record::Put(Key{10} * (i + 1), Payload(o, 'x')));
+    }
+    const BlockData data = EncodeRecordBlock(o, records);  // Outlives view.
+    auto view_or = RecordBlockView::Parse(o, data);
+    ASSERT_TRUE(view_or.ok()) << "n=" << n;
+    EXPECT_EQ(view_or.value().size(), n);
+    EXPECT_EQ(view_or.value().Materialize(), records);
+  }
+}
+
+TEST(RecordBlockViewTest, BinarySearchFindsEveryKeyAndOnlyThose) {
+  const Options o = TinyOptions();
+  std::vector<Record> records;
+  for (size_t i = 0; i < o.records_per_block(); ++i) {
+    records.push_back(Record::Put(Key{3} * i + 2, Payload(o, 'x')));
+  }
+  const BlockData data = EncodeRecordBlock(o, records);  // Outlives view.
+  auto view_or = RecordBlockView::Parse(o, data);
+  ASSERT_TRUE(view_or.ok());
+  const RecordBlockView& view = view_or.value();
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    size_t slot = ~size_t{0};
+    ASSERT_TRUE(view.Find(records[i].key, &slot));
+    EXPECT_EQ(slot, i);
+    EXPECT_EQ(view.LowerBound(records[i].key), i);
+  }
+  // Absent keys: Find fails, LowerBound lands on the next larger slot.
+  size_t slot;
+  EXPECT_FALSE(view.Find(0, &slot));
+  EXPECT_EQ(view.LowerBound(0), 0u);
+  EXPECT_FALSE(view.Find(3, &slot));  // Between keys 2 and 5.
+  EXPECT_EQ(view.LowerBound(3), 1u);
+  EXPECT_FALSE(view.Find(view.max_key() + 1, &slot));
+  EXPECT_EQ(view.LowerBound(view.max_key() + 1), view.size());
+}
+
+TEST(RecordBlockViewTest, RejectsTruncatedHeader) {
+  const Options o = TinyOptions();
+  const BlockData data{1, 2};
+  EXPECT_TRUE(RecordBlockView::Parse(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockViewTest, RejectsRecordSizeMismatch) {
+  Options writer = TinyOptions();
+  Options reader = TinyOptions();
+  reader.payload_size = writer.payload_size + 4;
+  const BlockData data =
+      EncodeRecordBlock(writer, {Record::Put(1, Payload(writer, 'a'))});
+  EXPECT_TRUE(RecordBlockView::Parse(reader, data).status().IsCorruption());
+}
+
+TEST(RecordBlockViewTest, RejectsCorruptType) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(o, {Record::Put(1, Payload(o, 'a'))});
+  data[4] = 0x77;  // First record's type byte.
+  EXPECT_TRUE(RecordBlockView::Parse(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockViewTest, RejectsOutOfOrderKeys) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(
+      o, {Record::Put(5, Payload(o, 'a')), Record::Put(9, Payload(o, 'b'))});
+  const size_t r0_key = 4 + 1;
+  const size_t r1_key = 4 + o.record_size() + 1;
+  for (size_t i = 0; i < o.key_size; ++i) {
+    std::swap(data[r0_key + i], data[r1_key + i]);
+  }
+  EXPECT_TRUE(RecordBlockView::Parse(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockViewTest, RejectsDuplicateKeys) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(
+      o, {Record::Put(5, Payload(o, 'a')), Record::Put(9, Payload(o, 'b'))});
+  // Overwrite the second key with a copy of the first: order check is
+  // strict, equal adjacent keys are corruption too.
+  const size_t r0_key = 4 + 1;
+  const size_t r1_key = 4 + o.record_size() + 1;
+  for (size_t i = 0; i < o.key_size; ++i) {
+    data[r1_key + i] = data[r0_key + i];
+  }
+  EXPECT_TRUE(RecordBlockView::Parse(o, data).status().IsCorruption());
+}
+
+TEST(RecordBlockViewTest, RejectsOverflowingCount) {
+  const Options o = TinyOptions();
+  BlockData data = EncodeRecordBlock(o, {Record::Put(1, Payload(o, 'a'))});
+  data[0] = 0xff;  // Claim 255 records.
+  data[1] = 0x00;
+  EXPECT_TRUE(RecordBlockView::Parse(o, data).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lsmssd

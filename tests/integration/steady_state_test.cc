@@ -18,9 +18,12 @@ using testing::TreeFixture;
 /// Grows a tree to `records`, reaches the steady state, then measures
 /// blocks written per MB over `window_records` requests.
 double MeasureSteadyCost(PolicyKind kind, bool preserve, uint64_t records,
-                         uint64_t window_records, uint64_t seed) {
+                         uint64_t window_records, uint64_t seed,
+                         size_t cache_blocks = 0,
+                         uint64_t* device_writes = nullptr) {
   Options options = TinyOptions();
   options.preserve_blocks = preserve;
+  options.cache_blocks = cache_blocks;
   TreeFixture fx(options, kind);
   UniformWorkload::Params wp;
   wp.key_max = 100'000'000;
@@ -32,7 +35,26 @@ double MeasureSteadyCost(PolicyKind kind, bool preserve, uint64_t records,
   auto metrics = driver.MeasureWindow(window_records * options.record_size());
   LSMSSD_CHECK(metrics.ok());
   LSMSSD_CHECK(fx.tree->CheckInvariants(true).ok());
+  if (device_writes != nullptr) {
+    *device_writes = fx.device.stats().block_writes();
+  }
   return metrics->BlocksPerMb();
+}
+
+TEST(SteadyStateTest, BufferCacheLeavesWriteCountsUnchanged) {
+  // The buffer cache is read-side only: an identical workload run with
+  // cache_blocks on and off must reach the exact same device write count
+  // and measured write cost (the paper's metric is never absorbed).
+  uint64_t writes_without = 0;
+  uint64_t writes_with = 0;
+  const double cost_without =
+      MeasureSteadyCost(PolicyKind::kChooseBest, true, 600, 20000, 131,
+                        /*cache_blocks=*/0, &writes_without);
+  const double cost_with =
+      MeasureSteadyCost(PolicyKind::kChooseBest, true, 600, 20000, 131,
+                        /*cache_blocks=*/256, &writes_with);
+  EXPECT_EQ(writes_with, writes_without);
+  EXPECT_EQ(cost_with, cost_without);
 }
 
 TEST(SteadyStateTest, ChooseBestBeatsFullOnUniform) {

@@ -2,7 +2,7 @@
 //
 //   lsmssd_cli run   [--workload=uniform|normal|tpc] [--policy=ChooseBest]
 //                    [--size-mb=1.5] [--requests-mb=2] [--preserve=1]
-//                    [--bloom=0] [--trace-in=FILE]
+//                    [--bloom=0] [--cache-blocks=0] [--trace-in=FILE]
 //       Grow an index to the target size, reach the steady state, run a
 //       measurement window, and print the paper's metrics.
 //
@@ -81,6 +81,10 @@ int CmdRun(const Flags& flags) {
   Options options = BenchOptions();
   options.bloom_bits_per_key =
       std::strtoull(FlagOr(flags, "bloom", "0").c_str(), nullptr, 10);
+  // Buffer cache in blocks (0 = off). Caching never changes write counts;
+  // hits/misses show up in the device stats line.
+  options.cache_blocks =
+      std::strtoull(FlagOr(flags, "cache-blocks", "0").c_str(), nullptr, 10);
   PolicySpec policy{policy_name, kind,
                     FlagOr(flags, "preserve", "1") != "0"};
 
