@@ -1,0 +1,409 @@
+#include "src/db/db.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/lsm/manifest.h"
+#include "src/storage/fault_injection_wal_file.h"
+#include "src/util/logging.h"
+
+// Like LSMSSD_RETURN_IF_ERROR, but a durability error also poisons the
+// instance (see Db::Fail): once a WAL/tree/checkpoint step failed
+// mid-operation, the in-memory state may be ahead of or behind the log,
+// and only a reopen-recovery is trustworthy.
+#define LSMSSD_RETURN_IF_ERROR_FAIL(expr)           \
+  do {                                              \
+    ::lsmssd::Status _st = (expr);                  \
+    if (!_st.ok()) return Fail(std::move(_st));     \
+  } while (false)
+
+namespace lsmssd {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+uint64_t FileSizeOrZero(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// fsyncs `dir` itself so a rename inside it is durable.
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir " + dir);
+  return Status::OK();
+}
+
+/// Writes `data` (or its first `limit` bytes) to a fresh `path`,
+/// fsyncing when `sync` is set.
+Status WriteFile(const std::string& path, std::string_view data,
+                 bool sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write " + path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync " + path);
+  }
+  if (::close(fd) != 0) return Errno("close " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Db::ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+std::string Db::ManifestTmpPath(const std::string& dir) {
+  return dir + "/MANIFEST.tmp";
+}
+std::string Db::DevicePath(const std::string& dir) {
+  return dir + "/blocks.dev";
+}
+std::string Db::WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+Db::Db(DbOptions dbopts, std::string dir)
+    : dbopts_(std::move(dbopts)), dir_(std::move(dir)) {}
+
+StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
+                                       const std::string& dir) {
+  LSMSSD_RETURN_IF_ERROR(dbopts.options.Validate());
+  if (dbopts.options.annihilate_delete_put) {
+    return Status::InvalidArgument(
+        "Db is incompatible with annihilate_delete_put: WAL recovery "
+        "re-applies a tail of the history, which eager tombstone+insert "
+        "annihilation cannot tolerate");
+  }
+  if (dbopts.wal_sync_mode == WalSyncMode::kEveryN &&
+      dbopts.wal_sync_every_n == 0) {
+    return Status::InvalidArgument("wal_sync_every_n must be > 0");
+  }
+
+  // The directory.
+  struct ::stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    if (!dbopts.create_if_missing) {
+      return Status::NotFound("no Db at " + dir +
+                              " (create_if_missing is off)");
+    }
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir " + dir);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+
+  const std::string manifest_path = ManifestPath(dir);
+  const bool have_manifest = FileExists(manifest_path);
+  if (dbopts.error_if_exists && have_manifest) {
+    return Status::FailedPrecondition("Db already exists at " + dir);
+  }
+  // A leftover MANIFEST.tmp is a checkpoint that crashed before its
+  // rename; the previous MANIFEST is still the durable truth.
+  (void)::unlink(ManifestTmpPath(dir).c_str());
+
+  std::unique_ptr<Db> db(new Db(dbopts, dir));
+
+  // Checkpoint (if any) -> device -> tree.
+  Manifest manifest;
+  std::vector<BlockId> manifest_blocks;
+  if (have_manifest) {
+    auto manifest_or = LoadManifestFromFile(manifest_path);
+    if (!manifest_or.ok()) return manifest_or.status();
+    manifest = std::move(manifest_or).value();
+    // Stored format fields are authoritative; runtime-only knobs follow
+    // the caller.
+    manifest.options.cache_blocks = dbopts.options.cache_blocks;
+    manifest.options.bloom_bits_per_key = dbopts.options.bloom_bits_per_key;
+    for (const auto& level : manifest.levels) {
+      for (const LeafMeta& leaf : level) manifest_blocks.push_back(leaf.block);
+    }
+  }
+
+  FileBlockDevice::FileOptions fopts;
+  fopts.block_size =
+      have_manifest ? manifest.options.block_size : dbopts.options.block_size;
+  fopts.remove_on_close = false;
+  // Without a manifest no block is referenced by any durable state, so a
+  // pre-existing device file (crash before the first checkpoint) is
+  // starting-over garbage.
+  fopts.truncate = !have_manifest;
+  auto device_or = FileBlockDevice::Open(DevicePath(dir), fopts);
+  if (!device_or.ok()) return device_or.status();
+  db->device_ = std::move(device_or).value();
+  if (have_manifest) {
+    LSMSSD_RETURN_IF_ERROR(db->device_->RestoreLive(manifest_blocks));
+  }
+
+  BlockDevice* dev = db->device_.get();
+  if (dbopts.fault_injector != nullptr) {
+    db->fault_device_ = std::make_unique<FaultInjectionBlockDevice>(
+        dev, dbopts.fault_injector);
+    dev = db->fault_device_.get();
+  }
+  db->pinned_ = std::make_unique<PinnedBlockDevice>(dev, manifest_blocks);
+  db->recovery_manifest_blocks_ = manifest_blocks.size();
+
+  auto policy = CreatePolicy(dbopts.policy, dbopts.mixed_params);
+  auto tree_or =
+      have_manifest
+          ? LsmTree::Restore(manifest, db->pinned_.get(), std::move(policy))
+          : LsmTree::Open(dbopts.options, db->pinned_.get(),
+                          std::move(policy));
+  if (!tree_or.ok()) return tree_or.status();
+  db->tree_ = std::move(tree_or).value();
+
+  // Replay the WAL tail on top of the checkpoint. Blind-write semantics
+  // make this safe even when the manifest already includes a prefix of
+  // the tail (crash between manifest rename and WAL truncate).
+  const std::string wal_path = WalPath(dir);
+  size_t wal_valid_bytes = 0;
+  auto replay_or = WalReader::ReadAll(wal_path, &wal_valid_bytes);
+  if (!replay_or.ok()) return replay_or.status();
+  for (const Record& r : replay_or.value()) {
+    Status st = r.is_tombstone() ? db->tree_->Delete(r.key)
+                                 : db->tree_->Put(r.key, r.payload);
+    if (!st.ok()) {
+      // A checksummed entry the tree rejects means the log lied about
+      // its own contents.
+      if (st.IsInvalidArgument()) {
+        return Status::Corruption("WAL replay: " + st.message());
+      }
+      return st;
+    }
+    ++db->recovery_replayed_;
+  }
+
+  // The log's intact prefix stays (a crash before the next checkpoint
+  // must replay it again), but a torn tail is cut off *before* new
+  // appends — an entry written behind a tear would be unreachable on the
+  // next replay.
+  if (FileSizeOrZero(wal_path) > wal_valid_bytes) {
+    if (::truncate(wal_path.c_str(), static_cast<off_t>(wal_valid_bytes)) !=
+        0) {
+      return Errno("truncate torn WAL tail " + wal_path);
+    }
+  }
+  if (dbopts.fault_injector != nullptr) {
+    auto base_or = PosixWalFile::Open(wal_path);
+    if (!base_or.ok()) return base_or.status();
+    db->wal_ = WalWriter::Wrap(std::make_unique<FaultInjectionWalFile>(
+        std::move(base_or).value(), dbopts.fault_injector));
+  } else {
+    auto wal_or = WalWriter::Open(wal_path);
+    if (!wal_or.ok()) return wal_or.status();
+    db->wal_ = std::move(wal_or).value();
+  }
+  db->wal_recovered_bytes_ = wal_valid_bytes;
+  return db;
+}
+
+Db::~Db() {
+  if (!failed_ && wal_ != nullptr) (void)wal_->Sync();
+}
+
+Status Db::Fail(Status st) {
+  LSMSSD_CHECK(!st.ok());
+  failed_ = true;
+  return st;
+}
+
+uint64_t Db::WalLiveBytes() const {
+  return wal_recovered_bytes_ +
+         (wal_->bytes_appended() - bytes_at_last_truncate_);
+}
+
+Status Db::Put(Key key, std::string_view payload) {
+  return Apply(Record::Put(key, std::string(payload)));
+}
+
+Status Db::Delete(Key key) { return Apply(Record::Tombstone(key)); }
+
+Status Db::Apply(const Record& record) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "db failed after a durability error; reopen to recover");
+  }
+  // Validate before logging: the WAL must never carry an entry the tree
+  // would reject on replay.
+  const Options& options = tree_->options();
+  if (!record.is_tombstone() &&
+      record.payload.size() != options.payload_size) {
+    return Status::InvalidArgument("payload must be exactly payload_size");
+  }
+  if (record.key > MaxKeyForSize(options.key_size)) {
+    return Status::InvalidArgument("key does not fit in key_size bytes");
+  }
+
+  LSMSSD_RETURN_IF_ERROR_FAIL(wal_->Append(record));
+
+  const bool need_sync =
+      dbopts_.wal_sync_mode == WalSyncMode::kAlways ||
+      (dbopts_.wal_sync_mode == WalSyncMode::kEveryN &&
+       wal_->entries_appended() - entries_synced_ >=
+           dbopts_.wal_sync_every_n);
+  if (need_sync) {
+    LSMSSD_RETURN_IF_ERROR_FAIL(wal_->Sync());
+    ++wal_syncs_;
+    entries_synced_ = wal_->entries_appended();
+  }
+
+  LSMSSD_RETURN_IF_ERROR_FAIL(record.is_tombstone()
+                                  ? tree_->Delete(record.key)
+                                  : tree_->Put(record.key, record.payload));
+
+  if (dbopts_.checkpoint_wal_bytes > 0 &&
+      WalLiveBytes() >= dbopts_.checkpoint_wal_bytes) {
+    LSMSSD_RETURN_IF_ERROR_FAIL(CheckpointInternal());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Db::Get(Key key) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "db failed after a durability error; reopen to recover");
+  }
+  return tree_->Get(key);
+}
+
+Status Db::Scan(Key lo, Key hi,
+                std::vector<std::pair<Key, std::string>>* out) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "db failed after a durability error; reopen to recover");
+  }
+  return tree_->Scan(lo, hi, out);
+}
+
+std::unique_ptr<Iterator> Db::NewIterator() const {
+  if (failed_) return nullptr;
+  return tree_->NewIterator();
+}
+
+Status Db::SyncWal() {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "db failed after a durability error; reopen to recover");
+  }
+  LSMSSD_RETURN_IF_ERROR_FAIL(wal_->Sync());
+  ++wal_syncs_;
+  entries_synced_ = wal_->entries_appended();
+  return Status::OK();
+}
+
+Status Db::Checkpoint() {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "db failed after a durability error; reopen to recover");
+  }
+  LSMSSD_RETURN_IF_ERROR_FAIL(CheckpointInternal());
+  return Status::OK();
+}
+
+Status Db::CheckpointInternal() {
+  // 1. Every block the manifest will reference must be durable first.
+  LSMSSD_RETURN_IF_ERROR(pinned_->Flush());
+  // 2. Publish the manifest atomically.
+  LSMSSD_RETURN_IF_ERROR(WriteManifestAtomically(EncodeManifest(*tree_)));
+  ++checkpoints_;
+  // Everything appended so far is now durable via the manifest.
+  entries_synced_ = wal_->entries_appended();
+  // 3. The WAL's entries are all included in the manifest; empty it. (A
+  //    crash between 2 and 3 double-replays them — safe, blind writes.)
+  LSMSSD_RETURN_IF_ERROR(wal_->Truncate());
+  wal_recovered_bytes_ = 0;
+  bytes_at_last_truncate_ = wal_->bytes_appended();
+  // 4. Blocks only the *previous* manifest referenced may now recycle.
+  LSMSSD_RETURN_IF_ERROR(pinned_->Commit(CurrentTreeBlocks()));
+  return Status::OK();
+}
+
+Status Db::WriteManifestAtomically(const std::string& data) {
+  const std::string tmp = ManifestTmpPath(dir_);
+  const std::string path = ManifestPath(dir_);
+  FaultInjector* injector = dbopts_.fault_injector;
+  if (injector != nullptr && injector->Step()) {
+    // Crash mid-write: a torn tmp file, never renamed, ignored (and
+    // deleted) by the next Open.
+    (void)WriteFile(tmp, std::string_view(data).substr(0, data.size() / 2),
+                    /*sync=*/false);
+    return Status::IoError("injected fault: torn manifest tmp write");
+  }
+  LSMSSD_RETURN_IF_ERROR(WriteFile(tmp, data, /*sync=*/true));
+  if (injector != nullptr && injector->Step()) {
+    return Status::IoError("injected fault: crash before manifest rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return Errno("rename " + tmp + " -> " + path);
+  }
+  return SyncDir(dir_);
+}
+
+std::vector<BlockId> Db::CurrentTreeBlocks() const {
+  std::vector<BlockId> blocks;
+  for (size_t i = 1; i < tree_->num_levels(); ++i) {
+    for (const LeafMeta& leaf : tree_->level(i).leaves()) {
+      blocks.push_back(leaf.block);
+    }
+  }
+  return blocks;
+}
+
+DbStats Db::Stats() const {
+  DbStats s;
+  // The tree's device view carries the complete logical account: block
+  // writes/reads/allocs/frees plus cache_hits/misses and bloom_skips
+  // (mirrored by CachedBlockDevice / recorded by Level::Lookup).
+  s.io = tree_->device()->stats();
+  s.wal_entries_appended = wal_->entries_appended();
+  s.wal_bytes_appended = wal_->bytes_appended();
+  s.wal_syncs = wal_syncs_;
+  s.checkpoints = checkpoints_;
+  s.recovery_wal_entries_replayed = recovery_replayed_;
+  s.recovery_manifest_blocks = recovery_manifest_blocks_;
+  s.deferred_frees = pinned_->deferred_frees();
+  return s;
+}
+
+std::string DbStats::ToString() const {
+  std::string out = "io: " + io.ToString() + "\n";
+  out += "wal: entries=" + std::to_string(wal_entries_appended) +
+         " bytes=" + std::to_string(wal_bytes_appended) +
+         " syncs=" + std::to_string(wal_syncs) + "\n";
+  out += "checkpoints: " + std::to_string(checkpoints) +
+         " (deferred frees pending: " + std::to_string(deferred_frees) +
+         ")\n";
+  out += "recovery: manifest_blocks=" +
+         std::to_string(recovery_manifest_blocks) +
+         " wal_entries_replayed=" +
+         std::to_string(recovery_wal_entries_replayed) + "\n";
+  return out;
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,201 @@
+#ifndef LSMSSD_DB_DB_H_
+#define LSMSSD_DB_DB_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/db/pinned_block_device.h"
+#include "src/format/options.h"
+#include "src/lsm/iterator.h"
+#include "src/lsm/lsm_tree.h"
+#include "src/lsm/wal.h"
+#include "src/policy/policy_factory.h"
+#include "src/storage/fault_injection.h"
+#include "src/storage/fault_injection_block_device.h"
+#include "src/storage/file_block_device.h"
+#include "src/storage/io_stats.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// When WAL appends are fsynced. An acknowledged modification is
+/// *guaranteed* to survive a crash only once a sync (or a checkpoint)
+/// covering it has succeeded; a crash never leaves a modification
+/// partially visible under any mode.
+enum class WalSyncMode {
+  kNone,    ///< Sync only at checkpoint/close. Fastest; crash may lose
+            ///< the acked tail (never tear it).
+  kEveryN,  ///< Group commit: sync every DbOptions::wal_sync_every_n
+            ///< appends.
+  kAlways,  ///< Sync before acknowledging every modification.
+};
+
+/// Configuration of a durable Db instance.
+struct DbOptions {
+  /// Tree/format options. When opening an existing Db, the format fields
+  /// stored in its manifest are authoritative; only the runtime-only
+  /// fields (cache_blocks, bloom_bits_per_key) are taken from here.
+  Options options;
+
+  /// Merge policy driving the tree (and its Mixed parameters, when the
+  /// policy is kMixed).
+  PolicyKind policy = PolicyKind::kChooseBest;
+  MixedParams mixed_params;
+
+  WalSyncMode wal_sync_mode = WalSyncMode::kAlways;
+  uint64_t wal_sync_every_n = 64;  ///< Used by kEveryN only; must be > 0.
+
+  /// Automatic checkpoint threshold: when the WAL exceeds this many
+  /// bytes, the modification that crossed the line triggers a checkpoint
+  /// before returning. 0 disables automatic checkpoints (call
+  /// Db::Checkpoint() manually).
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+
+  bool create_if_missing = true;  ///< Open fails on a missing dir if false.
+  bool error_if_exists = false;   ///< Open fails on an existing Db if true.
+
+  /// Test seam: when set, every durable step (block write/flush, WAL
+  /// append/sync/truncate, manifest write/rename) consults this
+  /// injector, and a tripped injector kills the instance mid-step —
+  /// the crash-point sweep in tests/integration/crash_sweep_test.cc
+  /// drives recovery through every such point. Must outlive the Db.
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// Counters surfaced by Db::Stats().
+struct DbStats {
+  IoStats io;  ///< Physical device accounting (incl. cache/bloom counters).
+  uint64_t wal_entries_appended = 0;  ///< Since this Db was opened.
+  uint64_t wal_bytes_appended = 0;    ///< Framed bytes, since open.
+  uint64_t wal_syncs = 0;             ///< Successful explicit WAL fsyncs.
+  uint64_t checkpoints = 0;           ///< Checkpoints taken since open.
+  uint64_t recovery_wal_entries_replayed = 0;  ///< Replayed during Open.
+  uint64_t recovery_manifest_blocks = 0;  ///< Blocks restored from manifest.
+  uint64_t deferred_frees = 0;  ///< Blocks pinned for recovery, free deferred.
+
+  /// Multi-line human-readable summary (CLI stats line).
+  std::string ToString() const;
+};
+
+/// Single-entry-point durable engine: a directory owning a
+/// FileBlockDevice (`blocks.dev`), a write-ahead log (`wal.log`), a
+/// checkpoint (`MANIFEST`), and the LsmTree wired over them. This is the
+/// documented way into the library for applications; LsmTree stays the
+/// policy-research core underneath.
+///
+/// Lifecycle:
+///   * Db::Open creates the directory or auto-recovers an existing one:
+///     load MANIFEST -> LsmTree::Restore -> replay the WAL tail
+///     (tolerating a torn final entry).
+///   * Every Put/Delete is WAL-appended *before* it is applied, then
+///     fsynced per WalSyncMode.
+///   * When the WAL exceeds DbOptions::checkpoint_wal_bytes, the Db
+///     checkpoints automatically: flush the block device, write the
+///     manifest to MANIFEST.tmp, fsync, atomically rename over MANIFEST,
+///     fsync the directory, truncate the WAL, and recycle block slots
+///     whose free had been deferred (see PinnedBlockDevice).
+///
+/// After any durability error (including injected faults) the instance
+/// enters a failed state and refuses further operations; reopening the
+/// directory recovers the last consistent state.
+///
+/// Single-threaded, like the tree (the paper scopes concurrency out).
+class Db {
+ public:
+  /// Opens or creates the Db rooted at directory `dir` (see class
+  /// comment). `dbopts.options` must validate; annihilate_delete_put is
+  /// rejected because WAL replay re-applies a tail of the history, which
+  /// eager tombstone+insert annihilation cannot tolerate.
+  static StatusOr<std::unique_ptr<Db>> Open(const DbOptions& dbopts,
+                                            const std::string& dir);
+
+  /// Best-effort final WAL sync (unless the instance failed), then
+  /// closes everything. No checkpoint — reopening replays the WAL.
+  ~Db();
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  // ---- Modifications (WAL-appended before apply) ---------------------
+
+  /// Inserts or blind-updates `key`. `payload` must be exactly
+  /// payload_size bytes.
+  Status Put(Key key, std::string_view payload);
+
+  /// Deletes `key` (tombstone; the key need not exist).
+  Status Delete(Key key);
+
+  // ---- Reads ---------------------------------------------------------
+
+  StatusOr<std::string> Get(Key key);
+  Status Scan(Key lo, Key hi, std::vector<std::pair<Key, std::string>>* out);
+  /// The Db must not be modified while the iterator is in use.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  // ---- Durability ----------------------------------------------------
+
+  /// Takes a checkpoint now (manifest + WAL truncate + slot recycling).
+  Status Checkpoint();
+
+  /// fsyncs the WAL now (makes every acked modification durable without
+  /// the cost of a checkpoint).
+  Status SyncWal();
+
+  // ---- Introspection -------------------------------------------------
+
+  DbStats Stats() const;
+  const Options& options() const { return tree_->options(); }
+  const std::string& dir() const { return dir_; }
+  /// True after a durability error; all operations refuse until reopen.
+  bool failed() const { return failed_; }
+  /// The underlying tree, for research/diagnostic code. Mutating it
+  /// directly bypasses the WAL — such changes are lost on crash.
+  LsmTree* tree() { return tree_.get(); }
+
+  // Layout of a Db directory (exposed for tools/tests).
+  static std::string ManifestPath(const std::string& dir);
+  static std::string ManifestTmpPath(const std::string& dir);
+  static std::string DevicePath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+ private:
+  Db(DbOptions dbopts, std::string dir);
+
+  /// WAL-append, sync per policy, apply to the tree, maybe checkpoint.
+  Status Apply(const Record& record);
+  Status CheckpointInternal();
+  /// tmp + fsync + rename + dir-fsync, with injected crash points.
+  Status WriteManifestAtomically(const std::string& data);
+  /// Block ids referenced by the live tree (the next manifest's pin set).
+  std::vector<BlockId> CurrentTreeBlocks() const;
+  /// Marks the instance failed and passes `st` through.
+  Status Fail(Status st);
+  /// Bytes currently in the WAL (recovered tail + appends since the last
+  /// truncate); drives the auto-checkpoint threshold.
+  uint64_t WalLiveBytes() const;
+
+  DbOptions dbopts_;
+  std::string dir_;
+  std::unique_ptr<FileBlockDevice> device_;  ///< Base physical device.
+  std::unique_ptr<FaultInjectionBlockDevice> fault_device_;  ///< Optional.
+  std::unique_ptr<PinnedBlockDevice> pinned_;
+  std::unique_ptr<LsmTree> tree_;
+  std::unique_ptr<WalWriter> wal_;
+
+  bool failed_ = false;
+  uint64_t wal_syncs_ = 0;
+  uint64_t entries_synced_ = 0;   ///< wal_->entries_appended() at last sync.
+  uint64_t checkpoints_ = 0;
+  uint64_t recovery_replayed_ = 0;
+  uint64_t recovery_manifest_blocks_ = 0;
+  uint64_t wal_recovered_bytes_ = 0;     ///< WAL size found at Open.
+  uint64_t bytes_at_last_truncate_ = 0;  ///< wal_->bytes_appended() then.
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_DB_DB_H_

@@ -1,0 +1,69 @@
+#include "src/db/pinned_block_device.h"
+
+#include <string>
+
+namespace lsmssd {
+
+PinnedBlockDevice::PinnedBlockDevice(BlockDevice* base,
+                                     std::vector<BlockId> pinned)
+    : base_(base), pinned_(pinned.begin(), pinned.end()) {}
+
+StatusOr<BlockId> PinnedBlockDevice::WriteNewBlock(const BlockData& data) {
+  auto id_or = base_->WriteNewBlock(data);
+  if (id_or.ok()) {
+    stats_.RecordAllocate();
+    stats_.RecordWrite();
+  }
+  return id_or;
+}
+
+Status PinnedBlockDevice::ReadBlock(BlockId id, BlockData* out) {
+  if (deferred_.contains(id)) {
+    return Status::NotFound("block " + std::to_string(id) +
+                            " was freed (pinned for recovery only)");
+  }
+  LSMSSD_RETURN_IF_ERROR(base_->ReadBlock(id, out));
+  stats_.RecordRead();
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const BlockData>> PinnedBlockDevice::ReadBlockShared(
+    BlockId id) {
+  if (deferred_.contains(id)) {
+    return Status::NotFound("block " + std::to_string(id) +
+                            " was freed (pinned for recovery only)");
+  }
+  auto data_or = base_->ReadBlockShared(id);
+  if (data_or.ok()) stats_.RecordRead();
+  return data_or;
+}
+
+Status PinnedBlockDevice::FreeBlock(BlockId id) {
+  if (pinned_.contains(id)) {
+    if (!deferred_.insert(id).second) {
+      return Status::NotFound("double free of pinned block " +
+                              std::to_string(id));
+    }
+    // Logically freed now; the physical slot recycles at Commit().
+    stats_.RecordFree();
+    return Status::OK();
+  }
+  LSMSSD_RETURN_IF_ERROR(base_->FreeBlock(id));
+  stats_.RecordFree();
+  return Status::OK();
+}
+
+Status PinnedBlockDevice::Commit(const std::vector<BlockId>& new_pinned) {
+  Status first_error;
+  for (BlockId id : deferred_) {
+    if (Status st = base_->FreeBlock(id); !st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+  }
+  deferred_.clear();
+  pinned_.clear();
+  pinned_.insert(new_pinned.begin(), new_pinned.end());
+  return first_error;
+}
+
+}  // namespace lsmssd

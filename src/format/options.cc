@@ -1,0 +1,31 @@
+#include "src/format/options.h"
+
+#include <string>
+
+namespace lsmssd {
+
+Status Options::Validate(uint32_t device_block_size) const {
+  auto fail = [](const char* reason) {
+    return Status::InvalidArgument(std::string("bad options: ") + reason);
+  };
+  if (key_size < 1 || key_size > 8) return fail("key_size must be in 1..8");
+  if (block_size < 4 + record_size()) {
+    return fail("block_size too small for even one record");
+  }
+  if (records_per_block() < 1) return fail("records_per_block < 1");
+  if (gamma <= 1.0) return fail("gamma must exceed 1");
+  if (epsilon <= 0.0 || epsilon > 0.5) {
+    return fail("epsilon must be in (0, 0.5]");
+  }
+  if (delta <= 0.0 || delta >= 1.0) return fail("delta must be in (0,1)");
+  if (level0_capacity_blocks < 1) return fail("K0 must be >= 1 block");
+  if (device_block_size != 0 && block_size != device_block_size) {
+    return Status::InvalidArgument(
+        "options block_size " + std::to_string(block_size) +
+        " does not match device block size " +
+        std::to_string(device_block_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmssd

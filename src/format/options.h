@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/storage/block.h"
+#include "src/util/status.h"
 
 namespace lsmssd {
 
@@ -96,24 +97,12 @@ struct Options {
     return n == 0 ? 1 : n;
   }
 
-  /// Sanity-check the configuration; returns false (and a reason via
-  /// `*why` if non-null) when inconsistent.
-  bool Validate(const char** why = nullptr) const {
-    auto fail = [&](const char* reason) {
-      if (why != nullptr) *why = reason;
-      return false;
-    };
-    if (key_size < 1 || key_size > 8) return fail("key_size must be in 1..8");
-    if (block_size < 4 + record_size())
-      return fail("block_size too small for even one record");
-    if (records_per_block() < 1) return fail("records_per_block < 1");
-    if (gamma <= 1.0) return fail("gamma must exceed 1");
-    if (epsilon <= 0.0 || epsilon > 0.5)
-      return fail("epsilon must be in (0, 0.5]");
-    if (delta <= 0.0 || delta >= 1.0) return fail("delta must be in (0,1)");
-    if (level0_capacity_blocks < 1) return fail("K0 must be >= 1 block");
-    return true;
-  }
+  /// Sanity-checks the configuration, optionally against the block size
+  /// of the device the tree will run on (`device_block_size` = 0 skips
+  /// that check). The single source of truth shared by LsmTree::Open /
+  /// Restore, Db::Open, and manifest decoding — implemented in
+  /// options.cc.
+  Status Validate(uint32_t device_block_size = 0) const;
 };
 
 }  // namespace lsmssd

@@ -11,14 +11,9 @@ namespace lsmssd {
 StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(
     const Options& options, BlockDevice* device,
     std::unique_ptr<MergePolicy> policy) {
-  const char* why = nullptr;
-  if (!options.Validate(&why)) {
-    return Status::InvalidArgument(std::string("bad options: ") + why);
-  }
   if (device == nullptr) return Status::InvalidArgument("null device");
-  if (device->block_size() != options.block_size) {
-    return Status::InvalidArgument("device block size mismatch");
-  }
+  LSMSSD_RETURN_IF_ERROR(
+      options.Validate(static_cast<uint32_t>(device->block_size())));
   if (policy == nullptr) return Status::InvalidArgument("null merge policy");
   return std::unique_ptr<LsmTree>(
       new LsmTree(options, device, std::move(policy)));

@@ -184,10 +184,8 @@ StatusOr<Manifest> DecodeManifest(const std::string& data) {
   if (!DecodeOptions(&r, &manifest.options)) {
     return Status::Corruption("truncated options");
   }
-  const char* why = nullptr;
-  if (!manifest.options.Validate(&why)) {
-    return Status::Corruption(std::string("manifest options invalid: ") +
-                              why);
+  if (Status st = manifest.options.Validate(); !st.ok()) {
+    return Status::Corruption("manifest options invalid: " + st.message());
   }
 
   uint64_t memtable_count;

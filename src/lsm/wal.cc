@@ -1,9 +1,6 @@
 #include "src/lsm/wal.h"
 
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <cstdio>
 #include <memory>
 
 #include "src/util/logging.h"
@@ -53,20 +50,18 @@ uint64_t GetU64(const char* p) {
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::IoError("cannot open WAL " + path + ": " +
-                           std::strerror(errno));
-  }
-  return std::unique_ptr<WalWriter>(new WalWriter(path, f));
+  auto file = PosixWalFile::Open(path);
+  if (!file.ok()) return file.status();
+  return Wrap(std::move(file).value());
 }
 
-WalWriter::WalWriter(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
-
-WalWriter::~WalWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+std::unique_ptr<WalWriter> WalWriter::Wrap(std::unique_ptr<WalFile> file) {
+  LSMSSD_CHECK(file != nullptr);
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
 }
+
+WalWriter::WalWriter(std::unique_ptr<WalFile> file)
+    : file_(std::move(file)) {}
 
 Status WalWriter::Append(const Record& record) {
   std::string payload;
@@ -78,30 +73,19 @@ Status WalWriter::Append(const Record& record) {
   PutU32(&entry, static_cast<uint32_t>(payload.size()));
   PutU32(&entry, Fnv1a(payload));
   entry += payload;
-  if (std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size()) {
-    return Status::IoError("short WAL append");
-  }
+  LSMSSD_RETURN_IF_ERROR(file_->Append(entry));
+  ++entries_appended_;
+  bytes_appended_ += entry.size();
   return Status::OK();
 }
 
-Status WalWriter::Sync() {
-  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
-  if (::fsync(::fileno(file_)) != 0) {
-    return Status::IoError("WAL fsync failed");
-  }
-  return Status::OK();
-}
+Status WalWriter::Sync() { return file_->Sync(); }
 
-Status WalWriter::Truncate() {
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::IoError("cannot truncate WAL " + path_);
-  }
-  return Sync();
-}
+Status WalWriter::Truncate() { return file_->Truncate(); }
 
-StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path) {
+StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path,
+                                                 size_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::vector<Record>{};  // Nothing to replay.
   std::string data;
@@ -129,6 +113,7 @@ StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path) {
     records.push_back(std::move(record));
     pos += 8 + length;
   }
+  if (valid_bytes != nullptr) *valid_bytes = pos;
   return records;
 }
 

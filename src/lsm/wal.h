@@ -1,12 +1,13 @@
 #ifndef LSMSSD_LSM_WAL_H_
 #define LSMSSD_LSM_WAL_H_
 
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/format/record.h"
+#include "src/storage/wal_file.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 
@@ -17,7 +18,7 @@ namespace lsmssd {
 /// treats recovery as out of scope, so this is the standard complement: a
 /// checkpoint (Manifest) plus a WAL of the modifications since.
 ///
-/// Protocol:
+/// Protocol (run automatically by lsmssd::Db, src/db/db.h):
 ///   * append every Put/Delete to the WAL before applying it;
 ///   * on checkpoint: SaveManifestToFile(tree, ...), then Truncate();
 ///   * on restart: LsmTree::Restore(manifest, ...), then replay
@@ -26,41 +27,56 @@ namespace lsmssd {
 /// Entry framing: [u32 LE length][u32 LE FNV-1a of payload][payload],
 /// payload = [u8 type][u64 LE key][payload bytes]. A torn final entry
 /// (crash mid-append) is detected and dropped; anything after it is
-/// ignored.
+/// ignored. Entries carry no sequence numbers: replaying a WAL tail on
+/// top of a manifest that already includes some of its entries is safe
+/// because all modifications are blind writes (re-applying an in-order
+/// suffix of the history reproduces the same final state).
 class WalWriter {
  public:
   /// Opens (creating or appending to) the log at `path`.
   static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path);
-  ~WalWriter();
+
+  /// Frames entries onto an externally constructed log file (used to
+  /// interpose FaultInjectionWalFile in crash tests).
+  static std::unique_ptr<WalWriter> Wrap(std::unique_ptr<WalFile> file);
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Appends one logged modification (Put carries the payload; Delete an
-  /// empty one).
+  /// empty one). Durable only after the next successful Sync().
   Status Append(const Record& record);
 
-  /// Flushes userspace buffers and fsyncs.
+  /// Makes every appended entry durable.
   Status Sync();
 
   /// Empties the log (after a successful checkpoint).
   Status Truncate();
 
-  const std::string& path() const { return path_; }
+  /// Entries appended since this writer was opened.
+  uint64_t entries_appended() const { return entries_appended_; }
+  /// Framed bytes appended since this writer was opened (drives
+  /// Db's checkpoint-by-WAL-size threshold).
+  uint64_t bytes_appended() const { return bytes_appended_; }
 
  private:
-  WalWriter(std::string path, std::FILE* file);
+  explicit WalWriter(std::unique_ptr<WalFile> file);
 
-  std::string path_;
-  std::FILE* file_;
+  std::unique_ptr<WalFile> file_;
+  uint64_t entries_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
 };
 
 /// Reads a WAL back; tolerant of a torn tail.
 class WalReader {
  public:
   /// Returns all complete entries in append order. A missing file yields
-  /// an empty vector (nothing to replay).
-  static StatusOr<std::vector<Record>> ReadAll(const std::string& path);
+  /// an empty vector (nothing to replay). When `valid_bytes` is non-null
+  /// it receives the byte length of the intact prefix — recovery must
+  /// truncate the file to it before appending new entries, or they would
+  /// land unreachable behind the torn tail.
+  static StatusOr<std::vector<Record>> ReadAll(const std::string& path,
+                                               size_t* valid_bytes = nullptr);
 };
 
 }  // namespace lsmssd

@@ -54,6 +54,12 @@ class BlockDevice {
   /// fail.
   virtual Status FreeBlock(BlockId id) = 0;
 
+  /// Makes every completed block write durable (fsync for file-backed
+  /// devices). Purely-in-memory devices are trivially "durable" and keep
+  /// the no-op default; decorators must forward. Never counts as I/O in
+  /// stats() — the paper's write metric is block writes, not syncs.
+  virtual Status Flush() { return Status::OK(); }
+
   /// Number of live (allocated, not yet freed) blocks.
   virtual uint64_t live_blocks() const = 0;
 

@@ -1,0 +1,62 @@
+#ifndef LSMSSD_STORAGE_FAULT_INJECTION_H_
+#define LSMSSD_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace lsmssd {
+
+/// Deterministic crash-point clock shared by the fault-injection storage
+/// wrappers (FaultInjectionBlockDevice, FaultInjectionWalFile) and the
+/// Db checkpoint path. Every durable step — a block write, a device
+/// flush, a WAL append/sync/truncate, a manifest tmp-write/rename —
+/// calls Step() exactly once. When armed with Arm(k), step number k
+/// (0-based) fails, and the injector *trips*: every later step fails
+/// too, modeling a process that died at step k and never came back.
+///
+/// Running a scenario with the injector disarmed counts its total number
+/// of steps; a crash-point sweep then re-runs the scenario once per
+/// k in [0, steps()), asserting recovery after each.
+class FaultInjector {
+ public:
+  /// Fails step `fail_at_step` and every step after it.
+  void Arm(uint64_t fail_at_step) {
+    armed_ = true;
+    fail_at_ = fail_at_step;
+    tripped_ = false;
+    steps_ = 0;
+  }
+
+  /// Stops injecting (used by the post-crash recovery attempt). Keeps the
+  /// step counter running.
+  void Disarm() {
+    armed_ = false;
+    tripped_ = false;
+  }
+
+  /// Advances the clock; returns true if this step must fail.
+  bool Step() {
+    const uint64_t step = steps_++;
+    if (!armed_) return false;
+    if (tripped_ || step >= fail_at_) {
+      tripped_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// True once the armed fault has fired (the "process" is dead).
+  bool tripped() const { return tripped_; }
+
+  /// Steps observed since construction or the last Arm().
+  uint64_t steps() const { return steps_; }
+
+ private:
+  bool armed_ = false;
+  bool tripped_ = false;
+  uint64_t fail_at_ = 0;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_STORAGE_FAULT_INJECTION_H_

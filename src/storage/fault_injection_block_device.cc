@@ -1,0 +1,45 @@
+#include "src/storage/fault_injection_block_device.h"
+
+namespace lsmssd {
+
+StatusOr<BlockId> FaultInjectionBlockDevice::WriteNewBlock(
+    const BlockData& data) {
+  if (injector_->tripped()) return Dead();
+  if (injector_->Step()) {
+    // Crash mid-write: a prefix of the payload lands on the device (a
+    // torn block in a slot no manifest references), the caller never
+    // learns the id, and the process dies.
+    BlockData torn(data.begin(), data.begin() + data.size() / 2);
+    (void)base_->WriteNewBlock(torn);
+    return Status::IoError("injected fault: torn block write");
+  }
+  return base_->WriteNewBlock(data);
+}
+
+Status FaultInjectionBlockDevice::ReadBlock(BlockId id, BlockData* out) {
+  if (injector_->tripped()) return Dead();
+  return base_->ReadBlock(id, out);
+}
+
+StatusOr<std::shared_ptr<const BlockData>>
+FaultInjectionBlockDevice::ReadBlockShared(BlockId id) {
+  if (injector_->tripped()) return Dead();
+  return base_->ReadBlockShared(id);
+}
+
+Status FaultInjectionBlockDevice::FreeBlock(BlockId id) {
+  // Frees touch only in-memory allocator state (no durable step), but a
+  // dead process frees nothing.
+  if (injector_->tripped()) return Dead();
+  return base_->FreeBlock(id);
+}
+
+Status FaultInjectionBlockDevice::Flush() {
+  if (injector_->tripped()) return Dead();
+  if (injector_->Step()) {
+    return Status::IoError("injected fault: device flush");
+  }
+  return base_->Flush();
+}
+
+}  // namespace lsmssd

@@ -1,0 +1,45 @@
+#ifndef LSMSSD_STORAGE_FAULT_INJECTION_BLOCK_DEVICE_H_
+#define LSMSSD_STORAGE_FAULT_INJECTION_BLOCK_DEVICE_H_
+
+#include "src/storage/block_device.h"
+#include "src/storage/fault_injection.h"
+
+namespace lsmssd {
+
+/// BlockDevice decorator that kills the write path at an armed crash
+/// point. Block writes and flushes are injector steps; when the step
+/// fails, WriteNewBlock leaves a *torn* block behind (a prefix of the
+/// payload is written to the base device, but the id is never returned
+/// to the caller) — recovery must never read it, because no durable
+/// manifest references it. Once the injector has tripped, every
+/// operation (reads included) fails: the process is considered dead.
+class FaultInjectionBlockDevice : public BlockDevice {
+ public:
+  /// `base` and `injector` must outlive this object.
+  FaultInjectionBlockDevice(BlockDevice* base, FaultInjector* injector)
+      : base_(base), injector_(injector) {}
+
+  size_t block_size() const override { return base_->block_size(); }
+
+  StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
+  Status ReadBlock(BlockId id, BlockData* out) override;
+  StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
+      BlockId id) override;
+  Status FreeBlock(BlockId id) override;
+  Status Flush() override;
+  uint64_t live_blocks() const override { return base_->live_blocks(); }
+
+  BlockDevice* base() { return base_; }
+
+ private:
+  Status Dead() const {
+    return Status::IoError("injected fault: device is dead");
+  }
+
+  BlockDevice* base_;
+  FaultInjector* injector_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_STORAGE_FAULT_INJECTION_BLOCK_DEVICE_H_

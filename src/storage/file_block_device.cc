@@ -103,6 +103,12 @@ Status FileBlockDevice::RestoreLive(const std::vector<BlockId>& live_blocks) {
   return Status::OK();
 }
 
+Status FileBlockDevice::Flush() {
+  if (options_.use_osync) return Status::OK();
+  if (::fsync(fd_) != 0) return Errno("fsync " + path_);
+  return Status::OK();
+}
+
 Status FileBlockDevice::FreeBlock(BlockId id) {
   auto it = live_.find(id);
   if (it == live_.end()) {

@@ -41,6 +41,9 @@ class FileBlockDevice : public BlockDevice {
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
   Status FreeBlock(BlockId id) override;
+  /// fsyncs the backing file (no-op under O_SYNC, where every write
+  /// already is durable).
+  Status Flush() override;
   uint64_t live_blocks() const override { return live_.size(); }
 
   const std::string& path() const { return path_; }

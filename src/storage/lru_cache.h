@@ -89,6 +89,7 @@ class CachedBlockDevice : public BlockDevice {
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
   Status FreeBlock(BlockId id) override;
+  Status Flush() override { return base_->Flush(); }
   uint64_t live_blocks() const override { return base_->live_blocks(); }
 
   LruCache& cache() { return cache_; }

@@ -1,0 +1,406 @@
+#include "src/db/db.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/driver.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+
+/// Fresh per-test Db directory under the gtest temp dir.
+std::string FreshDir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "/db_" + tag + "_" +
+                          std::to_string(::getpid());
+  ::unlink(Db::ManifestPath(dir).c_str());
+  ::unlink(Db::ManifestTmpPath(dir).c_str());
+  ::unlink(Db::DevicePath(dir).c_str());
+  ::unlink(Db::WalPath(dir).c_str());
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+DbOptions TinyDbOptions() {
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.checkpoint_wal_bytes = 0;  // Manual checkpoints unless asked.
+  return dbopts;
+}
+
+TEST(DbTest, OpenPutGetReopenRecoversFromWalAlone) {
+  const std::string dir = FreshDir("walonly");
+  const DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    for (Key k = 0; k < 50; ++k) {
+      ASSERT_TRUE(db.Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+    ASSERT_TRUE(db.Delete(7).ok());
+    auto v = db.Get(3);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), MakePayload(dbopts.options, 3));
+  }  // No checkpoint was ever taken: recovery is pure WAL replay.
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    EXPECT_EQ(db.Stats().recovery_wal_entries_replayed, 51u);
+    EXPECT_EQ(db.Stats().recovery_manifest_blocks, 0u);
+    for (Key k = 0; k < 50; ++k) {
+      auto v = db.Get(k);
+      if (k == 7) {
+        EXPECT_TRUE(v.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(v.ok()) << "key " << k;
+        EXPECT_EQ(v.value(), MakePayload(dbopts.options, k));
+      }
+    }
+  }
+}
+
+TEST(DbTest, CheckpointTruncatesWalAndReopenUsesManifest) {
+  const std::string dir = FreshDir("ckpt");
+  const DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    Db& db = *db_or.value();
+    // Enough data to spill well past L0 (merges allocate real blocks).
+    for (Key k = 0; k < 600; ++k) {
+      ASSERT_TRUE(db.Put(k * 3, MakePayload(dbopts.options, k * 3)).ok());
+    }
+    ASSERT_TRUE(db.Checkpoint().ok());
+    EXPECT_EQ(db.Stats().checkpoints, 1u);
+    // Post-checkpoint tail.
+    for (Key k = 0; k < 20; ++k) {
+      ASSERT_TRUE(
+          db.Put(10'000 + k, MakePayload(dbopts.options, 10'000 + k)).ok());
+    }
+  }
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    const DbStats stats = db.Stats();
+    EXPECT_GT(stats.recovery_manifest_blocks, 0u);
+    EXPECT_EQ(stats.recovery_wal_entries_replayed, 20u);  // Tail only.
+    for (Key k = 0; k < 600; ++k) {
+      ASSERT_TRUE(db.Get(k * 3).ok()) << "key " << k * 3;
+    }
+    for (Key k = 0; k < 20; ++k) {
+      ASSERT_TRUE(db.Get(10'000 + k).ok());
+    }
+    ASSERT_TRUE(db.tree()->CheckInvariants(true).ok());
+  }
+}
+
+TEST(DbTest, AutoCheckpointFiresOnWalSize) {
+  const std::string dir = FreshDir("auto");
+  DbOptions dbopts = TinyDbOptions();
+  dbopts.checkpoint_wal_bytes = 2048;  // ~55 tiny entries.
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  Db& db = *db_or.value();
+  for (Key k = 0; k < 400; ++k) {
+    ASSERT_TRUE(db.Put(k, MakePayload(dbopts.options, k)).ok());
+  }
+  EXPECT_GT(db.Stats().checkpoints, 2u);
+  // The WAL threshold also bounds replay work on the next open.
+  auto reopened = Db::Open(dbopts, dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_LT(reopened.value()->Stats().recovery_wal_entries_replayed, 60u);
+}
+
+TEST(DbTest, AutoCheckpointCountsRecoveredWalBytes) {
+  const std::string dir = FreshDir("autorec");
+  DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    for (Key k = 0; k < 100; ++k) {
+      ASSERT_TRUE(
+          db_or.value()->Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+  }  // ~3.7KB of WAL left behind.
+  dbopts.checkpoint_wal_bytes = 2048;
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  // The recovered tail already exceeds the threshold: the first
+  // modification triggers a checkpoint rather than letting the log grow
+  // unboundedly across restart loops.
+  ASSERT_TRUE(db_or.value()->Put(500, MakePayload(dbopts.options, 500)).ok());
+  EXPECT_EQ(db_or.value()->Stats().checkpoints, 1u);
+}
+
+TEST(DbTest, ScanAndIteratorSeeWalRecoveredState) {
+  const std::string dir = FreshDir("scan");
+  const DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    for (Key k = 1; k <= 30; ++k) {
+      ASSERT_TRUE(
+          db_or.value()->Put(k * 2, MakePayload(dbopts.options, k * 2)).ok());
+    }
+    ASSERT_TRUE(db_or.value()->Delete(10).ok());
+  }
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  std::vector<std::pair<Key, std::string>> got;
+  ASSERT_TRUE(db_or.value()->Scan(0, 100, &got).ok());
+  EXPECT_EQ(got.size(), 29u);  // 30 puts minus the deleted key 10.
+  size_t n = 0;
+  auto it = db_or.value()->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) ++n;
+  EXPECT_EQ(n, 29u);
+}
+
+TEST(DbTest, RejectsInvalidConfigurations) {
+  const std::string dir = FreshDir("badopts");
+  {
+    DbOptions dbopts = TinyDbOptions();
+    dbopts.options.gamma = 1.0;
+    EXPECT_TRUE(Db::Open(dbopts, dir).status().IsInvalidArgument());
+  }
+  {
+    DbOptions dbopts = TinyDbOptions();
+    dbopts.options.annihilate_delete_put = true;  // Breaks blind replay.
+    auto st = Db::Open(dbopts, dir).status();
+    EXPECT_TRUE(st.IsInvalidArgument());
+    EXPECT_NE(st.message().find("annihilate"), std::string::npos);
+  }
+  {
+    DbOptions dbopts = TinyDbOptions();
+    dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+    dbopts.wal_sync_every_n = 0;
+    EXPECT_TRUE(Db::Open(dbopts, dir).status().IsInvalidArgument());
+  }
+}
+
+TEST(DbTest, CreateIfMissingAndErrorIfExists) {
+  const std::string dir = FreshDir("flags");
+  DbOptions dbopts = TinyDbOptions();
+  dbopts.create_if_missing = false;
+  EXPECT_TRUE(Db::Open(dbopts, dir).status().IsNotFound());
+
+  dbopts.create_if_missing = true;
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    ASSERT_TRUE(db_or.value()->Put(1, MakePayload(dbopts.options, 1)).ok());
+    ASSERT_TRUE(db_or.value()->Checkpoint().ok());
+  }
+  dbopts.error_if_exists = true;
+  EXPECT_EQ(Db::Open(dbopts, dir).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DbTest, BadModificationsAreRejectedBeforeLogging) {
+  const std::string dir = FreshDir("reject");
+  const DbOptions dbopts = TinyDbOptions();
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  Db& db = *db_or.value();
+  EXPECT_TRUE(db.Put(1, "short").IsInvalidArgument());
+  EXPECT_TRUE(db.Put(uint64_t{1} << 40, MakePayload(dbopts.options, 1))
+                  .IsInvalidArgument());  // key_size = 4 bytes.
+  EXPECT_FALSE(db.failed());  // Caller error, not a durability error.
+  // The rejected requests were never logged: nothing replays.
+  EXPECT_EQ(db.Stats().wal_entries_appended, 0u);
+}
+
+TEST(DbTest, TornWalTailFromHardKillIsTolerated) {
+  const std::string dir = FreshDir("torn");
+  const DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    for (Key k = 0; k < 10; ++k) {
+      ASSERT_TRUE(db_or.value()->Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+  }
+  {  // Simulate a torn final append: half an entry of garbage.
+    std::ofstream out(Db::WalPath(dir),
+                      std::ios::binary | std::ios::app);
+    out.write("\x20\x00\x00\x00\xde\xad", 6);
+  }
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  EXPECT_EQ(db_or.value()->Stats().recovery_wal_entries_replayed, 10u);
+  // And the Db keeps working, appending cleanly after recovery.
+  ASSERT_TRUE(
+      db_or.value()->Put(99, MakePayload(dbopts.options, 99)).ok());
+  auto reopened = Db::Open(dbopts, dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value()->Get(99).ok());
+}
+
+TEST(DbTest, StaleManifestTmpIsIgnored) {
+  const std::string dir = FreshDir("tmp");
+  const DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    ASSERT_TRUE(db_or.value()->Put(1, MakePayload(dbopts.options, 1)).ok());
+    ASSERT_TRUE(db_or.value()->Checkpoint().ok());
+  }
+  {  // A checkpoint that died before its rename leaves a garbage tmp.
+    std::ofstream out(Db::ManifestTmpPath(dir), std::ios::binary);
+    out.write("garbage", 7);
+  }
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  EXPECT_TRUE(db_or.value()->Get(1).ok());
+  struct ::stat st;
+  EXPECT_NE(::stat(Db::ManifestTmpPath(dir).c_str(), &st), 0);  // Gone.
+}
+
+TEST(DbTest, StoredFormatOptionsAreAuthoritativeOnReopen) {
+  const std::string dir = FreshDir("fmt");
+  DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    ASSERT_TRUE(db_or.value()->Put(1, MakePayload(dbopts.options, 1)).ok());
+    ASSERT_TRUE(db_or.value()->Checkpoint().ok());
+  }
+  // Ask for an incompatible format; the stored one must win.
+  DbOptions other = dbopts;
+  other.options.block_size = 512;
+  other.options.payload_size = 40;
+  other.options.cache_blocks = 8;  // Runtime-only: honored.
+  auto db_or = Db::Open(other, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  EXPECT_EQ(db_or.value()->options().block_size, 256u);
+  EXPECT_EQ(db_or.value()->options().payload_size, 20u);
+  EXPECT_EQ(db_or.value()->options().cache_blocks, 8u);
+  EXPECT_TRUE(db_or.value()->Get(1).ok());
+}
+
+TEST(DbTest, GroupCommitAndNoneModesAckWithoutSyncing) {
+  const std::string dir = FreshDir("modes");
+  DbOptions dbopts = TinyDbOptions();
+  dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+  dbopts.wal_sync_every_n = 10;
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    for (Key k = 0; k < 25; ++k) {
+      ASSERT_TRUE(db_or.value()->Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+    EXPECT_EQ(db_or.value()->Stats().wal_syncs, 2u);  // At 10 and 20.
+    ASSERT_TRUE(db_or.value()->SyncWal().ok());
+    EXPECT_EQ(db_or.value()->Stats().wal_syncs, 3u);
+  }
+  dbopts.wal_sync_mode = WalSyncMode::kNone;
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    for (Key k = 100; k < 120; ++k) {
+      ASSERT_TRUE(db_or.value()->Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+    EXPECT_EQ(db_or.value()->Stats().wal_syncs, 0u);
+  }  // Destructor syncs best-effort; a clean close loses nothing.
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  for (Key k = 100; k < 120; ++k) EXPECT_TRUE(db_or.value()->Get(k).ok());
+}
+
+TEST(DbTest, StatsSurfaceIoAndWalCounters) {
+  const std::string dir = FreshDir("stats");
+  DbOptions dbopts = TinyDbOptions();
+  dbopts.options.cache_blocks = 16;
+  dbopts.options.bloom_bits_per_key = 10;
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  Db& db = *db_or.value();
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(db.Put(k * 2, MakePayload(dbopts.options, k * 2)).ok());
+  }
+  for (Key k = 0; k < 200; ++k) (void)db.Get(k * 2);
+  for (Key k = 0; k < 200; ++k) (void)db.Get(k * 2 + 1);  // Bloom misses.
+  const DbStats stats = db.Stats();
+  EXPECT_GT(stats.io.block_writes(), 0u);
+  EXPECT_GT(stats.io.cache_hits() + stats.io.cache_misses(), 0u);
+  EXPECT_GT(stats.io.bloom_skips(), 0u);
+  EXPECT_EQ(stats.wal_entries_appended, 500u);
+  EXPECT_GT(stats.wal_bytes_appended, 500u * 29u);  // 8B frame + 9B + 20B.
+  EXPECT_EQ(stats.wal_syncs, 500u);  // kAlways.
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("wal:"), std::string::npos);
+  EXPECT_NE(text.find("recovery:"), std::string::npos);
+}
+
+TEST(DbTest, LargeWorkloadWithMergesSurvivesManyReopens) {
+  const std::string dir = FreshDir("large");
+  DbOptions dbopts = TinyDbOptions();
+  dbopts.checkpoint_wal_bytes = 4096;
+  std::map<Key, bool> model;  // key -> live?
+  for (int round = 0; round < 5; ++round) {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    for (Key i = 0; i < 300; ++i) {
+      const Key k = (static_cast<Key>(round) * 131 + i * 7) % 2000;
+      if (i % 5 == 4) {
+        ASSERT_TRUE(db.Delete(k).ok());
+        model[k] = false;
+      } else {
+        ASSERT_TRUE(db.Put(k, MakePayload(dbopts.options, k)).ok());
+        model[k] = true;
+      }
+    }
+    ASSERT_TRUE(db.tree()->CheckInvariants(true).ok());
+  }
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  for (const auto& [k, live] : model) {
+    auto v = db_or.value()->Get(k);
+    if (live) {
+      ASSERT_TRUE(v.ok()) << "lost key " << k;
+      EXPECT_EQ(v.value(), MakePayload(dbopts.options, k));
+    } else {
+      EXPECT_TRUE(v.status().IsNotFound()) << "ghost key " << k;
+    }
+  }
+}
+
+TEST(DbTest, InjectedWalFaultPoisonsTheInstanceUntilReopen) {
+  const std::string dir = FreshDir("poison");
+  DbOptions dbopts = TinyDbOptions();
+  FaultInjector fi;
+  dbopts.fault_injector = &fi;
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  Db& db = *db_or.value();
+  ASSERT_TRUE(db.Put(1, MakePayload(dbopts.options, 1)).ok());
+
+  fi.Arm(0);  // Next durable step (the WAL append) dies.
+  EXPECT_TRUE(db.Put(2, MakePayload(dbopts.options, 2)).IsIoError());
+  EXPECT_TRUE(db.failed());
+  EXPECT_EQ(db.Put(3, MakePayload(dbopts.options, 3)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.Get(1).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.Checkpoint().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.NewIterator(), nullptr);
+
+  fi.Disarm();
+  auto reopened = Db::Open(dbopts, dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened.value()->Get(1).ok());  // Acked+synced survives.
+  EXPECT_TRUE(reopened.value()->Get(2).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -7,8 +7,7 @@ namespace {
 
 TEST(OptionsTest, PaperDefaultsAreValid) {
   Options o;
-  const char* why = nullptr;
-  EXPECT_TRUE(o.Validate(&why)) << why;
+  EXPECT_TRUE(o.Validate().ok()) << o.Validate().ToString();
   EXPECT_EQ(o.block_size, 4096u);
   EXPECT_EQ(o.key_size, 4u);
   EXPECT_EQ(o.payload_size, 100u);
@@ -51,56 +50,45 @@ TEST(OptionsTest, PartialMergeBlocksScalesWithLevel) {
 }
 
 TEST(OptionsTest, ValidateRejectsBadConfigs) {
-  const char* why = nullptr;
-  {
+  // Table-driven over every constraint Validate enforces; the same
+  // routine backs LsmTree::Open/Restore, Db::Open, and manifest decode.
+  struct Case {
+    const char* name;
+    void (*mutate)(Options*);
+    const char* message_substring;
+  };
+  const Case kCases[] = {
+      {"key_size too small", [](Options* o) { o->key_size = 0; },
+       "key_size"},
+      {"key_size too large", [](Options* o) { o->key_size = 9; },
+       "key_size"},
+      {"block smaller than one record",
+       [](Options* o) { o->block_size = 32; }, "block_size"},
+      {"gamma at one", [](Options* o) { o->gamma = 1.0; }, "gamma"},
+      {"epsilon above paper bound",
+       [](Options* o) { o->epsilon = 0.6; }, "epsilon"},
+      {"epsilon zero", [](Options* o) { o->epsilon = 0.0; }, "epsilon"},
+      {"delta at one", [](Options* o) { o->delta = 1.0; }, "delta"},
+      {"delta zero", [](Options* o) { o->delta = 0.0; }, "delta"},
+      {"empty L0", [](Options* o) { o->level0_capacity_blocks = 0; }, "K0"},
+  };
+  for (const Case& c : kCases) {
     Options o;
-    o.key_size = 0;
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.key_size = 9;
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.block_size = 32;  // Smaller than one 105-byte record.
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.gamma = 1.0;
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.epsilon = 0.6;  // Paper requires epsilon <= 0.5.
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.epsilon = 0.0;
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.delta = 1.0;
-    EXPECT_FALSE(o.Validate(&why));
-  }
-  {
-    Options o;
-    o.level0_capacity_blocks = 0;
-    EXPECT_FALSE(o.Validate(&why));
+    c.mutate(&o);
+    const Status st = o.Validate();
+    EXPECT_TRUE(st.IsInvalidArgument()) << c.name << ": " << st.ToString();
+    EXPECT_NE(st.message().find(c.message_substring), std::string::npos)
+        << c.name << ": " << st.ToString();
   }
 }
 
-TEST(OptionsTest, ValidateExplainsFailure) {
+TEST(OptionsTest, ValidateChecksDeviceBlockSize) {
   Options o;
-  o.gamma = 0.5;
-  const char* why = nullptr;
-  ASSERT_FALSE(o.Validate(&why));
-  ASSERT_NE(why, nullptr);
-  EXPECT_NE(std::string(why).find("gamma"), std::string::npos);
+  EXPECT_TRUE(o.Validate(4096).ok());
+  const Status st = o.Validate(512);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("device block size"), std::string::npos);
+  EXPECT_TRUE(o.Validate(0).ok());  // 0 skips the device check.
 }
 
 TEST(OptionsTest, RecordsPerBlockAccountsForHeader) {

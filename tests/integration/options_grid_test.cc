@@ -51,8 +51,8 @@ TEST_P(OptionsGridTest, InvariantsHoldEverywhere) {
   options.epsilon = g.epsilon;
   options.bloom_bits_per_key = g.bloom_bits;
   options.preserve_blocks = true;
-  const char* why = nullptr;
-  ASSERT_TRUE(options.Validate(&why)) << why;
+  const Status valid = options.Validate();
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
 
   TreeFixture fx(options, g.policy);
   std::map<Key, std::string> reference;

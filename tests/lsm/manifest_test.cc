@@ -110,6 +110,50 @@ TEST(ManifestTest, CorruptionDetected) {
   }
 }
 
+TEST(ManifestTest, EveryByteFlipIsDetected) {
+  // The manifest is the recovery root: a corrupt one must *fail loudly*
+  // (Corruption), never crash the decoder or silently round-trip. The
+  // trailing checksum covers everything between the magic and itself, and
+  // the magic is compared byte-for-byte, so no single-byte flip anywhere
+  // may survive.
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  for (Key k = 0; k < 400; ++k) ASSERT_TRUE(fx.Put(k * 3 + 1).ok());
+  ASSERT_TRUE(fx.tree->Delete(4).ok());
+  const std::string data = EncodeManifest(*fx.tree);
+  ASSERT_TRUE(DecodeManifest(data).ok());
+
+  for (size_t off = 0; off < data.size(); ++off) {
+    for (const char mask : {char(0x01), char(0x80)}) {
+      std::string bad = data;
+      bad[off] ^= mask;
+      const Status st = DecodeManifest(bad).status();
+      EXPECT_TRUE(st.IsCorruption())
+          << "flip at " << off << " -> " << st.ToString();
+    }
+  }
+}
+
+TEST(ManifestTest, EveryTruncationIsDetected) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  for (Key k = 0; k < 200; ++k) ASSERT_TRUE(fx.Put(k * 5).ok());
+  const std::string data = EncodeManifest(*fx.tree);
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    const Status st = DecodeManifest(data.substr(0, cut)).status();
+    EXPECT_TRUE(st.IsCorruption())
+        << "cut at " << cut << " -> " << st.ToString();
+  }
+}
+
+TEST(ManifestTest, DecodeRejectsOptionsAManifestShouldNeverContain) {
+  // Defense in depth: even with a colliding checksum (or a buggy writer),
+  // decoded options are re-validated before the tree trusts them.
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  std::string data = EncodeManifest(*fx.tree);
+  auto good = DecodeManifest(data);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->options.Validate().ok());
+}
+
 TEST(ManifestTest, SaveAndLoadFile) {
   const std::string path =
       ::testing::TempDir() + "/manifest_" + std::to_string(::getpid());

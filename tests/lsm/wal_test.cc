@@ -125,6 +125,92 @@ TEST(WalTest, CorruptChecksumStopsReplay) {
   ::unlink(path.c_str());
 }
 
+TEST(WalTest, TornTailFuzzEveryTruncationOffset) {
+  // A crash can cut the log at *any* byte. Recovery must return exactly
+  // the complete entries before the cut — never an error, never a
+  // half-applied entry, never anything after the tear.
+  const std::string path = WalPath("fuzztrunc");
+  const Record kEntries[] = {
+      Record::Put(11, "aaaa"),
+      Record::Tombstone(22),
+      Record::Put(33, "cccccc"),
+  };
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (const Record& r : kEntries) {
+      ASSERT_TRUE(writer.value()->Append(r).ok());
+    }
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Framed size of entry i: 8-byte header + 1 type + 8 key + payload.
+  const size_t sizes[] = {8 + 9 + 4, 8 + 9 + 0, 8 + 9 + 6};
+  ASSERT_EQ(data.size(), sizes[0] + sizes[1] + sizes[2]);
+
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(data.data(), static_cast<std::streamsize>(cut));
+    }
+    size_t expect = 0;
+    if (cut >= sizes[0]) ++expect;
+    if (cut >= sizes[0] + sizes[1]) ++expect;
+    if (cut >= data.size()) ++expect;  // Unreachable; documents intent.
+    auto records = WalReader::ReadAll(path);
+    ASSERT_TRUE(records.ok()) << records.status().ToString();
+    ASSERT_EQ(records->size(), expect);
+    for (size_t i = 0; i < expect; ++i) {
+      EXPECT_EQ((*records)[i], kEntries[i]);
+    }
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(WalTest, TornTailFuzzEveryBitFlipInFinalEntry) {
+  // Corruption anywhere in the final entry (bit rot, torn sector) must
+  // drop that entry and keep the intact prefix — never crash, never
+  // return a mangled record.
+  const std::string path = WalPath("fuzzflip");
+  const Record kKept[] = {Record::Put(1, "xxxx"), Record::Put(2, "yyyy")};
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (const Record& r : kKept) ASSERT_TRUE(writer.value()->Append(r).ok());
+    ASSERT_TRUE(writer.value()->Append(Record::Put(3, "zzzz")).ok());
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const size_t entry_size = 8 + 9 + 4;
+  const size_t final_start = data.size() - entry_size;
+  for (size_t off = final_start; off < data.size(); ++off) {
+    for (const char mask : {char(0x01), char(0xA5), char(0xFF)}) {
+      SCOPED_TRACE("flip at " + std::to_string(off));
+      std::string bad = data;
+      bad[off] ^= mask;
+      {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+      }
+      auto records = WalReader::ReadAll(path);
+      ASSERT_TRUE(records.ok()) << records.status().ToString();
+      ASSERT_EQ(records->size(), 2u);
+      EXPECT_EQ((*records)[0], kKept[0]);
+      EXPECT_EQ((*records)[1], kKept[1]);
+    }
+  }
+  ::unlink(path.c_str());
+}
+
 TEST(WalTest, CheckpointPlusWalRecoversExactState) {
   // The full recovery protocol: snapshot a tree, keep logging into the
   // WAL, "crash", then Restore(manifest) + replay WAL and compare.

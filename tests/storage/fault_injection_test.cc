@@ -1,0 +1,154 @@
+#include "src/storage/fault_injection.h"
+
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/storage/fault_injection_block_device.h"
+#include "src/storage/fault_injection_wal_file.h"
+#include "src/storage/mem_block_device.h"
+#include "src/storage/wal_file.h"
+
+namespace lsmssd {
+namespace {
+
+std::string TmpPath(const char* tag) {
+  return ::testing::TempDir() + "/fi_" + tag + std::to_string(::getpid());
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  FILE* f = ::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = ::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  ::fclose(f);
+  return out;
+}
+
+TEST(FaultInjectorTest, DisarmedNeverFails) {
+  FaultInjector fi;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(fi.Step());
+  EXPECT_EQ(fi.steps(), 100u);
+  EXPECT_FALSE(fi.tripped());
+}
+
+TEST(FaultInjectorTest, ArmedFailsAtStepAndStaysTripped) {
+  FaultInjector fi;
+  fi.Arm(3);
+  EXPECT_FALSE(fi.Step());  // step 0
+  EXPECT_FALSE(fi.Step());  // step 1
+  EXPECT_FALSE(fi.Step());  // step 2
+  EXPECT_TRUE(fi.Step());   // step 3: the crash
+  EXPECT_TRUE(fi.tripped());
+  // A dead process never comes back on its own.
+  EXPECT_TRUE(fi.Step());
+  EXPECT_TRUE(fi.Step());
+}
+
+TEST(FaultInjectorTest, DisarmModelsTheRecoveryProcess) {
+  FaultInjector fi;
+  fi.Arm(0);
+  EXPECT_TRUE(fi.Step());
+  EXPECT_TRUE(fi.tripped());
+  fi.Disarm();  // "Reboot": the recovering process runs fault-free.
+  EXPECT_FALSE(fi.tripped());
+  EXPECT_FALSE(fi.Step());
+}
+
+TEST(FaultInjectionBlockDeviceTest, PassesThroughWhenDisarmed) {
+  MemBlockDevice base(256);
+  FaultInjector fi;
+  FaultInjectionBlockDevice dev(&base, &fi);
+  auto id = dev.WriteNewBlock(BlockData(10, 'x'));
+  ASSERT_TRUE(id.ok());
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(id.value(), &out).ok());
+  EXPECT_EQ(out[0], 'x');
+  ASSERT_TRUE(dev.FreeBlock(id.value()).ok());
+  EXPECT_EQ(dev.live_blocks(), 0u);
+}
+
+TEST(FaultInjectionBlockDeviceTest, TripLeavesTornBlockAndKillsDevice) {
+  MemBlockDevice base(256);
+  FaultInjector fi;
+  FaultInjectionBlockDevice dev(&base, &fi);
+  auto ok_id = dev.WriteNewBlock(BlockData(256, 'a'));
+  ASSERT_TRUE(ok_id.ok());
+
+  fi.Arm(0);  // Arm resets the step clock: the next step crashes.
+  auto bad = dev.WriteNewBlock(BlockData(256, 'b'));
+  EXPECT_TRUE(bad.status().IsIoError());
+  // The torn block *is* on the base device (garbage a crash leaves
+  // behind), but its id never reached the caller.
+  EXPECT_EQ(base.live_blocks(), 2u);
+
+  // The process is dead: reads fail too.
+  BlockData out;
+  EXPECT_TRUE(dev.ReadBlock(ok_id.value(), &out).IsIoError());
+  EXPECT_TRUE(dev.ReadBlockShared(ok_id.value()).status().IsIoError());
+  EXPECT_TRUE(dev.Flush().IsIoError());
+  EXPECT_TRUE(dev.FreeBlock(ok_id.value()).IsIoError());
+}
+
+TEST(FaultInjectionWalFileTest, UnsyncedAppendsLiveInTheBuffer) {
+  const std::string path = TmpPath("buf");
+  auto base = PosixWalFile::Open(path);
+  ASSERT_TRUE(base.ok());
+  FaultInjector fi;
+  FaultInjectionWalFile wal(std::move(base).value(), &fi);
+
+  ASSERT_TRUE(wal.Append("hello").ok());
+  ASSERT_TRUE(wal.Append("world").ok());
+  EXPECT_EQ(wal.unsynced_bytes(), 10u);
+  // Nothing reached the file yet: this is the page-cache model.
+  EXPECT_EQ(ReadFileOrDie(path).size(), 0u);
+
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.unsynced_bytes(), 0u);
+  EXPECT_EQ(ReadFileOrDie(path), "helloworld");
+  ::unlink(path.c_str());
+}
+
+TEST(FaultInjectionWalFileTest, CrashDuringSyncTearsTheLog) {
+  const std::string path = TmpPath("torn");
+  auto base = PosixWalFile::Open(path);
+  ASSERT_TRUE(base.ok());
+  FaultInjector fi;
+  FaultInjectionWalFile wal(std::move(base).value(), &fi);
+
+  ASSERT_TRUE(wal.Append("0123456789").ok());
+  fi.Arm(0);  // The Sync itself crashes.
+  EXPECT_TRUE(wal.Sync().IsIoError());
+  // A *prefix* of the buffered bytes hit the file: a torn tail.
+  const std::string on_disk = ReadFileOrDie(path);
+  EXPECT_GT(on_disk.size(), 0u);
+  EXPECT_LT(on_disk.size(), 10u);
+  EXPECT_EQ(on_disk, std::string("0123456789").substr(0, on_disk.size()));
+
+  // Dead afterwards.
+  EXPECT_TRUE(wal.Append("x").IsIoError());
+  EXPECT_TRUE(wal.Truncate().IsIoError());
+  ::unlink(path.c_str());
+}
+
+TEST(FaultInjectionWalFileTest, CrashDuringAppendLosesOnlyThatAppend) {
+  const std::string path = TmpPath("app");
+  auto base = PosixWalFile::Open(path);
+  ASSERT_TRUE(base.ok());
+  FaultInjector fi;
+  FaultInjectionWalFile wal(std::move(base).value(), &fi);
+
+  ASSERT_TRUE(wal.Append("keep").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  fi.Arm(0);
+  EXPECT_TRUE(wal.Append("lost").IsIoError());
+  EXPECT_EQ(ReadFileOrDie(path), "keep");  // Synced data is untouched.
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsmssd

@@ -6,6 +6,14 @@
 //       Grow an index to the target size, reach the steady state, run a
 //       measurement window, and print the paper's metrics.
 //
+//   lsmssd_cli run --db-path=DIR [--workload=...] [--n=50000]
+//                  [--policy=ChooseBest] [--bloom=0] [--cache-blocks=0]
+//                  [--sync=always|everyn|none] [--sync-n=64]
+//                  [--checkpoint-wal-mb=8]
+//       Persistent mode: open (or crash-recover) the Db at DIR, apply n
+//       workload requests through the WAL, checkpoint on exit, and print
+//       the Db stats. Re-running continues where the last run stopped.
+//
 //   lsmssd_cli trace [--workload=...] [--n=100000] --out=FILE
 //       Capture a deterministic workload trace for replay.
 //
@@ -19,6 +27,7 @@
 #include <string>
 
 #include "bench/harness/experiment.h"
+#include "src/db/db.h"
 #include "src/lsm/manifest.h"
 #include "src/workload/trace.h"
 
@@ -148,6 +157,90 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+// Persistent mode: the workload runs against a crash-safe Db directory
+// instead of a fresh in-memory device. Every request goes through the
+// WAL; the run ends with a checkpoint so the next invocation restores
+// from the manifest alone.
+int CmdRunDb(const Flags& flags) {
+  DbOptions dbopts;
+  dbopts.options = BenchOptions();
+  // WAL replay re-applies a suffix of the history, which eager
+  // tombstone+insert annihilation cannot tolerate; Db rejects it.
+  dbopts.options.annihilate_delete_put = false;
+  dbopts.options.bloom_bits_per_key =
+      std::strtoull(FlagOr(flags, "bloom", "0").c_str(), nullptr, 10);
+  dbopts.options.cache_blocks =
+      std::strtoull(FlagOr(flags, "cache-blocks", "0").c_str(), nullptr, 10);
+
+  const std::string policy_name = FlagOr(flags, "policy", "ChooseBest");
+  if (!ParsePolicyKind(policy_name, &dbopts.policy)) {
+    std::cerr << "unknown policy: " << policy_name
+              << " (use Full|RR|ChooseBest|Mixed|TestMixed|PartitionedCB)\n";
+    return 2;
+  }
+
+  const std::string sync = FlagOr(flags, "sync", "everyn");
+  if (sync == "always") {
+    dbopts.wal_sync_mode = WalSyncMode::kAlways;
+  } else if (sync == "everyn") {
+    dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+    dbopts.wal_sync_every_n = std::strtoull(
+        FlagOr(flags, "sync-n", "64").c_str(), nullptr, 10);
+  } else if (sync == "none") {
+    dbopts.wal_sync_mode = WalSyncMode::kNone;
+  } else {
+    std::cerr << "unknown sync mode: " << sync << " (use always|everyn|none)\n";
+    return 2;
+  }
+  dbopts.checkpoint_wal_bytes =
+      std::strtoull(FlagOr(flags, "checkpoint-wal-mb", "8").c_str(), nullptr,
+                    10) *
+      1024 * 1024;
+
+  auto db_or = Db::Open(dbopts, flags.at("db-path"));
+  if (!db_or.ok()) {
+    std::cerr << "open failed: " << db_or.status().ToString() << "\n";
+    return 1;
+  }
+  Db& db = *db_or.value();
+  {
+    const DbStats s = db.Stats();
+    std::cout << "opened " << db.dir() << ": restored "
+              << s.recovery_manifest_blocks << " manifest blocks, replayed "
+              << s.recovery_wal_entries_replayed << " WAL entries\n";
+  }
+
+  const auto n =
+      std::strtoull(FlagOr(flags, "n", "50000").c_str(), nullptr, 10);
+  auto workload = MakeWorkload(SpecFromFlags(flags));
+  for (uint64_t i = 0; i < n; ++i) {
+    const WorkloadRequest req = workload->Next();
+    Status st = req.kind == WorkloadRequest::Kind::kDelete
+                    ? db.Delete(req.key)
+                    : db.Put(req.key, MakePayload(db.options(), req.key));
+    if (!st.ok()) {
+      std::cerr << "request " << i << " failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (Status st = db.Checkpoint(); !st.ok()) {
+    std::cerr << "final checkpoint failed: " << st.ToString() << "\n";
+    return 1;
+  }
+
+  const LsmTree& tree = *db.tree();
+  std::cout << "applied " << n << " requests\n\nindex: " << tree.num_levels()
+            << " levels, " << tree.TotalRecords() << " records, "
+            << tree.ApproximateDataBytes() / (1024.0 * 1024.0) << " MB\n";
+  for (size_t i = 1; i < tree.num_levels(); ++i) {
+    std::cout << "  L" << i << ": " << tree.level(i).size_blocks() << "/"
+              << tree.LevelCapacityBlocks(i) << " blocks, waste "
+              << tree.level(i).waste_factor() << "\n";
+  }
+  std::cout << "\n" << db.Stats().ToString();
+  return 0;
+}
+
 int CmdTrace(const Flags& flags) {
   if (!flags.contains("out")) {
     std::cerr << "trace requires --out=FILE\n";
@@ -204,7 +297,9 @@ int Main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
-  if (command == "run") return CmdRun(flags);
+  if (command == "run") {
+    return flags.contains("db-path") ? CmdRunDb(flags) : CmdRun(flags);
+  }
   if (command == "trace") return CmdTrace(flags);
   if (command == "manifest") return CmdManifest(flags);
   std::cerr << "unknown command: " << command << "\n";
