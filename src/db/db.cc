@@ -119,7 +119,12 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
 
   const std::string manifest_path = ManifestPath(dir);
   const bool have_manifest = FileExists(manifest_path);
-  if (dbopts.error_if_exists && have_manifest) {
+  // A crash before the first checkpoint leaves a wal.log/blocks.dev with
+  // no MANIFEST; that is still an existing Db (its WAL is recoverable
+  // state), not a fresh directory.
+  if (dbopts.error_if_exists &&
+      (have_manifest || FileExists(WalPath(dir)) ||
+       FileExists(DevicePath(dir)))) {
     return Status::FailedPrecondition("Db already exists at " + dir);
   }
   // A leftover MANIFEST.tmp is a checkpoint that crashed before its
@@ -326,19 +331,28 @@ Status Db::Checkpoint() {
 }
 
 Status Db::CheckpointInternal() {
-  // 1. Every block the manifest will reference must be durable first.
+  // 1. The on-disk WAL must cover every entry the manifest will include
+  //    *before* the manifest is published: a crash between the rename
+  //    (step 3) and the truncate (step 4) recovers by replaying the log
+  //    on top of the checkpoint, which only re-converges if the durable
+  //    log is a superset of the manifest's entries. Without this sync,
+  //    kEveryN/kNone could publish a manifest at entry N while the disk
+  //    log ends at M < N — replay would then regress every key
+  //    rewritten in (M, N] to its older value.
+  LSMSSD_RETURN_IF_ERROR(wal_->Sync());
+  ++wal_syncs_;
+  entries_synced_ = wal_->entries_appended();
+  // 2. Every block the manifest will reference must be durable too.
   LSMSSD_RETURN_IF_ERROR(pinned_->Flush());
-  // 2. Publish the manifest atomically.
+  // 3. Publish the manifest atomically.
   LSMSSD_RETURN_IF_ERROR(WriteManifestAtomically(EncodeManifest(*tree_)));
   ++checkpoints_;
-  // Everything appended so far is now durable via the manifest.
-  entries_synced_ = wal_->entries_appended();
-  // 3. The WAL's entries are all included in the manifest; empty it. (A
-  //    crash between 2 and 3 double-replays them — safe, blind writes.)
+  // 4. The WAL's entries are all included in the manifest; empty it. (A
+  //    crash between 3 and 4 double-replays them — safe, blind writes.)
   LSMSSD_RETURN_IF_ERROR(wal_->Truncate());
   wal_recovered_bytes_ = 0;
   bytes_at_last_truncate_ = wal_->bytes_appended();
-  // 4. Blocks only the *previous* manifest referenced may now recycle.
+  // 5. Blocks only the *previous* manifest referenced may now recycle.
   LSMSSD_RETURN_IF_ERROR(pinned_->Commit(CurrentTreeBlocks()));
   return Status::OK();
 }

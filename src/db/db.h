@@ -94,10 +94,12 @@ struct DbStats {
 ///   * Every Put/Delete is WAL-appended *before* it is applied, then
 ///     fsynced per WalSyncMode.
 ///   * When the WAL exceeds DbOptions::checkpoint_wal_bytes, the Db
-///     checkpoints automatically: flush the block device, write the
-///     manifest to MANIFEST.tmp, fsync, atomically rename over MANIFEST,
-///     fsync the directory, truncate the WAL, and recycle block slots
-///     whose free had been deferred (see PinnedBlockDevice).
+///     checkpoints automatically: fsync the WAL (the durable log must
+///     cover every entry the manifest will include), flush the block
+///     device, write the manifest to MANIFEST.tmp, fsync, atomically
+///     rename over MANIFEST, fsync the directory, truncate the WAL, and
+///     recycle block slots whose free had been deferred (see
+///     PinnedBlockDevice).
 ///
 /// After any durability error (including injected faults) the instance
 /// enters a failed state and refuses further operations; reopening the

@@ -46,6 +46,22 @@ uint64_t GetU64(const char* p) {
   return v;
 }
 
+/// True when any offset in [from, data.size()) starts a complete,
+/// checksum-valid WAL frame. Distinguishes a benign torn tail (nothing
+/// readable follows the bad frame) from mid-file corruption that still
+/// has intact entries behind it. A false positive needs random bytes to
+/// pass FNV-1a (~2^-32 per offset); only runs on the failure path.
+bool HasValidEntryAfter(const std::string& data, size_t from) {
+  for (size_t p = from; p + 8 + 9 <= data.size(); ++p) {
+    const uint32_t length = GetU32(data.data() + p);
+    if (length < 9 || length > data.size() - p - 8) continue;
+    if (Fnv1a(data.substr(p + 8, length)) == GetU32(data.data() + p + 4)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
@@ -99,9 +115,22 @@ StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path,
   while (pos + 8 <= data.size()) {
     const uint32_t length = GetU32(data.data() + pos);
     const uint32_t checksum = GetU32(data.data() + pos + 4);
-    if (length < 9 || pos + 8 + length > data.size()) break;  // Torn tail.
+    const bool frame_fits = length >= 9 && pos + 8 + length <= data.size();
+    if (!frame_fits ||
+        Fnv1a(data.substr(pos + 8, length)) != checksum) {
+      // A bad frame with nothing readable after it is the expected tear
+      // from a crash mid-append: drop it. But a bad frame *followed by*
+      // well-formed entries is latent corruption of data a sync may
+      // have acknowledged — truncating here would silently discard
+      // those durable entries, so refuse instead of guessing.
+      if (HasValidEntryAfter(data, pos + 1)) {
+        return Status::Corruption(
+            "WAL entry at offset " + std::to_string(pos) +
+            " is corrupt but followed by well-formed entries");
+      }
+      break;  // Torn tail.
+    }
     const std::string payload = data.substr(pos + 8, length);
-    if (Fnv1a(payload) != checksum) break;  // Torn/corrupt tail: stop.
     Record record;
     const auto type = static_cast<uint8_t>(payload[0]);
     if (type > static_cast<uint8_t>(RecordType::kDelete)) {

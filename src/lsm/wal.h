@@ -20,7 +20,9 @@ namespace lsmssd {
 ///
 /// Protocol (run automatically by lsmssd::Db, src/db/db.h):
 ///   * append every Put/Delete to the WAL before applying it;
-///   * on checkpoint: SaveManifestToFile(tree, ...), then Truncate();
+///   * on checkpoint: Sync() (the durable log must cover every entry the
+///     manifest includes), SaveManifestToFile(tree, ...), then
+///     Truncate();
 ///   * on restart: LsmTree::Restore(manifest, ...), then replay
 ///     WalReader::ReadAll() in order.
 ///
@@ -71,7 +73,11 @@ class WalWriter {
 class WalReader {
  public:
   /// Returns all complete entries in append order. A missing file yields
-  /// an empty vector (nothing to replay). When `valid_bytes` is non-null
+  /// an empty vector (nothing to replay). A bad frame at the end of the
+  /// log is the expected tear from a crash mid-append and is dropped; a
+  /// bad frame *followed by* well-formed entries is mid-file corruption
+  /// of possibly-synced data and yields `Corruption` instead of silently
+  /// discarding the entries behind it. When `valid_bytes` is non-null
   /// it receives the byte length of the intact prefix — recovery must
   /// truncate the file to it before appending new entries, or they would
   /// land unreachable behind the torn tail.

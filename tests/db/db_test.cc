@@ -206,6 +206,51 @@ TEST(DbTest, CreateIfMissingAndErrorIfExists) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(DbTest, ErrorIfExistsCatchesPreCheckpointLeftovers) {
+  const std::string dir = FreshDir("flags2");
+  DbOptions dbopts = TinyDbOptions();
+  {  // Crash before the first checkpoint: wal.log exists, MANIFEST not.
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    ASSERT_TRUE(db_or.value()->Put(1, MakePayload(dbopts.options, 1)).ok());
+  }
+  struct ::stat st;
+  ASSERT_NE(::stat(Db::ManifestPath(dir).c_str(), &st), 0);  // No manifest.
+  dbopts.error_if_exists = true;
+  EXPECT_EQ(Db::Open(dbopts, dir).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Without the flag, the leftover WAL is recoverable state, not a
+  // fresh directory to silently replay into.
+  dbopts.error_if_exists = false;
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  EXPECT_TRUE(db_or.value()->Get(1).ok());
+}
+
+TEST(DbTest, MidWalCorruptionFailsOpenInsteadOfTruncating) {
+  // Bit rot in an early WAL entry must not make Open silently truncate
+  // away the later (synced, acknowledged) entries behind it.
+  const std::string dir = FreshDir("rot");
+  const DbOptions dbopts = TinyDbOptions();
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    for (Key k = 0; k < 10; ++k) {
+      ASSERT_TRUE(db_or.value()->Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+  }
+  {  // Flip one byte in the first entry's payload.
+    std::fstream f(Db::WalPath(dir),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(12);
+    char c = static_cast<char>(f.get());
+    f.seekp(12);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  auto db_or = Db::Open(dbopts, dir);
+  EXPECT_TRUE(db_or.status().IsCorruption()) << db_or.status().ToString();
+}
+
 TEST(DbTest, BadModificationsAreRejectedBeforeLogging) {
   const std::string dir = FreshDir("reject");
   const DbOptions dbopts = TinyDbOptions();

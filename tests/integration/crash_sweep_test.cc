@@ -36,16 +36,23 @@ using testing::TinyOptions;
 struct Op {
   Key key;
   bool is_delete;
+  Key payload_seed;  ///< Unique per op, so every rewrite changes the value.
 };
 
 /// Deterministic workload: interleaved puts/deletes over a small key
 /// space (so deletes hit existing keys and merges carry tombstones),
-/// with one explicit checkpoint in the middle.
+/// with one explicit checkpoint in the middle. The 20-key cycle is
+/// deliberately smaller than the ~29-entry auto-checkpoint window
+/// (checkpoint_wal_bytes=1000 / ~34-byte frames), so keys repeat within
+/// one window, and each put carries an op-unique payload — recovering a
+/// stale WAL prefix on top of a newer checkpoint therefore visibly
+/// regresses any key rewritten since the last group commit, instead of
+/// silently rewriting it to the same bytes.
 std::vector<Op> MakeWorkload() {
   std::vector<Op> ops;
   for (int i = 0; i < 80; ++i) {
-    const Key k = static_cast<Key>((i * 13) % 50);
-    ops.push_back({k, i % 7 == 5});
+    const Key k = static_cast<Key>((i * 13) % 20);
+    ops.push_back({k, i % 7 == 5, k + (static_cast<Key>(i + 1) << 32)});
   }
   return ops;
 }
@@ -57,7 +64,7 @@ void ApplyToModel(ModelState* model, const Op& op, const Options& options) {
   if (op.is_delete) {
     model->erase(op.key);
   } else {
-    (*model)[op.key] = MakePayload(options, op.key);
+    (*model)[op.key] = MakePayload(options, op.payload_seed);
   }
 }
 
@@ -103,7 +110,7 @@ RunResult RunWorkload(const DbOptions& dbopts, const std::string& dir,
     Status st = ops[i].is_delete
                     ? db.Delete(ops[i].key)
                     : db.Put(ops[i].key, MakePayload(dbopts.options,
-                                                     ops[i].key));
+                                                     ops[i].payload_seed));
     if (st.ok() && static_cast<int>(i) + 1 == kCheckpointAfterOp) {
       st = db.Checkpoint();
     }
@@ -126,8 +133,12 @@ void SweepMode(const char* tag, WalSyncMode mode) {
   DbOptions dbopts;
   dbopts.options = TinyOptions();
   dbopts.wal_sync_mode = mode;
-  dbopts.wal_sync_every_n = 8;
-  dbopts.checkpoint_wal_bytes = 1500;  // Auto-checkpoint mid-workload.
+  // 7 does not divide any checkpoint's entry count, so in kEveryN mode a
+  // checkpoint always finds unsynced appends beyond the last group
+  // commit — the window where a checkpoint that skipped its WAL fsync
+  // would publish a manifest the durable log does not cover.
+  dbopts.wal_sync_every_n = 7;
+  dbopts.checkpoint_wal_bytes = 1000;  // Auto-checkpoints mid-workload.
   dbopts.fault_injector = &injector;
 
   // Pass 1: count the crash points.
@@ -211,7 +222,7 @@ TEST(CrashSweepTest, CrashDuringRecoveryCheckpoint) {
       } else {
         ASSERT_TRUE(
             db_or.value()
-                ->Put(op.key, MakePayload(dbopts.options, op.key))
+                ->Put(op.key, MakePayload(dbopts.options, op.payload_seed))
                 .ok());
       }
       ApplyToModel(&model, op, dbopts.options);

@@ -125,6 +125,42 @@ TEST(WalTest, CorruptChecksumStopsReplay) {
   ::unlink(path.c_str());
 }
 
+TEST(WalTest, MidFileCorruptionIsSurfacedNotTruncated) {
+  // A bad frame with intact entries *behind* it is not a torn tail:
+  // stopping there would silently discard synced, acknowledged data, so
+  // the reader must refuse with Corruption. Flip one byte at every
+  // offset of the first two entries; the third stays well-formed.
+  const std::string path = WalPath("midcorrupt");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(Record::Put(1, "aaaa")).ok());
+    ASSERT_TRUE(writer.value()->Append(Record::Put(2, "bbbb")).ok());
+    ASSERT_TRUE(writer.value()->Append(Record::Put(3, "cccc")).ok());
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const size_t entry_size = 8 + 9 + 4;
+  ASSERT_EQ(data.size(), 3 * entry_size);
+  for (size_t off = 0; off < 2 * entry_size; ++off) {
+    SCOPED_TRACE("flip at " + std::to_string(off));
+    std::string bad = data;
+    bad[off] ^= 0x5a;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    auto records = WalReader::ReadAll(path);
+    EXPECT_TRUE(records.status().IsCorruption())
+        << records.status().ToString();
+  }
+  ::unlink(path.c_str());
+}
+
 TEST(WalTest, TornTailFuzzEveryTruncationOffset) {
   // A crash can cut the log at *any* byte. Recovery must return exactly
   // the complete entries before the cut — never an error, never a
