@@ -1,25 +1,18 @@
 #include "src/db/db.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <shared_mutex>  // std::shared_lock
 
 #include "src/lsm/manifest.h"
 #include "src/storage/fault_injection_wal_file.h"
 #include "src/util/logging.h"
-
-// Like LSMSSD_RETURN_IF_ERROR, but a durability error also poisons the
-// instance (see Db::Fail): once a WAL/tree/checkpoint step failed
-// mid-operation, the in-memory state may be ahead of or behind the log,
-// and only a reopen-recovery is trustworthy.
-#define LSMSSD_RETURN_IF_ERROR_FAIL(expr)           \
-  do {                                              \
-    ::lsmssd::Status _st = (expr);                  \
-    if (!_st.ok()) return Fail(std::move(_st));     \
-  } while (false)
 
 namespace lsmssd {
 
@@ -73,6 +66,28 @@ Status WriteFile(const std::string& path, std::string_view data,
   return Status::OK();
 }
 
+/// Iterator wrapper that pins the Db's tree by holding its shared tree
+/// lock until destroyed: the underlying tree iterator stays valid, and
+/// writers (which need the lock exclusively) wait.
+class SnapshotIterator : public Iterator {
+ public:
+  SnapshotIterator(std::shared_lock<SharedMutex> lock,
+                   std::unique_ptr<Iterator> base)
+      : lock_(std::move(lock)), base_(std::move(base)) {}
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override { base_->SeekToFirst(); }
+  void Seek(Key target) override { base_->Seek(target); }
+  void Next() override { base_->Next(); }
+  Key key() const override { return base_->key(); }
+  const std::string& value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::shared_lock<SharedMutex> lock_;
+  std::unique_ptr<Iterator> base_;
+};
+
 }  // namespace
 
 std::string Db::ManifestPath(const std::string& dir) {
@@ -85,6 +100,32 @@ std::string Db::DevicePath(const std::string& dir) {
   return dir + "/blocks.dev";
 }
 std::string Db::WalPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string Db::WalSegmentPath(const std::string& dir, uint64_t seq) {
+  return dir + "/wal.old." + std::to_string(seq);
+}
+
+std::vector<std::string> Db::ListWalSegments(const std::string& dir) {
+  static const std::string kPrefix = "wal.old.";
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  ::DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return {};
+  while (struct ::dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string tail = name.substr(kPrefix.size());
+    if (tail.empty() ||
+        tail.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    segments.emplace_back(std::stoull(tail), dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(segments.begin(), segments.end());
+  std::vector<std::string> paths;
+  paths.reserve(segments.size());
+  for (auto& [seq, path] : segments) paths.push_back(std::move(path));
+  return paths;
+}
 
 Db::Db(DbOptions dbopts, std::string dir)
     : dbopts_(std::move(dbopts)), dir_(std::move(dir)) {}
@@ -101,6 +142,17 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   if (dbopts.wal_sync_mode == WalSyncMode::kEveryN &&
       dbopts.wal_sync_every_n == 0) {
     return Status::InvalidArgument("wal_sync_every_n must be > 0");
+  }
+  if (dbopts.checkpoint_wal_bytes > 0) {
+    // Framed WAL entry: [u32 length][u32 crc][u8 type][u64 key][payload].
+    const uint64_t max_entry_bytes = 4 + 4 + 1 + 8 + dbopts.options.payload_size;
+    if (dbopts.checkpoint_wal_bytes < 2 * max_entry_bytes) {
+      return Status::InvalidArgument(
+          "checkpoint_wal_bytes=" + std::to_string(dbopts.checkpoint_wal_bytes) +
+          " is below two WAL entries (" + std::to_string(2 * max_entry_bytes) +
+          " bytes): every modification would trigger a checkpoint; raise "
+          "it or use 0 to disable automatic checkpoints");
+    }
   }
 
   // The directory.
@@ -119,12 +171,13 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
 
   const std::string manifest_path = ManifestPath(dir);
   const bool have_manifest = FileExists(manifest_path);
+  const std::vector<std::string> wal_segments = ListWalSegments(dir);
   // A crash before the first checkpoint leaves a wal.log/blocks.dev with
   // no MANIFEST; that is still an existing Db (its WAL is recoverable
   // state), not a fresh directory.
   if (dbopts.error_if_exists &&
       (have_manifest || FileExists(WalPath(dir)) ||
-       FileExists(DevicePath(dir)))) {
+       FileExists(DevicePath(dir)) || !wal_segments.empty())) {
     return Status::FailedPrecondition("Db already exists at " + dir);
   }
   // A leftover MANIFEST.tmp is a checkpoint that crashed before its
@@ -182,26 +235,50 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   if (!tree_or.ok()) return tree_or.status();
   db->tree_ = std::move(tree_or).value();
 
-  // Replay the WAL tail on top of the checkpoint. Blind-write semantics
-  // make this safe even when the manifest already includes a prefix of
-  // the tail (crash between manifest rename and WAL truncate).
+  // Replay the WAL on top of the checkpoint, oldest first: rotated
+  // segments (a checkpoint's manifest write crashed after rotating the
+  // log), then the active log. Blind-write semantics make this safe even
+  // when the manifest already includes a prefix of the replayed entries
+  // (crash between manifest rename and segment unlink).
+  auto replay_records = [&db](const std::vector<Record>& records) -> Status {
+    for (const Record& r : records) {
+      Status st = r.is_tombstone() ? db->tree_->Delete(r.key)
+                                   : db->tree_->Put(r.key, r.payload);
+      if (!st.ok()) {
+        // A checksummed entry the tree rejects means the log lied about
+        // its own contents.
+        if (st.IsInvalidArgument()) {
+          return Status::Corruption("WAL replay: " + st.message());
+        }
+        return st;
+      }
+      ++db->recovery_replayed_;
+    }
+    return Status::OK();
+  };
+
+  for (const std::string& seg_path : wal_segments) {
+    size_t seg_valid_bytes = 0;
+    auto seg_or = WalReader::ReadAll(seg_path, &seg_valid_bytes);
+    if (!seg_or.ok()) return seg_or.status();
+    // Rotation only ever renames a fully synced, quiesced log, so a torn
+    // tail in a *segment* is real corruption, not a benign crash artifact
+    // (unlike the active log below).
+    if (seg_valid_bytes < FileSizeOrZero(seg_path)) {
+      return Status::Corruption("rotated WAL segment " + seg_path +
+                                " has a torn tail");
+    }
+    LSMSSD_RETURN_IF_ERROR(replay_records(seg_or.value()));
+    db->wal_old_bytes_ += seg_valid_bytes;
+    const uint64_t seq = std::stoull(seg_path.substr(seg_path.rfind('.') + 1));
+    db->next_wal_segment_ = std::max(db->next_wal_segment_, seq + 1);
+  }
+
   const std::string wal_path = WalPath(dir);
   size_t wal_valid_bytes = 0;
   auto replay_or = WalReader::ReadAll(wal_path, &wal_valid_bytes);
   if (!replay_or.ok()) return replay_or.status();
-  for (const Record& r : replay_or.value()) {
-    Status st = r.is_tombstone() ? db->tree_->Delete(r.key)
-                                 : db->tree_->Put(r.key, r.payload);
-    if (!st.ok()) {
-      // A checksummed entry the tree rejects means the log lied about
-      // its own contents.
-      if (st.IsInvalidArgument()) {
-        return Status::Corruption("WAL replay: " + st.message());
-      }
-      return st;
-    }
-    ++db->recovery_replayed_;
-  }
+  LSMSSD_RETURN_IF_ERROR(replay_records(replay_or.value()));
 
   // The log's intact prefix stays (a crash before the next checkpoint
   // must replay it again), but a torn tail is cut off *before* new
@@ -213,33 +290,62 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
       return Errno("truncate torn WAL tail " + wal_path);
     }
   }
-  if (dbopts.fault_injector != nullptr) {
-    auto base_or = PosixWalFile::Open(wal_path);
-    if (!base_or.ok()) return base_or.status();
-    db->wal_ = WalWriter::Wrap(std::make_unique<FaultInjectionWalFile>(
-        std::move(base_or).value(), dbopts.fault_injector));
-  } else {
-    auto wal_or = WalWriter::Open(wal_path);
-    if (!wal_or.ok()) return wal_or.status();
-    db->wal_ = std::move(wal_or).value();
-  }
+  auto writer_or = db->MakeWalWriter(wal_path);
+  if (!writer_or.ok()) return writer_or.status();
+  db->wal_ = std::move(writer_or).value();
   db->wal_recovered_bytes_ = wal_valid_bytes;
+
+  if (dbopts.background_checkpoint && dbopts.checkpoint_wal_bytes > 0) {
+    db->maintenance_ = std::thread(&Db::MaintenanceLoop, db.get());
+  }
   return db;
 }
 
-Db::~Db() {
-  if (!failed_ && wal_ != nullptr) (void)wal_->Sync();
+StatusOr<std::unique_ptr<WalWriter>> Db::MakeWalWriter(
+    const std::string& path) const {
+  if (dbopts_.fault_injector != nullptr) {
+    auto base_or = PosixWalFile::Open(path);
+    if (!base_or.ok()) return base_or.status();
+    return WalWriter::Wrap(std::make_unique<FaultInjectionWalFile>(
+        std::move(base_or).value(), dbopts_.fault_injector));
+  }
+  return WalWriter::Open(path);
 }
 
-Status Db::Fail(Status st) {
+void Db::Close() {
+  {
+    std::unique_lock<std::mutex> lk(db_mu_);
+    if (closed_) return;
+    closed_ = true;
+    stop_maintenance_ = true;
+  }
+  maint_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+Db::~Db() {
+  Close();
+  if (!failed() && wal_ != nullptr) (void)wal_->Sync();
+}
+
+Status Db::FailLocked(Status st) {
   LSMSSD_CHECK(!st.ok());
-  failed_ = true;
+  failed_.store(true, std::memory_order_release);
+  // Wake every waiter (group-commit followers, queued checkpoints, the
+  // maintenance thread) so nobody blocks on progress that will never come.
+  sync_cv_.notify_all();
+  ckpt_cv_.notify_all();
+  maint_cv_.notify_all();
   return st;
 }
 
-uint64_t Db::WalLiveBytes() const {
-  return wal_recovered_bytes_ +
-         (wal_->bytes_appended() - bytes_at_last_truncate_);
+Status Db::FailedStatus() const {
+  return Status::FailedPrecondition(
+      "db failed after a durability error; reopen to recover");
+}
+
+uint64_t Db::WalLiveBytesLocked() const {
+  return wal_old_bytes_ + wal_recovered_bytes_ + wal_->bytes_appended();
 }
 
 Status Db::Put(Key key, std::string_view payload) {
@@ -249,12 +355,9 @@ Status Db::Put(Key key, std::string_view payload) {
 Status Db::Delete(Key key) { return Apply(Record::Tombstone(key)); }
 
 Status Db::Apply(const Record& record) {
-  if (failed_) {
-    return Status::FailedPrecondition(
-        "db failed after a durability error; reopen to recover");
-  }
-  // Validate before logging: the WAL must never carry an entry the tree
-  // would reject on replay.
+  // Validate before logging (and before taking any lock): the WAL must
+  // never carry an entry the tree would reject on replay. tree_ and its
+  // options are immutable after Open.
   const Options& options = tree_->options();
   if (!record.is_tombstone() &&
       record.payload.size() != options.payload_size) {
@@ -264,97 +367,270 @@ Status Db::Apply(const Record& record) {
     return Status::InvalidArgument("key does not fit in key_size bytes");
   }
 
-  LSMSSD_RETURN_IF_ERROR_FAIL(wal_->Append(record));
+  std::unique_lock<std::mutex> lk(db_mu_);
+  if (failed()) return FailedStatus();
 
-  const bool need_sync =
-      dbopts_.wal_sync_mode == WalSyncMode::kAlways ||
-      (dbopts_.wal_sync_mode == WalSyncMode::kEveryN &&
-       wal_->entries_appended() - entries_synced_ >=
-           dbopts_.wal_sync_every_n);
-  if (need_sync) {
-    LSMSSD_RETURN_IF_ERROR_FAIL(wal_->Sync());
-    ++wal_syncs_;
-    entries_synced_ = wal_->entries_appended();
+  // Append + apply under one continuous db_mu_ hold, so tree apply order
+  // is exactly WAL append order (recovery replays the same sequence).
+  const uint64_t bytes_before = wal_->bytes_appended();
+  if (Status st = wal_->Append(record); !st.ok()) {
+    return FailLocked(std::move(st));
+  }
+  wal_bytes_total_ += wal_->bytes_appended() - bytes_before;
+  const uint64_t my_seq = ++seq_appended_;
+
+  {
+    std::unique_lock<SharedMutex> tlk(tree_mu_);
+    Status st = record.is_tombstone()
+                    ? tree_->Delete(record.key)
+                    : tree_->Put(record.key, record.payload);
+    if (!st.ok()) {
+      tlk.unlock();
+      return FailLocked(std::move(st));
+    }
   }
 
-  LSMSSD_RETURN_IF_ERROR_FAIL(record.is_tombstone()
-                                  ? tree_->Delete(record.key)
-                                  : tree_->Put(record.key, record.payload));
+  switch (dbopts_.wal_sync_mode) {
+    case WalSyncMode::kAlways:
+      LSMSSD_RETURN_IF_ERROR(SyncCoveringLocked(lk, my_seq));
+      break;
+    case WalSyncMode::kEveryN:
+      // Count appends not yet covered by a completed *or in-flight* sync;
+      // when a batch of N has accumulated, this writer leads (or queues
+      // behind the in-flight leader) a round covering all of them.
+      if (seq_appended_ - std::max(seq_synced_, sync_target_) >=
+          dbopts_.wal_sync_every_n) {
+        LSMSSD_RETURN_IF_ERROR(SyncCoveringLocked(lk, seq_appended_));
+      }
+      break;
+    case WalSyncMode::kNone:
+      break;
+  }
 
   if (dbopts_.checkpoint_wal_bytes > 0 &&
-      WalLiveBytes() >= dbopts_.checkpoint_wal_bytes) {
-    LSMSSD_RETURN_IF_ERROR_FAIL(CheckpointInternal());
+      WalLiveBytesLocked() >= dbopts_.checkpoint_wal_bytes) {
+    if (dbopts_.background_checkpoint) {
+      // Hand the work to the maintenance thread; this writer returns
+      // without stalling behind the manifest write.
+      if (!checkpoint_requested_ && !checkpoint_in_progress_) {
+        checkpoint_requested_ = true;
+        maint_cv_.notify_one();
+      }
+    } else {
+      LSMSSD_RETURN_IF_ERROR(CheckpointLocked(lk));
+    }
   }
   return Status::OK();
 }
 
-StatusOr<std::string> Db::Get(Key key) {
-  if (failed_) {
-    return Status::FailedPrecondition(
-        "db failed after a durability error; reopen to recover");
+Status Db::SyncCoveringLocked(std::unique_lock<std::mutex>& lk,
+                              uint64_t target) {
+  while (seq_synced_ < target) {
+    if (failed()) return FailedStatus();
+    if (sync_in_progress_) {
+      // Another writer is the leader; its round (or a later one) will
+      // cover us. Wait for it to complete.
+      sync_cv_.wait(lk);
+      continue;
+    }
+    // Become the leader: claim everything appended so far, fsync once for
+    // the whole batch with the commit lock released, and publish.
+    sync_in_progress_ = true;
+    const uint64_t cover = seq_appended_;
+    sync_target_ = std::max(sync_target_, cover);
+    lk.unlock();
+    Status st = wal_->Sync();
+    lk.lock();
+    sync_in_progress_ = false;
+    if (!st.ok()) {
+      sync_cv_.notify_all();
+      return FailLocked(std::move(st));
+    }
+    seq_synced_ = std::max(seq_synced_, cover);
+    ++wal_syncs_;
+    sync_cv_.notify_all();
   }
+  return Status::OK();
+}
+
+Status Db::ForceSyncAllLocked(std::unique_lock<std::mutex>& lk) {
+  // At least one unconditional fsync (SyncWal/checkpoint semantics: the
+  // sync counter always advances), then loop until — with db_mu_ held
+  // continuously since the check — nothing is in flight and everything
+  // appended is covered. At that point the WAL file is stable: safe to
+  // rotate or to hand to a fresh writer.
+  bool synced_once = false;
+  for (;;) {
+    if (failed()) return FailedStatus();
+    if (sync_in_progress_) {
+      sync_cv_.wait(lk);
+      continue;
+    }
+    if (synced_once && seq_synced_ == seq_appended_) return Status::OK();
+    sync_in_progress_ = true;
+    const uint64_t cover = seq_appended_;
+    sync_target_ = std::max(sync_target_, cover);
+    lk.unlock();
+    Status st = wal_->Sync();
+    lk.lock();
+    sync_in_progress_ = false;
+    if (!st.ok()) {
+      sync_cv_.notify_all();
+      return FailLocked(std::move(st));
+    }
+    seq_synced_ = std::max(seq_synced_, cover);
+    ++wal_syncs_;
+    synced_once = true;
+    sync_cv_.notify_all();
+  }
+}
+
+StatusOr<std::string> Db::Get(Key key) {
+  if (failed()) return FailedStatus();
+  std::shared_lock<SharedMutex> tlk(tree_mu_);
   return tree_->Get(key);
 }
 
 Status Db::Scan(Key lo, Key hi,
                 std::vector<std::pair<Key, std::string>>* out) {
-  if (failed_) {
-    return Status::FailedPrecondition(
-        "db failed after a durability error; reopen to recover");
-  }
+  if (failed()) return FailedStatus();
+  std::shared_lock<SharedMutex> tlk(tree_mu_);
   return tree_->Scan(lo, hi, out);
 }
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
-  if (failed_) return nullptr;
-  return tree_->NewIterator();
+  if (failed()) return nullptr;
+  std::shared_lock<SharedMutex> tlk(tree_mu_);
+  auto base = tree_->NewIterator();
+  if (base == nullptr) return nullptr;
+  return std::make_unique<SnapshotIterator>(std::move(tlk), std::move(base));
 }
 
 Status Db::SyncWal() {
-  if (failed_) {
-    return Status::FailedPrecondition(
-        "db failed after a durability error; reopen to recover");
-  }
-  LSMSSD_RETURN_IF_ERROR_FAIL(wal_->Sync());
-  ++wal_syncs_;
-  entries_synced_ = wal_->entries_appended();
-  return Status::OK();
+  std::unique_lock<std::mutex> lk(db_mu_);
+  if (failed()) return FailedStatus();
+  return ForceSyncAllLocked(lk);
 }
 
 Status Db::Checkpoint() {
-  if (failed_) {
-    return Status::FailedPrecondition(
-        "db failed after a durability error; reopen to recover");
+  std::unique_lock<std::mutex> lk(db_mu_);
+  if (failed()) return FailedStatus();
+  return CheckpointLocked(lk);
+}
+
+Status Db::CheckpointLocked(std::unique_lock<std::mutex>& lk) {
+  while (checkpoint_in_progress_) {
+    ckpt_cv_.wait(lk);
+    if (failed()) return FailedStatus();
   }
-  LSMSSD_RETURN_IF_ERROR_FAIL(CheckpointInternal());
+  checkpoint_in_progress_ = true;
+  Status st = CheckpointBodyLocked(lk);
+  checkpoint_in_progress_ = false;
+  checkpoint_requested_ = false;
+  ckpt_cv_.notify_all();
+  return st;
+}
+
+Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
+  FaultInjector* injector = dbopts_.fault_injector;
+
+  // 1. Quiesce + sync: the on-disk WAL must cover every entry the
+  //    manifest will include *before* the manifest is published. A crash
+  //    between the manifest rename and the segment unlink (step 5)
+  //    recovers by replaying the rotated log on top of the checkpoint,
+  //    which only re-converges if the durable log is a superset of the
+  //    manifest's entries. Without this sync, kEveryN/kNone could publish
+  //    a manifest at entry N while the disk log ends at M < N — replay
+  //    would then regress every key rewritten in (M, N] to its older
+  //    value. On return db_mu_ has been held continuously since the last
+  //    check: no sync is in flight and no new append can sneak in before
+  //    the rotation below.
+  LSMSSD_RETURN_IF_ERROR(ForceSyncAllLocked(lk));
+
+  // 2. Rotate the WAL: the fully synced log becomes an immutable numbered
+  //    segment and writers get a fresh empty wal.log, so appends continue
+  //    while the manifest (covering exactly the rotated entries) is being
+  //    written off-lock below. Recovery replays segments strictly —
+  //    they were synced before the rename, so a tear in one is real
+  //    corruption.
+  if (injector != nullptr && injector->Step()) {
+    return FailLocked(
+        Status::IoError("injected fault: crash before WAL rotation"));
+  }
+  const std::string segment_path = WalSegmentPath(dir_, next_wal_segment_);
+  if (::rename(WalPath(dir_).c_str(), segment_path.c_str()) != 0) {
+    return FailLocked(Errno("rotate WAL -> " + segment_path));
+  }
+  ++next_wal_segment_;
+  wal_old_bytes_ += wal_recovered_bytes_ + wal_->bytes_appended();
+  wal_recovered_bytes_ = 0;
+  auto writer_or = MakeWalWriter(WalPath(dir_));
+  if (!writer_or.ok()) return FailLocked(writer_or.status());
+  wal_ = std::move(writer_or).value();
+  if (Status st = SyncDir(dir_); !st.ok()) return FailLocked(std::move(st));
+
+  // 3. Snapshot the tree (writers are excluded by db_mu_; readers never
+  //    mutate) and pin the snapshot's blocks, so a merge running after we
+  //    drop the lock cannot free one and let a later allocation recycle
+  //    its slot under the manifest being written.
+  const std::string manifest_data = EncodeManifest(*tree_);
+  pinned_->BeginCheckpoint(CurrentTreeBlocks());
+
+  // 4. The slow part — device flush + manifest write — runs with the
+  //    commit lock released: writers keep appending to the fresh WAL.
+  lk.unlock();
+  Status st = pinned_->Flush();
+  if (st.ok()) st = WriteManifestAtomically(manifest_data);
+  lk.lock();
+  if (!st.ok()) {
+    pinned_->AbortCheckpoint();
+    return FailLocked(std::move(st));
+  }
+  ++checkpoints_;
+
+  // 5. The manifest covers every rotated entry; delete the segments. (A
+  //    crash before this double-replays them — safe, blind writes.)
+  if (injector != nullptr && injector->Step()) {
+    return FailLocked(
+        Status::IoError("injected fault: crash before WAL segment unlink"));
+  }
+  for (const std::string& seg : ListWalSegments(dir_)) {
+    (void)::unlink(seg.c_str());
+  }
+  wal_old_bytes_ = 0;
+
+  // 6. Blocks only the *previous* manifest referenced may now recycle.
+  //    Exclusive tree lock: recycling frees device slots a concurrent
+  //    reader might otherwise probe mid-read.
+  {
+    std::unique_lock<SharedMutex> tlk(tree_mu_);
+    st = pinned_->CommitCheckpoint();
+  }
+  if (!st.ok()) return FailLocked(std::move(st));
   return Status::OK();
 }
 
-Status Db::CheckpointInternal() {
-  // 1. The on-disk WAL must cover every entry the manifest will include
-  //    *before* the manifest is published: a crash between the rename
-  //    (step 3) and the truncate (step 4) recovers by replaying the log
-  //    on top of the checkpoint, which only re-converges if the durable
-  //    log is a superset of the manifest's entries. Without this sync,
-  //    kEveryN/kNone could publish a manifest at entry N while the disk
-  //    log ends at M < N — replay would then regress every key
-  //    rewritten in (M, N] to its older value.
-  LSMSSD_RETURN_IF_ERROR(wal_->Sync());
-  ++wal_syncs_;
-  entries_synced_ = wal_->entries_appended();
-  // 2. Every block the manifest will reference must be durable too.
-  LSMSSD_RETURN_IF_ERROR(pinned_->Flush());
-  // 3. Publish the manifest atomically.
-  LSMSSD_RETURN_IF_ERROR(WriteManifestAtomically(EncodeManifest(*tree_)));
-  ++checkpoints_;
-  // 4. The WAL's entries are all included in the manifest; empty it. (A
-  //    crash between 3 and 4 double-replays them — safe, blind writes.)
-  LSMSSD_RETURN_IF_ERROR(wal_->Truncate());
-  wal_recovered_bytes_ = 0;
-  bytes_at_last_truncate_ = wal_->bytes_appended();
-  // 5. Blocks only the *previous* manifest referenced may now recycle.
-  LSMSSD_RETURN_IF_ERROR(pinned_->Commit(CurrentTreeBlocks()));
-  return Status::OK();
+void Db::MaintenanceLoop() {
+  std::unique_lock<std::mutex> lk(db_mu_);
+  for (;;) {
+    maint_cv_.wait(
+        lk, [this] { return stop_maintenance_ || checkpoint_requested_; });
+    if (stop_maintenance_) return;
+    if (failed()) {
+      // Poisoned: stay dormant until Close(). The request can never be
+      // served; clearing it keeps the predicate from busy-waking.
+      checkpoint_requested_ = false;
+      continue;
+    }
+    // Re-check the threshold: a manual Checkpoint() may have landed
+    // between the request and this wakeup.
+    if (WalLiveBytesLocked() < dbopts_.checkpoint_wal_bytes) {
+      checkpoint_requested_ = false;
+      continue;
+    }
+    // Errors poison the Db (writers see it on their next operation).
+    (void)CheckpointLocked(lk);
+  }
 }
 
 Status Db::WriteManifestAtomically(const std::string& data) {
@@ -390,13 +666,16 @@ std::vector<BlockId> Db::CurrentTreeBlocks() const {
 }
 
 DbStats Db::Stats() const {
+  std::unique_lock<std::mutex> lk(db_mu_);
   DbStats s;
   // The tree's device view carries the complete logical account: block
   // writes/reads/allocs/frees plus cache_hits/misses and bloom_skips
   // (mirrored by CachedBlockDevice / recorded by Level::Lookup).
   s.io = tree_->device()->stats();
-  s.wal_entries_appended = wal_->entries_appended();
-  s.wal_bytes_appended = wal_->bytes_appended();
+  // Db-level counters, not the active writer's: the writer's own counters
+  // reset every time a checkpoint rotates in a fresh wal.log.
+  s.wal_entries_appended = seq_appended_;
+  s.wal_bytes_appended = wal_bytes_total_;
   s.wal_syncs = wal_syncs_;
   s.checkpoints = checkpoints_;
   s.recovery_wal_entries_replayed = recovery_replayed_;

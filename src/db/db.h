@@ -1,9 +1,13 @@
 #ifndef LSMSSD_DB_DB_H_
 #define LSMSSD_DB_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "src/storage/fault_injection_block_device.h"
 #include "src/storage/file_block_device.h"
 #include "src/storage/io_stats.h"
+#include "src/util/shared_mutex.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 
@@ -29,8 +34,9 @@ namespace lsmssd {
 enum class WalSyncMode {
   kNone,    ///< Sync only at checkpoint/close. Fastest; crash may lose
             ///< the acked tail (never tear it).
-  kEveryN,  ///< Group commit: sync every DbOptions::wal_sync_every_n
-            ///< appends.
+  kEveryN,  ///< Group commit: one writer fsyncs once the batch reaches
+            ///< DbOptions::wal_sync_every_n unsynced appends (across all
+            ///< threads), and every waiter it covers is acked together.
   kAlways,  ///< Sync before acknowledging every modification.
 };
 
@@ -49,18 +55,31 @@ struct DbOptions {
   WalSyncMode wal_sync_mode = WalSyncMode::kAlways;
   uint64_t wal_sync_every_n = 64;  ///< Used by kEveryN only; must be > 0.
 
-  /// Automatic checkpoint threshold: when the WAL exceeds this many
-  /// bytes, the modification that crossed the line triggers a checkpoint
-  /// before returning. 0 disables automatic checkpoints (call
-  /// Db::Checkpoint() manually).
+  /// Automatic checkpoint threshold: a checkpoint runs once the live WAL
+  /// (rotated segments + active log) exceeds this many bytes. 0 disables
+  /// automatic checkpoints (call Db::Checkpoint() manually). Must
+  /// otherwise be large enough that checkpoints cannot fire on every
+  /// single modification (>= two framed entries); Open rejects smaller
+  /// values.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
+
+  /// Run automatic checkpoints on the Db's background maintenance thread
+  /// (the default): the writer that trips the threshold only *requests*
+  /// a checkpoint and returns; the maintenance thread takes it, and the
+  /// slow part (device flush + manifest write) runs off the commit lock,
+  /// so no writer ever stalls behind a manifest write. When false,
+  /// auto-checkpoints run inline in the tripping writer before its op
+  /// returns — fully deterministic, used by the crash-point sweep and by
+  /// tests that count checkpoints. Db::Checkpoint() is synchronous either
+  /// way.
+  bool background_checkpoint = true;
 
   bool create_if_missing = true;  ///< Open fails on a missing dir if false.
   bool error_if_exists = false;   ///< Open fails on an existing Db if true.
 
   /// Test seam: when set, every durable step (block write/flush, WAL
-  /// append/sync/truncate, manifest write/rename) consults this
-  /// injector, and a tripped injector kills the instance mid-step —
+  /// append/sync, segment rotate/unlink, manifest write/rename) consults
+  /// this injector, and a tripped injector kills the instance mid-step —
   /// the crash-point sweep in tests/integration/crash_sweep_test.cc
   /// drives recovery through every such point. Must outlive the Db.
   FaultInjector* fault_injector = nullptr;
@@ -82,41 +101,60 @@ struct DbStats {
 };
 
 /// Single-entry-point durable engine: a directory owning a
-/// FileBlockDevice (`blocks.dev`), a write-ahead log (`wal.log`), a
+/// FileBlockDevice (`blocks.dev`), a write-ahead log (`wal.log`, plus
+/// rotated `wal.old.<n>` segments while a checkpoint is in flight), a
 /// checkpoint (`MANIFEST`), and the LsmTree wired over them. This is the
 /// documented way into the library for applications; LsmTree stays the
 /// policy-research core underneath.
 ///
 /// Lifecycle:
 ///   * Db::Open creates the directory or auto-recovers an existing one:
-///     load MANIFEST -> LsmTree::Restore -> replay the WAL tail
-///     (tolerating a torn final entry).
+///     load MANIFEST -> LsmTree::Restore -> replay every rotated WAL
+///     segment in order, then the active WAL tail (tolerating a torn
+///     final entry in the active log only).
 ///   * Every Put/Delete is WAL-appended *before* it is applied, then
 ///     fsynced per WalSyncMode.
-///   * When the WAL exceeds DbOptions::checkpoint_wal_bytes, the Db
-///     checkpoints automatically: fsync the WAL (the durable log must
-///     cover every entry the manifest will include), flush the block
-///     device, write the manifest to MANIFEST.tmp, fsync, atomically
-///     rename over MANIFEST, fsync the directory, truncate the WAL, and
-///     recycle block slots whose free had been deferred (see
-///     PinnedBlockDevice).
+///   * A checkpoint (manual, or automatic once the live WAL exceeds
+///     DbOptions::checkpoint_wal_bytes) syncs the WAL, *rotates* it
+///     (rename to wal.old.<n>, fresh empty wal.log), publishes the
+///     manifest atomically (tmp + fsync + rename + dir fsync), deletes
+///     the rotated segments it covers, and recycles block slots whose
+///     free had been deferred (see PinnedBlockDevice). Rotation — rather
+///     than truncation — is what lets writers keep appending while the
+///     manifest is being written.
+///
+/// Thread-safety: the Db is safe for concurrent use. Reads (Get/Scan/
+/// NewIterator) run under a shared tree lock; Put/Delete serialize
+/// through a commit lock with cross-thread group commit; automatic
+/// checkpoints run on a background maintenance thread by default. An
+/// iterator holds the shared tree lock for its whole lifetime, so
+/// writers wait until it is destroyed — and a thread must never write
+/// while itself holding an open iterator (self-deadlock). See DESIGN.md,
+/// "Threading model", for the lock hierarchy and protocols.
 ///
 /// After any durability error (including injected faults) the instance
 /// enters a failed state and refuses further operations; reopening the
 /// directory recovers the last consistent state.
-///
-/// Single-threaded, like the tree (the paper scopes concurrency out).
 class Db {
  public:
   /// Opens or creates the Db rooted at directory `dir` (see class
   /// comment). `dbopts.options` must validate; annihilate_delete_put is
   /// rejected because WAL replay re-applies a tail of the history, which
-  /// eager tombstone+insert annihilation cannot tolerate.
+  /// eager tombstone+insert annihilation cannot tolerate. Invalid
+  /// WAL/checkpoint knobs (wal_sync_every_n == 0 under kEveryN, a
+  /// non-zero checkpoint_wal_bytes too small to hold two entries) are
+  /// rejected here too.
   static StatusOr<std::unique_ptr<Db>> Open(const DbOptions& dbopts,
                                             const std::string& dir);
 
-  /// Best-effort final WAL sync (unless the instance failed), then
-  /// closes everything. No checkpoint — reopening replays the WAL.
+  /// Joins the background maintenance thread (finishing any in-flight
+  /// checkpoint) and stops accepting maintenance work. Idempotent; called
+  /// automatically by the destructor. Concurrent operations must have
+  /// completed before Close() — it is a lifetime event, not an operation.
+  void Close();
+
+  /// Close(), then a best-effort final WAL sync (unless the instance
+  /// failed). No checkpoint — reopening replays the WAL.
   ~Db();
 
   Db(const Db&) = delete;
@@ -125,22 +163,26 @@ class Db {
   // ---- Modifications (WAL-appended before apply) ---------------------
 
   /// Inserts or blind-updates `key`. `payload` must be exactly
-  /// payload_size bytes.
+  /// payload_size bytes. Safe to call from many threads.
   Status Put(Key key, std::string_view payload);
 
   /// Deletes `key` (tombstone; the key need not exist).
   Status Delete(Key key);
 
-  // ---- Reads ---------------------------------------------------------
+  // ---- Reads (shared tree lock; run concurrently with each other) ----
 
   StatusOr<std::string> Get(Key key);
   Status Scan(Key lo, Key hi, std::vector<std::pair<Key, std::string>>* out);
-  /// The Db must not be modified while the iterator is in use.
+  /// The returned iterator pins the current tree state by holding the
+  /// shared tree lock until destroyed: readers proceed, writers wait.
+  /// Do not write from the thread holding it. Returns nullptr after a
+  /// durability failure.
   std::unique_ptr<Iterator> NewIterator() const;
 
   // ---- Durability ----------------------------------------------------
 
-  /// Takes a checkpoint now (manifest + WAL truncate + slot recycling).
+  /// Takes a checkpoint now, synchronously (manifest + WAL rotation +
+  /// slot recycling). Serializes with any in-flight automatic checkpoint.
   Status Checkpoint();
 
   /// fsyncs the WAL now (makes every acked modification durable without
@@ -153,9 +195,11 @@ class Db {
   const Options& options() const { return tree_->options(); }
   const std::string& dir() const { return dir_; }
   /// True after a durability error; all operations refuse until reopen.
-  bool failed() const { return failed_; }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
   /// The underlying tree, for research/diagnostic code. Mutating it
-  /// directly bypasses the WAL — such changes are lost on crash.
+  /// directly bypasses the WAL — such changes are lost on crash — and
+  /// bypasses the Db's locks: only touch it while nothing else (including
+  /// a background checkpoint) runs.
   LsmTree* tree() { return tree_.get(); }
 
   // Layout of a Db directory (exposed for tools/tests).
@@ -163,22 +207,66 @@ class Db {
   static std::string ManifestTmpPath(const std::string& dir);
   static std::string DevicePath(const std::string& dir);
   static std::string WalPath(const std::string& dir);
+  /// Path of rotated WAL segment number `seq` (wal.old.<seq>).
+  static std::string WalSegmentPath(const std::string& dir, uint64_t seq);
+  /// Existing rotated segments in `dir`, sorted by sequence number
+  /// (replay order). Exposed so tests can wipe a Db directory completely.
+  static std::vector<std::string> ListWalSegments(const std::string& dir);
 
  private:
   Db(DbOptions dbopts, std::string dir);
 
-  /// WAL-append, sync per policy, apply to the tree, maybe checkpoint.
+  /// WAL-append + tree apply under the commit lock, group-commit sync per
+  /// policy, then trigger/run the auto-checkpoint if the threshold
+  /// tripped.
   Status Apply(const Record& record);
-  Status CheckpointInternal();
+
+  /// Blocks until every entry up to `target` is covered by a successful
+  /// fsync, becoming the group-commit leader when no sync is in flight
+  /// (the leader fsyncs with the commit lock *released*; followers wait
+  /// on sync_cv_). `lk` must hold db_mu_. Poisons and returns the error
+  /// on fsync failure.
+  Status SyncCoveringLocked(std::unique_lock<std::mutex>& lk,
+                            uint64_t target);
+
+  /// Quiesces in-flight syncs and issues at least one fsync, so that on
+  /// return (with db_mu_ held continuously since the last check) every
+  /// appended entry is synced and no sync is in flight — the WAL file is
+  /// stable and may be rotated or handed to a new writer.
+  Status ForceSyncAllLocked(std::unique_lock<std::mutex>& lk);
+
+  /// Serialized checkpoint entry point (waits out a concurrent
+  /// checkpoint, then runs one). `lk` must hold db_mu_.
+  Status CheckpointLocked(std::unique_lock<std::mutex>& lk);
+  /// The checkpoint protocol itself; db_mu_ is released during the
+  /// device flush + manifest write (see DESIGN.md). Requires
+  /// checkpoint_in_progress_ set by the caller.
+  Status CheckpointBodyLocked(std::unique_lock<std::mutex>& lk);
+
+  /// Background maintenance thread: runs auto-checkpoints requested by
+  /// writers until Close().
+  void MaintenanceLoop();
+
   /// tmp + fsync + rename + dir-fsync, with injected crash points.
+  /// Called *without* db_mu_ held (it only touches dir_ and the
+  /// injector).
   Status WriteManifestAtomically(const std::string& data);
   /// Block ids referenced by the live tree (the next manifest's pin set).
+  /// Requires db_mu_ (tree structure is stable under it).
   std::vector<BlockId> CurrentTreeBlocks() const;
-  /// Marks the instance failed and passes `st` through.
-  Status Fail(Status st);
-  /// Bytes currently in the WAL (recovered tail + appends since the last
-  /// truncate); drives the auto-checkpoint threshold.
-  uint64_t WalLiveBytes() const;
+  /// Opens a WAL writer on `path`, wrapping it for fault injection when
+  /// configured.
+  StatusOr<std::unique_ptr<WalWriter>> MakeWalWriter(
+      const std::string& path) const;
+
+  /// Marks the instance failed, wakes every waiter, and passes `st`
+  /// through. Requires db_mu_ held.
+  Status FailLocked(Status st);
+  Status FailedStatus() const;
+
+  /// Bytes currently in the live WAL: rotated segments + recovered tail
+  /// + appends to the active log. Requires db_mu_.
+  uint64_t WalLiveBytesLocked() const;
 
   DbOptions dbopts_;
   std::string dir_;
@@ -186,16 +274,48 @@ class Db {
   std::unique_ptr<FaultInjectionBlockDevice> fault_device_;  ///< Optional.
   std::unique_ptr<PinnedBlockDevice> pinned_;
   std::unique_ptr<LsmTree> tree_;
-  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<WalWriter> wal_;  ///< Active log; swapped at rotation.
 
-  bool failed_ = false;
+  // ---- Concurrency (lock hierarchy: db_mu_ before tree_mu_) ----------
+  //
+  // db_mu_   commit lock: WAL append order == tree apply order, group-
+  //          commit state, checkpoint state, counters. Released while a
+  //          leader fsyncs and while a checkpoint writes the manifest.
+  // tree_mu_ tree + device-metadata lock: Get/Scan/iterators hold it
+  //          shared; tree mutations and deferred-free recycling hold it
+  //          exclusive (always while also holding db_mu_). Writer-
+  //          preferring so tight read loops cannot starve commits
+  //          (std::shared_mutex on glibc would).
+  mutable std::mutex db_mu_;
+  mutable SharedMutex tree_mu_;
+  std::condition_variable sync_cv_;   ///< Group-commit rounds completing.
+  std::condition_variable ckpt_cv_;   ///< Checkpoint slot freeing up.
+  std::condition_variable maint_cv_;  ///< Work for the maintenance thread.
+  std::thread maintenance_;
+
+  std::atomic<bool> failed_{false};
+  bool closed_ = false;               ///< Close() ran (under db_mu_).
+  bool stop_maintenance_ = false;     ///< Tells MaintenanceLoop to exit.
+  bool checkpoint_requested_ = false; ///< Writer tripped the threshold.
+  bool checkpoint_in_progress_ = false;
+  bool sync_in_progress_ = false;     ///< A group-commit leader is fsyncing.
+
+  // Group-commit bookkeeping (under db_mu_). Sequence numbers count WAL
+  // entries appended since open; they survive rotation (unlike the
+  // per-writer counters, which reset with each fresh wal.log).
+  uint64_t seq_appended_ = 0;  ///< Entries appended.
+  uint64_t seq_synced_ = 0;    ///< Entries covered by a completed fsync.
+  uint64_t sync_target_ = 0;   ///< Entries covered once the in-flight
+                               ///< fsync completes (kEveryN batching).
+
+  uint64_t wal_bytes_total_ = 0;  ///< Framed bytes appended since open.
   uint64_t wal_syncs_ = 0;
-  uint64_t entries_synced_ = 0;   ///< wal_->entries_appended() at last sync.
   uint64_t checkpoints_ = 0;
   uint64_t recovery_replayed_ = 0;
   uint64_t recovery_manifest_blocks_ = 0;
-  uint64_t wal_recovered_bytes_ = 0;     ///< WAL size found at Open.
-  uint64_t bytes_at_last_truncate_ = 0;  ///< wal_->bytes_appended() then.
+  uint64_t wal_recovered_bytes_ = 0;  ///< Active-WAL size found at Open.
+  uint64_t wal_old_bytes_ = 0;    ///< Total bytes in rotated segments.
+  uint64_t next_wal_segment_ = 1; ///< Next rotation's segment number.
 };
 
 }  // namespace lsmssd

@@ -39,12 +39,14 @@ StatusOr<std::shared_ptr<const BlockData>> PinnedBlockDevice::ReadBlockShared(
 }
 
 Status PinnedBlockDevice::FreeBlock(BlockId id) {
-  if (pinned_.contains(id)) {
+  if (pinned_.contains(id) ||
+      (checkpoint_active_ && checkpoint_pinned_.contains(id))) {
     if (!deferred_.insert(id).second) {
       return Status::NotFound("double free of pinned block " +
                               std::to_string(id));
     }
-    // Logically freed now; the physical slot recycles at Commit().
+    // Logically freed now; the physical slot recycles once no manifest
+    // (durable or in flight) references it.
     stats_.RecordFree();
     return Status::OK();
   }
@@ -53,17 +55,41 @@ Status PinnedBlockDevice::FreeBlock(BlockId id) {
   return Status::OK();
 }
 
-Status PinnedBlockDevice::Commit(const std::vector<BlockId>& new_pinned) {
+void PinnedBlockDevice::BeginCheckpoint(const std::vector<BlockId>& snapshot) {
+  checkpoint_pinned_.clear();
+  checkpoint_pinned_.insert(snapshot.begin(), snapshot.end());
+  checkpoint_active_ = true;
+}
+
+Status PinnedBlockDevice::CommitCheckpoint() {
+  pinned_.swap(checkpoint_pinned_);
+  checkpoint_pinned_.clear();
+  checkpoint_active_ = false;
+  // Release deferred frees the new manifest does not pin. A block freed
+  // by a merge *while* the manifest was being written is still referenced
+  // by it and must stay deferred until the next checkpoint.
   Status first_error;
-  for (BlockId id : deferred_) {
-    if (Status st = base_->FreeBlock(id); !st.ok() && first_error.ok()) {
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (pinned_.contains(*it)) {
+      ++it;
+      continue;
+    }
+    if (Status st = base_->FreeBlock(*it); !st.ok() && first_error.ok()) {
       first_error = st;
     }
+    it = deferred_.erase(it);
   }
-  deferred_.clear();
-  pinned_.clear();
-  pinned_.insert(new_pinned.begin(), new_pinned.end());
   return first_error;
+}
+
+void PinnedBlockDevice::AbortCheckpoint() {
+  checkpoint_pinned_.clear();
+  checkpoint_active_ = false;
+}
+
+Status PinnedBlockDevice::Commit(const std::vector<BlockId>& new_pinned) {
+  BeginCheckpoint(new_pinned);
+  return CommitCheckpoint();
 }
 
 }  // namespace lsmssd

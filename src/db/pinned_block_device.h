@@ -40,10 +40,30 @@ class PinnedBlockDevice : public BlockDevice {
     return base_->live_blocks() - deferred_.size();
   }
 
-  /// The next checkpoint is durable: releases every deferred free on the
-  /// base device and pins `new_pinned` (the new manifest's block list)
-  /// instead. Errors from the base frees are returned but leave the
-  /// wrapper consistent.
+  /// A checkpoint is about to release the commit lock and publish a
+  /// manifest referencing exactly `snapshot`: pin that set *now*, before
+  /// writers may run again, so a concurrent merge cannot free one of its
+  /// blocks and let a later allocation recycle the slot under the
+  /// manifest being written. Ends with CommitCheckpoint() (publish
+  /// succeeded) or AbortCheckpoint() (it failed).
+  void BeginCheckpoint(const std::vector<BlockId>& snapshot);
+
+  /// The manifest pinned by BeginCheckpoint() is durable: it becomes the
+  /// recovery pin set, and every deferred free *not* in it is released on
+  /// the base device. (A block freed while the manifest was in flight is
+  /// still referenced by the now-durable manifest; its free stays
+  /// deferred until the next checkpoint.) Errors from the base frees are
+  /// returned but leave the wrapper consistent.
+  Status CommitCheckpoint();
+
+  /// The in-flight manifest failed: drop its pin set. Deferred frees for
+  /// blocks only it pinned stay deferred — the Db poisons itself on a
+  /// failed checkpoint, so no further allocation can recycle them anyway.
+  void AbortCheckpoint();
+
+  /// Single-step form (no concurrency window): BeginCheckpoint +
+  /// CommitCheckpoint in one call, for callers that hold every lock
+  /// across the whole publish.
   Status Commit(const std::vector<BlockId>& new_pinned);
 
   /// Blocks whose free is currently deferred (tests/introspection).
@@ -53,10 +73,20 @@ class PinnedBlockDevice : public BlockDevice {
   // into its own stats() (a deferred free counts as a free), so
   // tree->device()->stats() stays the complete account whether or not a
   // cache sits on top.
+  //
+  // Thread-compatibility: not internally locked. The Db's locking
+  // discipline covers it — FreeBlock/WriteNewBlock run under the
+  // exclusive tree lock, reads under the shared one, and the three
+  // checkpoint calls under the commit lock (CommitCheckpoint additionally
+  // under the exclusive tree lock, since it frees device slots readers
+  // might otherwise probe).
 
  private:
   BlockDevice* base_;
   std::unordered_set<BlockId> pinned_;
+  /// Pin set of a manifest currently being written (empty otherwise).
+  std::unordered_set<BlockId> checkpoint_pinned_;
+  bool checkpoint_active_ = false;
   std::unordered_set<BlockId> deferred_;  ///< Freed by the tree, still pinned.
 };
 

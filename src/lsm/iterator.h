@@ -11,8 +11,11 @@ namespace lsmssd {
 
 /// Forward iterator over the live (non-deleted, consolidated) records of
 /// an LSM tree, in key order. Obtained from LsmTree::NewIterator(); the
-/// tree must not be modified while an iterator is open (single-threaded
-/// design; concurrency control is out of scope, as in the paper).
+/// tree must not be modified while an iterator is open. Iterators from
+/// Db::NewIterator() enforce that themselves by holding the Db's shared
+/// tree lock for their lifetime (writers wait until the iterator is
+/// destroyed); bare-tree callers must not mutate the tree while
+/// iterating.
 ///
 /// Usage:
 ///   auto it = tree.NewIterator();

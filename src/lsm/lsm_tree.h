@@ -37,8 +37,13 @@ struct Manifest;
 ///                             CreatePolicy(PolicyKind::kChooseBest));
 ///   tree.value()->Put(42, std::string(options.payload_size, 'x'));
 ///
-/// Single-threaded by design; the paper's concurrency control is an
-/// orthogonal concern (Section II).
+/// Thread-compatible, not internally locked: the paper scopes concurrency
+/// control out (Section II), and the tree keeps the paper's synchronous
+/// merge structure. Concurrent reads (Get/Scan/NewIterator) are safe
+/// against each other; any Put/Delete/merge must be exclusive. lsmssd::Db
+/// layers exactly that reader/writer locking on top (see DESIGN.md,
+/// "Threading model"); research code driving a bare LsmTree from one
+/// thread needs no locks at all.
 class LsmTree {
  public:
   /// Validates `options` (which must match `device->block_size()`), and

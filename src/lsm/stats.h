@@ -1,11 +1,47 @@
 #ifndef LSMSSD_LSM_STATS_H_
 #define LSMSSD_LSM_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace lsmssd {
+
+/// A uint64 tally that may be bumped concurrently. LsmTree is
+/// thread-compatible — concurrent const reads are safe — but Get/Scan
+/// count themselves, so the request counters must tolerate concurrent
+/// readers (Db::Get/Scan under a shared lock). Relaxed ordering is
+/// sufficient: each counter is an independent monotonic tally, never used
+/// to synchronize other memory, and single-threaded counts are
+/// bit-identical to a plain integer. Copyable so LsmStats keeps value
+/// semantics (snapshots, DeltaSince).
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const { return value(); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
 
 /// Per-level merge/write accounting. Vectors are indexed by destination
 /// level (index 0 unused — nothing merges *into* L0). These counters drive
@@ -39,11 +75,12 @@ struct LsmStats {
   /// Pairwise-waste repairs (adjacent-block coalesces) on each level.
   std::vector<uint64_t> pairwise_repairs;
 
-  /// Request counters.
-  uint64_t puts = 0;
-  uint64_t deletes = 0;
-  uint64_t gets = 0;
-  uint64_t scans = 0;
+  /// Request counters. Relaxed so concurrent readers can count their own
+  /// Get/Scan while holding only a shared lock; see RelaxedCounter.
+  RelaxedCounter puts;
+  RelaxedCounter deletes;
+  RelaxedCounter gets;
+  RelaxedCounter scans;
 
   /// Total data blocks written across all levels (sum of the two write
   /// vectors). Tests cross-check this against the device's IoStats.

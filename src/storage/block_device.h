@@ -17,9 +17,14 @@ namespace lsmssd {
 /// any number of times and eventually freed. Implementations must account
 /// every physical read/write in stats().
 ///
-/// Thread-compatibility: instances are not thread-safe; the library drives
-/// one device per LSM tree from a single thread (merges in the paper are
-/// synchronous; concurrency control is explicitly out of scope, Section II).
+/// Thread-compatibility: devices are thread-compatible, not internally
+/// locked. Concurrent const reads (ReadBlock/ReadBlockShared from several
+/// reader threads) are safe as long as no allocation/free/restore mutates
+/// the device at the same time; stats() accounting is atomic either way.
+/// lsmssd::Db enforces that discipline with its tree lock (readers share
+/// it, every mutation holds it exclusively — see DESIGN.md, "Threading
+/// model"); code driving a device directly must serialize mutations
+/// itself. Flush() only fsyncs and may overlap anything.
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;

@@ -1,6 +1,7 @@
 #ifndef LSMSSD_STORAGE_FAULT_INJECTION_H_
 #define LSMSSD_STORAGE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace lsmssd {
@@ -16,45 +17,54 @@ namespace lsmssd {
 /// Running a scenario with the injector disarmed counts its total number
 /// of steps; a crash-point sweep then re-runs the scenario once per
 /// k in [0, steps()), asserting recovery after each.
+///
+/// The clock is atomic so a Db with a background checkpoint thread can
+/// tick it from two threads at once: each step still draws a unique
+/// number, exactly one step trips first, and — because a tripped
+/// injector fails every later step — both threads observe the "process
+/// death" regardless of which one drew the fatal tick. Arm()/Disarm()
+/// are *not* concurrency-safe against in-flight Step() calls; the sweep
+/// calls them only between runs, when no Db is live.
 class FaultInjector {
  public:
   /// Fails step `fail_at_step` and every step after it.
   void Arm(uint64_t fail_at_step) {
-    armed_ = true;
-    fail_at_ = fail_at_step;
-    tripped_ = false;
-    steps_ = 0;
+    fail_at_.store(fail_at_step, std::memory_order_relaxed);
+    tripped_.store(false, std::memory_order_relaxed);
+    steps_.store(0, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
   }
 
   /// Stops injecting (used by the post-crash recovery attempt). Keeps the
   /// step counter running.
   void Disarm() {
-    armed_ = false;
-    tripped_ = false;
+    armed_.store(false, std::memory_order_release);
+    tripped_.store(false, std::memory_order_relaxed);
   }
 
   /// Advances the clock; returns true if this step must fail.
   bool Step() {
-    const uint64_t step = steps_++;
-    if (!armed_) return false;
-    if (tripped_ || step >= fail_at_) {
-      tripped_ = true;
+    const uint64_t step = steps_.fetch_add(1, std::memory_order_relaxed);
+    if (!armed_.load(std::memory_order_acquire)) return false;
+    if (tripped_.load(std::memory_order_relaxed) ||
+        step >= fail_at_.load(std::memory_order_relaxed)) {
+      tripped_.store(true, std::memory_order_relaxed);
       return true;
     }
     return false;
   }
 
   /// True once the armed fault has fired (the "process" is dead).
-  bool tripped() const { return tripped_; }
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
 
   /// Steps observed since construction or the last Arm().
-  uint64_t steps() const { return steps_; }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
 
  private:
-  bool armed_ = false;
-  bool tripped_ = false;
-  uint64_t fail_at_ = 0;
-  uint64_t steps_ = 0;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> tripped_{false};
+  std::atomic<uint64_t> fail_at_{0};
+  std::atomic<uint64_t> steps_{0};
 };
 
 }  // namespace lsmssd

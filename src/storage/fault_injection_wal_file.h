@@ -2,6 +2,7 @@
 #define LSMSSD_STORAGE_FAULT_INJECTION_WAL_FILE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/storage/fault_injection.h"
@@ -18,6 +19,11 @@ namespace lsmssd {
 /// crash points exercises every tear.
 ///
 /// Injector steps: one per Append, Sync, and Truncate.
+///
+/// Thread-safe: a group-commit leader fsyncs with the Db commit lock
+/// released, so Sync runs concurrently with other writers' Appends. A
+/// real fd tolerates that (write vs. fsync); the simulated page cache
+/// needs a mutex around `buffer_`.
 class FaultInjectionWalFile : public WalFile {
  public:
   /// `injector` must outlive this object.
@@ -30,7 +36,10 @@ class FaultInjectionWalFile : public WalFile {
   Status Truncate() override;
 
   /// Bytes appended since the last successful Sync (lost on a crash).
-  size_t unsynced_bytes() const { return buffer_.size(); }
+  size_t unsynced_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return buffer_.size();
+  }
 
  private:
   Status Dead() const {
@@ -39,7 +48,8 @@ class FaultInjectionWalFile : public WalFile {
 
   std::unique_ptr<WalFile> base_;
   FaultInjector* injector_;
-  std::string buffer_;  ///< Appended but not yet synced.
+  mutable std::mutex mu_;
+  std::string buffer_;  ///< Appended but not yet synced. Guarded by mu_.
 };
 
 }  // namespace lsmssd

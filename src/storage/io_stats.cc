@@ -4,25 +4,36 @@
 
 namespace lsmssd {
 
+void IoStats::CopyFrom(const IoStats& other) {
+  block_writes_.store(other.block_writes(), std::memory_order_relaxed);
+  block_reads_.store(other.block_reads(), std::memory_order_relaxed);
+  cached_reads_.store(other.cached_reads(), std::memory_order_relaxed);
+  block_frees_.store(other.block_frees(), std::memory_order_relaxed);
+  block_allocs_.store(other.block_allocs(), std::memory_order_relaxed);
+  cache_hits_.store(other.cache_hits(), std::memory_order_relaxed);
+  cache_misses_.store(other.cache_misses(), std::memory_order_relaxed);
+  bloom_skips_.store(other.bloom_skips(), std::memory_order_relaxed);
+}
+
 void IoStats::Reset() {
-  block_writes_ = 0;
-  block_reads_ = 0;
-  cached_reads_ = 0;
-  block_frees_ = 0;
-  block_allocs_ = 0;
-  cache_hits_ = 0;
-  cache_misses_ = 0;
-  bloom_skips_ = 0;
+  block_writes_.store(0, std::memory_order_relaxed);
+  block_reads_.store(0, std::memory_order_relaxed);
+  cached_reads_.store(0, std::memory_order_relaxed);
+  block_frees_.store(0, std::memory_order_relaxed);
+  block_allocs_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  bloom_skips_.store(0, std::memory_order_relaxed);
 }
 
 std::string IoStats::ToString() const {
   std::ostringstream out;
-  out << "writes=" << block_writes_ << " reads=" << block_reads_
-      << " cached_reads=" << cached_reads_ << " allocs=" << block_allocs_
-      << " frees=" << block_frees_;
-  if (cache_hits_ > 0 || cache_misses_ > 0 || bloom_skips_ > 0) {
-    out << " cache_hits=" << cache_hits_ << " cache_misses=" << cache_misses_
-        << " bloom_skips=" << bloom_skips_;
+  out << "writes=" << block_writes() << " reads=" << block_reads()
+      << " cached_reads=" << cached_reads() << " allocs=" << block_allocs()
+      << " frees=" << block_frees();
+  if (cache_hits() > 0 || cache_misses() > 0 || bloom_skips() > 0) {
+    out << " cache_hits=" << cache_hits() << " cache_misses=" << cache_misses()
+        << " bloom_skips=" << bloom_skips();
   }
   return out.str();
 }

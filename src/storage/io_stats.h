@@ -1,6 +1,7 @@
 #ifndef LSMSSD_STORAGE_IO_STATS_H_
 #define LSMSSD_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -17,25 +18,41 @@ namespace lsmssd {
 /// lookup was answered: a physical block read, a buffer-cache hit, or a
 /// Bloom-filter negative that skipped the block entirely. Benches report
 /// these to break down read cost; none of them affect write counts.
+///
+/// Counters are relaxed atomics so concurrent readers (Db::Get under a
+/// shared lock) may record reads/hits while a writer merges. Relaxed
+/// ordering is sufficient: each counter is an independent monotonic tally,
+/// never used to synchronize other memory. Single-threaded counts are
+/// bit-identical to the plain-integer implementation.
 class IoStats {
  public:
-  void RecordWrite() { ++block_writes_; }
-  void RecordRead() { ++block_reads_; }
-  void RecordCachedRead() { ++cached_reads_; }
-  void RecordFree() { ++block_frees_; }
-  void RecordAllocate() { ++block_allocs_; }
-  void RecordCacheHit() { ++cache_hits_; }
-  void RecordCacheMiss() { ++cache_misses_; }
-  void RecordBloomSkip() { ++bloom_skips_; }
+  IoStats() = default;
+  /// Copyable (Db::Stats() returns a snapshot by value). The copy is a
+  /// per-counter relaxed snapshot, not an atomic snapshot of the whole
+  /// struct — fine for statistics.
+  IoStats(const IoStats& other) { CopyFrom(other); }
+  IoStats& operator=(const IoStats& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
 
-  uint64_t block_writes() const { return block_writes_; }
-  uint64_t block_reads() const { return block_reads_; }
-  uint64_t cached_reads() const { return cached_reads_; }
-  uint64_t block_frees() const { return block_frees_; }
-  uint64_t block_allocs() const { return block_allocs_; }
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
-  uint64_t bloom_skips() const { return bloom_skips_; }
+  void RecordWrite() { Bump(block_writes_); }
+  void RecordRead() { Bump(block_reads_); }
+  void RecordCachedRead() { Bump(cached_reads_); }
+  void RecordFree() { Bump(block_frees_); }
+  void RecordAllocate() { Bump(block_allocs_); }
+  void RecordCacheHit() { Bump(cache_hits_); }
+  void RecordCacheMiss() { Bump(cache_misses_); }
+  void RecordBloomSkip() { Bump(bloom_skips_); }
+
+  uint64_t block_writes() const { return Load(block_writes_); }
+  uint64_t block_reads() const { return Load(block_reads_); }
+  uint64_t cached_reads() const { return Load(cached_reads_); }
+  uint64_t block_frees() const { return Load(block_frees_); }
+  uint64_t block_allocs() const { return Load(block_allocs_); }
+  uint64_t cache_hits() const { return Load(cache_hits_); }
+  uint64_t cache_misses() const { return Load(cache_misses_); }
+  uint64_t bloom_skips() const { return Load(bloom_skips_); }
 
   void Reset();
 
@@ -45,14 +62,22 @@ class IoStats {
   std::string ToString() const;
 
  private:
-  uint64_t block_writes_ = 0;
-  uint64_t block_reads_ = 0;
-  uint64_t cached_reads_ = 0;
-  uint64_t block_frees_ = 0;
-  uint64_t block_allocs_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t bloom_skips_ = 0;
+  static void Bump(std::atomic<uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+  static uint64_t Load(const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  }
+  void CopyFrom(const IoStats& other);
+
+  std::atomic<uint64_t> block_writes_{0};
+  std::atomic<uint64_t> block_reads_{0};
+  std::atomic<uint64_t> cached_reads_{0};
+  std::atomic<uint64_t> block_frees_{0};
+  std::atomic<uint64_t> block_allocs_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> bloom_skips_{0};
 };
 
 }  // namespace lsmssd

@@ -9,6 +9,11 @@ namespace lsmssd {
 LruCache::LruCache(size_t capacity_blocks) : capacity_(capacity_blocks) {}
 
 std::shared_ptr<const BlockData> LruCache::Get(BlockId id) {
+  // A disabled cache (capacity 0) is "no cache", not a cache that always
+  // misses: counting misses here would make IoStats report a 0% hit rate
+  // for runs that never had a cache at all.
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) {
     ++misses_;
@@ -25,6 +30,7 @@ void LruCache::Put(BlockId id, BlockData data) {
 
 void LruCache::Put(BlockId id, std::shared_ptr<const BlockData> data) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it != map_.end()) {
     it->second->data = std::move(data);
@@ -37,6 +43,7 @@ void LruCache::Put(BlockId id, std::shared_ptr<const BlockData> data) {
 }
 
 void LruCache::Erase(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return;
   lru_.erase(it->second);
@@ -44,6 +51,7 @@ void LruCache::Erase(BlockId id) {
 }
 
 bool LruCache::Pin(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return false;
   it->second->pinned = true;
@@ -51,14 +59,20 @@ bool LruCache::Pin(BlockId id) {
 }
 
 void LruCache::Unpin(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return;
   it->second->pinned = false;
 }
 
 void LruCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
+  // A cleared cache starts a fresh accounting epoch; stale hit/miss tallies
+  // must not leak into post-Clear() hit rates.
+  hits_ = 0;
+  misses_ = 0;
 }
 
 void LruCache::EvictIfNeeded() {
@@ -117,8 +131,12 @@ StatusOr<std::shared_ptr<const BlockData>> CachedBlockDevice::ReadBlockShared(
   auto data_or = base_->ReadBlockShared(id);
   if (!data_or.ok()) return data_or;
   stats_.RecordRead();
-  stats_.RecordCacheMiss();
-  base_->stats().RecordCacheMiss();
+  // A disabled cache (capacity 0) reports no hits *and* no misses — the
+  // stats say "no cache", not "0% hit rate".
+  if (cache_.capacity() > 0) {
+    stats_.RecordCacheMiss();
+    base_->stats().RecordCacheMiss();
+  }
   cache_.Put(id, data_or.value());
   return data_or;
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/storage/block.h"
@@ -16,6 +17,10 @@ namespace lsmssd {
 /// holds data blocks; for partial-merge policies the internal index is
 /// pinned (we keep leaf directories in memory outright, so pinning here is
 /// only exercised by tests and by callers caching hot data blocks).
+///
+/// Thread-safe: every operation (including a Get, which reorders the LRU
+/// list) runs under an internal mutex, so concurrent Db readers holding
+/// the tree's shared lock may hit the cache simultaneously.
 class LruCache {
  public:
   /// `capacity_blocks` = 0 disables caching entirely.
@@ -46,12 +51,24 @@ class LruCache {
   /// Removes the pin; no-op if absent or unpinned.
   void Unpin(BlockId id);
 
+  /// Drops every entry *and* resets the hit/miss counters: a cleared
+  /// cache starts a fresh accounting epoch (hit rates measured across a
+  /// Clear() — e.g. across a reopen/restore — would be meaningless).
   void Clear();
 
-  size_t size() const { return map_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -61,9 +78,10 @@ class LruCache {
   };
   using EntryList = std::list<Entry>;
 
-  void EvictIfNeeded();
+  void EvictIfNeeded();  // Requires mu_ held.
 
-  size_t capacity_;
+  mutable std::mutex mu_;
+  const size_t capacity_;
   EntryList lru_;  // Front = most recently used.
   std::unordered_map<BlockId, EntryList::iterator> map_;
   uint64_t hits_ = 0;

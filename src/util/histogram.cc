@@ -11,17 +11,24 @@ Histogram::Histogram(uint64_t lo, uint64_t hi, size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
   LSMSSD_CHECK_GT(buckets, 0u);
   LSMSSD_CHECK_LE(lo, hi);
-  const double width = static_cast<double>(hi - lo) + 1.0;
-  inv_width_ = static_cast<double>(buckets) / width;
 }
 
+unsigned __int128 Histogram::Width() const {
+  return static_cast<unsigned __int128>(hi_ - lo_) + 1;
+}
+
+// BucketOf and BucketLow are the two directions of one exact mapping,
+//   BucketOf(v)   = floor((v - lo) * buckets / width),
+//   BucketLow(i)  = lo + ceil(i * width / buckets),
+// evaluated in 128-bit integers (width can be 2^64; the products can
+// exceed 64 bits). Floating-point scaling here is what used to let the
+// two disagree by one bucket at boundary values.
 size_t Histogram::BucketOf(uint64_t value) const {
   if (value <= lo_) return 0;
   if (value >= hi_) return counts_.size() - 1;
-  auto idx =
-      static_cast<size_t>(static_cast<double>(value - lo_) * inv_width_);
-  if (idx >= counts_.size()) idx = counts_.size() - 1;
-  return idx;
+  const auto idx = static_cast<size_t>(
+      static_cast<unsigned __int128>(value - lo_) * counts_.size() / Width());
+  return idx;  // value < hi => idx < buckets, exactly.
 }
 
 void Histogram::Add(uint64_t value) { AddWeighted(value, 1); }
@@ -44,9 +51,12 @@ double Histogram::Frequency(size_t i) const {
 
 uint64_t Histogram::BucketLow(size_t i) const {
   LSMSSD_CHECK_LT(i, counts_.size());
-  const double width =
-      (static_cast<double>(hi_ - lo_) + 1.0) / counts_.size();
-  return lo_ + static_cast<uint64_t>(i * width);
+  // Smallest v with (v - lo) * buckets / width >= i, i.e.
+  // lo + ceil(i * width / buckets).
+  const unsigned __int128 numer = static_cast<unsigned __int128>(i) * Width();
+  const auto offset =
+      static_cast<uint64_t>((numer + counts_.size() - 1) / counts_.size());
+  return lo_ + offset;
 }
 
 double Histogram::FrequencyCv() const {

@@ -32,10 +32,15 @@ class Histogram {
   /// Fraction of mass in bucket i (0 if empty histogram).
   double Frequency(size_t i) const;
 
-  /// Inclusive lower bound of bucket i's value range.
+  /// Inclusive lower bound of bucket i's value range: the smallest value
+  /// v with BucketOf(v) == i. Derived from the same integer mapping as
+  /// BucketOf, so BucketOf(BucketLow(i)) == i for every bucket — the two
+  /// can never disagree at boundaries.
   uint64_t BucketLow(size_t i) const;
 
-  /// Index of the bucket containing `value` (after clamping).
+  /// Index of the bucket containing `value` (after clamping):
+  /// floor((value - lo) * buckets / (hi - lo + 1)), computed exactly in
+  /// 128-bit integer arithmetic.
   size_t BucketOf(uint64_t value) const;
 
   /// Coefficient of variation of the bucket frequencies; 0 for a perfectly
@@ -46,9 +51,12 @@ class Histogram {
   std::string ToCsv() const;
 
  private:
+  /// Domain width hi - lo + 1 as a 128-bit integer (it overflows uint64_t
+  /// when the domain is the full key space).
+  unsigned __int128 Width() const;
+
   uint64_t lo_;
   uint64_t hi_;
-  double inv_width_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
 };

@@ -3,9 +3,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -25,6 +27,9 @@ std::string FreshDir(const char* tag) {
   ::unlink(Db::ManifestTmpPath(dir).c_str());
   ::unlink(Db::DevicePath(dir).c_str());
   ::unlink(Db::WalPath(dir).c_str());
+  for (const std::string& seg : Db::ListWalSegments(dir)) {
+    ::unlink(seg.c_str());
+  }
   ::rmdir(dir.c_str());
   return dir;
 }
@@ -109,6 +114,7 @@ TEST(DbTest, AutoCheckpointFiresOnWalSize) {
   const std::string dir = FreshDir("auto");
   DbOptions dbopts = TinyDbOptions();
   dbopts.checkpoint_wal_bytes = 2048;  // ~55 tiny entries.
+  dbopts.background_checkpoint = false;  // Deterministic counts.
   auto db_or = Db::Open(dbopts, dir);
   ASSERT_TRUE(db_or.ok());
   Db& db = *db_or.value();
@@ -134,6 +140,7 @@ TEST(DbTest, AutoCheckpointCountsRecoveredWalBytes) {
     }
   }  // ~3.7KB of WAL left behind.
   dbopts.checkpoint_wal_bytes = 2048;
+  dbopts.background_checkpoint = false;  // Deterministic counts.
   auto db_or = Db::Open(dbopts, dir);
   ASSERT_TRUE(db_or.ok());
   // The recovered tail already exceeds the threshold: the first
@@ -168,24 +175,48 @@ TEST(DbTest, ScanAndIteratorSeeWalRecoveredState) {
 
 TEST(DbTest, RejectsInvalidConfigurations) {
   const std::string dir = FreshDir("badopts");
-  {
+  struct Case {
+    const char* name;
+    void (*mutate)(DbOptions&);
+    const char* expect_substring;  // Must appear in the error message.
+  };
+  const Case kCases[] = {
+      {"tree options must validate",
+       [](DbOptions& o) { o.options.gamma = 1.0; }, ""},
+      {"annihilate_delete_put breaks blind replay",
+       [](DbOptions& o) { o.options.annihilate_delete_put = true; },
+       "annihilate"},
+      {"kEveryN with a zero batch never syncs",
+       [](DbOptions& o) {
+         o.wal_sync_mode = WalSyncMode::kEveryN;
+         o.wal_sync_every_n = 0;
+       },
+       "wal_sync_every_n"},
+      {"checkpoint threshold of one byte checkpoints every op",
+       [](DbOptions& o) { o.checkpoint_wal_bytes = 1; },
+       "checkpoint_wal_bytes"},
+      {"checkpoint threshold under two entries checkpoints every op",
+       [](DbOptions& o) { o.checkpoint_wal_bytes = 40; },
+       "checkpoint_wal_bytes"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
     DbOptions dbopts = TinyDbOptions();
-    dbopts.options.gamma = 1.0;
-    EXPECT_TRUE(Db::Open(dbopts, dir).status().IsInvalidArgument());
+    c.mutate(dbopts);
+    const Status st = Db::Open(dbopts, dir).status();
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+    EXPECT_NE(st.message().find(c.expect_substring), std::string::npos)
+        << st.message();
+    struct ::stat unused;
+    EXPECT_NE(::stat(dir.c_str(), &unused), 0)
+        << "rejected Open must not leave a directory behind";
   }
-  {
-    DbOptions dbopts = TinyDbOptions();
-    dbopts.options.annihilate_delete_put = true;  // Breaks blind replay.
-    auto st = Db::Open(dbopts, dir).status();
-    EXPECT_TRUE(st.IsInvalidArgument());
-    EXPECT_NE(st.message().find("annihilate"), std::string::npos);
-  }
-  {
-    DbOptions dbopts = TinyDbOptions();
-    dbopts.wal_sync_mode = WalSyncMode::kEveryN;
-    dbopts.wal_sync_every_n = 0;
-    EXPECT_TRUE(Db::Open(dbopts, dir).status().IsInvalidArgument());
-  }
+  // Boundary: exactly two max-size framed entries (8B frame + 1B type +
+  // 8B key + payload) is the smallest accepted threshold; 0 disables.
+  DbOptions ok = TinyDbOptions();
+  ok.checkpoint_wal_bytes = 2 * (4 + 4 + 1 + 8 + ok.options.payload_size);
+  ok.background_checkpoint = false;
+  EXPECT_TRUE(Db::Open(ok, dir).ok());
 }
 
 TEST(DbTest, CreateIfMissingAndErrorIfExists) {
@@ -391,6 +422,7 @@ TEST(DbTest, LargeWorkloadWithMergesSurvivesManyReopens) {
   const std::string dir = FreshDir("large");
   DbOptions dbopts = TinyDbOptions();
   dbopts.checkpoint_wal_bytes = 4096;
+  dbopts.background_checkpoint = false;  // tree() checks need quiescence.
   std::map<Key, bool> model;  // key -> live?
   for (int round = 0; round < 5; ++round) {
     auto db_or = Db::Open(dbopts, dir);
@@ -418,6 +450,37 @@ TEST(DbTest, LargeWorkloadWithMergesSurvivesManyReopens) {
     } else {
       EXPECT_TRUE(v.status().IsNotFound()) << "ghost key " << k;
     }
+  }
+}
+
+TEST(DbTest, BackgroundCheckpointRunsOffTheWriterThread) {
+  const std::string dir = FreshDir("bg");
+  DbOptions dbopts = TinyDbOptions();
+  dbopts.checkpoint_wal_bytes = 2048;
+  dbopts.background_checkpoint = true;  // The default, spelled out.
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    Db& db = *db_or.value();
+    for (Key k = 0; k < 400; ++k) {
+      ASSERT_TRUE(db.Put(k, MakePayload(dbopts.options, k)).ok());
+    }
+    // Writers only *request* checkpoints; the maintenance thread runs
+    // them asynchronously. Give it a moment (typically instant).
+    for (int i = 0; i < 2000 && db.Stats().checkpoints == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(db.Stats().checkpoints, 0u);
+    EXPECT_FALSE(db.failed());
+    db.Close();  // Idempotent; the destructor calls it again.
+  }
+  auto reopened = Db::Open(dbopts, dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const DbStats stats = reopened.value()->Stats();
+  EXPECT_GT(stats.recovery_manifest_blocks, 0u);
+  EXPECT_LT(stats.recovery_wal_entries_replayed, 400u);
+  for (Key k = 0; k < 400; ++k) {
+    ASSERT_TRUE(reopened.value()->Get(k).ok()) << "key " << k;
   }
 }
 

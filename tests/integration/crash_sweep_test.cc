@@ -75,6 +75,9 @@ std::string WipedDir(const std::string& tag) {
   ::unlink(Db::ManifestTmpPath(dir).c_str());
   ::unlink(Db::DevicePath(dir).c_str());
   ::unlink(Db::WalPath(dir).c_str());
+  for (const std::string& seg : Db::ListWalSegments(dir)) {
+    ::unlink(seg.c_str());
+  }
   ::rmdir(dir.c_str());
   return dir;
 }
@@ -139,6 +142,10 @@ void SweepMode(const char* tag, WalSyncMode mode) {
   // would publish a manifest the durable log does not cover.
   dbopts.wal_sync_every_n = 7;
   dbopts.checkpoint_wal_bytes = 1000;  // Auto-checkpoints mid-workload.
+  // Inline checkpoints: the step at which each durable operation runs is
+  // then a pure function of the workload, so pass 2 can enumerate pass
+  // 1's steps exactly. (The background path gets its own sweep below.)
+  dbopts.background_checkpoint = false;
   dbopts.fault_injector = &injector;
 
   // Pass 1: count the crash points.
@@ -208,7 +215,8 @@ TEST(CrashSweepTest, CrashDuringRecoveryCheckpoint) {
   FaultInjector injector;
   DbOptions dbopts;
   dbopts.options = TinyOptions();
-  dbopts.checkpoint_wal_bytes = 0;
+  dbopts.checkpoint_wal_bytes = 0;  // Manual checkpoints only (no thread).
+  dbopts.background_checkpoint = false;
   dbopts.fault_injector = &injector;
 
   const std::string dir = WipedDir("double");
@@ -242,6 +250,105 @@ TEST(CrashSweepTest, CrashDuringRecoveryCheckpoint) {
     ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
     ASSERT_TRUE(db_or.value()->tree()->CheckInvariants(true).ok());
     EXPECT_EQ(DumpDb(db_or.value().get()), model);
+  }
+}
+
+// Crash-point sweep with the checkpoint running on the *background*
+// maintenance thread. Steps interleave nondeterministically between the
+// writer and the checkpointer, so unlike SweepMode this cannot match the
+// recovered state against an exact durable-step frontier; instead it uses
+// the strongest mode (kAlways: an op acked => its entry fsynced) where
+// "every acknowledged op survives" is exact regardless of interleaving,
+// and sweeps the kill point over a generous step range.
+TEST(CrashSweepTest, CrashDuringBackgroundCheckpoint) {
+  FaultInjector injector;
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.wal_sync_mode = WalSyncMode::kAlways;
+  dbopts.checkpoint_wal_bytes = 1000;  // ~2 background checkpoints/run.
+  dbopts.background_checkpoint = true;
+  dbopts.fault_injector = &injector;
+
+  // Recovery verification must not race a fresh maintenance thread
+  // (tree()/DumpDb inspect the tree without the Db's locks).
+  DbOptions verify_opts = dbopts;
+  verify_opts.background_checkpoint = false;
+  verify_opts.fault_injector = nullptr;
+
+  const std::vector<Op> ops = MakeWorkload();
+  std::vector<ModelState> prefix_states(1);
+  for (const Op& op : ops) {
+    ModelState next = prefix_states.back();
+    ApplyToModel(&next, op, dbopts.options);
+    prefix_states.push_back(std::move(next));
+  }
+
+  // Runs the workload; returns how many ops were acknowledged (in
+  // kAlways mode: durable). The Db is closed/destroyed before return, so
+  // the maintenance thread is joined and the injector is quiescent.
+  auto run = [&](const std::string& dir) -> size_t {
+    auto db_or = Db::Open(dbopts, dir);
+    if (!db_or.ok()) {
+      ADD_FAILURE() << "fresh open failed: " << db_or.status().ToString();
+      return 0;
+    }
+    Db& db = *db_or.value();
+    size_t acked = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      Status st = ops[i].is_delete
+                      ? db.Delete(ops[i].key)
+                      : db.Put(ops[i].key, MakePayload(dbopts.options,
+                                                       ops[i].payload_seed));
+      if (!st.ok()) break;  // The process died mid-op.
+      ++acked;
+      // A manual checkpoint mid-workload serializes with any in-flight
+      // background one — both orders are exercised across the sweep.
+      if (static_cast<int>(i) + 1 == kCheckpointAfterOp &&
+          !db.Checkpoint().ok()) {
+        break;
+      }
+    }
+    return acked;
+  };
+
+  // Pass 1: count the steps of one (disarmed) run to size the sweep. The
+  // exact count varies with thread interleaving; pad the range so late
+  // crash points (including the destructor's final sync) are covered.
+  const std::string count_dir = WipedDir("bg_count");
+  ASSERT_EQ(run(count_dir), ops.size());
+  const uint64_t sweep_steps = injector.steps() + 8;
+
+  for (uint64_t crash_at = 0; crash_at < sweep_steps; ++crash_at) {
+    SCOPED_TRACE("bg crash at step " + std::to_string(crash_at));
+    const std::string dir = WipedDir("bg_k" + std::to_string(crash_at));
+    injector.Arm(crash_at);
+    const size_t acked = run(dir);
+    injector.Disarm();
+
+    auto db_or = Db::Open(verify_opts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    ASSERT_TRUE(db.tree()->CheckInvariants(true).ok());
+
+    const ModelState recovered = DumpDb(&db);
+    bool matched = false;
+    for (size_t i = acked; i < prefix_states.size(); ++i) {
+      if (prefix_states[i] == recovered) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "recovered state (" << recovered.size()
+                         << " keys) matches no workload prefix >= acked "
+                         << "frontier " << acked;
+
+    // Recovery leaves a fully functional Db behind.
+    const Key probe = 7'777;
+    ASSERT_TRUE(db.Put(probe, MakePayload(dbopts.options, probe)).ok());
+    ASSERT_TRUE(db.SyncWal().ok());
+    auto v = db.Get(probe);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), MakePayload(dbopts.options, probe));
   }
 }
 

@@ -83,6 +83,17 @@ TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(LruCacheTest, ZeroCapacityCountsNoHitsAndNoMisses) {
+  // A capacity-0 cache is "no cache", not "a cache with a 0% hit rate":
+  // its lookups must not pollute the hit/miss accounting at all.
+  LruCache cache(0);
+  cache.Put(1, Val(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
 TEST(LruCacheTest, ClearEmptiesCache) {
   LruCache cache(4);
   cache.Put(1, Val(1));
@@ -90,6 +101,22 @@ TEST(LruCacheTest, ClearEmptiesCache) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, ClearResetsHitAndMissCounters) {
+  // Clear() starts a fresh accounting epoch: contents *and* counters go,
+  // so a post-Clear hit rate reflects only post-Clear traffic.
+  LruCache cache(4);
+  cache.Put(1, Val(1));
+  EXPECT_NE(cache.Get(1), nullptr);  // 1 hit.
+  EXPECT_EQ(cache.Get(2), nullptr);  // 1 miss.
+  cache.Clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  cache.Put(3, Val(3));
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
 }
 
 TEST(CachedBlockDeviceTest, ReadsAreServedFromCache) {

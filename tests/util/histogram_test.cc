@@ -53,6 +53,41 @@ TEST(HistogramTest, BucketLowBoundaries) {
   EXPECT_EQ(h.BucketLow(5), 50u);
 }
 
+TEST(HistogramTest, BucketLowIsExactInverseOfBucketOf) {
+  // BucketOf and BucketLow derive from one exact mapping, so BucketLow(i)
+  // must land in bucket i, and the value just below it in bucket i-1 —
+  // for every bucket, including ranges where width % buckets != 0 and
+  // the full-uint64 range where naive double math loses precision.
+  struct Range {
+    uint64_t lo, hi;
+    size_t buckets;
+  };
+  const Range kRanges[] = {
+      {0, 99, 10},                // Even split.
+      {3, 17, 7},                 // Width 15 over 7 buckets.
+      {1000, 1006, 7},            // One value per bucket.
+      {5, 104, 33},               // Width 100 over 33 buckets.
+      {0, UINT64_MAX, 100},       // Width 2^64: overflows any u64 math.
+      {UINT64_MAX - 1000, UINT64_MAX, 13},
+      {0, 6, 3},                  // Tiny odd split.
+      {123456789, 987654321, 97},
+  };
+  for (const Range& r : kRanges) {
+    Histogram h(r.lo, r.hi, r.buckets);
+    for (size_t i = 0; i < r.buckets; ++i) {
+      SCOPED_TRACE("range [" + std::to_string(r.lo) + ", " +
+                   std::to_string(r.hi) + "] x" + std::to_string(r.buckets) +
+                   " bucket " + std::to_string(i));
+      const uint64_t low = h.BucketLow(i);
+      EXPECT_EQ(h.BucketOf(low), i);
+      if (i > 0) {
+        // BucketLow is the *smallest* value mapping to bucket i.
+        EXPECT_EQ(h.BucketOf(low - 1), i - 1);
+      }
+    }
+  }
+}
+
 TEST(HistogramTest, FlatDistributionHasLowCv) {
   Histogram h(0, 999'999, 100);
   Random rng(5);

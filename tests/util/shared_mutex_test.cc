@@ -1,0 +1,131 @@
+#include "src/util/shared_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+namespace lsmssd {
+namespace {
+
+TEST(SharedMutexTest, ExclusiveLockIsMutuallyExclusive) {
+  SharedMutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        std::lock_guard<SharedMutex> lk(mu);
+        ++counter;  // Data race here unless lock() really excludes.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40'000);
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<bool> writer_in{false};
+  std::atomic<bool> overlap_seen{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 2'000; ++i) {
+        std::shared_lock<SharedMutex> lk(mu);
+        concurrent_readers.fetch_add(1);
+        if (writer_in.load()) overlap_seen.store(true);
+        concurrent_readers.fetch_sub(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 500; ++i) {
+      std::lock_guard<SharedMutex> lk(mu);
+      writer_in.store(true);
+      if (concurrent_readers.load() != 0) overlap_seen.store(true);
+      writer_in.store(false);
+    }
+  });
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_FALSE(overlap_seen.load());
+}
+
+TEST(SharedMutexTest, TwoReadersHoldTheLockSimultaneously) {
+  // Each reader enters, then waits (bounded) for the other to be inside
+  // before releasing. This only succeeds if shared locks actually share;
+  // a lock degenerating to full mutual exclusion times both readers out.
+  SharedMutex mu;
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      std::shared_lock<SharedMutex> lk(mu);
+      inside.fetch_add(1);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (inside.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      if (inside.load() >= 2) overlapped.store(true);
+      inside.fetch_sub(1);
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(overlapped.load());
+}
+
+TEST(SharedMutexTest, WriterIsNotStarvedByContinuousReaders) {
+  // Regression test for the reason this class exists: glibc's
+  // std::shared_mutex is reader-preferring, so readers that re-acquire
+  // back-to-back can block a writer indefinitely. With writer preference
+  // the writer must get in promptly even though the read side never goes
+  // idle voluntarily.
+  SharedMutex mu;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        std::shared_lock<SharedMutex> lk(mu);
+      }
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  int writes = 0;
+  for (; writes < 1'000; ++writes) {
+    std::lock_guard<SharedMutex> lk(mu);
+    if (std::chrono::steady_clock::now() > deadline) break;
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(writes, 1'000) << "writer starved by spinning readers";
+}
+
+TEST(SharedMutexTest, TryLockRespectsState) {
+  SharedMutex mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock_shared());
+  mu.unlock();
+
+  EXPECT_TRUE(mu.try_lock_shared());
+  EXPECT_TRUE(mu.try_lock_shared());  // Readers share.
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock_shared();
+  mu.unlock_shared();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace lsmssd
