@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <shared_mutex>  // std::shared_lock
 
@@ -98,6 +99,9 @@ std::string Db::ManifestTmpPath(const std::string& dir) {
 }
 std::string Db::DevicePath(const std::string& dir) {
   return dir + "/blocks.dev";
+}
+std::string Db::ChecksumPath(const std::string& dir) {
+  return FileBlockDevice::SidecarPath(DevicePath(dir));
 }
 std::string Db::WalPath(const std::string& dir) { return dir + "/wal.log"; }
 std::string Db::WalSegmentPath(const std::string& dir, uint64_t seq) {
@@ -210,6 +214,7 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   // pre-existing device file (crash before the first checkpoint) is
   // starting-over garbage.
   fopts.truncate = !have_manifest;
+  fopts.max_blocks = dbopts.max_device_blocks;
   auto device_or = FileBlockDevice::Open(DevicePath(dir), fopts);
   if (!device_or.ok()) return device_or.status();
   db->device_ = std::move(device_or).value();
@@ -295,7 +300,8 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   db->wal_ = std::move(writer_or).value();
   db->wal_recovered_bytes_ = wal_valid_bytes;
 
-  if (dbopts.background_checkpoint && dbopts.checkpoint_wal_bytes > 0) {
+  if ((dbopts.background_checkpoint && dbopts.checkpoint_wal_bytes > 0) ||
+      dbopts.scrub_interval_ms > 0) {
     db->maintenance_ = std::thread(&Db::MaintenanceLoop, db.get());
   }
   return db;
@@ -386,6 +392,22 @@ Status Db::Apply(const Record& record) {
                     : tree_->Put(record.key, record.payload);
     if (!st.ok()) {
       tlk.unlock();
+      // Only durability errors poison the Db. The record itself is
+      // already WAL-logged and sitting in L0 (the tree applies to the
+      // memtable before merging); what failed is the *triggered merge*,
+      // which aborts atomically and leaves the tree intact:
+      //   - ResourceExhausted: the device hit max_device_blocks. Surface
+      //     it as write backpressure — the caller can checkpoint, free
+      //     capacity, or raise the cap, and writers make progress again.
+      //   - Corruption: the merge touched a damaged block, now
+      //     quarantined. Reads and writes of healthy ranges keep working.
+      // Anything else (an I/O error mid-merge, an internal invariant
+      // breach) is a durability failure and poisons as before.
+      if (st.code() == StatusCode::kResourceExhausted) {
+        ++backpressure_events_;
+        return st;
+      }
+      if (st.IsCorruption()) return st;
       return FailLocked(std::move(st));
     }
   }
@@ -612,9 +634,17 @@ Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
 
 void Db::MaintenanceLoop() {
   std::unique_lock<std::mutex> lk(db_mu_);
+  const bool scrub_enabled = dbopts_.scrub_interval_ms > 0;
   for (;;) {
-    maint_cv_.wait(
-        lk, [this] { return stop_maintenance_ || checkpoint_requested_; });
+    if (scrub_enabled) {
+      // Wake early for explicit work; a timeout is a scrub tick.
+      maint_cv_.wait_for(
+          lk, std::chrono::milliseconds(dbopts_.scrub_interval_ms),
+          [this] { return stop_maintenance_ || checkpoint_requested_; });
+    } else {
+      maint_cv_.wait(
+          lk, [this] { return stop_maintenance_ || checkpoint_requested_; });
+    }
     if (stop_maintenance_) return;
     if (failed()) {
       // Poisoned: stay dormant until Close(). The request can never be
@@ -622,15 +652,101 @@ void Db::MaintenanceLoop() {
       checkpoint_requested_ = false;
       continue;
     }
-    // Re-check the threshold: a manual Checkpoint() may have landed
-    // between the request and this wakeup.
-    if (WalLiveBytesLocked() < dbopts_.checkpoint_wal_bytes) {
-      checkpoint_requested_ = false;
-      continue;
+    if (checkpoint_requested_) {
+      // Re-check the threshold: a manual Checkpoint() may have landed
+      // between the request and this wakeup.
+      if (WalLiveBytesLocked() < dbopts_.checkpoint_wal_bytes) {
+        checkpoint_requested_ = false;
+      } else {
+        // Errors poison the Db (writers see it on their next operation).
+        (void)CheckpointLocked(lk);
+        continue;
+      }
     }
-    // Errors poison the Db (writers see it on their next operation).
-    (void)CheckpointLocked(lk);
+    if (scrub_enabled) ScrubTickLocked(lk);
   }
+}
+
+void Db::ScrubTickLocked(std::unique_lock<std::mutex>& lk) {
+  // Walk manifest-live blocks round-robin by id: each tick takes the next
+  // batch after the cursor, so every live block is eventually verified no
+  // matter how often the set changes between ticks.
+  std::vector<BlockId> blocks = CurrentTreeBlocks();
+  std::sort(blocks.begin(), blocks.end());
+  std::vector<BlockId> batch;
+  const size_t batch_cap =
+      dbopts_.scrub_batch_blocks > 0 ? dbopts_.scrub_batch_blocks : 1;
+  for (auto it = std::upper_bound(blocks.begin(), blocks.end(), scrub_cursor_);
+       it != blocks.end() && batch.size() < batch_cap; ++it) {
+    batch.push_back(*it);
+  }
+  if (batch.empty()) {
+    scrub_cursor_ = 0;  // End of a pass; the next tick starts over.
+    return;
+  }
+  scrub_cursor_ = batch.back();
+
+  // The I/O runs off db_mu_, under the shared tree lock (scrubbing is a
+  // reader). Blocks freed by a merge in the window between snapshot and
+  // verification report NotFound and are simply skipped.
+  lk.unlock();
+  uint64_t verified = 0, corrupt = 0;
+  {
+    std::shared_lock<SharedMutex> tlk(tree_mu_);
+    for (BlockId id : batch) {
+      Status st = pinned_->VerifyBlock(id);
+      if (st.ok()) {
+        ++verified;
+      } else if (st.IsCorruption()) {
+        ++corrupt;  // Quarantined by PinnedBlockDevice::VerifyBlock.
+      }
+    }
+  }
+  lk.lock();
+  scrub_blocks_verified_ += verified;
+  scrub_corruptions_ += corrupt;
+}
+
+Status Db::Scrub() {
+  std::vector<BlockId> blocks;
+  {
+    std::unique_lock<std::mutex> lk(db_mu_);
+    if (failed()) return FailedStatus();
+    blocks = CurrentTreeBlocks();
+  }
+  std::sort(blocks.begin(), blocks.end());
+
+  uint64_t verified = 0, corrupt = 0;
+  {
+    std::shared_lock<SharedMutex> tlk(tree_mu_);
+    for (BlockId id : blocks) {
+      Status st = pinned_->VerifyBlock(id);
+      if (st.ok()) {
+        ++verified;
+      } else if (st.IsCorruption()) {
+        ++corrupt;
+      } else if (!st.IsNotFound()) {
+        return st;  // Transport-level failure: surface it.
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(db_mu_);
+    scrub_blocks_verified_ += verified;
+    scrub_corruptions_ += corrupt;
+  }
+  if (corrupt > 0) {
+    return Status::Corruption("scrub found " + std::to_string(corrupt) +
+                              " corrupt block(s); see quarantine in Stats()");
+  }
+  return Status::OK();
+}
+
+void Db::SetMaxDeviceBlocks(uint64_t max_blocks) {
+  std::unique_lock<std::mutex> lk(db_mu_);
+  // Exclusive tree lock: allocation sites read the cap under it.
+  std::unique_lock<SharedMutex> tlk(tree_mu_);
+  device_->set_max_blocks(max_blocks);
 }
 
 Status Db::WriteManifestAtomically(const std::string& data) {
@@ -681,6 +797,11 @@ DbStats Db::Stats() const {
   s.recovery_wal_entries_replayed = recovery_replayed_;
   s.recovery_manifest_blocks = recovery_manifest_blocks_;
   s.deferred_frees = pinned_->deferred_frees();
+  s.quarantined_blocks = pinned_->QuarantinedBlocks();
+  std::sort(s.quarantined_blocks.begin(), s.quarantined_blocks.end());
+  s.scrub_blocks_verified = scrub_blocks_verified_;
+  s.scrub_corruptions_found = scrub_corruptions_;
+  s.write_backpressure_events = backpressure_events_;
   return s;
 }
 
@@ -696,6 +817,11 @@ std::string DbStats::ToString() const {
          std::to_string(recovery_manifest_blocks) +
          " wal_entries_replayed=" +
          std::to_string(recovery_wal_entries_replayed) + "\n";
+  out += "integrity: quarantined=" + std::to_string(quarantined_blocks.size()) +
+         " scrub_verified=" + std::to_string(scrub_blocks_verified) +
+         " scrub_corruptions=" + std::to_string(scrub_corruptions_found) +
+         " backpressure_events=" + std::to_string(write_backpressure_events) +
+         "\n";
   return out;
 }
 

@@ -77,6 +77,22 @@ struct DbOptions {
   bool create_if_missing = true;  ///< Open fails on a missing dir if false.
   bool error_if_exists = false;   ///< Open fails on an existing Db if true.
 
+  /// Caps the device's simultaneously-live blocks; 0 = unlimited. When a
+  /// merge or memtable flush hits the cap it aborts atomically (the
+  /// pre-merge tree stays fully readable, zero blocks leak) and the
+  /// triggering Put/Delete returns ResourceExhausted — write backpressure,
+  /// not a poisoned Db. Raise at runtime with SetMaxDeviceBlocks().
+  uint64_t max_device_blocks = 0;
+
+  /// Background scrub cadence: every `scrub_interval_ms` of maintenance-
+  /// thread idle time, verify the checksums of the next
+  /// `scrub_batch_blocks` manifest-live blocks (round-robin by block id,
+  /// wrapping). 0 disables background scrubbing; Db::Scrub() runs a full
+  /// synchronous pass either way. Corrupt blocks land in the quarantine
+  /// set (Db::Stats().quarantined_blocks) without failing the Db.
+  uint64_t scrub_interval_ms = 0;
+  uint64_t scrub_batch_blocks = 32;
+
   /// Test seam: when set, every durable step (block write/flush, WAL
   /// append/sync, segment rotate/unlink, manifest write/rename) consults
   /// this injector, and a tripped injector kills the instance mid-step —
@@ -95,6 +111,17 @@ struct DbStats {
   uint64_t recovery_wal_entries_replayed = 0;  ///< Replayed during Open.
   uint64_t recovery_manifest_blocks = 0;  ///< Blocks restored from manifest.
   uint64_t deferred_frees = 0;  ///< Blocks pinned for recovery, free deferred.
+
+  /// Block ids that failed checksum verification (on a read or a scrub),
+  /// sorted. A quarantined block keeps returning Corruption on every
+  /// access; it leaves the set only when a merge/compaction frees it.
+  std::vector<BlockId> quarantined_blocks;
+  uint64_t scrub_blocks_verified = 0;   ///< Clean verdicts, since open.
+  uint64_t scrub_corruptions_found = 0; ///< Corrupt verdicts, since open.
+  /// Put/Delete calls that returned ResourceExhausted because the device
+  /// hit max_device_blocks (the op itself is logged and applied; only the
+  /// triggered merge was rolled back).
+  uint64_t write_backpressure_events = 0;
 
   /// Multi-line human-readable summary (CLI stats line).
   std::string ToString() const;
@@ -189,6 +216,20 @@ class Db {
   /// the cost of a checkpoint).
   Status SyncWal();
 
+  // ---- Integrity -----------------------------------------------------
+
+  /// Synchronously verifies the checksum of every manifest-live block
+  /// (one full scrub pass). Returns OK if all blocks verified clean,
+  /// Corruption naming the count of damaged blocks otherwise (their ids
+  /// land in Stats().quarantined_blocks). Runs under the shared tree
+  /// lock, concurrently with reads.
+  Status Scrub();
+
+  /// Raises (or clears, with 0) the device's live-block cap. Writers
+  /// backpressured by ResourceExhausted make progress again on their next
+  /// operation once capacity allows.
+  void SetMaxDeviceBlocks(uint64_t max_blocks);
+
   // ---- Introspection -------------------------------------------------
 
   DbStats Stats() const;
@@ -206,6 +247,8 @@ class Db {
   static std::string ManifestPath(const std::string& dir);
   static std::string ManifestTmpPath(const std::string& dir);
   static std::string DevicePath(const std::string& dir);
+  /// Out-of-band checksum sidecar for blocks.dev (blocks.crc).
+  static std::string ChecksumPath(const std::string& dir);
   static std::string WalPath(const std::string& dir);
   /// Path of rotated WAL segment number `seq` (wal.old.<seq>).
   static std::string WalSegmentPath(const std::string& dir, uint64_t seq);
@@ -244,8 +287,15 @@ class Db {
   Status CheckpointBodyLocked(std::unique_lock<std::mutex>& lk);
 
   /// Background maintenance thread: runs auto-checkpoints requested by
-  /// writers until Close().
+  /// writers — and, when scrub_interval_ms > 0, periodic scrub batches —
+  /// until Close().
   void MaintenanceLoop();
+
+  /// One background scrub batch: picks the next scrub_batch_blocks live
+  /// blocks after the round-robin cursor and verifies them under the
+  /// shared tree lock (db_mu_ released during the I/O). `lk` must hold
+  /// db_mu_; reacquired before returning.
+  void ScrubTickLocked(std::unique_lock<std::mutex>& lk);
 
   /// tmp + fsync + rename + dir-fsync, with injected crash points.
   /// Called *without* db_mu_ held (it only touches dir_ and the
@@ -316,6 +366,12 @@ class Db {
   uint64_t wal_recovered_bytes_ = 0;  ///< Active-WAL size found at Open.
   uint64_t wal_old_bytes_ = 0;    ///< Total bytes in rotated segments.
   uint64_t next_wal_segment_ = 1; ///< Next rotation's segment number.
+
+  // Integrity bookkeeping (under db_mu_).
+  uint64_t scrub_blocks_verified_ = 0;
+  uint64_t scrub_corruptions_ = 0;
+  uint64_t backpressure_events_ = 0;
+  BlockId scrub_cursor_ = 0;  ///< Background scrub resumes after this id.
 };
 
 }  // namespace lsmssd

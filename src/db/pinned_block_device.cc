@@ -17,12 +17,31 @@ StatusOr<BlockId> PinnedBlockDevice::WriteNewBlock(const BlockData& data) {
   return id_or;
 }
 
+void PinnedBlockDevice::NoteCorruption(BlockId id, const Status& st) {
+  if (!st.IsCorruption()) return;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_.insert(id);
+}
+
+std::vector<BlockId> PinnedBlockDevice::QuarantinedBlocks() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return std::vector<BlockId>(quarantined_.begin(), quarantined_.end());
+}
+
+size_t PinnedBlockDevice::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.size();
+}
+
 Status PinnedBlockDevice::ReadBlock(BlockId id, BlockData* out) {
   if (deferred_.contains(id)) {
     return Status::NotFound("block " + std::to_string(id) +
                             " was freed (pinned for recovery only)");
   }
-  LSMSSD_RETURN_IF_ERROR(base_->ReadBlock(id, out));
+  if (Status st = base_->ReadBlock(id, out); !st.ok()) {
+    NoteCorruption(id, st);
+    return st;
+  }
   stats_.RecordRead();
   return Status::OK();
 }
@@ -34,8 +53,26 @@ StatusOr<std::shared_ptr<const BlockData>> PinnedBlockDevice::ReadBlockShared(
                             " was freed (pinned for recovery only)");
   }
   auto data_or = base_->ReadBlockShared(id);
-  if (data_or.ok()) stats_.RecordRead();
+  if (data_or.ok()) {
+    stats_.RecordRead();
+  } else {
+    NoteCorruption(id, data_or.status());
+  }
   return data_or;
+}
+
+Status PinnedBlockDevice::VerifyBlock(BlockId id) {
+  if (deferred_.contains(id)) {
+    return Status::NotFound("block " + std::to_string(id) +
+                            " was freed (pinned for recovery only)");
+  }
+  Status st = base_->VerifyBlock(id);
+  if (st.ok()) {
+    stats_.RecordRead();
+  } else {
+    NoteCorruption(id, st);
+  }
+  return st;
 }
 
 Status PinnedBlockDevice::FreeBlock(BlockId id) {
@@ -48,11 +85,20 @@ Status PinnedBlockDevice::FreeBlock(BlockId id) {
     // Logically freed now; the physical slot recycles once no manifest
     // (durable or in flight) references it.
     stats_.RecordFree();
+    NoteFreed(id);
     return Status::OK();
   }
   LSMSSD_RETURN_IF_ERROR(base_->FreeBlock(id));
   stats_.RecordFree();
+  NoteFreed(id);
   return Status::OK();
+}
+
+void PinnedBlockDevice::NoteFreed(BlockId id) {
+  // Freeing is the one exit from quarantine: the damaged slot no longer
+  // backs live data (a merge rewrote the level, or the tree dropped it).
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_.erase(id);
 }
 
 void PinnedBlockDevice::BeginCheckpoint(const std::vector<BlockId>& snapshot) {

@@ -1,6 +1,7 @@
 #ifndef LSMSSD_DB_PINNED_BLOCK_DEVICE_H_
 #define LSMSSD_DB_PINNED_BLOCK_DEVICE_H_
 
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -35,6 +36,13 @@ class PinnedBlockDevice : public BlockDevice {
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
   Status FreeBlock(BlockId id) override;
+  Status VerifyBlock(BlockId id) override;
+  Status CorruptBlockForTesting(BlockId id, const BlockData& data) override {
+    return base_->CorruptBlockForTesting(id, data);
+  }
+  Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) override {
+    return base_->ReadBlockUnverifiedForTesting(id, out);
+  }
   Status Flush() override { return base_->Flush(); }
   uint64_t live_blocks() const override {
     return base_->live_blocks() - deferred_.size();
@@ -69,6 +77,15 @@ class PinnedBlockDevice : public BlockDevice {
   /// Blocks whose free is currently deferred (tests/introspection).
   size_t deferred_frees() const { return deferred_.size(); }
 
+  /// Snapshot of the quarantine: every block id that has failed checksum
+  /// verification (on a read or a scrub) since open. Quarantined ids are
+  /// never silently served; each access keeps returning Corruption. A
+  /// block leaves quarantine only by being freed (e.g. a merge rewrote
+  /// the level) — until then the set names what a repair tool must
+  /// restore from a replica or backup.
+  std::vector<BlockId> QuarantinedBlocks() const;
+  size_t quarantined_count() const;
+
   // Like CachedBlockDevice, this wrapper mirrors the tree's logical I/O
   // into its own stats() (a deferred free counts as a free), so
   // tree->device()->stats() stays the complete account whether or not a
@@ -82,12 +99,21 @@ class PinnedBlockDevice : public BlockDevice {
   // might otherwise probe).
 
  private:
+  /// Adds `id` to the quarantine when `st` is a Corruption verdict.
+  void NoteCorruption(BlockId id, const Status& st);
+  /// Drops `id` from the quarantine after a successful free.
+  void NoteFreed(BlockId id);
+
   BlockDevice* base_;
   std::unordered_set<BlockId> pinned_;
   /// Pin set of a manifest currently being written (empty otherwise).
   std::unordered_set<BlockId> checkpoint_pinned_;
   bool checkpoint_active_ = false;
   std::unordered_set<BlockId> deferred_;  ///< Freed by the tree, still pinned.
+  /// Quarantine has its own lock: corruption is discovered on the *read*
+  /// path, where concurrent Db readers hold only the shared tree lock.
+  mutable std::mutex quarantine_mu_;
+  std::unordered_set<BlockId> quarantined_;
 };
 
 }  // namespace lsmssd

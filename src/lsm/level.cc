@@ -224,15 +224,25 @@ StatusOr<uint64_t> Level::Compact() {
     return Status::OK();
   };
 
+  // Abort-atomically: a failure before the final splice (a corrupt input
+  // leaf, a full device) frees every output block written so far, leaving
+  // the level exactly as it was.
+  auto abort = [&](Status st) -> Status {
+    for (const LeafMeta& m : new_leaves) (void)device_->FreeBlock(m.block);
+    return st;
+  };
+
   for (size_t i = 0; i < leaves_.size(); ++i) {
     auto records_or = ReadLeaf(i);
-    if (!records_or.ok()) return records_or.status();
+    if (!records_or.ok()) return abort(records_or.status());
     for (const Record& r : records_or.value()) {
-      if (builder.full()) LSMSSD_RETURN_IF_ERROR(flush());
+      if (builder.full()) {
+        if (Status st = flush(); !st.ok()) return abort(std::move(st));
+      }
       builder.Add(r);
     }
   }
-  LSMSSD_RETURN_IF_ERROR(flush());
+  if (Status st = flush(); !st.ok()) return abort(std::move(st));
 
   LSMSSD_RETURN_IF_ERROR(
       SpliceLeaves(0, leaves_.size(), std::move(new_leaves), {}));

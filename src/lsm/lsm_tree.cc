@@ -142,10 +142,16 @@ Status LsmTree::ExecuteMerge(size_t source_level) {
                          options_.preserve_blocks);
 
   MergeSource source;
+  // L0 input is *copied* out of the memtable and erased only after the
+  // merge commits, so an aborted merge (corrupt target leaf, full device)
+  // leaves L0 — and with it every not-yet-durable write — intact.
+  size_t l0_erase_begin = 0;
+  size_t l0_erase_count = 0;
   if (source_level == 0) {
+    l0_erase_begin = sel.full ? 0 : sel.record_begin;
+    l0_erase_count = sel.full ? memtable_.size() : sel.record_count;
     std::vector<Record> records =
-        sel.full ? memtable_.ExtractAll()
-                 : memtable_.Extract(sel.record_begin, sel.record_count);
+        memtable_.Slice(l0_erase_begin, l0_erase_count);
     if (records.empty()) {
       return Status::Internal("policy selected an empty L0 range");
     }
@@ -163,6 +169,7 @@ Status LsmTree::ExecuteMerge(size_t source_level) {
 
   auto result_or = executor.Merge(std::move(source));
   if (!result_or.ok()) return result_or.status();
+  if (source_level == 0) memtable_.EraseRange(l0_erase_begin, l0_erase_count);
   const MergeResult& r = result_or.value();
 
   stats_.EnsureLevels(num_levels());

@@ -59,6 +59,14 @@ std::vector<Record> Memtable::Extract(size_t begin, size_t count) {
   return out;
 }
 
+void Memtable::EraseRange(size_t begin, size_t count) {
+  if (begin >= entries_.size()) return;
+  count = std::min(count, entries_.size() - begin);
+  auto it = entries_.begin();
+  std::advance(it, static_cast<ptrdiff_t>(begin));
+  for (size_t i = 0; i < count; ++i) it = entries_.erase(it);
+}
+
 std::vector<Record> Memtable::ExtractAll() {
   std::vector<Record> out;
   out.reserve(entries_.size());

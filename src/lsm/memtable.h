@@ -45,6 +45,12 @@ class Memtable {
   /// returns them in key order.
   std::vector<Record> Extract(size_t begin, size_t count);
 
+  /// Removes the `count` entries starting at sorted position `begin`
+  /// without returning them. Pairs with Slice(): a merge copies its L0
+  /// input up front and erases it only after the merge has fully
+  /// installed, so an aborted merge leaves L0 intact.
+  void EraseRange(size_t begin, size_t count);
+
   /// Removes and returns everything.
   std::vector<Record> ExtractAll();
 

@@ -144,6 +144,30 @@ MergeExecutor::MergeExecutor(const Options& options, BlockDevice* device,
 }
 
 StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
+  MergeScratch scratch;
+  auto result_or = MergeBody(std::move(source), &scratch);
+  if (result_or.ok()) return result_or;
+
+  // Abort path. Before the commit point (the target splice) the tree is
+  // untouched: give back every output block this merge wrote, so the
+  // device's live-block count returns to its pre-merge value. Frees are
+  // best-effort — on a crash-injected device the process is dead anyway.
+  if (!scratch.installed) {
+    for (BlockId id : scratch.owned) (void)device_->FreeBlock(id);
+  }
+  // Close the slack-ledger bracket with the level's actual empty-slot
+  // delta (zero when nothing was installed); an open bracket would leave
+  // inflated slack behind and let later merges overshoot the waste bound.
+  if (scratch.ledger_open) {
+    target_->ledger().OnMergeEnd(
+        static_cast<int64_t>(target_->empty_slots()) -
+        static_cast<int64_t>(scratch.target_empty_before));
+  }
+  return result_or;
+}
+
+StatusOr<MergeResult> MergeExecutor::MergeBody(MergeSource source,
+                                               MergeScratch* scratch) {
   MergeResult result;
   const uint64_t b_cap = options_.records_per_block();
   auto empty_of = [b_cap](uint32_t count) {
@@ -187,6 +211,8 @@ StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
 
   const uint64_t target_empty_before = target_->empty_slots();
   target_->ledger().OnMergeStart(options_.epsilon * x_capacity_records);
+  scratch->ledger_open = true;
+  scratch->target_empty_before = target_empty_before;
 
   // Running net empty-slot delta of the current merge (the paper's
   // in-merge w bookkeeping): empties of emitted Z blocks minus empties of
@@ -213,6 +239,7 @@ StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
     auto id_or = device_->WriteNewBlock(builder.Finish());
     if (!id_or.ok()) return id_or.status();
     meta.block = id_or.value();
+    scratch->owned.push_back(meta.block);
     z.push_back(meta);
     ++result.output_blocks_written;
     w_run += empty_of(meta.count);
@@ -337,12 +364,14 @@ StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
       } else {
         // We wrote it during this merge and own it.
         LSMSSD_RETURN_IF_ERROR(device_->FreeBlock(tail.block));
+        std::erase(scratch->owned, tail.block);
       }
       w_run -= empty_of(tail.count);
 
       auto id_or =
           device_->WriteNewBlock(EncodeRecordBlock(options_, combined));
       if (!id_or.ok()) return id_or.status();
+      scratch->owned.push_back(id_or.value());
       const LeafMeta meta = MakeLeafMeta(options_, combined, id_or.value());
       z.push_back(meta);
       ++result.output_blocks_written;
@@ -353,6 +382,11 @@ StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
   }
 
   // ---- Install Z; restore constraints (Cases 1-4 of Section II-B). ---
+  // The splice is the commit point: ownership of the Z blocks passes to
+  // the target level, and the old Y blocks are freed. From here on a
+  // failure must not free output blocks (the tree references them).
+  scratch->installed = true;
+  scratch->owned.clear();
   const size_t z_count = z.size();
   LSMSSD_RETURN_IF_ERROR(
       target_->SpliceLeaves(y_begin, y_end, std::move(z), preserved));
@@ -401,6 +435,7 @@ StatusOr<MergeResult> MergeExecutor::Merge(MergeSource source) {
   const uint64_t target_empty_after = target_->empty_slots();
   target_->ledger().OnMergeEnd(static_cast<int64_t>(target_empty_after) -
                                static_cast<int64_t>(target_empty_before));
+  scratch->ledger_open = false;
   if (!target_->MeetsLevelWaste()) {
     auto writes_or = target_->Compact();  // Resets the ledger.
     if (!writes_or.ok()) return writes_or.status();

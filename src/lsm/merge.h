@@ -87,9 +87,31 @@ class MergeExecutor {
   /// Runs the merge. On success the source range has been removed from its
   /// level (L0 sources are already drained by the caller) and the target
   /// satisfies both waste constraints.
+  ///
+  /// Failure atomicity: the merge's commit point is the target splice. A
+  /// failure *before* it (corrupt input block, ResourceExhausted device)
+  /// frees every output block this merge wrote, settles the slack ledger,
+  /// and leaves both levels untouched — the pre-merge tree stays fully
+  /// readable and the device's live-block count returns to its pre-merge
+  /// value. A failure *after* it (during constraint-restoring
+  /// maintenance) leaves a valid but possibly waste-violating tree; the
+  /// error still surfaces to the caller.
   StatusOr<MergeResult> Merge(MergeSource source);
 
  private:
+  /// Cross-cutting bookkeeping for failure atomicity.
+  struct MergeScratch {
+    /// Output blocks written and currently owned by this merge (removed
+    /// again when the merge itself frees one, or when the splice hands
+    /// ownership to the target level).
+    std::vector<BlockId> owned;
+    bool ledger_open = false;  ///< OnMergeStart ran, OnMergeEnd has not.
+    bool installed = false;    ///< The target splice (commit point) ran.
+    uint64_t target_empty_before = 0;
+  };
+
+  StatusOr<MergeResult> MergeBody(MergeSource source, MergeScratch* scratch);
+
   const Options& options_;
   BlockDevice* device_;
   Level* target_;

@@ -59,6 +59,38 @@ class BlockDevice {
   /// fail.
   virtual Status FreeBlock(BlockId id) = 0;
 
+  /// Verifies block `id` against its out-of-band checksum without handing
+  /// the payload to the caller — the scrub primitive. Returns Corruption
+  /// naming the id on mismatch, NotFound if the id is not live. Counts one
+  /// physical read on devices that actually fetch the payload; caching
+  /// decorators must bypass their cache so the backing copy is what gets
+  /// checked. The default just reads the block (implementations verify on
+  /// every read).
+  virtual Status VerifyBlock(BlockId id) {
+    BlockData scratch;
+    return ReadBlock(id, &scratch);
+  }
+
+  /// Test seam: overwrites the *stored image* of live block `id` with
+  /// `data` (zero-padded to block_size()) WITHOUT touching its recorded
+  /// checksum — models silent media corruption. Counts no I/O. Decorators
+  /// forward to the base device (a caching decorator must also drop its
+  /// cached copy so the corruption is observable). Base devices without a
+  /// checksum table may return Unimplemented.
+  virtual Status CorruptBlockForTesting(BlockId id, const BlockData& data) {
+    (void)id;
+    (void)data;
+    return Status::Unimplemented("device has no corruption seam");
+  }
+
+  /// Test seam: reads block `id` skipping checksum verification, so tests
+  /// and tooling can inspect a corrupted payload. Counts no I/O.
+  virtual Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) {
+    (void)id;
+    (void)out;
+    return Status::Unimplemented("device has no unverified read");
+  }
+
   /// Makes every completed block write durable (fsync for file-backed
   /// devices). Purely-in-memory devices are trivially "durable" and keep
   /// the no-op default; decorators must forward. Never counts as I/O in

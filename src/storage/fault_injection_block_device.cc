@@ -1,11 +1,54 @@
 #include "src/storage/fault_injection_block_device.h"
 
+#include <string>
+
 namespace lsmssd {
+
+void FaultInjectionBlockDevice::ApplySilentFault(BlockId id,
+                                                 const BlockData& data) {
+  if (silent_mode_ == SilentMode::kNone) return;
+  if (silent_countdown_ > 0) {
+    --silent_countdown_;
+    if (silent_mode_ == SilentMode::kStaleRead) prev_payload_ = data;
+    return;
+  }
+  const SilentMode mode = silent_mode_;
+  silent_mode_ = SilentMode::kNone;
+  silent_fault_fired_ = true;
+  switch (mode) {
+    case SilentMode::kBitFlip: {
+      BlockData image;
+      if (!base_->ReadBlockUnverifiedForTesting(id, &image).ok()) return;
+      const uint32_t bit =
+          image.empty() ? 0 : bit_index_ % (image.size() * 8);
+      image[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      (void)base_->CorruptBlockForTesting(id, image);
+      last_corrupted_block_ = id;
+      break;
+    }
+    case SilentMode::kMisdirectedWrite: {
+      // The payload also lands on the victim's slot; the victim's
+      // checksum now describes bytes that are no longer there.
+      (void)base_->CorruptBlockForTesting(victim_, data);
+      last_corrupted_block_ = victim_;
+      break;
+    }
+    case SilentMode::kStaleRead: {
+      // The device "acknowledged" the write but never destaged it: the
+      // slot still holds whatever the previous write carried.
+      (void)base_->CorruptBlockForTesting(id, prev_payload_);
+      last_corrupted_block_ = id;
+      break;
+    }
+    case SilentMode::kNone:
+      break;
+  }
+}
 
 StatusOr<BlockId> FaultInjectionBlockDevice::WriteNewBlock(
     const BlockData& data) {
-  if (injector_->tripped()) return Dead();
-  if (injector_->Step()) {
+  if (tripped()) return Dead();
+  if (injector_ != nullptr && injector_->Step()) {
     // Crash mid-write: a prefix of the payload lands on the device (a
     // torn block in a slot no manifest references), the caller never
     // learns the id, and the process dies.
@@ -13,30 +56,47 @@ StatusOr<BlockId> FaultInjectionBlockDevice::WriteNewBlock(
     (void)base_->WriteNewBlock(torn);
     return Status::IoError("injected fault: torn block write");
   }
-  return base_->WriteNewBlock(data);
+  auto id_or = base_->WriteNewBlock(data);
+  if (id_or.ok()) ApplySilentFault(id_or.value(), data);
+  return id_or;
 }
 
 Status FaultInjectionBlockDevice::ReadBlock(BlockId id, BlockData* out) {
-  if (injector_->tripped()) return Dead();
+  if (tripped()) return Dead();
+  if (transient_read_errors_ > 0) {
+    --transient_read_errors_;
+    return Status::IoError("injected fault: transient read error on block " +
+                           std::to_string(id));
+  }
   return base_->ReadBlock(id, out);
 }
 
 StatusOr<std::shared_ptr<const BlockData>>
 FaultInjectionBlockDevice::ReadBlockShared(BlockId id) {
-  if (injector_->tripped()) return Dead();
+  if (tripped()) return Dead();
+  if (transient_read_errors_ > 0) {
+    --transient_read_errors_;
+    return Status::IoError("injected fault: transient read error on block " +
+                           std::to_string(id));
+  }
   return base_->ReadBlockShared(id);
 }
 
 Status FaultInjectionBlockDevice::FreeBlock(BlockId id) {
   // Frees touch only in-memory allocator state (no durable step), but a
   // dead process frees nothing.
-  if (injector_->tripped()) return Dead();
+  if (tripped()) return Dead();
   return base_->FreeBlock(id);
 }
 
+Status FaultInjectionBlockDevice::VerifyBlock(BlockId id) {
+  if (tripped()) return Dead();
+  return base_->VerifyBlock(id);
+}
+
 Status FaultInjectionBlockDevice::Flush() {
-  if (injector_->tripped()) return Dead();
-  if (injector_->Step()) {
+  if (tripped()) return Dead();
+  if (injector_ != nullptr && injector_->Step()) {
     return Status::IoError("injected fault: device flush");
   }
   return base_->Flush();

@@ -1,21 +1,39 @@
 #ifndef LSMSSD_STORAGE_FAULT_INJECTION_BLOCK_DEVICE_H_
 #define LSMSSD_STORAGE_FAULT_INJECTION_BLOCK_DEVICE_H_
 
+#include <cstdint>
+
 #include "src/storage/block_device.h"
 #include "src/storage/fault_injection.h"
 
 namespace lsmssd {
 
-/// BlockDevice decorator that kills the write path at an armed crash
-/// point. Block writes and flushes are injector steps; when the step
-/// fails, WriteNewBlock leaves a *torn* block behind (a prefix of the
-/// payload is written to the base device, but the id is never returned
-/// to the caller) — recovery must never read it, because no durable
-/// manifest references it. Once the injector has tripped, every
-/// operation (reads included) fails: the process is considered dead.
+/// BlockDevice decorator that injects storage faults.
+///
+/// Crash faults (needs a FaultInjector): block writes and flushes are
+/// injector steps; when the step fails, WriteNewBlock leaves a *torn*
+/// block behind (a prefix of the payload is written to the base device,
+/// but the id is never returned to the caller) — recovery must never read
+/// it, because no durable manifest references it. Once the injector has
+/// tripped, every operation (reads included) fails: the process is
+/// considered dead. `injector` may be null when only silent faults are
+/// wanted.
+///
+/// Silent faults (deterministic, one-shot, armed via ArmBitFlip /
+/// ArmMisdirectedWrite / ArmStaleRead): the trigger write *succeeds* from
+/// the caller's point of view, but the bytes on the base device are
+/// damaged behind the out-of-band checksum's back — via the base device's
+/// CorruptBlockForTesting seam — so the damage is only discovered when
+/// the block is next read or scrubbed. last_corrupted_block() names the
+/// damaged id for test assertions.
+///
+/// Transient faults: ArmTransientReadErrors(n) makes the next n reads
+/// fail with IoError and then recover, modeling a bus/ECC hiccup.
+/// VerifyBlock is deliberately unaffected (scrub verdicts should reflect
+/// media state, not transport weather).
 class FaultInjectionBlockDevice : public BlockDevice {
  public:
-  /// `base` and `injector` must outlive this object.
+  /// `base` (and `injector`, if non-null) must outlive this object.
   FaultInjectionBlockDevice(BlockDevice* base, FaultInjector* injector)
       : base_(base), injector_(injector) {}
 
@@ -26,18 +44,78 @@ class FaultInjectionBlockDevice : public BlockDevice {
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
   Status FreeBlock(BlockId id) override;
+  Status VerifyBlock(BlockId id) override;
+  Status CorruptBlockForTesting(BlockId id, const BlockData& data) override {
+    return base_->CorruptBlockForTesting(id, data);
+  }
+  Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) override {
+    return base_->ReadBlockUnverifiedForTesting(id, out);
+  }
   Status Flush() override;
   uint64_t live_blocks() const override { return base_->live_blocks(); }
 
   BlockDevice* base() { return base_; }
 
+  /// After `after_writes` further successful writes, the next write's
+  /// stored image gets bit `bit_index` (mod payload bits) flipped.
+  void ArmBitFlip(uint64_t after_writes, uint32_t bit_index) {
+    silent_mode_ = SilentMode::kBitFlip;
+    silent_countdown_ = after_writes;
+    bit_index_ = bit_index;
+  }
+
+  /// The trigger write additionally lands on live block `victim`,
+  /// clobbering its payload (the classic misdirected write).
+  void ArmMisdirectedWrite(uint64_t after_writes, BlockId victim) {
+    silent_mode_ = SilentMode::kMisdirectedWrite;
+    silent_countdown_ = after_writes;
+    victim_ = victim;
+  }
+
+  /// The trigger write is dropped by the device: the block's slot keeps
+  /// the payload of the *previous* write (zeros if none since arming), so
+  /// later reads see stale data.
+  void ArmStaleRead(uint64_t after_writes) {
+    silent_mode_ = SilentMode::kStaleRead;
+    silent_countdown_ = after_writes;
+    prev_payload_.clear();
+  }
+
+  /// The next `count` ReadBlock/ReadBlockShared calls fail with IoError,
+  /// then reads recover.
+  void ArmTransientReadErrors(int count) { transient_read_errors_ = count; }
+
+  /// Id damaged by the most recent silent fault (kInvalidBlockId if none
+  /// has fired yet).
+  BlockId last_corrupted_block() const { return last_corrupted_block_; }
+
+  /// True once an armed silent fault has fired.
+  bool silent_fault_fired() const { return silent_fault_fired_; }
+
  private:
+  enum class SilentMode { kNone, kBitFlip, kMisdirectedWrite, kStaleRead };
+
   Status Dead() const {
     return Status::IoError("injected fault: device is dead");
   }
+  bool tripped() const { return injector_ != nullptr && injector_->tripped(); }
+
+  /// Applies the armed silent fault to a just-completed write of `data`
+  /// that was assigned `id`. Best-effort: seam failures are swallowed
+  /// (silent corruption never surfaces at the write site).
+  void ApplySilentFault(BlockId id, const BlockData& data);
 
   BlockDevice* base_;
   FaultInjector* injector_;
+
+  SilentMode silent_mode_ = SilentMode::kNone;
+  uint64_t silent_countdown_ = 0;
+  uint32_t bit_index_ = 0;
+  BlockId victim_ = kInvalidBlockId;
+  BlockData prev_payload_;
+  int transient_read_errors_ = 0;
+  BlockId last_corrupted_block_ = kInvalidBlockId;
+  bool silent_fault_fired_ = false;
 };
 
 }  // namespace lsmssd

@@ -1,22 +1,102 @@
 #include "src/storage/file_block_device.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <string_view>
 
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 
 namespace lsmssd {
 
 namespace {
-Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+
+// How many times a read is attempted before the error is surfaced. Real
+// SSDs see transient bus/ECC hiccups that succeed on retry; persistent
+// failures still surface after this bound.
+constexpr int kMaxReadAttempts = 3;
+
+/// Maps the current errno to a typed Status: disk-full conditions become
+/// ResourceExhausted (callers turn them into backpressure), everything
+/// else is an I/O error.
+Status ErrnoStatus(const std::string& what, int err) {
+  std::string msg = what + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::IoError(std::move(msg));
 }
+
+/// pwrite that retries EINTR and continues short writes until `n` bytes
+/// land. A zero-progress write (possible when the filesystem runs out of
+/// space mid-transfer) is reported as ENOSPC rather than looping forever.
+Status PwriteFully(int fd, const uint8_t* buf, size_t n, off_t off,
+                   const std::string& what) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(what, errno);
+    }
+    if (r == 0) return ErrnoStatus(what + " (no progress)", ENOSPC);
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// pread that retries EINTR and continues short reads until `n` bytes
+/// arrive. Hitting EOF early means the file is shorter than the slot
+/// layout requires — corruption of the backing store, not a syscall error.
+Status PreadFully(int fd, uint8_t* buf, size_t n, off_t off,
+                  const std::string& what) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(what, errno);
+    }
+    if (r == 0) {
+      return Status::Corruption(what + ": short read (" +
+                                std::to_string(done) + " of " +
+                                std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void EncodeCrc(uint32_t crc, uint8_t out[4]) {
+  out[0] = static_cast<uint8_t>(crc);
+  out[1] = static_cast<uint8_t>(crc >> 8);
+  out[2] = static_cast<uint8_t>(crc >> 16);
+  out[3] = static_cast<uint8_t>(crc >> 24);
+}
+
+uint32_t DecodeCrc(const uint8_t in[4]) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
 }  // namespace
+
+std::string FileBlockDevice::SidecarPath(const std::string& path) {
+  constexpr std::string_view kDevSuffix = ".dev";
+  if (path.size() > kDevSuffix.size() &&
+      path.compare(path.size() - kDevSuffix.size(), kDevSuffix.size(),
+                   kDevSuffix) == 0) {
+    return path.substr(0, path.size() - kDevSuffix.size()) + ".crc";
+  }
+  return path + ".crc";
+}
 
 StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
     const std::string& path, const FileOptions& options) {
@@ -27,23 +107,73 @@ StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
   if (options.truncate) flags |= O_TRUNC;
   if (options.use_osync) flags |= O_SYNC;
   const int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) return Errno("open " + path);
-  return std::unique_ptr<FileBlockDevice>(
-      new FileBlockDevice(path, options, fd));
+  if (fd < 0) return ErrnoStatus("open " + path, errno);
+  const std::string crc_path = SidecarPath(path);
+  const int crc_fd = ::open(crc_path.c_str(), flags, 0644);
+  if (crc_fd < 0) {
+    Status st = ErrnoStatus("open " + crc_path, errno);
+    ::close(fd);
+    return st;
+  }
+  auto dev = std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(path, options, fd, crc_fd));
+  if (!options.truncate) {
+    // Reopening a persisted device: mirror the sidecar into memory.
+    struct stat sb;
+    if (::fstat(crc_fd, &sb) != 0) {
+      return ErrnoStatus("fstat " + crc_path, errno);
+    }
+    const uint64_t slots = static_cast<uint64_t>(sb.st_size) / 4;
+    dev->crcs_.resize(slots, 0);
+    if (slots > 0) {
+      std::vector<uint8_t> raw(slots * 4);
+      LSMSSD_RETURN_IF_ERROR(
+          PreadFully(crc_fd, raw.data(), raw.size(), 0, "pread " + crc_path));
+      for (uint64_t s = 0; s < slots; ++s) {
+        dev->crcs_[s] = DecodeCrc(raw.data() + s * 4);
+      }
+    }
+  }
+  return dev;
 }
 
 FileBlockDevice::FileBlockDevice(std::string path, FileOptions options,
-                                 int fd)
-    : path_(std::move(path)), options_(options), fd_(fd) {}
+                                 int fd, int crc_fd)
+    : path_(std::move(path)),
+      crc_path_(SidecarPath(path_)),
+      options_(options),
+      fd_(fd),
+      crc_fd_(crc_fd) {}
 
 FileBlockDevice::~FileBlockDevice() {
   if (fd_ >= 0) ::close(fd_);
-  if (options_.remove_on_close) ::unlink(path_.c_str());
+  if (crc_fd_ >= 0) ::close(crc_fd_);
+  if (options_.remove_on_close) {
+    ::unlink(path_.c_str());
+    ::unlink(crc_path_.c_str());
+  }
+}
+
+Status FileBlockDevice::WriteCrc(BlockId slot, uint32_t crc) {
+  uint8_t raw[4];
+  EncodeCrc(crc, raw);
+  LSMSSD_RETURN_IF_ERROR(PwriteFully(crc_fd_, raw, sizeof(raw),
+                                     static_cast<off_t>(slot) * 4,
+                                     "pwrite crc for block " +
+                                         std::to_string(slot)));
+  if (slot >= crcs_.size()) crcs_.resize(slot + 1, 0);
+  crcs_[slot] = crc;
+  return Status::OK();
 }
 
 StatusOr<BlockId> FileBlockDevice::WriteNewBlock(const BlockData& data) {
   if (data.size() > options_.block_size) {
     return Status::InvalidArgument("block payload larger than block size");
+  }
+  if (options_.max_blocks != 0 && live_.size() >= options_.max_blocks) {
+    return Status::ResourceExhausted(
+        "device full: " + std::to_string(live_.size()) + " of " +
+        std::to_string(options_.max_blocks) + " blocks live");
   }
   BlockId slot;
   if (!free_slots_.empty()) {
@@ -57,10 +187,24 @@ StatusOr<BlockId> FileBlockDevice::WriteNewBlock(const BlockData& data) {
   padded.resize(options_.block_size, 0);
   const off_t offset =
       static_cast<off_t>(slot) * static_cast<off_t>(options_.block_size);
-  ssize_t n = ::pwrite(fd_, padded.data(), padded.size(), offset);
-  if (n != static_cast<ssize_t>(padded.size())) {
+  if (inject_write_errno_ != 0) {
+    const int err = inject_write_errno_;
+    inject_write_errno_ = 0;
     free_slots_.push_back(slot);
-    return Errno("pwrite block " + std::to_string(slot));
+    return ErrnoStatus("pwrite block " + std::to_string(slot), err);
+  }
+  Status st = PwriteFully(fd_, padded.data(), padded.size(), offset,
+                          "pwrite block " + std::to_string(slot));
+  if (!st.ok()) {
+    // A partial write may have landed; the slot stays free and its bytes
+    // are never readable, so the tear is harmless.
+    free_slots_.push_back(slot);
+    return st;
+  }
+  st = WriteCrc(slot, crc32c::Value(padded.data(), padded.size()));
+  if (!st.ok()) {
+    free_slots_.push_back(slot);
+    return st;
   }
   live_.insert(slot);
   stats_.RecordAllocate();
@@ -68,19 +212,73 @@ StatusOr<BlockId> FileBlockDevice::WriteNewBlock(const BlockData& data) {
   return slot;
 }
 
+Status FileBlockDevice::ReadAttempt(BlockId id, BlockData* out, bool verify) {
+  out->resize(options_.block_size);
+  const off_t offset =
+      static_cast<off_t>(id) * static_cast<off_t>(options_.block_size);
+  if (inject_read_faults_ > 0) {
+    --inject_read_faults_;
+    return Status::IoError("injected transient read fault on block " +
+                           std::to_string(id));
+  }
+  LSMSSD_RETURN_IF_ERROR(PreadFully(fd_, out->data(), out->size(), offset,
+                                    "pread block " + std::to_string(id)));
+  if (verify) {
+    const uint32_t expected = id < crcs_.size() ? crcs_[id] : 0;
+    if (id >= crcs_.size() ||
+        crc32c::Value(out->data(), out->size()) != expected) {
+      return Status::Corruption("checksum mismatch on block " +
+                                std::to_string(id));
+    }
+  }
+  return Status::OK();
+}
+
 Status FileBlockDevice::ReadBlock(BlockId id, BlockData* out) {
   if (!live_.contains(id)) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
   }
-  out->resize(options_.block_size);
+  stats_.RecordRead();
+  Status st;
+  for (int attempt = 0; attempt < kMaxReadAttempts; ++attempt) {
+    if (attempt > 0) ++read_retries_;
+    st = ReadAttempt(id, out, /*verify=*/true);
+    // Retry only transient I/O errors; a checksum mismatch is stable
+    // on-media damage and re-reading the same bytes cannot fix it.
+    if (st.ok() || !st.IsIoError()) return st;
+  }
+  return st;
+}
+
+Status FileBlockDevice::VerifyBlock(BlockId id) {
+  BlockData scratch;
+  return ReadBlock(id, &scratch);
+}
+
+Status FileBlockDevice::CorruptBlockForTesting(BlockId id,
+                                               const BlockData& data) {
+  if (!live_.contains(id)) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  if (data.size() > options_.block_size) {
+    return Status::InvalidArgument("block payload larger than block size");
+  }
+  BlockData padded = data;
+  padded.resize(options_.block_size, 0);
   const off_t offset =
       static_cast<off_t>(id) * static_cast<off_t>(options_.block_size);
-  ssize_t n = ::pread(fd_, out->data(), out->size(), offset);
-  if (n != static_cast<ssize_t>(out->size())) {
-    return Errno("pread block " + std::to_string(id));
+  // Data only — the sidecar keeps the original checksum, as silent media
+  // corruption would.
+  return PwriteFully(fd_, padded.data(), padded.size(), offset,
+                     "pwrite (corrupt) block " + std::to_string(id));
+}
+
+Status FileBlockDevice::ReadBlockUnverifiedForTesting(BlockId id,
+                                                      BlockData* out) {
+  if (!live_.contains(id)) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
   }
-  stats_.RecordRead();
-  return Status::OK();
+  return ReadAttempt(id, out, /*verify=*/false);
 }
 
 Status FileBlockDevice::RestoreLive(const std::vector<BlockId>& live_blocks) {
@@ -96,6 +294,11 @@ Status FileBlockDevice::RestoreLive(const std::vector<BlockId>& live_blocks) {
     }
     max_slot = std::max(max_slot, id);
   }
+  if (max_slot >= crcs_.size() && !live_.empty()) {
+    live_.clear();
+    return Status::Corruption("checksum sidecar " + crc_path_ +
+                              " is missing entries for live blocks");
+  }
   next_slot_ = max_slot + 1;
   for (BlockId slot = 1; slot < next_slot_; ++slot) {
     if (!live_.contains(slot)) free_slots_.push_back(slot);
@@ -105,7 +308,8 @@ Status FileBlockDevice::RestoreLive(const std::vector<BlockId>& live_blocks) {
 
 Status FileBlockDevice::Flush() {
   if (options_.use_osync) return Status::OK();
-  if (::fsync(fd_) != 0) return Errno("fsync " + path_);
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_, errno);
+  if (::fsync(crc_fd_) != 0) return ErrnoStatus("fsync " + crc_path_, errno);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define LSMSSD_STORAGE_FILE_BLOCK_DEVICE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -16,6 +17,19 @@ namespace lsmssd {
 /// Blocks are slots in one backing file managed by a free list. Used by the
 /// wall-clock experiment (Figure 7) and by durability-minded examples; the
 /// write-count experiments use MemBlockDevice, which accounts identically.
+///
+/// Integrity: every block's CRC32C is kept out-of-band in a sidecar file
+/// (SidecarPath(path), e.g. blocks.dev -> blocks.crc) as a 4-byte
+/// little-endian entry at offset slot*4, mirrored in memory for reads.
+/// The sidecar shares the device's durability discipline — written through
+/// on allocation, fsynced by Flush() (or O_SYNC) — so a checkpoint that
+/// flushes the device before publishing its manifest makes both files
+/// consistent for every manifest-live block. Every read verifies and
+/// returns Status::Corruption naming the block id on mismatch.
+///
+/// Resilience: all syscalls retry EINTR and continue short transfers;
+/// ENOSPC/EDQUOT map to Status::ResourceExhausted; reads additionally make
+/// a bounded number of attempts so transient media errors do not surface.
 class FileBlockDevice : public BlockDevice {
  public:
   struct FileOptions {
@@ -26,9 +40,17 @@ class FileBlockDevice : public BlockDevice {
     /// remove_on_close=false to reopen a persisted device; then declare
     /// the live blocks with RestoreLive() (e.g. from a Manifest).
     bool truncate = true;
+    /// Maximum simultaneously-live blocks; 0 = unlimited. Allocation past
+    /// the cap returns ResourceExhausted. Models a full SSD.
+    uint64_t max_blocks = 0;
   };
 
-  /// Factory; fails if the backing file cannot be created/opened.
+  /// Path of the checksum sidecar for a device at `path`: a trailing
+  /// ".dev" is replaced by ".crc", otherwise ".crc" is appended.
+  static std::string SidecarPath(const std::string& path);
+
+  /// Factory; fails if the backing file or its sidecar cannot be
+  /// created/opened (or, reopening, if the sidecar is unreadable).
   static StatusOr<std::unique_ptr<FileBlockDevice>> Open(
       const std::string& path, const FileOptions& options);
 
@@ -41,27 +63,59 @@ class FileBlockDevice : public BlockDevice {
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
   Status FreeBlock(BlockId id) override;
-  /// fsyncs the backing file (no-op under O_SYNC, where every write
-  /// already is durable).
+  Status VerifyBlock(BlockId id) override;
+  Status CorruptBlockForTesting(BlockId id, const BlockData& data) override;
+  Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) override;
+  /// fsyncs the backing file and the checksum sidecar (no-op under O_SYNC,
+  /// where every write already is durable).
   Status Flush() override;
   uint64_t live_blocks() const override { return live_.size(); }
 
   const std::string& path() const { return path_; }
 
+  /// Raises (or clears, with 0) the live-block cap at runtime.
+  void set_max_blocks(uint64_t max_blocks) { options_.max_blocks = max_blocks; }
+  uint64_t max_blocks() const { return options_.max_blocks; }
+
   /// Declares the set of live blocks after reopening a persisted file
   /// (truncate=false). Unlisted slots below the maximum become free. Must
-  /// be called before any I/O; fails if blocks were already allocated.
+  /// be called before any I/O; fails if blocks were already allocated, and
+  /// reports Corruption if the sidecar lacks a checksum for a live block.
   Status RestoreLive(const std::vector<BlockId>& live_blocks);
 
+  /// Test seam: the next `n` data-file reads fail with a transient I/O
+  /// error before reaching the file. Exercises the bounded-retry path.
+  void InjectReadFaultsForTesting(int n) { inject_read_faults_ = n; }
+
+  /// Test seam: the next data-file write fails as if the OS returned
+  /// `err` (e.g. ENOSPC). Exercises typed error mapping.
+  void InjectWriteFaultForTesting(int err) { inject_write_errno_ = err; }
+
+  /// Number of read attempts that were retried after a transient failure.
+  uint64_t read_retries() const { return read_retries_; }
+
  private:
-  FileBlockDevice(std::string path, FileOptions options, int fd);
+  FileBlockDevice(std::string path, FileOptions options, int fd, int crc_fd);
+
+  /// One pread attempt of block `id` into `out` with checksum verification;
+  /// honors the transient-fault seam.
+  Status ReadAttempt(BlockId id, BlockData* out, bool verify);
+  /// Persists the checksum for `slot` (memory + sidecar file).
+  Status WriteCrc(BlockId slot, uint32_t crc);
 
   std::string path_;
+  std::string crc_path_;
   FileOptions options_;
   int fd_;
+  int crc_fd_;
   uint64_t next_slot_ = 1;  // Slot 0 unused, as in MemBlockDevice.
   std::vector<BlockId> free_slots_;
   std::unordered_set<BlockId> live_;
+  // Out-of-band CRC32C per slot (index = slot id); mirrors the sidecar.
+  std::vector<uint32_t> crcs_;
+  int inject_read_faults_ = 0;
+  int inject_write_errno_ = 0;
+  uint64_t read_retries_ = 0;
 };
 
 }  // namespace lsmssd

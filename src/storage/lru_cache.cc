@@ -141,6 +141,18 @@ StatusOr<std::shared_ptr<const BlockData>> CachedBlockDevice::ReadBlockShared(
   return data_or;
 }
 
+Status CachedBlockDevice::VerifyBlock(BlockId id) {
+  Status st = base_->VerifyBlock(id);
+  stats_.RecordRead();
+  return st;
+}
+
+Status CachedBlockDevice::CorruptBlockForTesting(BlockId id,
+                                                 const BlockData& data) {
+  cache_.Erase(id);
+  return base_->CorruptBlockForTesting(id, data);
+}
+
 Status CachedBlockDevice::FreeBlock(BlockId id) {
   cache_.Erase(id);
   LSMSSD_RETURN_IF_ERROR(base_->FreeBlock(id));

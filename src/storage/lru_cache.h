@@ -107,6 +107,15 @@ class CachedBlockDevice : public BlockDevice {
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
   Status FreeBlock(BlockId id) override;
+  /// Bypasses the cache: scrubbing must check the backing copy, not a
+  /// (necessarily valid) cached image.
+  Status VerifyBlock(BlockId id) override;
+  /// Forwards the corruption seam and drops any cached copy, so the next
+  /// read observes the damaged backing block.
+  Status CorruptBlockForTesting(BlockId id, const BlockData& data) override;
+  Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) override {
+    return base_->ReadBlockUnverifiedForTesting(id, out);
+  }
   Status Flush() override { return base_->Flush(); }
   uint64_t live_blocks() const override { return base_->live_blocks(); }
 

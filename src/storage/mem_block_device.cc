@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/util/crc32c.h"
 #include "src/util/logging.h"
 
 namespace lsmssd {
@@ -14,9 +15,15 @@ StatusOr<BlockId> MemBlockDevice::WriteNewBlock(const BlockData& data) {
   if (data.size() > block_size_) {
     return Status::InvalidArgument("block payload larger than block size");
   }
+  if (max_blocks_ != 0 && blocks_.size() >= max_blocks_) {
+    return Status::ResourceExhausted(
+        "device full: " + std::to_string(blocks_.size()) + " of " +
+        std::to_string(max_blocks_) + " blocks live");
+  }
   BlockData stored = data;
   stored.resize(block_size_, 0);
   const BlockId id = next_id_++;
+  crcs_.emplace(id, crc32c::Value(stored.data(), stored.size()));
   blocks_.emplace(id, std::make_shared<const BlockData>(std::move(stored)));
   stats_.RecordAllocate();
   stats_.RecordWrite();
@@ -28,8 +35,13 @@ Status MemBlockDevice::ReadBlock(BlockId id, BlockData* out) {
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
   }
-  *out = *it->second;
   stats_.RecordRead();
+  const BlockData& stored = *it->second;
+  if (crc32c::Value(stored.data(), stored.size()) != crcs_.at(id)) {
+    return Status::Corruption("checksum mismatch on block " +
+                              std::to_string(id));
+  }
+  *out = stored;
   return Status::OK();
 }
 
@@ -40,13 +52,61 @@ StatusOr<std::shared_ptr<const BlockData>> MemBlockDevice::ReadBlockShared(
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
   }
   stats_.RecordRead();
+  const BlockData& stored = *it->second;
+  if (crc32c::Value(stored.data(), stored.size()) != crcs_.at(id)) {
+    return Status::Corruption("checksum mismatch on block " +
+                              std::to_string(id));
+  }
   return it->second;
+}
+
+Status MemBlockDevice::VerifyBlock(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  stats_.RecordRead();
+  const BlockData& stored = *it->second;
+  if (crc32c::Value(stored.data(), stored.size()) != crcs_.at(id)) {
+    return Status::Corruption("checksum mismatch on block " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status MemBlockDevice::CorruptBlockForTesting(BlockId id,
+                                              const BlockData& data) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  if (data.size() > block_size_) {
+    return Status::InvalidArgument("block payload larger than block size");
+  }
+  BlockData stored = data;
+  stored.resize(block_size_, 0);
+  // Replace the image only; crcs_ keeps the checksum of the original write,
+  // exactly as silent media corruption would.
+  it->second = std::make_shared<const BlockData>(std::move(stored));
+  return Status::OK();
+}
+
+Status MemBlockDevice::ReadBlockUnverifiedForTesting(BlockId id,
+                                                     BlockData* out) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id) + " not allocated");
+  }
+  *out = *it->second;
+  return Status::OK();
 }
 
 std::unique_ptr<MemBlockDevice> MemBlockDevice::Clone() const {
   auto clone = std::make_unique<MemBlockDevice>(block_size_);
   clone->next_id_ = next_id_;
+  clone->max_blocks_ = max_blocks_;
   clone->blocks_ = blocks_;
+  clone->crcs_ = crcs_;
   return clone;
 }
 
@@ -57,6 +117,7 @@ Status MemBlockDevice::FreeBlock(BlockId id) {
                             std::to_string(id));
   }
   blocks_.erase(it);
+  crcs_.erase(id);
   stats_.RecordFree();
   return Status::OK();
 }

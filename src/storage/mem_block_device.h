@@ -2,6 +2,7 @@
 #define LSMSSD_STORAGE_MEM_BLOCK_DEVICE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,13 @@ namespace lsmssd {
 /// the paper's headline metric (block writes) is accounted identically to a
 /// physical SSD, while runs stay laptop-scale and deterministic. Substitutes
 /// for the paper's EC2 local-SSD testbed; see DESIGN.md "Substitutions".
+///
+/// Every block carries an out-of-band CRC32C computed at write time and
+/// checked on every read; the checksum lives beside the payload (not inside
+/// the 4 KiB image), so record-block layout and all figure outputs are
+/// unaffected. A payload mutated behind the device's back (the
+/// CorruptBlockForTesting seam, or a fault-injection decorator) makes every
+/// subsequent read of that id fail with Status::Corruption.
 class MemBlockDevice : public BlockDevice {
  public:
   explicit MemBlockDevice(size_t block_size = kDefaultBlockSize);
@@ -30,7 +38,16 @@ class MemBlockDevice : public BlockDevice {
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
   Status FreeBlock(BlockId id) override;
+  Status VerifyBlock(BlockId id) override;
+  Status CorruptBlockForTesting(BlockId id, const BlockData& data) override;
+  Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) override;
   uint64_t live_blocks() const override { return blocks_.size(); }
+
+  /// Caps the number of simultaneously-live blocks; further allocations
+  /// return ResourceExhausted until blocks are freed or the cap is raised.
+  /// 0 (the default) means unlimited. Models a full SSD.
+  void set_max_blocks(uint64_t max_blocks) { max_blocks_ = max_blocks; }
+  uint64_t max_blocks() const { return max_blocks_; }
 
   /// True iff `id` is currently allocated. Test/debug helper.
   bool IsLive(BlockId id) const { return blocks_.contains(id); }
@@ -42,10 +59,13 @@ class MemBlockDevice : public BlockDevice {
 
  private:
   size_t block_size_;
-  BlockId next_id_ = 1;  // 0 is never handed out; eases debugging.
+  uint64_t max_blocks_ = 0;  // 0 = unlimited
+  BlockId next_id_ = 1;      // 0 is never handed out; eases debugging.
   // Shared so ReadBlockShared serves the image without copying; blocks
   // are never mutated after WriteNewBlock.
   std::unordered_map<BlockId, std::shared_ptr<const BlockData>> blocks_;
+  // Out-of-band CRC32C per live block, keyed like blocks_.
+  std::unordered_map<BlockId, uint32_t> crcs_;
 };
 
 }  // namespace lsmssd

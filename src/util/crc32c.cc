@@ -1,0 +1,90 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace lsmssd {
+namespace crc32c {
+namespace {
+
+// Slicing-by-8 lookup tables for the Castagnoli polynomial, built once at
+// static-init time. Table[0] is the classic byte-at-a-time table; tables
+// 1..7 fold eight input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int j = 1; j < 8; ++j) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[j][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n) {
+  crc = ~crc;
+#if defined(__SSE4_2__)
+  // Hardware path: align to 8 bytes, then crc 8 bytes per instruction.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *data++);
+    --n;
+  }
+  while (n >= 8) {
+    crc = static_cast<uint32_t>(_mm_crc32_u64(
+        crc, *reinterpret_cast<const uint64_t*>(data)));
+    data += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *data++);
+    --n;
+  }
+#else
+  const Tables& tb = tables();
+  while (n >= 8) {
+    uint32_t lo = Load32(data) ^ crc;
+    uint32_t hi = Load32(data + 4);
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xFF] ^ tb.t[2][(hi >> 8) & 0xFF] ^
+          tb.t[1][(hi >> 16) & 0xFF] ^ tb.t[0][hi >> 24];
+    data += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *data++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace lsmssd

@@ -1,0 +1,277 @@
+// Db-level integrity and degradation behavior: corrupted blocks surface
+// as Status::Corruption from reads without poisoning the instance (and
+// land in the quarantine set), Db::Scrub() and the background scrubber
+// find damage proactively, device exhaustion turns into write
+// backpressure instead of a dead Db, and offline bit rot is caught on
+// the first read after reopen.
+
+#include "src/db/db.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/driver.h"
+#include "tests/test_util.h"
+
+namespace lsmssd {
+namespace {
+
+using testing::TinyOptions;
+
+/// Fresh per-test Db directory under the gtest temp dir.
+std::string FreshDir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "/dbi_" + tag + "_" +
+                          std::to_string(::getpid());
+  ::unlink(Db::ManifestPath(dir).c_str());
+  ::unlink(Db::ManifestTmpPath(dir).c_str());
+  ::unlink(Db::DevicePath(dir).c_str());
+  ::unlink(Db::ChecksumPath(dir).c_str());
+  ::unlink(Db::WalPath(dir).c_str());
+  for (const std::string& seg : Db::ListWalSegments(dir)) {
+    ::unlink(seg.c_str());
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+DbOptions TinyDbOptions() {
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.checkpoint_wal_bytes = 0;  // Manual checkpoints unless asked.
+  return dbopts;
+}
+
+/// Puts keys 0, 3, 6, ... so the tree spills well past L0.
+void Grow(Db* db, const Options& options, Key count) {
+  for (Key k = 0; k < count; ++k) {
+    ASSERT_TRUE(db->Put(k * 3, MakePayload(options, k * 3)).ok());
+  }
+}
+
+/// First on-SSD leaf of the shallowest populated level >= 1.
+LeafMeta FirstLeaf(Db* db) {
+  for (size_t i = 1; i < db->tree()->num_levels(); ++i) {
+    if (db->tree()->level(i).num_leaves() > 0) {
+      return db->tree()->level(i).leaf(0);
+    }
+  }
+  ADD_FAILURE() << "tree has no on-SSD leaves";
+  return LeafMeta{};
+}
+
+/// Silently corrupts `leaf`'s stored image through the Db's device stack.
+void CorruptLeaf(Db* db, const LeafMeta& leaf) {
+  BlockData image;
+  ASSERT_TRUE(
+      db->tree()->device()->ReadBlockUnverifiedForTesting(leaf.block, &image)
+          .ok());
+  image[image.size() / 3] ^= 0x20;
+  ASSERT_TRUE(db->tree()->device()->CorruptBlockForTesting(leaf.block, image)
+                  .ok());
+}
+
+bool Quarantined(Db* db, BlockId id) {
+  const std::vector<BlockId> q = db->Stats().quarantined_blocks;
+  return std::find(q.begin(), q.end(), id) != q.end();
+}
+
+TEST(DbIntegrityTest, CorruptionSurfacesWithoutPoisoning) {
+  const std::string dir = FreshDir("corrupt");
+  const DbOptions dbopts = TinyDbOptions();
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Db& db = *db_or.value();
+  Grow(&db, dbopts.options, 600);
+
+  const LeafMeta leaf = FirstLeaf(&db);
+  CorruptLeaf(&db, leaf);
+
+  // Any in-range lookup must consult the damaged leaf (keys shadowed by
+  // upper levels aside) and reports Corruption — never a wrong value.
+  bool saw_corruption = false;
+  for (Key k = leaf.min_key; k <= leaf.max_key; ++k) {
+    auto got = db.Get(k);
+    if (got.status().IsCorruption()) {
+      saw_corruption = true;
+      break;
+    }
+    ASSERT_TRUE(got.ok() || got.status().IsNotFound())
+        << got.status().ToString();
+  }
+  EXPECT_TRUE(saw_corruption);
+  std::vector<std::pair<Key, std::string>> out;
+  EXPECT_TRUE(db.Scan(leaf.min_key, leaf.max_key, &out).IsCorruption());
+
+  // The id is quarantined, and the Db is *not* poisoned: healthy ranges
+  // keep answering and new writes are accepted.
+  EXPECT_FALSE(db.failed());
+  EXPECT_TRUE(Quarantined(&db, leaf.block));
+  ASSERT_TRUE(db.Get(3 * 599).ok());
+  EXPECT_TRUE(db.Put(1'000'000, MakePayload(dbopts.options, 1'000'000)).ok());
+  EXPECT_TRUE(db.Get(1'000'000).ok());
+}
+
+TEST(DbIntegrityTest, ScrubVerifiesCleanAndFindsDamage) {
+  const std::string dir = FreshDir("scrub");
+  const DbOptions dbopts = TinyDbOptions();
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  Db& db = *db_or.value();
+  Grow(&db, dbopts.options, 600);
+
+  // A clean tree scrubs clean.
+  ASSERT_TRUE(db.Scrub().ok()) << db.Scrub().ToString();
+  const DbStats clean = db.Stats();
+  EXPECT_GT(clean.scrub_blocks_verified, 0u);
+  EXPECT_EQ(clean.scrub_corruptions_found, 0u);
+  EXPECT_TRUE(clean.quarantined_blocks.empty());
+
+  const LeafMeta leaf = FirstLeaf(&db);
+  CorruptLeaf(&db, leaf);
+
+  Status st = db.Scrub();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  const DbStats dirty = db.Stats();
+  EXPECT_EQ(dirty.scrub_corruptions_found, 1u);
+  EXPECT_TRUE(Quarantined(&db, leaf.block));
+  EXPECT_FALSE(db.failed());
+}
+
+TEST(DbIntegrityTest, BackgroundScrubberQuarantinesOfflineRot) {
+  const std::string dir = FreshDir("bgscrub");
+  DbOptions dbopts = TinyDbOptions();
+
+  // Build a checkpointed Db, remember where a leaf lives, close it.
+  LeafMeta leaf;
+  size_t block_size = 0;
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    Db& db = *db_or.value();
+    Grow(&db, dbopts.options, 600);
+    ASSERT_TRUE(db.Checkpoint().ok());
+    leaf = FirstLeaf(&db);
+    block_size = db.options().block_size;
+  }
+
+  // Bit rot while powered off: flip one byte in the backing file.
+  {
+    FILE* fp = ::fopen(Db::DevicePath(dir).c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(
+        ::fseek(fp, static_cast<long>(leaf.block * block_size + 11), SEEK_SET),
+        0);
+    ASSERT_EQ(::fputc(0xA5, fp), 0xA5);
+    ASSERT_EQ(::fclose(fp), 0);
+  }
+
+  // Reopen with an aggressive background scrub; it must find and
+  // quarantine the block without any foreground read touching it.
+  dbopts.scrub_interval_ms = 2;
+  dbopts.scrub_batch_blocks = 1024;
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Db& db = *db_or.value();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!Quarantined(&db, leaf.block)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "background scrubber never quarantined the damaged block";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const DbStats stats = db.Stats();
+  EXPECT_GE(stats.scrub_corruptions_found, 1u);
+  EXPECT_FALSE(db.failed());
+
+  // The damage is confined: a lookup in the damaged range reports
+  // Corruption, everything else still works.
+  EXPECT_TRUE(db.Get(leaf.min_key).status().IsCorruption());
+  EXPECT_TRUE(db.Put(2'000'000, MakePayload(dbopts.options, 2'000'000)).ok());
+}
+
+TEST(DbIntegrityTest, ExhaustionIsBackpressureNotFailure) {
+  const std::string dir = FreshDir("full");
+  const DbOptions dbopts = TinyDbOptions();
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok());
+  Db& db = *db_or.value();
+  Grow(&db, dbopts.options, 600);
+
+  // Freeze the device at its current occupancy, then keep writing fresh
+  // keys until a triggered merge needs a block it cannot get.
+  const uint64_t live_before = db.tree()->device()->live_blocks();
+  db.SetMaxDeviceBlocks(live_before);
+  Status st;
+  Key k = 500'000;
+  for (int i = 0; i < 5000 && st.ok(); ++i, ++k) {
+    st = db.Put(k, MakePayload(dbopts.options, k));
+  }
+  ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+
+  // Backpressure, not a poisoned Db: the event is counted, no block
+  // leaked from the aborted merge, reads (old and backlogged-new) work.
+  EXPECT_FALSE(db.failed());
+  EXPECT_GE(db.Stats().write_backpressure_events, 1u);
+  EXPECT_EQ(db.tree()->device()->live_blocks(), live_before);
+  ASSERT_TRUE(db.Get(0).ok());
+  ASSERT_TRUE(db.Get(500'000).ok());
+
+  // Raising the cap un-sticks writers; the backlog drains through merges
+  // and a checkpoint publishes the recovered state.
+  db.SetMaxDeviceBlocks(0);
+  for (int i = 0; i < 200; ++i, ++k) {
+    ASSERT_TRUE(db.Put(k, MakePayload(dbopts.options, k)).ok());
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_TRUE(db.Get(0).ok());
+  ASSERT_TRUE(db.tree()->CheckInvariants(true).ok());
+}
+
+TEST(DbIntegrityTest, OfflineCorruptionCaughtOnFirstReadAfterReopen) {
+  const std::string dir = FreshDir("reopen");
+  const DbOptions dbopts = TinyDbOptions();
+
+  LeafMeta leaf;
+  size_t block_size = 0;
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok());
+    Db& db = *db_or.value();
+    Grow(&db, dbopts.options, 600);
+    ASSERT_TRUE(db.Checkpoint().ok());
+    leaf = FirstLeaf(&db);
+    block_size = db.options().block_size;
+  }
+
+  {
+    FILE* fp = ::fopen(Db::DevicePath(dir).c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(
+        ::fseek(fp, static_cast<long>(leaf.block * block_size + 42), SEEK_SET),
+        0);
+    ASSERT_EQ(::fputc(0x3C, fp), 0x3C);
+    ASSERT_EQ(::fclose(fp), 0);
+  }
+
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Db& db = *db_or.value();
+  // The very first in-range read trips the sidecar checksum.
+  EXPECT_TRUE(db.Get(leaf.min_key).status().IsCorruption());
+  EXPECT_TRUE(Quarantined(&db, leaf.block));
+  EXPECT_FALSE(db.failed());
+  // And an explicit scrub agrees.
+  EXPECT_TRUE(db.Scrub().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lsmssd

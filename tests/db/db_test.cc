@@ -26,6 +26,7 @@ std::string FreshDir(const char* tag) {
   ::unlink(Db::ManifestPath(dir).c_str());
   ::unlink(Db::ManifestTmpPath(dir).c_str());
   ::unlink(Db::DevicePath(dir).c_str());
+  ::unlink(Db::ChecksumPath(dir).c_str());
   ::unlink(Db::WalPath(dir).c_str());
   for (const std::string& seg : Db::ListWalSegments(dir)) {
     ::unlink(seg.c_str());

@@ -1,0 +1,533 @@
+// End-to-end block-integrity tests across the device stack: out-of-band
+// checksums catch every single-bit flip, silent-corruption fault modes are
+// detected rather than served, transient read errors are retried, and
+// typed errors (NotFound, ResourceExhausted) come back for misuse and
+// exhaustion on every device.
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/db/pinned_block_device.h"
+#include "src/storage/fault_injection_block_device.h"
+#include "src/storage/file_block_device.h"
+#include "src/storage/lru_cache.h"
+#include "src/storage/mem_block_device.h"
+
+namespace lsmssd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name + std::to_string(::getpid());
+}
+
+// Builds every production device flavor behind one factory so the same
+// property tests run against all of them.
+struct DeviceFixture {
+  std::unique_ptr<MemBlockDevice> mem;
+  std::unique_ptr<FileBlockDevice> file;
+  BlockDevice* device = nullptr;  // The device under test.
+};
+
+DeviceFixture MakeMem(size_t block_size) {
+  DeviceFixture f;
+  f.mem = std::make_unique<MemBlockDevice>(block_size);
+  f.device = f.mem.get();
+  return f;
+}
+
+DeviceFixture MakeFile(size_t block_size, const char* name) {
+  DeviceFixture f;
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = block_size;
+  auto dev_or = FileBlockDevice::Open(TempPath(name), opts);
+  EXPECT_TRUE(dev_or.ok()) << dev_or.status().ToString();
+  f.file = std::move(dev_or.value());
+  f.device = f.file.get();
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Every-bit-flip property: any single flipped bit in a stored block image
+// must turn every read into Corruption — never a wrong payload.
+
+void RunEveryBitFlip(BlockDevice* dev) {
+  BlockData payload(dev->block_size());
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  auto id_or = dev->WriteNewBlock(payload);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const BlockId id = id_or.value();
+
+  BlockData image;
+  ASSERT_TRUE(dev->ReadBlockUnverifiedForTesting(id, &image).ok());
+  ASSERT_EQ(image.size(), dev->block_size());
+
+  for (size_t bit = 0; bit < image.size() * 8; ++bit) {
+    image[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    ASSERT_TRUE(dev->CorruptBlockForTesting(id, image).ok());
+
+    BlockData out;
+    Status read = dev->ReadBlock(id, &out);
+    ASSERT_TRUE(read.IsCorruption()) << "bit " << bit << ": " << read.ToString();
+    ASSERT_NE(read.ToString().find(std::to_string(id)), std::string::npos)
+        << "corruption error must name the block id: " << read.ToString();
+    ASSERT_TRUE(dev->VerifyBlock(id).IsCorruption()) << "bit " << bit;
+
+    // Restore the original image; the block must verify clean again.
+    image[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    ASSERT_TRUE(dev->CorruptBlockForTesting(id, image).ok());
+    ASSERT_TRUE(dev->VerifyBlock(id).ok()) << "bit " << bit;
+  }
+}
+
+TEST(BlockIntegrityTest, EveryBitFlipDetectedMemDevice) {
+  auto f = MakeMem(128);
+  RunEveryBitFlip(f.device);
+}
+
+TEST(BlockIntegrityTest, EveryBitFlipDetectedFileDevice) {
+  auto f = MakeFile(128, "bi_flip_file");
+  RunEveryBitFlip(f.device);
+}
+
+TEST(BlockIntegrityTest, BitFlipDetectedOnSharedReadPath) {
+  MemBlockDevice dev(256);
+  auto id = dev.WriteNewBlock(BlockData(256, 0xCD));
+  ASSERT_TRUE(id.ok());
+  BlockData image(256, 0xCD);
+  image[100] ^= 0x10;
+  ASSERT_TRUE(dev.CorruptBlockForTesting(id.value(), image).ok());
+  EXPECT_TRUE(dev.ReadBlockShared(id.value()).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// FreeBlock misuse: unallocated / double-freed ids are typed errors on
+// every device, and never crash.
+
+void RunFreeMisuse(BlockDevice* dev) {
+  EXPECT_FALSE(dev->FreeBlock(9999).ok()) << "free of never-allocated id";
+  EXPECT_FALSE(dev->FreeBlock(kInvalidBlockId).ok());
+
+  auto id = dev->WriteNewBlock(BlockData(8, 0x01));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(dev->FreeBlock(id.value()).ok());
+  EXPECT_FALSE(dev->FreeBlock(id.value()).ok()) << "double free";
+  BlockData out;
+  EXPECT_TRUE(dev->ReadBlock(id.value(), &out).IsNotFound());
+  EXPECT_TRUE(dev->VerifyBlock(id.value()).IsNotFound());
+}
+
+TEST(BlockIntegrityTest, FreeMisuseMemDevice) {
+  auto f = MakeMem(64);
+  RunFreeMisuse(f.device);
+}
+
+TEST(BlockIntegrityTest, FreeMisuseFileDevice) {
+  auto f = MakeFile(64, "bi_free_file");
+  RunFreeMisuse(f.device);
+}
+
+TEST(BlockIntegrityTest, FreeMisuseCachedDevice) {
+  auto f = MakeMem(64);
+  CachedBlockDevice cached(f.device, 4);
+  RunFreeMisuse(&cached);
+}
+
+TEST(BlockIntegrityTest, FreeMisusePinnedDevice) {
+  auto f = MakeMem(64);
+  PinnedBlockDevice pinned(f.device, {});
+  RunFreeMisuse(&pinned);
+}
+
+TEST(BlockIntegrityTest, FreeMisuseFaultInjectionDevice) {
+  auto f = MakeMem(64);
+  FaultInjectionBlockDevice faulty(f.device, nullptr);
+  RunFreeMisuse(&faulty);
+}
+
+// ---------------------------------------------------------------------------
+// Decorator forwarding: corruption armed below a cache must still be
+// observable through it, and VerifyBlock must bypass the cache.
+
+TEST(BlockIntegrityTest, CorruptionVisibleThroughCache) {
+  MemBlockDevice mem(256);
+  CachedBlockDevice cached(&mem, 8);
+
+  auto id = cached.WriteNewBlock(BlockData(256, 0x77));
+  ASSERT_TRUE(id.ok());
+  BlockData out;
+  ASSERT_TRUE(cached.ReadBlock(id.value(), &out).ok());  // Now cached.
+
+  BlockData bad(256, 0x77);
+  bad[0] ^= 0x01;
+  ASSERT_TRUE(cached.CorruptBlockForTesting(id.value(), bad).ok());
+
+  // The seam dropped the cached copy, so the damage is seen immediately.
+  EXPECT_TRUE(cached.ReadBlock(id.value(), &out).IsCorruption());
+  EXPECT_TRUE(cached.VerifyBlock(id.value()).IsCorruption());
+}
+
+TEST(BlockIntegrityTest, VerifyBypassesCache) {
+  MemBlockDevice mem(256);
+  CachedBlockDevice cached(&mem, 8);
+
+  auto id = cached.WriteNewBlock(BlockData(256, 0x42));
+  ASSERT_TRUE(id.ok());
+  BlockData out;
+  ASSERT_TRUE(cached.ReadBlock(id.value(), &out).ok());  // Warm the cache.
+
+  // Corrupt via the *base* seam; the cache above still holds a clean copy.
+  BlockData bad(256, 0x42);
+  bad[17] ^= 0x80;
+  ASSERT_TRUE(mem.CorruptBlockForTesting(id.value(), bad).ok());
+
+  // A scrub through the cache must check the backing store, not the cache.
+  EXPECT_TRUE(cached.VerifyBlock(id.value()).IsCorruption());
+}
+
+TEST(BlockIntegrityTest, PinnedDeviceQuarantinesCorruptReads) {
+  MemBlockDevice mem(256);
+  PinnedBlockDevice pinned(&mem, {});
+
+  auto a = pinned.WriteNewBlock(BlockData(256, 0x01));
+  auto b = pinned.WriteNewBlock(BlockData(256, 0x02));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(pinned.quarantined_count(), 0u);
+
+  BlockData bad(256, 0x01);
+  bad[5] ^= 0x04;
+  ASSERT_TRUE(pinned.CorruptBlockForTesting(a.value(), bad).ok());
+
+  BlockData out;
+  EXPECT_TRUE(pinned.ReadBlock(a.value(), &out).IsCorruption());
+  ASSERT_EQ(pinned.quarantined_count(), 1u);
+  EXPECT_EQ(pinned.QuarantinedBlocks().front(), a.value());
+
+  // Repeated accesses keep failing and do not duplicate the entry.
+  EXPECT_TRUE(pinned.VerifyBlock(a.value()).IsCorruption());
+  EXPECT_TRUE(pinned.ReadBlockShared(a.value()).status().IsCorruption());
+  EXPECT_EQ(pinned.quarantined_count(), 1u);
+
+  // The clean block is unaffected.
+  EXPECT_TRUE(pinned.ReadBlock(b.value(), &out).ok());
+
+  // Freeing the damaged block (a merge rewrote the level) clears it.
+  EXPECT_TRUE(pinned.FreeBlock(a.value()).ok());
+  EXPECT_EQ(pinned.quarantined_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Silent fault modes on the fault-injection decorator.
+
+TEST(BlockIntegrityTest, SilentBitFlipCorruptsTriggerWrite) {
+  MemBlockDevice mem(256);
+  FaultInjectionBlockDevice faulty(&mem, nullptr);
+  faulty.ArmBitFlip(/*after_writes=*/2, /*bit_index=*/123);
+
+  auto a = faulty.WriteNewBlock(BlockData(256, 0x0A));
+  auto b = faulty.WriteNewBlock(BlockData(256, 0x0B));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(faulty.silent_fault_fired());
+
+  auto c = faulty.WriteNewBlock(BlockData(256, 0x0C));
+  ASSERT_TRUE(c.ok()) << "silent faults must not fail the write";
+  EXPECT_TRUE(faulty.silent_fault_fired());
+  EXPECT_EQ(faulty.last_corrupted_block(), c.value());
+
+  BlockData out;
+  EXPECT_TRUE(faulty.ReadBlock(c.value(), &out).IsCorruption());
+  EXPECT_TRUE(faulty.ReadBlock(a.value(), &out).ok());
+  EXPECT_TRUE(faulty.ReadBlock(b.value(), &out).ok());
+
+  // Exactly one bit differs from what the caller wrote.
+  BlockData raw;
+  ASSERT_TRUE(faulty.ReadBlockUnverifiedForTesting(c.value(), &raw).ok());
+  int diff_bits = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    uint8_t x = raw[i] ^ 0x0C;
+    while (x != 0) {
+      diff_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(diff_bits, 1);
+}
+
+TEST(BlockIntegrityTest, MisdirectedWriteClobbersVictim) {
+  MemBlockDevice mem(256);
+  FaultInjectionBlockDevice faulty(&mem, nullptr);
+
+  auto victim = faulty.WriteNewBlock(BlockData(256, 0x55));
+  ASSERT_TRUE(victim.ok());
+  faulty.ArmMisdirectedWrite(/*after_writes=*/0, victim.value());
+
+  auto trigger = faulty.WriteNewBlock(BlockData(256, 0x66));
+  ASSERT_TRUE(trigger.ok());
+  EXPECT_TRUE(faulty.silent_fault_fired());
+  EXPECT_EQ(faulty.last_corrupted_block(), victim.value());
+
+  // The trigger block itself is fine; the victim now fails its checksum
+  // (its stored bytes are the trigger's payload, its checksum is not).
+  BlockData out;
+  EXPECT_TRUE(faulty.ReadBlock(trigger.value(), &out).ok());
+  EXPECT_TRUE(faulty.ReadBlock(victim.value(), &out).IsCorruption());
+  BlockData raw;
+  ASSERT_TRUE(faulty.ReadBlockUnverifiedForTesting(victim.value(), &raw).ok());
+  EXPECT_EQ(raw[0], 0x66);
+}
+
+TEST(BlockIntegrityTest, StaleReadServesPreviousPayload) {
+  MemBlockDevice mem(256);
+  FaultInjectionBlockDevice faulty(&mem, nullptr);
+  faulty.ArmStaleRead(/*after_writes=*/1);
+
+  auto a = faulty.WriteNewBlock(BlockData(256, 0x11));  // Remembered.
+  ASSERT_TRUE(a.ok());
+  auto b = faulty.WriteNewBlock(BlockData(256, 0x22));  // Dropped write.
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(faulty.silent_fault_fired());
+  EXPECT_EQ(faulty.last_corrupted_block(), b.value());
+
+  BlockData out;
+  EXPECT_TRUE(faulty.ReadBlock(b.value(), &out).IsCorruption());
+  BlockData raw;
+  ASSERT_TRUE(faulty.ReadBlockUnverifiedForTesting(b.value(), &raw).ok());
+  EXPECT_EQ(raw[0], 0x11) << "slot must hold the previous write's payload";
+}
+
+TEST(BlockIntegrityTest, TransientReadErrorsRecover) {
+  MemBlockDevice mem(256);
+  FaultInjectionBlockDevice faulty(&mem, nullptr);
+  auto id = faulty.WriteNewBlock(BlockData(256, 0x99));
+  ASSERT_TRUE(id.ok());
+
+  faulty.ArmTransientReadErrors(2);
+  BlockData out;
+  EXPECT_TRUE(faulty.ReadBlock(id.value(), &out).IsIoError());
+  EXPECT_TRUE(faulty.ReadBlockShared(id.value()).status().IsIoError());
+  // Scrub verdicts reflect media state, not transport weather.
+  faulty.ArmTransientReadErrors(1);
+  EXPECT_TRUE(faulty.VerifyBlock(id.value()).ok());
+  EXPECT_TRUE(faulty.ReadBlock(id.value(), &out).IsIoError());
+  // Third read recovers.
+  EXPECT_TRUE(faulty.ReadBlock(id.value(), &out).ok());
+  EXPECT_EQ(out[0], 0x99);
+}
+
+// ---------------------------------------------------------------------------
+// FileBlockDevice syscall resilience.
+
+TEST(BlockIntegrityTest, FileWriteEnospcIsResourceExhausted) {
+  auto f = MakeFile(128, "bi_enospc");
+  auto ok = f.file->WriteNewBlock(BlockData(16, 0x01));
+  ASSERT_TRUE(ok.ok());
+
+  f.file->InjectWriteFaultForTesting(ENOSPC);
+  auto st = f.file->WriteNewBlock(BlockData(16, 0x02)).status();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_EQ(f.file->live_blocks(), 1u) << "failed allocation must not leak";
+
+  // The slot is recycled and the device keeps working.
+  auto retry = f.file->WriteNewBlock(BlockData(16, 0x03));
+  ASSERT_TRUE(retry.ok());
+  BlockData out;
+  EXPECT_TRUE(f.file->ReadBlock(retry.value(), &out).ok());
+  EXPECT_EQ(out[0], 0x03);
+}
+
+TEST(BlockIntegrityTest, FileWriteEioIsIoError) {
+  auto f = MakeFile(128, "bi_eio");
+  f.file->InjectWriteFaultForTesting(EIO);
+  auto st = f.file->WriteNewBlock(BlockData(16, 0x01)).status();
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+}
+
+TEST(BlockIntegrityTest, FileTransientReadFaultsAreRetried) {
+  auto f = MakeFile(128, "bi_retry");
+  auto id = f.file->WriteNewBlock(BlockData(16, 0xAB));
+  ASSERT_TRUE(id.ok());
+
+  // Two transient failures, then success: the bounded retry absorbs them.
+  f.file->InjectReadFaultsForTesting(2);
+  BlockData out;
+  ASSERT_TRUE(f.file->ReadBlock(id.value(), &out).ok());
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(f.file->read_retries(), 2u);
+}
+
+TEST(BlockIntegrityTest, FilePersistentReadFaultSurfacesAfterRetries) {
+  auto f = MakeFile(128, "bi_retry_fail");
+  auto id = f.file->WriteNewBlock(BlockData(16, 0xAB));
+  ASSERT_TRUE(id.ok());
+
+  // More faults than attempts: the error surfaces, typed as IoError.
+  f.file->InjectReadFaultsForTesting(10);
+  BlockData out;
+  EXPECT_TRUE(f.file->ReadBlock(id.value(), &out).IsIoError());
+  // The remaining armed faults drain on later reads, which then recover.
+  f.file->InjectReadFaultsForTesting(0);
+  EXPECT_TRUE(f.file->ReadBlock(id.value(), &out).ok());
+}
+
+TEST(BlockIntegrityTest, FileCorruptionIsNeverRetried) {
+  auto f = MakeFile(128, "bi_no_retry");
+  auto id = f.file->WriteNewBlock(BlockData(16, 0xAB));
+  ASSERT_TRUE(id.ok());
+  BlockData bad(128, 0xAB);
+  bad[3] ^= 0x02;
+  ASSERT_TRUE(f.file->CorruptBlockForTesting(id.value(), bad).ok());
+
+  const uint64_t retries_before = f.file->read_retries();
+  BlockData out;
+  EXPECT_TRUE(f.file->ReadBlock(id.value(), &out).IsCorruption());
+  EXPECT_EQ(f.file->read_retries(), retries_before)
+      << "stable media damage must not be retried";
+}
+
+// ---------------------------------------------------------------------------
+// Device exhaustion (max_blocks).
+
+void RunExhaustion(BlockDevice* dev, auto set_max) {
+  set_max(2);
+  auto a = dev->WriteNewBlock(BlockData(8, 0x01));
+  auto b = dev->WriteNewBlock(BlockData(8, 0x02));
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  auto st = dev->WriteNewBlock(BlockData(8, 0x03)).status();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_EQ(dev->live_blocks(), 2u);
+
+  // Freeing makes room again.
+  ASSERT_TRUE(dev->FreeBlock(a.value()).ok());
+  EXPECT_TRUE(dev->WriteNewBlock(BlockData(8, 0x04)).ok());
+
+  // Raising the cap makes room too.
+  set_max(3);
+  EXPECT_TRUE(dev->WriteNewBlock(BlockData(8, 0x05)).ok());
+  // And clearing it removes the limit.
+  set_max(0);
+  EXPECT_TRUE(dev->WriteNewBlock(BlockData(8, 0x06)).ok());
+}
+
+TEST(BlockIntegrityTest, ExhaustionMemDevice) {
+  MemBlockDevice mem(64);
+  RunExhaustion(&mem, [&](uint64_t n) { mem.set_max_blocks(n); });
+}
+
+TEST(BlockIntegrityTest, ExhaustionFileDevice) {
+  auto f = MakeFile(64, "bi_full");
+  RunExhaustion(f.device, [&](uint64_t n) { f.file->set_max_blocks(n); });
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar persistence across reopen.
+
+TEST(BlockIntegrityTest, ChecksumsSurviveReopen) {
+  const std::string path = TempPath("bi_reopen");
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 128;
+  opts.remove_on_close = false;
+
+  std::vector<BlockId> ids;
+  {
+    auto dev_or = FileBlockDevice::Open(path, opts);
+    ASSERT_TRUE(dev_or.ok());
+    for (uint8_t i = 0; i < 5; ++i) {
+      auto id = dev_or.value()->WriteNewBlock(BlockData(16, i));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(dev_or.value()->Flush().ok());
+  }
+
+  opts.truncate = false;
+  auto dev_or = FileBlockDevice::Open(path, opts);
+  ASSERT_TRUE(dev_or.ok()) << dev_or.status().ToString();
+  auto& dev = *dev_or.value();
+  ASSERT_TRUE(dev.RestoreLive(ids).ok());
+  for (uint8_t i = 0; i < 5; ++i) {
+    BlockData out;
+    ASSERT_TRUE(dev.ReadBlock(ids[i], &out).ok());
+    EXPECT_EQ(out[0], i);
+    EXPECT_TRUE(dev.VerifyBlock(ids[i]).ok());
+  }
+  // Clean up the persisted pair.
+  dev.set_max_blocks(0);
+  ::unlink(path.c_str());
+  ::unlink(FileBlockDevice::SidecarPath(path).c_str());
+}
+
+TEST(BlockIntegrityTest, OfflineCorruptionDetectedAfterReopen) {
+  const std::string path = TempPath("bi_reopen_bad");
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 128;
+  opts.remove_on_close = false;
+
+  BlockId id = kInvalidBlockId;
+  {
+    auto dev_or = FileBlockDevice::Open(path, opts);
+    ASSERT_TRUE(dev_or.ok());
+    auto id_or = dev_or.value()->WriteNewBlock(BlockData(16, 0x5C));
+    ASSERT_TRUE(id_or.ok());
+    id = id_or.value();
+    ASSERT_TRUE(dev_or.value()->Flush().ok());
+  }
+
+  // Flip one byte directly in the backing file — rot while "powered off".
+  {
+    FILE* fp = ::fopen(path.c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(::fseek(fp, static_cast<long>(id * 128 + 7), SEEK_SET), 0);
+    ASSERT_EQ(::fputc(0xEE, fp), 0xEE);
+    ASSERT_EQ(::fclose(fp), 0);
+  }
+
+  opts.truncate = false;
+  auto dev_or = FileBlockDevice::Open(path, opts);
+  ASSERT_TRUE(dev_or.ok());
+  ASSERT_TRUE(dev_or.value()->RestoreLive({id}).ok());
+  BlockData out;
+  EXPECT_TRUE(dev_or.value()->ReadBlock(id, &out).IsCorruption());
+  ::unlink(path.c_str());
+  ::unlink(FileBlockDevice::SidecarPath(path).c_str());
+}
+
+TEST(BlockIntegrityTest, MissingSidecarEntriesFailRestore) {
+  const std::string path = TempPath("bi_no_sidecar");
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 128;
+  opts.remove_on_close = false;
+
+  BlockId id = kInvalidBlockId;
+  {
+    auto dev_or = FileBlockDevice::Open(path, opts);
+    ASSERT_TRUE(dev_or.ok());
+    auto id_or = dev_or.value()->WriteNewBlock(BlockData(16, 0x01));
+    ASSERT_TRUE(id_or.ok());
+    id = id_or.value();
+    ASSERT_TRUE(dev_or.value()->Flush().ok());
+  }
+  ASSERT_EQ(::truncate(FileBlockDevice::SidecarPath(path).c_str(), 0), 0);
+
+  opts.truncate = false;
+  auto dev_or = FileBlockDevice::Open(path, opts);
+  ASSERT_TRUE(dev_or.ok());
+  EXPECT_TRUE(dev_or.value()->RestoreLive({id}).IsCorruption());
+  ::unlink(path.c_str());
+  ::unlink(FileBlockDevice::SidecarPath(path).c_str());
+}
+
+TEST(BlockIntegrityTest, SidecarPathMapping) {
+  EXPECT_EQ(FileBlockDevice::SidecarPath("/x/blocks.dev"), "/x/blocks.crc");
+  EXPECT_EQ(FileBlockDevice::SidecarPath("/x/data"), "/x/data.crc");
+}
+
+}  // namespace
+}  // namespace lsmssd
