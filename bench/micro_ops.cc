@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/format/record_block.h"
 #include "src/format/record_block_view.h"
 #include "src/lsm/level.h"
@@ -263,4 +266,30 @@ BENCHMARK(BM_GoldenSectionSearch);
 }  // namespace
 }  // namespace lsmssd
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a default JSON sink: unless the caller passed
+// --benchmark_out themselves, results also land in BENCH_micro_ops.json so
+// successive PRs can diff machine-readable numbers (console output is
+// unchanged).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

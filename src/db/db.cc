@@ -72,9 +72,14 @@ Status WriteFile(const std::string& path, std::string_view data,
 /// writers (which need the lock exclusively) wait.
 class SnapshotIterator : public Iterator {
  public:
+  /// `mem_lock` is engaged only in background-compaction mode, where the
+  /// memtables the iterator reads are guarded by their own lock.
   SnapshotIterator(std::shared_lock<SharedMutex> lock,
+                   std::shared_lock<SharedMutex> mem_lock,
                    std::unique_ptr<Iterator> base)
-      : lock_(std::move(lock)), base_(std::move(base)) {}
+      : lock_(std::move(lock)),
+        mem_lock_(std::move(mem_lock)),
+        base_(std::move(base)) {}
 
   bool Valid() const override { return base_->Valid(); }
   void SeekToFirst() override { base_->SeekToFirst(); }
@@ -86,6 +91,7 @@ class SnapshotIterator : public Iterator {
 
  private:
   std::shared_lock<SharedMutex> lock_;
+  std::shared_lock<SharedMutex> mem_lock_;
   std::unique_ptr<Iterator> base_;
 };
 
@@ -147,6 +153,9 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
       dbopts.wal_sync_every_n == 0) {
     return Status::InvalidArgument("wal_sync_every_n must be > 0");
   }
+  if (dbopts.background_compaction && dbopts.compaction_queue_depth == 0) {
+    return Status::InvalidArgument("compaction_queue_depth must be >= 1");
+  }
   if (dbopts.checkpoint_wal_bytes > 0) {
     // Framed WAL entry: [u32 length][u32 crc][u8 type][u64 key][payload].
     const uint64_t max_entry_bytes = 4 + 4 + 1 + 8 + dbopts.options.payload_size;
@@ -201,6 +210,7 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
     // the caller.
     manifest.options.cache_blocks = dbopts.options.cache_blocks;
     manifest.options.bloom_bits_per_key = dbopts.options.bloom_bits_per_key;
+    manifest.options.io_batch_blocks = dbopts.options.io_batch_blocks;
     for (const auto& level : manifest.levels) {
       for (const LeafMeta& leaf : level) manifest_blocks.push_back(leaf.block);
     }
@@ -304,6 +314,9 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
       dbopts.scrub_interval_ms > 0) {
     db->maintenance_ = std::thread(&Db::MaintenanceLoop, db.get());
   }
+  if (dbopts.background_compaction) {
+    db->compaction_ = std::thread(&Db::CompactionLoop, db.get());
+  }
   return db;
 }
 
@@ -327,6 +340,12 @@ void Db::Close() {
   }
   maint_cv_.notify_all();
   if (maintenance_.joinable()) maintenance_.join();
+  {
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    stop_compaction_ = true;
+  }
+  comp_cv_.notify_all();
+  if (compaction_.joinable()) compaction_.join();
 }
 
 Db::~Db() {
@@ -338,10 +357,12 @@ Status Db::FailLocked(Status st) {
   LSMSSD_CHECK(!st.ok());
   failed_.store(true, std::memory_order_release);
   // Wake every waiter (group-commit followers, queued checkpoints, the
-  // maintenance thread) so nobody blocks on progress that will never come.
+  // maintenance thread, stalled writers) so nobody blocks on progress
+  // that will never come.
   sync_cv_.notify_all();
   ckpt_cv_.notify_all();
   maint_cv_.notify_all();
+  stall_cv_.notify_all();
   return st;
 }
 
@@ -376,6 +397,15 @@ Status Db::Apply(const Record& record) {
   std::unique_lock<std::mutex> lk(db_mu_);
   if (failed()) return FailedStatus();
 
+  // Background mode: make room in the memtable pipeline *before* the WAL
+  // append (throttle, seal a full memtable, stall on a full queue), so an
+  // op that must be refused — compaction wedged on a full device — is
+  // refused before it is logged.
+  if (dbopts_.background_compaction) {
+    LSMSSD_RETURN_IF_ERROR(MaybeSealOrStallLocked(lk));
+    if (failed()) return FailedStatus();
+  }
+
   // Append + apply under one continuous db_mu_ hold, so tree apply order
   // is exactly WAL append order (recovery replays the same sequence).
   const uint64_t bytes_before = wal_->bytes_appended();
@@ -385,7 +415,20 @@ Status Db::Apply(const Record& record) {
   wal_bytes_total_ += wal_->bytes_appended() - bytes_before;
   const uint64_t my_seq = ++seq_appended_;
 
-  {
+  if (dbopts_.background_compaction) {
+    // The decoupled apply: into the active memtable only, under mem_mu_
+    // (readers probe it shared), never touching tree_mu_ — so this write
+    // cannot wait behind a running merge step.
+    std::unique_lock<SharedMutex> mlk(mem_mu_);
+    Status st = record.is_tombstone()
+                    ? tree_->DeleteNoMerge(record.key)
+                    : tree_->PutNoMerge(record.key, record.payload);
+    if (!st.ok()) {
+      // Unreachable after the validation above; treat as a logic fault.
+      mlk.unlock();
+      return FailLocked(std::move(st));
+    }
+  } else {
     std::unique_lock<SharedMutex> tlk(tree_mu_);
     Status st = record.is_tombstone()
                     ? tree_->Delete(record.key)
@@ -507,25 +550,229 @@ Status Db::ForceSyncAllLocked(std::unique_lock<std::mutex>& lk) {
   }
 }
 
+Status Db::MaybeSealOrStallLocked(std::unique_lock<std::mutex>& lk) {
+  using Clock = std::chrono::steady_clock;
+  const auto micros_since = [](Clock::time_point t0) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
+  };
+
+  // Soft throttle: with the queue deep, delay every op a little so the
+  // worker gains ground before writers hit the hard wall. The sleep holds
+  // db_mu_ on purpose — it must slow the whole commit path.
+  if (dbopts_.compaction_slowdown_depth > 0) {
+    bool deep = false;
+    {
+      std::lock_guard<std::mutex> clk(comp_mu_);
+      deep = sealed_queued_ >= dbopts_.compaction_slowdown_depth;
+    }
+    if (deep) {
+      const auto t0 = Clock::now();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(dbopts_.compaction_slowdown_micros));
+      std::lock_guard<std::mutex> clk(comp_mu_);
+      ++throttle_events_;
+      throttle_micros_ += micros_since(t0);
+    }
+  }
+
+  // Reading the active memtable's size under db_mu_ alone is race-free:
+  // only writers mutate it, and they all hold db_mu_.
+  if (!tree_->MemtableAtCapacity()) return Status::OK();
+
+  {
+    std::unique_lock<std::mutex> clk(comp_mu_);
+    if (sealed_queued_ >= dbopts_.compaction_queue_depth &&
+        compaction_error_.ok() && !failed()) {
+      // Hard stall: the queue is full. Wait for the worker, still holding
+      // db_mu_ — later writers queue behind us, which is the point.
+      ++stall_events_;
+      const auto t0 = Clock::now();
+      stall_cv_.wait(clk, [&] {
+        return sealed_queued_ < dbopts_.compaction_queue_depth ||
+               !compaction_error_.ok() || failed();
+      });
+      const uint64_t waited = micros_since(t0);
+      stall_micros_ += waited;
+      stall_hist_.Add(waited);
+    }
+    if (!compaction_error_.ok()) {
+      // Compaction is wedged (full device, quarantined block). Refuse the
+      // op *before* logging it — clean backpressure the caller can retry
+      // after freeing capacity (see SetMaxDeviceBlocks).
+      ++backpressure_events_;
+      return compaction_error_;
+    }
+    if (failed()) return FailedStatus();
+  }
+  // Between the checks above and the seal below the queue can only have
+  // shrunk: writers are serialized by db_mu_ and the worker only pops.
+  {
+    std::unique_lock<SharedMutex> mlk(mem_mu_);
+    tree_->SealMemtable();
+    // Publish depth + kick under comp_mu_ while still holding mem_mu_
+    // (mem_mu_ -> comp_mu_ follows the hierarchy): the worker cannot pop
+    // the new memtable before its ++sealed_queued_ lands, because a pop
+    // needs mem_mu_ exclusive.
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    ++sealed_queued_;
+    ++memtables_sealed_;
+    compaction_scheduled_ = true;
+  }
+  comp_cv_.notify_one();
+  return Status::OK();
+}
+
+void Db::CompactionLoop() {
+  std::unique_lock<std::mutex> clk(comp_mu_);
+  for (;;) {
+    comp_cv_.wait(clk,
+                  [this] { return stop_compaction_ || compaction_scheduled_; });
+    if (stop_compaction_) return;
+    clk.unlock();
+    RunCompactionSteps();
+    clk.lock();
+  }
+}
+
+Status Db::RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped) {
+  std::unique_lock<SharedMutex> tlk(tree_mu_);
+  Memtable* front = nullptr;
+  {
+    // The queue *structure* is shared with sealing writers; shared is
+    // enough to pin it while we copy the front pointer. The front
+    // memtable's *contents* are then ours to drain under tree_mu_ alone:
+    // writers only ever touch the active memtable.
+    std::shared_lock<SharedMutex> mlk(mem_mu_);
+    front = tree_->FrontSealed();
+  }
+  if (front != nullptr) {
+    LSMSSD_RETURN_IF_ERROR(tree_->FlushSealedStep(front));
+    {
+      std::unique_lock<SharedMutex> mlk(mem_mu_);
+      *popped = tree_->PopSealedIfDrained();
+    }
+    *step = LsmTree::CompactStep::kFlush;
+    return Status::OK();
+  }
+  auto step_or = tree_->MergeOverflowStep();
+  if (!step_or.ok()) return step_or.status();
+  *step = step_or.value();
+  return Status::OK();
+}
+
+void Db::RunCompactionSteps() {
+  using Clock = std::chrono::steady_clock;
+  {
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    compaction_scheduled_ = false;
+    worker_active_ = true;
+  }
+  Status err;
+  while (!failed()) {
+    const auto t0 = Clock::now();
+    auto step = LsmTree::CompactStep::kNone;
+    bool popped = false;
+    Status st = RunOneCompactionStep(&step, &popped);
+    const auto micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
+    {
+      std::lock_guard<std::mutex> clk(comp_mu_);
+      compaction_micros_ += micros;
+      if (st.ok()) {
+        compaction_error_ = Status::OK();  // Progress clears a wedge.
+        if (step == LsmTree::CompactStep::kFlush) ++background_flushes_;
+        if (step == LsmTree::CompactStep::kMerge) ++background_merges_;
+        if (popped) --sealed_queued_;
+      } else {
+        compaction_error_ = st;
+      }
+    }
+    // After *every* step — progress or error — wake stalled writers: a
+    // pop freed a queue slot; an error must be surfaced, not waited out.
+    stall_cv_.notify_all();
+    if (!st.ok()) {
+      err = st;
+      break;
+    }
+    if (step == LsmTree::CompactStep::kNone) break;
+  }
+  {
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    worker_active_ = false;
+  }
+  stall_cv_.notify_all();
+  // ResourceExhausted and Corruption are retryable backpressure (exactly
+  // as on the inline path); anything else is a durability failure. The
+  // error was published under comp_mu_ FIRST: a stalled writer (which
+  // holds db_mu_!) wakes, returns, and releases db_mu_ — only then can
+  // this FailLocked proceed. Taking db_mu_ before publishing would
+  // deadlock.
+  if (!err.ok() && err.code() != StatusCode::kResourceExhausted &&
+      !err.IsCorruption()) {
+    std::unique_lock<std::mutex> lk(db_mu_);
+    (void)FailLocked(std::move(err));
+  }
+}
+
+Status Db::WaitForCompaction() {
+  if (!dbopts_.background_compaction) return Status::OK();
+  std::unique_lock<std::mutex> clk(comp_mu_);
+  stall_cv_.wait(clk, [&] {
+    return (sealed_queued_ == 0 && !worker_active_ &&
+            !compaction_scheduled_) ||
+           !compaction_error_.ok() || failed();
+  });
+  if (!compaction_error_.ok()) return compaction_error_;
+  if (failed()) return FailedStatus();
+  return Status::OK();
+}
+
 StatusOr<std::string> Db::Get(Key key) {
   if (failed()) return FailedStatus();
   std::shared_lock<SharedMutex> tlk(tree_mu_);
-  return tree_->Get(key);
+  if (!dbopts_.background_compaction) return tree_->Get(key);
+  // Background mode: the memtable probe needs mem_mu_ (writers mutate the
+  // active memtable without tree_mu_); the level walk below runs under
+  // tree_mu_ alone, off the writers' locks.
+  {
+    std::shared_lock<SharedMutex> mlk(mem_mu_);
+    if (const Record* r = tree_->FindInMemtables(key)) {
+      if (r->is_tombstone()) return Status::NotFound("deleted");
+      return r->payload;
+    }
+  }
+  return tree_->GetFromLevels(key);
 }
 
 Status Db::Scan(Key lo, Key hi,
                 std::vector<std::pair<Key, std::string>>* out) {
   if (failed()) return FailedStatus();
   std::shared_lock<SharedMutex> tlk(tree_mu_);
+  // The scan's iterator walks the active and sealed memtables, which
+  // background-mode writers mutate under mem_mu_ only.
+  std::shared_lock<SharedMutex> mlk(mem_mu_, std::defer_lock);
+  if (dbopts_.background_compaction) mlk.lock();
   return tree_->Scan(lo, hi, out);
 }
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
   if (failed()) return nullptr;
   std::shared_lock<SharedMutex> tlk(tree_mu_);
+  std::shared_lock<SharedMutex> mlk(mem_mu_, std::defer_lock);
+  // In background mode the snapshot must also pin the memtables: the
+  // iterator reads them, and writers mutate them under mem_mu_ (not
+  // tree_mu_). Writers therefore wait behind open iterators in either
+  // mode — mem_mu_ here, tree_mu_ in inline mode.
+  if (dbopts_.background_compaction) mlk.lock();
   auto base = tree_->NewIterator();
   if (base == nullptr) return nullptr;
-  return std::make_unique<SnapshotIterator>(std::move(tlk), std::move(base));
+  return std::make_unique<SnapshotIterator>(std::move(tlk), std::move(mlk),
+                                            std::move(base));
 }
 
 Status Db::SyncWal() {
@@ -592,11 +839,20 @@ Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
   if (Status st = SyncDir(dir_); !st.ok()) return FailLocked(std::move(st));
 
   // 3. Snapshot the tree (writers are excluded by db_mu_; readers never
-  //    mutate) and pin the snapshot's blocks, so a merge running after we
-  //    drop the lock cannot free one and let a later allocation recycle
-  //    its slot under the manifest being written.
-  const std::string manifest_data = EncodeManifest(*tree_);
-  pinned_->BeginCheckpoint(CurrentTreeBlocks());
+  //    mutate; the shared tree lock keeps a background compaction step
+  //    from rewriting levels mid-encode) and pin the snapshot's blocks,
+  //    so a merge running after we drop the lock cannot free one and let
+  //    a later allocation recycle its slot under the manifest being
+  //    written. The snapshot consolidates the active AND sealed
+  //    memtables (LsmTree::MemtableSnapshot): queued-but-unflushed
+  //    records must be in the manifest before step 5 deletes the WAL
+  //    segments that carry them.
+  std::string manifest_data;
+  {
+    std::shared_lock<SharedMutex> tlk(tree_mu_);
+    manifest_data = EncodeManifest(*tree_);
+    pinned_->BeginCheckpoint(CurrentTreeBlocks());
+  }
 
   // 4. The slow part — device flush + manifest write — runs with the
   //    commit lock released: writers keep appending to the fresh WAL.
@@ -744,9 +1000,22 @@ Status Db::Scrub() {
 
 void Db::SetMaxDeviceBlocks(uint64_t max_blocks) {
   std::unique_lock<std::mutex> lk(db_mu_);
-  // Exclusive tree lock: allocation sites read the cap under it.
-  std::unique_lock<SharedMutex> tlk(tree_mu_);
-  device_->set_max_blocks(max_blocks);
+  {
+    // Exclusive tree lock: allocation sites read the cap under it.
+    std::unique_lock<SharedMutex> tlk(tree_mu_);
+    device_->set_max_blocks(max_blocks);
+  }
+  if (dbopts_.background_compaction) {
+    // A raised cap may unwedge a ResourceExhausted compaction: clear the
+    // sticky error and kick the worker so queued memtables drain again.
+    {
+      std::lock_guard<std::mutex> clk(comp_mu_);
+      compaction_error_ = Status::OK();
+      compaction_scheduled_ = true;
+    }
+    comp_cv_.notify_one();
+    stall_cv_.notify_all();
+  }
 }
 
 Status Db::WriteManifestAtomically(const std::string& data) {
@@ -788,6 +1057,9 @@ DbStats Db::Stats() const {
   // writes/reads/allocs/frees plus cache_hits/misses and bloom_skips
   // (mirrored by CachedBlockDevice / recorded by Level::Lookup).
   s.io = tree_->device()->stats();
+  // Syscall/batch counters tick on the file-backed base device's own
+  // IoStats, not on the decorators' — overlay them into the snapshot.
+  s.io.OverlaySyscallCounters(device_->stats());
   // Db-level counters, not the active writer's: the writer's own counters
   // reset every time a checkpoint rotates in a fresh wal.log.
   s.wal_entries_appended = seq_appended_;
@@ -802,6 +1074,19 @@ DbStats Db::Stats() const {
   s.scrub_blocks_verified = scrub_blocks_verified_;
   s.scrub_corruptions_found = scrub_corruptions_;
   s.write_backpressure_events = backpressure_events_;
+  {
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    s.memtables_sealed = memtables_sealed_;
+    s.background_flushes = background_flushes_;
+    s.background_merges = background_merges_;
+    s.compaction_queue_depth = sealed_queued_;
+    s.compaction_micros = compaction_micros_;
+    s.throttle_events = throttle_events_;
+    s.throttle_micros = throttle_micros_;
+    s.stall_events = stall_events_;
+    s.stall_micros = stall_micros_;
+    s.stall_latency = stall_hist_;
+  }
   return s;
 }
 
@@ -822,6 +1107,16 @@ std::string DbStats::ToString() const {
          " scrub_corruptions=" + std::to_string(scrub_corruptions_found) +
          " backpressure_events=" + std::to_string(write_backpressure_events) +
          "\n";
+  out += "compaction: sealed=" + std::to_string(memtables_sealed) +
+         " bg_flushes=" + std::to_string(background_flushes) +
+         " bg_merges=" + std::to_string(background_merges) +
+         " queue_depth=" + std::to_string(compaction_queue_depth) +
+         " compaction_micros=" + std::to_string(compaction_micros) +
+         " throttle_events=" + std::to_string(throttle_events) +
+         " throttle_micros=" + std::to_string(throttle_micros) +
+         " stall_events=" + std::to_string(stall_events) +
+         " stall_micros=" + std::to_string(stall_micros) + "\n";
+  out += "stall_latency_us: " + stall_latency.ToString() + "\n";
   return out;
 }
 

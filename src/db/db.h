@@ -21,6 +21,7 @@
 #include "src/storage/fault_injection_block_device.h"
 #include "src/storage/file_block_device.h"
 #include "src/storage/io_stats.h"
+#include "src/util/histogram.h"
 #include "src/util/shared_mutex.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
@@ -77,6 +78,31 @@ struct DbOptions {
   bool create_if_missing = true;  ///< Open fails on a missing dir if false.
   bool error_if_exists = false;   ///< Open fails on an existing Db if true.
 
+  /// Take merges off the write path: Put/Delete land in the WAL and the
+  /// active memtable only; when the memtable fills it is *sealed* onto a
+  /// bounded queue of immutable memtables, and a dedicated background
+  /// compaction thread drains the queue one bounded merge step at a
+  /// time, publishing each step atomically under the exclusive tree
+  /// lock. Writers never wait for a merge unless the
+  /// queue backs up — then they are first throttled (see
+  /// compaction_slowdown_depth) and finally stalled until the worker
+  /// frees a slot (counted and timed in DbStats). Default off: the inline
+  /// paper-faithful write path, where the writer that overflows L0 runs
+  /// the whole merge cascade before its op returns.
+  bool background_compaction = false;
+
+  /// Hard bound on queued sealed memtables (>= 1). A writer that must
+  /// seal while the queue is full stalls until the worker drains one.
+  /// Memory ceiling: (compaction_queue_depth + 1) * K0 * B records.
+  size_t compaction_queue_depth = 4;
+
+  /// Soft backpressure: while the queue holds at least this many sealed
+  /// memtables, every modification sleeps compaction_slowdown_micros
+  /// before committing, slowing writers so the worker can catch up
+  /// before they hit the hard stall. 0 disables throttling.
+  size_t compaction_slowdown_depth = 3;
+  uint64_t compaction_slowdown_micros = 200;
+
   /// Caps the device's simultaneously-live blocks; 0 = unlimited. When a
   /// merge or memtable flush hits the cap it aborts atomically (the
   /// pre-merge tree stays fully readable, zero blocks leak) and the
@@ -122,6 +148,20 @@ struct DbStats {
   /// hit max_device_blocks (the op itself is logged and applied; only the
   /// triggered merge was rolled back).
   uint64_t write_backpressure_events = 0;
+
+  // Background compaction (all zero when background_compaction is off).
+  uint64_t memtables_sealed = 0;     ///< Active memtables moved to the queue.
+  uint64_t background_flushes = 0;   ///< Worker steps draining a sealed memtable.
+  uint64_t background_merges = 0;    ///< Worker steps merging an on-SSD level.
+  uint64_t compaction_queue_depth = 0;  ///< Sealed memtables queued right now.
+  uint64_t compaction_micros = 0;    ///< Worker wall time inside merge steps.
+  uint64_t throttle_events = 0;      ///< Ops delayed by the soft slowdown.
+  uint64_t throttle_micros = 0;
+  uint64_t stall_events = 0;         ///< Ops that hit the hard queue-full stall.
+  uint64_t stall_micros = 0;
+  /// Per-op hard-stall wait times in microseconds (only stalled ops are
+  /// recorded; an empty histogram means no writer ever hit the wall).
+  LatencyHistogram stall_latency;
 
   /// Multi-line human-readable summary (CLI stats line).
   std::string ToString() const;
@@ -216,6 +256,14 @@ class Db {
   /// the cost of a checkpoint).
   Status SyncWal();
 
+  /// Blocks until the background compaction pipeline is idle: no sealed
+  /// memtable queued, no worker step running, no kick pending. Returns
+  /// the worker's sticky error if compaction is wedged (e.g.
+  /// ResourceExhausted on a full device) instead of waiting forever.
+  /// No-op (OK) when background_compaction is off. Benches and tests use
+  /// it to quiesce before measuring or checking invariants.
+  Status WaitForCompaction();
+
   // ---- Integrity -----------------------------------------------------
 
   /// Synchronously verifies the checksum of every manifest-live block
@@ -291,6 +339,37 @@ class Db {
   /// until Close().
   void MaintenanceLoop();
 
+  /// Background compaction thread (started only in background mode):
+  /// sleeps on comp_cv_ until a writer seals a memtable (or the cap is
+  /// raised), then runs RunCompactionSteps. Deliberately NOT the
+  /// maintenance thread: that one parks on db_mu_, and a hard-stalled
+  /// writer waits for compaction progress *while holding db_mu_* — a
+  /// worker that needed db_mu_ to wake could then never run.
+  void CompactionLoop();
+
+  // ---- Background compaction (see DESIGN.md, "Compaction scheduling
+  // & write stalls") -----------------------------------------------------
+
+  /// Write-path gate, called with db_mu_ held before the WAL append:
+  /// applies the soft throttle, and when the active memtable is full,
+  /// seals it onto the queue — stalling first if the queue is at
+  /// compaction_queue_depth — and kicks the worker. Returns the worker's
+  /// sticky error (without applying the op) when compaction is wedged.
+  Status MaybeSealOrStallLocked(std::unique_lock<std::mutex>& lk);
+
+  /// Worker: drains the pipeline one step at a time until there is no
+  /// work, updating the comp_mu_ counters and waking stalled writers
+  /// after every step. Runs WITHOUT db_mu_ (a stalled writer holds it);
+  /// takes db_mu_ only to poison the Db on a durability error, after
+  /// publishing the error under comp_mu_ so the stalled writer can wake
+  /// and release db_mu_ first.
+  void RunCompactionSteps();
+
+  /// One bounded worker step: tree_mu_ exclusive for the merge, mem_mu_
+  /// only around the sealed-queue structure (peek/pop), so writers keep
+  /// appending to the active memtable throughout.
+  Status RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped);
+
   /// One background scrub batch: picks the next scrub_batch_blocks live
   /// blocks after the round-robin cursor and verifies them under the
   /// shared tree lock (db_mu_ released during the I/O). `lk` must hold
@@ -326,22 +405,43 @@ class Db {
   std::unique_ptr<LsmTree> tree_;
   std::unique_ptr<WalWriter> wal_;  ///< Active log; swapped at rotation.
 
-  // ---- Concurrency (lock hierarchy: db_mu_ before tree_mu_) ----------
+  // ---- Concurrency (lock hierarchy: db_mu_ -> tree_mu_ -> mem_mu_ ->
+  // comp_mu_; any prefix may be skipped, the order never reversed) ------
   //
   // db_mu_   commit lock: WAL append order == tree apply order, group-
   //          commit state, checkpoint state, counters. Released while a
   //          leader fsyncs and while a checkpoint writes the manifest.
-  // tree_mu_ tree + device-metadata lock: Get/Scan/iterators hold it
-  //          shared; tree mutations and deferred-free recycling hold it
-  //          exclusive (always while also holding db_mu_). Writer-
-  //          preferring so tight read loops cannot starve commits
-  //          (std::shared_mutex on glibc would).
+  // tree_mu_ on-SSD tree + device-metadata lock: Get/Scan/iterators hold
+  //          it shared; level mutations and deferred-free recycling hold
+  //          it exclusive. Inline-mode writers take it exclusive per op
+  //          (always while also holding db_mu_); background-mode writers
+  //          never take it — only the compaction worker does, one merge
+  //          step per hold. Writer-preferring so tight read loops cannot
+  //          starve commits (std::shared_mutex on glibc would).
+  // mem_mu_  memory-resident state lock: the active memtable's contents
+  //          and the sealed-queue structure. Writers hold it exclusive
+  //          for the in-memory apply and for sealing; readers hold it
+  //          shared for the memtable probe (and for an iterator's whole
+  //          lifetime); the worker holds it briefly around sealed-queue
+  //          peek/pop. This is the split that takes merges off the write
+  //          path: a writer needs only db_mu_ + mem_mu_, a merge step
+  //          needs tree_mu_ — they never contend.
+  // comp_mu_ leaf lock (never held while acquiring any other): compaction
+  //          queue depth, worker state, stall/throttle counters. Guards
+  //          stall_cv_, on which stalled writers wait *while holding
+  //          db_mu_* — which is why the worker must not touch db_mu_
+  //          between steps.
   mutable std::mutex db_mu_;
   mutable SharedMutex tree_mu_;
+  mutable SharedMutex mem_mu_;
+  mutable std::mutex comp_mu_;
   std::condition_variable sync_cv_;   ///< Group-commit rounds completing.
   std::condition_variable ckpt_cv_;   ///< Checkpoint slot freeing up.
   std::condition_variable maint_cv_;  ///< Work for the maintenance thread.
+  std::condition_variable stall_cv_;  ///< Compaction progress (comp_mu_).
+  std::condition_variable comp_cv_;   ///< Work for the worker (comp_mu_).
   std::thread maintenance_;
+  std::thread compaction_;  ///< Worker thread (background mode only).
 
   std::atomic<bool> failed_{false};
   bool closed_ = false;               ///< Close() ran (under db_mu_).
@@ -349,6 +449,25 @@ class Db {
   bool checkpoint_requested_ = false; ///< Writer tripped the threshold.
   bool checkpoint_in_progress_ = false;
   bool sync_in_progress_ = false;     ///< A group-commit leader is fsyncing.
+
+  // Background-compaction state (under comp_mu_).
+  size_t sealed_queued_ = 0;      ///< Sealed memtables awaiting drain.
+  bool worker_active_ = false;    ///< RunCompactionSteps is running.
+  bool compaction_scheduled_ = false;  ///< Kicked, worker not started yet.
+  bool stop_compaction_ = false;  ///< Tells CompactionLoop to exit.
+  /// Sticky worker error (ResourceExhausted/Corruption): surfaced to
+  /// writers that must seal, cleared by a later successful step or by
+  /// SetMaxDeviceBlocks. Durability errors poison the Db instead.
+  Status compaction_error_;
+  uint64_t memtables_sealed_ = 0;
+  uint64_t background_flushes_ = 0;
+  uint64_t background_merges_ = 0;
+  uint64_t compaction_micros_ = 0;
+  uint64_t throttle_events_ = 0;
+  uint64_t throttle_micros_ = 0;
+  uint64_t stall_events_ = 0;
+  uint64_t stall_micros_ = 0;
+  LatencyHistogram stall_hist_;
 
   // Group-commit bookkeeping (under db_mu_). Sequence numbers count WAL
   // entries appended since open; they survive rotation (unlike the

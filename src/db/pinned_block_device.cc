@@ -17,6 +17,43 @@ StatusOr<BlockId> PinnedBlockDevice::WriteNewBlock(const BlockData& data) {
   return id_or;
 }
 
+Status PinnedBlockDevice::WriteBlocks(const std::vector<BlockData>& blocks,
+                                      std::vector<BlockId>* ids) {
+  LSMSSD_RETURN_IF_ERROR(base_->WriteBlocks(blocks, ids));
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    stats_.RecordAllocate();
+    stats_.RecordWrite();
+  }
+  if (blocks.size() > 1) stats_.RecordBatchWrite(blocks.size());
+  return Status::OK();
+}
+
+Status PinnedBlockDevice::ReadBlocks(const std::vector<BlockId>& ids,
+                                     std::vector<BlockData>* out) {
+  for (BlockId id : ids) {
+    if (deferred_.contains(id)) {
+      return Status::NotFound("block " + std::to_string(id) +
+                              " was freed (pinned for recovery only)");
+    }
+  }
+  if (Status st = base_->ReadBlocks(ids, out); !st.ok()) {
+    // The vectored path cannot tell us which block failed; replay
+    // per-block so the offending id gets quarantined. (Error path only —
+    // the extra physical reads are irrelevant next to the corruption.)
+    for (BlockId id : ids) {
+      BlockData scratch;
+      if (Status per = base_->ReadBlock(id, &scratch); !per.ok()) {
+        NoteCorruption(id, per);
+        return per;
+      }
+    }
+    return st;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) stats_.RecordRead();
+  if (ids.size() > 1) stats_.RecordBatchRead(ids.size());
+  return Status::OK();
+}
+
 void PinnedBlockDevice::NoteCorruption(BlockId id, const Status& st) {
   if (!st.IsCorruption()) return;
   std::lock_guard<std::mutex> lock(quarantine_mu_);

@@ -32,9 +32,18 @@ class PinnedBlockDevice : public BlockDevice {
 
   size_t block_size() const override { return base_->block_size(); }
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
+  /// Forwards the batch to the base device (fresh blocks are never pinned,
+  /// so no pin bookkeeping applies) and mirrors the per-block stats.
+  Status WriteBlocks(const std::vector<BlockData>& blocks,
+                     std::vector<BlockId>* ids) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
+  /// Forwards the batch after screening deferred-freed ids. On a vectored
+  /// failure, retries per-block so the corrupt id (if any) is named and
+  /// quarantined exactly as a ReadBlock would.
+  Status ReadBlocks(const std::vector<BlockId>& ids,
+                    std::vector<BlockData>* out) override;
   Status FreeBlock(BlockId id) override;
   Status VerifyBlock(BlockId id) override;
   Status CorruptBlockForTesting(BlockId id, const BlockData& data) override {

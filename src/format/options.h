@@ -49,6 +49,15 @@ struct Options {
   /// (0 disables). Does not affect write counts.
   size_t cache_blocks = 0;
 
+  /// Merge output blocks buffered before one vectored WriteBlocks call
+  /// (0 or 1 = write each block immediately, the historical behavior).
+  /// Batching only changes *when* the device sees each block — allocation
+  /// order, block ids, and the paper's block-write counts are identical —
+  /// so FileBlockDevice can coalesce contiguous slots into one pwritev
+  /// and amortize the checksum-sidecar update. Runtime-only: not stored
+  /// in the manifest, taken from the caller on every open.
+  size_t io_batch_blocks = 32;
+
   /// Number of on-SSD levels to pre-create at Open (0 = grow on demand,
   /// the paper's behavior). The paper's Section V-A observes that a
   /// relatively empty extra bottom level makes merges dramatically

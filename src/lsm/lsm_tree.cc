@@ -72,12 +72,130 @@ Status LsmTree::Delete(Key key) {
   return MaybeMerge();
 }
 
-StatusOr<std::string> LsmTree::Get(Key key) {
-  ++stats_.gets;
-  if (const Record* r = memtable_.Get(key)) {
-    if (r->is_tombstone()) return Status::NotFound("deleted");
-    return r->payload;
+Status LsmTree::PutNoMerge(Key key, std::string_view payload) {
+  if (payload.size() != options_.payload_size) {
+    return Status::InvalidArgument("payload must be exactly payload_size");
   }
+  if (key > MaxKeyForSize(options_.key_size)) {
+    return Status::InvalidArgument("key does not fit in key_size bytes");
+  }
+  memtable_.Put(key, std::string(payload));
+  ++stats_.puts;
+  return Status::OK();
+}
+
+Status LsmTree::DeleteNoMerge(Key key) {
+  if (key > MaxKeyForSize(options_.key_size)) {
+    return Status::InvalidArgument("key does not fit in key_size bytes");
+  }
+  memtable_.Delete(key);
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+bool LsmTree::MemtableAtCapacity() const {
+  return memtable_.size() >=
+         options_.level0_capacity_blocks * options_.records_per_block();
+}
+
+void LsmTree::SealMemtable() {
+  if (memtable_.empty()) return;
+  sealed_.push_back(std::make_unique<Memtable>(std::move(memtable_)));
+  memtable_ = Memtable();
+}
+
+uint64_t LsmTree::sealed_records() const {
+  uint64_t total = 0;
+  for (const auto& m : sealed_) total += m->size();
+  return total;
+}
+
+bool LsmTree::HasCompactionWork() const {
+  if (!sealed_.empty()) return true;
+  if (L0BufferOverflowing()) return true;
+  for (size_t i = 1; i < num_levels(); ++i) {
+    if (LevelOverflowing(i)) return true;
+  }
+  return false;
+}
+
+bool LsmTree::L0BufferOverflowing() const {
+  return l0_buffer_.size() >=
+         options_.level0_capacity_blocks * options_.records_per_block();
+}
+
+Status LsmTree::FlushSealedStep(Memtable* m) {
+  LSMSSD_CHECK(m != nullptr);
+  // Absorb `m` into the memory-resident L0 buffer — pure memory, no
+  // device I/O. Newest wins: `m` is newer than everything the buffer
+  // already holds (it absorbed only earlier seals), so plain Put/Delete
+  // overwrite is correct. Records leave memory only when the buffer
+  // itself overflows (MergeOverflowStep), through the same policy-
+  // windowed L0 merges the inline path runs against its memtable — which
+  // is what keeps amortized block writes equal to inline mode. Draining
+  // each sealed memtable straight to L1 instead (windowed or bulk) costs
+  // 4-5x the blocks: windows pay ~one target-block rewrite per record on
+  // the ever-sparser tail, and a bulk merge rewrites the whole target.
+  for (Record& r : m->ExtractAll()) {
+    if (r.is_tombstone()) {
+      l0_buffer_.Delete(r.key);
+    } else {
+      l0_buffer_.Put(r.key, std::move(r.payload));
+    }
+  }
+  return Status::OK();
+}
+
+bool LsmTree::PopSealedIfDrained() {
+  if (sealed_.empty() || !sealed_.front()->empty()) return false;
+  sealed_.pop_front();
+  return true;
+}
+
+StatusOr<LsmTree::CompactStep> LsmTree::MergeOverflowStep() {
+  // The L0 buffer is the shallowest "level": spill a policy-selected
+  // window once it reaches K0 capacity, exactly like the inline path's
+  // overflow test on its memtable.
+  if (L0BufferOverflowing()) {
+    if (num_levels() == 1) AddLevel();
+    compacting_l0_ = &l0_buffer_;
+    Status st = ExecuteMerge(0);
+    compacting_l0_ = nullptr;
+    LSMSSD_RETURN_IF_ERROR(st);
+    return CompactStep::kMerge;
+  }
+  for (size_t i = 1; i < num_levels(); ++i) {
+    if (!LevelOverflowing(i)) continue;
+    if (i + 1 == num_levels()) AddLevel();
+    LSMSSD_RETURN_IF_ERROR(ExecuteMerge(i));
+    return CompactStep::kMerge;
+  }
+  return CompactStep::kNone;
+}
+
+StatusOr<LsmTree::CompactStep> LsmTree::BackgroundCompactStep() {
+  // Sealed memtables first: they bound the write path's queue, and a
+  // flush step fully absorbs the front one into the L0 buffer (pure
+  // memory — see FlushSealedStep), so the pop below always fires. Device
+  // I/O happens only in MergeOverflowStep once the buffer overflows.
+  if (Memtable* front = FrontSealed()) {
+    LSMSSD_RETURN_IF_ERROR(FlushSealedStep(front));
+    PopSealedIfDrained();
+    return CompactStep::kFlush;
+  }
+  return MergeOverflowStep();
+}
+
+const Record* LsmTree::FindInMemtables(Key key) const {
+  if (const Record* r = memtable_.Get(key)) return r;
+  for (auto it = sealed_.rbegin(); it != sealed_.rend(); ++it) {
+    if (const Record* r = (*it)->Get(key)) return r;
+  }
+  // The L0 buffer holds absorbed seals — older than anything above.
+  return l0_buffer_.Get(key);
+}
+
+StatusOr<std::string> LsmTree::GetFromLevels(Key key) {
   for (size_t i = 1; i < num_levels(); ++i) {
     Record r;
     Status st = level(i).Lookup(key, &r);
@@ -88,6 +206,34 @@ StatusOr<std::string> LsmTree::Get(Key key) {
     if (!st.IsNotFound()) return st;
   }
   return Status::NotFound("no such key");
+}
+
+StatusOr<std::string> LsmTree::Get(Key key) {
+  ++stats_.gets;
+  if (const Record* r = FindInMemtables(key)) {
+    if (r->is_tombstone()) return Status::NotFound("deleted");
+    return r->payload;
+  }
+  return GetFromLevels(key);
+}
+
+std::vector<Record> LsmTree::MemtableSnapshot() const {
+  // Newest first with try_emplace: the first version seen for a key wins,
+  // so active shadows sealed and newer sealed shadows older. Tombstones
+  // are kept — they must survive to cancel versions in the levels.
+  std::map<Key, Record> merged;
+  auto absorb = [&merged](const Memtable& m) {
+    for (Record& r : m.Slice(0, m.size())) {
+      merged.try_emplace(r.key, std::move(r));
+    }
+  };
+  absorb(memtable_);
+  for (auto it = sealed_.rbegin(); it != sealed_.rend(); ++it) absorb(**it);
+  absorb(l0_buffer_);  // Oldest memory-resident state.
+  std::vector<Record> out;
+  out.reserve(merged.size());
+  for (auto& [key, r] : merged) out.push_back(std::move(r));
+  return out;
 }
 
 Status LsmTree::Scan(Key lo, Key hi,
@@ -105,7 +251,7 @@ bool LsmTree::LevelOverflowing(size_t i) const {
   if (i == 0) {
     const uint64_t capacity_records =
         options_.level0_capacity_blocks * options_.records_per_block();
-    return memtable_.size() >= capacity_records;
+    return l0().size() >= capacity_records;
   }
   return level(i).size_blocks() > LevelCapacityBlocks(i);
 }
@@ -149,9 +295,8 @@ Status LsmTree::ExecuteMerge(size_t source_level) {
   size_t l0_erase_count = 0;
   if (source_level == 0) {
     l0_erase_begin = sel.full ? 0 : sel.record_begin;
-    l0_erase_count = sel.full ? memtable_.size() : sel.record_count;
-    std::vector<Record> records =
-        memtable_.Slice(l0_erase_begin, l0_erase_count);
+    l0_erase_count = sel.full ? l0().size() : sel.record_count;
+    std::vector<Record> records = l0().Slice(l0_erase_begin, l0_erase_count);
     if (records.empty()) {
       return Status::Internal("policy selected an empty L0 range");
     }
@@ -169,7 +314,7 @@ Status LsmTree::ExecuteMerge(size_t source_level) {
 
   auto result_or = executor.Merge(std::move(source));
   if (!result_or.ok()) return result_or.status();
-  if (source_level == 0) memtable_.EraseRange(l0_erase_begin, l0_erase_count);
+  if (source_level == 0) l0().EraseRange(l0_erase_begin, l0_erase_count);
   const MergeResult& r = result_or.value();
 
   stats_.EnsureLevels(num_levels());
@@ -192,7 +337,7 @@ Status LsmTree::ExecuteMerge(size_t source_level) {
 }
 
 uint64_t LsmTree::TotalRecords() const {
-  uint64_t total = memtable_.size();
+  uint64_t total = memtable_.size() + sealed_records() + l0_buffer_.size();
   for (size_t i = 1; i < num_levels(); ++i) total += level(i).record_count();
   return total;
 }

@@ -1,6 +1,7 @@
 #ifndef LSMSSD_LSM_LSM_TREE_H_
 #define LSMSSD_LSM_LSM_TREE_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -72,10 +73,101 @@ class LsmTree {
   /// Deletes `key` (logs a tombstone; the key need not exist).
   Status Delete(Key key);
 
+  // ---- Background-compaction write path ------------------------------
+  //
+  // The decoupled write path used by lsmssd::Db's background compaction:
+  // modifications land in the *active* memtable only (never merging
+  // inline); when it fills, the caller seals it onto a queue of immutable
+  // memtables and a compaction worker drains the queue one bounded step
+  // at a time. The worker may run concurrently with PutNoMerge/
+  // DeleteNoMerge as long as the caller serializes them against the
+  // active memtable and the sealed list (Db's memtable lock) and gives
+  // BackgroundCompactStep exclusive access to the levels (Db's tree
+  // lock); see DESIGN.md, "Compaction scheduling & write stalls".
+
+  /// Put/Delete without the inline MaybeMerge cascade. The active
+  /// memtable may exceed its capacity transiently; the caller is expected
+  /// to seal it.
+  Status PutNoMerge(Key key, std::string_view payload);
+  Status DeleteNoMerge(Key key);
+
+  /// True once the active memtable holds >= K0 * B records (the same
+  /// overflow test the inline path uses).
+  bool MemtableAtCapacity() const;
+
+  /// Moves the active memtable onto the back of the sealed queue and
+  /// installs a fresh empty one. No-op when the active memtable is empty.
+  void SealMemtable();
+
+  /// Sealed memtables not yet fully drained (the compaction queue depth).
+  size_t sealed_count() const { return sealed_.size(); }
+  /// Records across all sealed memtables.
+  uint64_t sealed_records() const;
+
+  /// True when a compaction step would do something: a sealed memtable
+  /// awaits flushing, or an on-SSD level is over capacity.
+  bool HasCompactionWork() const;
+
+  /// Kind of work one BackgroundCompactStep performed.
+  enum class CompactStep { kNone, kFlush, kMerge };
+
+  /// Executes ONE bounded unit of compaction — a policy-selected merge
+  /// out of the oldest sealed memtable (kFlush), or, when the queue is
+  /// empty, one merge out of the shallowest overflowing on-SSD level
+  /// (kMerge) — and returns without cascading, so the caller can release
+  /// its exclusive lock between steps and writers/readers interleave.
+  /// Levels may be over capacity between steps; repeated calls until
+  /// kNone restore every invariant. Failure atomicity matches
+  /// MergeExecutor::Merge. Single-threaded convenience over the three
+  /// phase methods below; a concurrent caller (lsmssd::Db) drives the
+  /// phases itself so each can run under exactly the locks it needs.
+  StatusOr<CompactStep> BackgroundCompactStep();
+
+  // The phases of one step. Locking contracts (Db's discipline): the
+  // sealed *queue structure* is shared with writers (SealMemtable) and
+  // readers, so FrontSealed needs at least the shared memtable lock and
+  // PopSealedIfDrained the exclusive one; the *contents* of a sealed
+  // memtable and the on-SSD levels are only touched by merges and
+  // readers, so FlushSealedStep/MergeOverflowStep need the exclusive
+  // tree lock (and no memtable lock — writers keep running).
+
+  /// The sealed memtable the next flush step drains (the oldest), or
+  /// nullptr when the queue is empty.
+  Memtable* FrontSealed() {
+    return sealed_.empty() ? nullptr : sealed_.front().get();
+  }
+  /// Absorbs `m` (which must be FrontSealed()) completely into the
+  /// memory-resident L0 buffer — pure memory, no device I/O, so `m` is
+  /// always drained when this returns. The buffer plays the inline
+  /// path's L0 role: records spill to L1 only through policy-windowed
+  /// merges once it overflows (MergeOverflowStep), which is what keeps
+  /// the background path's amortized block writes equal to inline mode.
+  Status FlushSealedStep(Memtable* m);
+  /// Pops the front sealed memtable if a flush step emptied it; returns
+  /// whether it popped.
+  bool PopSealedIfDrained();
+  /// One policy-selected merge out of the shallowest overflowing level —
+  /// the L0 buffer first, then the on-SSD levels — or kNone.
+  StatusOr<CompactStep> MergeOverflowStep();
+
+  /// Records currently absorbed into the L0 buffer (background path
+  /// only; always 0 on the inline path).
+  uint64_t l0_buffer_records() const { return l0_buffer_.size(); }
+
   // ---- Reads ---------------------------------------------------------
 
   /// Returns the payload for `key`, or NotFound.
   StatusOr<std::string> Get(Key key);
+
+  /// Memory-resident half of Get: probes the active memtable, then the
+  /// sealed memtables newest-first. Returns the winning record (possibly
+  /// a tombstone) or nullptr when no memtable has the key. Split out so
+  /// lsmssd::Db can hold its memtable lock for exactly this probe.
+  const Record* FindInMemtables(Key key) const;
+
+  /// On-SSD half of Get: walks the levels top-down. The caller must have
+  /// established that no memtable shadows `key`.
+  StatusOr<std::string> GetFromLevels(Key key);
 
   /// Collects all live (non-deleted) records with keys in [lo, hi], in key
   /// order.
@@ -90,7 +182,17 @@ class LsmTree {
 
   /// Total number of levels h, *including* the memory-resident L0.
   size_t num_levels() const { return 1 + levels_.size(); }
-  const Memtable& memtable() const { return memtable_; }
+  /// The L0 a merge policy should look at: normally the active memtable;
+  /// during a background flush step, the sealed memtable being drained
+  /// (so SelectMerge and the L0 merge path work unchanged against it).
+  const Memtable& memtable() const {
+    return compacting_l0_ != nullptr ? *compacting_l0_ : memtable_;
+  }
+  /// Consolidated snapshot of every memory-resident record (active +
+  /// sealed memtables, newest version of each key, tombstones kept), in
+  /// key order — what a manifest must persist so deleting WAL segments
+  /// after a checkpoint cannot lose queued-but-unflushed writes.
+  std::vector<Record> MemtableSnapshot() const;
   /// On-SSD level L_i, 1 <= i < num_levels().
   const Level& level(size_t i) const;
   Level* mutable_level(size_t i);
@@ -131,7 +233,16 @@ class LsmTree {
   Status MaybeMerge();
   /// One merge out of `source_level`, as selected by the policy.
   Status ExecuteMerge(size_t source_level);
+  /// True once the L0 buffer holds >= K0 * B records (same overflow test
+  /// the inline path applies to its memtable).
+  bool L0BufferOverflowing() const;
   void AddLevel();
+  /// The memtable ExecuteMerge(0) drains: the redirect target during a
+  /// background flush step, the active memtable otherwise.
+  Memtable& l0() { return compacting_l0_ != nullptr ? *compacting_l0_ : memtable_; }
+  const Memtable& l0() const {
+    return compacting_l0_ != nullptr ? *compacting_l0_ : memtable_;
+  }
 
   Options options_;
   /// Owned buffer cache around the caller's device (null when disabled).
@@ -140,6 +251,21 @@ class LsmTree {
   BlockDevice* device_;
   std::unique_ptr<MergePolicy> policy_;
   Memtable memtable_;
+  /// Sealed (immutable) memtables awaiting background flush, oldest at
+  /// the front. Only SealMemtable appends; only BackgroundCompactStep
+  /// drains. Empty whenever the inline merge path is in use.
+  std::deque<std::unique_ptr<Memtable>> sealed_;
+  /// The background path's memory-resident L0: flush steps absorb sealed
+  /// memtables here (newest wins), and overflow steps spill policy-
+  /// selected windows to L1 once it reaches K0 capacity — mirroring the
+  /// inline path's memtable dynamics so both paths write the same
+  /// amortized blocks. Read precedence: below every sealed memtable,
+  /// above the levels. Only the compaction worker mutates it (under the
+  /// exclusive tree lock); always empty on the inline path.
+  Memtable l0_buffer_;
+  /// Set for the duration of a background flush step: memtable()/l0()
+  /// return the sealed memtable being drained instead of the active one.
+  Memtable* compacting_l0_ = nullptr;
   std::vector<std::unique_ptr<Level>> levels_;  // levels_[0] is L1.
   LsmStats stats_;
 };

@@ -134,9 +134,11 @@ std::string EncodeManifest(const LsmTree& tree) {
   std::string body;
   EncodeOptions(tree.options(), &body);
 
-  // Memtable records in key order.
-  const std::vector<Record> memtable =
-      tree.memtable().Slice(0, tree.memtable().size());
+  // Memory-resident records in key order: the active memtable plus any
+  // sealed (queued-for-flush) memtables, consolidated newest-wins. A
+  // checkpoint taken while background compaction has work queued must
+  // capture those records, or deleting covered WAL segments loses them.
+  const std::vector<Record> memtable = tree.MemtableSnapshot();
   PutU64(&body, memtable.size());
   for (const Record& r : memtable) EncodeRecord(r, &body);
 

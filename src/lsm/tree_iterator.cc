@@ -257,8 +257,15 @@ class MergedIterator : public Iterator {
 
 std::unique_ptr<Iterator> LsmTree::NewIterator() const {
   std::vector<std::unique_ptr<SourceCursor>> sources;
-  sources.reserve(num_levels());
+  sources.reserve(num_levels() + sealed_.size() + 1);
+  // Youngest source first (ties are won by the lowest index): the active
+  // memtable, then sealed memtables newest-first, then the L0 buffer
+  // (absorbed seals, older than all of the above), then the levels.
   sources.push_back(std::make_unique<MemtableCursor>(&memtable_));
+  for (auto it = sealed_.rbegin(); it != sealed_.rend(); ++it) {
+    sources.push_back(std::make_unique<MemtableCursor>(it->get()));
+  }
+  sources.push_back(std::make_unique<MemtableCursor>(&l0_buffer_));
   for (size_t i = 1; i < num_levels(); ++i) {
     sources.push_back(std::make_unique<LevelCursor>(&level(i)));
   }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/storage/block.h"
 #include "src/storage/io_stats.h"
@@ -17,14 +18,18 @@ namespace lsmssd {
 /// any number of times and eventually freed. Implementations must account
 /// every physical read/write in stats().
 ///
-/// Thread-compatibility: devices are thread-compatible, not internally
-/// locked. Concurrent const reads (ReadBlock/ReadBlockShared from several
-/// reader threads) are safe as long as no allocation/free/restore mutates
-/// the device at the same time; stats() accounting is atomic either way.
-/// lsmssd::Db enforces that discipline with its tree lock (readers share
-/// it, every mutation holds it exclusively — see DESIGN.md, "Threading
-/// model"); code driving a device directly must serialize mutations
-/// itself. Flush() only fsyncs and may overlap anything.
+/// Thread-safety: the concrete devices in this repo (Mem/File and the
+/// Cached/Pinned/FaultInjection decorators) guard their allocation
+/// bookkeeping with internal mutexes, so allocations and frees of
+/// *distinct* blocks may run concurrently with reads of *other* blocks —
+/// the background compaction worker writes and reclaims its private merge
+/// output while reader threads hold only the shared tree lock. Callers
+/// must still serialize operations on the *same* block id: never free a
+/// block another thread may still read (lsmssd::Db guarantees this — all
+/// frees of published blocks happen under the exclusive tree lock, and
+/// off-lock frees touch only blocks no reader has seen; see DESIGN.md,
+/// "Threading model"). Restore-time bulk loading is single-threaded.
+/// Flush() only fsyncs and may overlap anything.
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
@@ -53,6 +58,48 @@ class BlockDevice {
     auto data = std::make_shared<BlockData>();
     LSMSSD_RETURN_IF_ERROR(ReadBlock(id, data.get()));
     return std::shared_ptr<const BlockData>(std::move(data));
+  }
+
+  /// Allocates and writes `blocks.size()` fresh blocks in one vectored
+  /// call, appending the new ids to `*ids` in input order. Semantically
+  /// equivalent to calling WriteNewBlock on each element in order — the
+  /// paper's block-write metric counts every block exactly once either way
+  /// — but implementations may coalesce adjacent physical slots into a
+  /// single syscall (see FileBlockDevice) and tick the batch counters in
+  /// stats(). All-or-nothing: on failure no block from this call is live,
+  /// nothing is appended to `*ids`, and no I/O from this call is counted.
+  /// The default loops WriteNewBlock and rolls back on error.
+  virtual Status WriteBlocks(const std::vector<BlockData>& blocks,
+                             std::vector<BlockId>* ids) {
+    std::vector<BlockId> fresh;
+    fresh.reserve(blocks.size());
+    for (const BlockData& data : blocks) {
+      StatusOr<BlockId> id = WriteNewBlock(data);
+      if (!id.ok()) {
+        for (BlockId b : fresh) (void)FreeBlock(b);
+        return id.status();
+      }
+      fresh.push_back(*id);
+    }
+    if (blocks.size() > 1) stats_.RecordBatchWrite(blocks.size());
+    ids->insert(ids->end(), fresh.begin(), fresh.end());
+    return Status::OK();
+  }
+
+  /// Reads `ids.size()` live blocks in one vectored call; `out[i]` receives
+  /// block `ids[i]` (the vector is resized). Accounting matches per-block
+  /// ReadBlock calls, plus batch counters on implementations that coalesce.
+  /// Fails on the first unreadable block (earlier slots of `*out` may hold
+  /// data; treat `*out` as unspecified on error). The default loops
+  /// ReadBlock.
+  virtual Status ReadBlocks(const std::vector<BlockId>& ids,
+                            std::vector<BlockData>* out) {
+    out->resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      LSMSSD_RETURN_IF_ERROR(ReadBlock(ids[i], &(*out)[i]));
+    }
+    if (ids.size() > 1) stats_.RecordBatchRead(ids.size());
+    return Status::OK();
   }
 
   /// Releases block `id`. The id must be live. After freeing, reads of `id`

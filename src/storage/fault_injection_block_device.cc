@@ -61,6 +61,44 @@ StatusOr<BlockId> FaultInjectionBlockDevice::WriteNewBlock(
   return id_or;
 }
 
+Status FaultInjectionBlockDevice::WriteBlocks(
+    const std::vector<BlockData>& blocks, std::vector<BlockId>* ids) {
+  if (tripped()) return Dead();
+  if (injector_ == nullptr && silent_mode_ == SilentMode::kNone) {
+    return base_->WriteBlocks(blocks, ids);
+  }
+  // Faults armed: each block write must be a distinct injector step /
+  // silent-fault tick, exactly as if the caller had looped WriteNewBlock.
+  std::vector<BlockId> fresh;
+  fresh.reserve(blocks.size());
+  for (const BlockData& data : blocks) {
+    StatusOr<BlockId> id = WriteNewBlock(data);
+    if (!id.ok()) {
+      // All-or-nothing: reclaim the prefix. After a crash step the base
+      // frees still work (only this wrapper plays dead), and no manifest
+      // references these ids, so recovery cannot observe them either way.
+      for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+        (void)base_->FreeBlock(*it);
+      }
+      return id.status();
+    }
+    fresh.push_back(*id);
+  }
+  ids->insert(ids->end(), fresh.begin(), fresh.end());
+  return Status::OK();
+}
+
+Status FaultInjectionBlockDevice::ReadBlocks(const std::vector<BlockId>& ids,
+                                             std::vector<BlockData>* out) {
+  if (tripped()) return Dead();
+  if (transient_read_errors_ == 0) return base_->ReadBlocks(ids, out);
+  out->resize(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    LSMSSD_RETURN_IF_ERROR(ReadBlock(ids[i], &(*out)[i]));
+  }
+  return Status::OK();
+}
+
 Status FaultInjectionBlockDevice::ReadBlock(BlockId id, BlockData* out) {
   if (tripped()) return Dead();
   if (transient_read_errors_ > 0) {

@@ -40,9 +40,18 @@ class FaultInjectionBlockDevice : public BlockDevice {
   size_t block_size() const override { return base_->block_size(); }
 
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
+  /// With an injector attached or a silent fault armed, the batch degrades
+  /// to per-block WriteNewBlock calls so every block write is its own
+  /// injector step (the crash sweep kills each one) and silent-fault
+  /// countdowns tick per block. Otherwise forwards the vectored call.
+  Status WriteBlocks(const std::vector<BlockData>& blocks,
+                     std::vector<BlockId>* ids) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
+  /// Same degradation rule for transient read errors; forwards otherwise.
+  Status ReadBlocks(const std::vector<BlockId>& ids,
+                    std::vector<BlockData>* out) override;
   Status FreeBlock(BlockId id) override;
   Status VerifyBlock(BlockId id) override;
   Status CorruptBlockForTesting(BlockId id, const BlockData& data) override {

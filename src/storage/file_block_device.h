@@ -1,9 +1,11 @@
 #ifndef LSMSSD_STORAGE_FILE_BLOCK_DEVICE_H_
 #define LSMSSD_STORAGE_FILE_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +32,21 @@ namespace lsmssd {
 /// Resilience: all syscalls retry EINTR and continue short transfers;
 /// ENOSPC/EDQUOT map to Status::ResourceExhausted; reads additionally make
 /// a bounded number of attempts so transient media errors do not surface.
+///
+/// Batching: WriteBlocks allocates the same set of slots repeated
+/// WriteNewBlock calls would (free-list LIFO, then file tail), assigns
+/// them to the batch in ascending order so slots freed together re-form
+/// contiguous runs, and coalesces those runs into single pwritev calls
+/// with one packed sidecar pwrite per run — same occupied layout, same
+/// block-write counts, fewer syscalls. ReadBlocks likewise coalesces consecutive live slots into
+/// preadv calls and verifies each block's CRC individually, falling back
+/// to the retrying per-block path if a vectored read fails.
+///
+/// Thread-safety: allocation bookkeeping (slot free list, live set, CRC
+/// mirror, caps, fault seams) is guarded by an internal mutex; payload
+/// syscalls run outside it. Concurrent reads, and mutations of distinct
+/// blocks concurrent with reads, are safe (see BlockDevice); the device
+/// assumes a single mutating thread at a time, which Db guarantees.
 class FileBlockDevice : public BlockDevice {
  public:
   struct FileOptions {
@@ -62,6 +79,10 @@ class FileBlockDevice : public BlockDevice {
   size_t block_size() const override { return options_.block_size; }
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
+  Status WriteBlocks(const std::vector<BlockData>& blocks,
+                     std::vector<BlockId>* ids) override;
+  Status ReadBlocks(const std::vector<BlockId>& ids,
+                    std::vector<BlockData>* out) override;
   Status FreeBlock(BlockId id) override;
   Status VerifyBlock(BlockId id) override;
   Status CorruptBlockForTesting(BlockId id, const BlockData& data) override;
@@ -69,13 +90,22 @@ class FileBlockDevice : public BlockDevice {
   /// fsyncs the backing file and the checksum sidecar (no-op under O_SYNC,
   /// where every write already is durable).
   Status Flush() override;
-  uint64_t live_blocks() const override { return live_.size(); }
+  uint64_t live_blocks() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+  }
 
   const std::string& path() const { return path_; }
 
   /// Raises (or clears, with 0) the live-block cap at runtime.
-  void set_max_blocks(uint64_t max_blocks) { options_.max_blocks = max_blocks; }
-  uint64_t max_blocks() const { return options_.max_blocks; }
+  void set_max_blocks(uint64_t max_blocks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.max_blocks = max_blocks;
+  }
+  uint64_t max_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_.max_blocks;
+  }
 
   /// Declares the set of live blocks after reopening a persisted file
   /// (truncate=false). Unlisted slots below the maximum become free. Must
@@ -85,29 +115,44 @@ class FileBlockDevice : public BlockDevice {
 
   /// Test seam: the next `n` data-file reads fail with a transient I/O
   /// error before reaching the file. Exercises the bounded-retry path.
-  void InjectReadFaultsForTesting(int n) { inject_read_faults_ = n; }
+  void InjectReadFaultsForTesting(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inject_read_faults_ = n;
+  }
 
   /// Test seam: the next data-file write fails as if the OS returned
   /// `err` (e.g. ENOSPC). Exercises typed error mapping.
-  void InjectWriteFaultForTesting(int err) { inject_write_errno_ = err; }
+  void InjectWriteFaultForTesting(int err) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inject_write_errno_ = err;
+  }
 
   /// Number of read attempts that were retried after a transient failure.
-  uint64_t read_retries() const { return read_retries_; }
+  uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   FileBlockDevice(std::string path, FileOptions options, int fd, int crc_fd);
 
-  /// One pread attempt of block `id` into `out` with checksum verification;
-  /// honors the transient-fault seam.
-  Status ReadAttempt(BlockId id, BlockData* out, bool verify);
-  /// Persists the checksum for `slot` (memory + sidecar file).
-  Status WriteCrc(BlockId slot, uint32_t crc);
+  /// One pread attempt of block `id` into `out`, verified against
+  /// `expected_crc` when `verify`; honors the transient-fault seam.
+  Status ReadAttempt(BlockId id, BlockData* out, bool verify,
+                     uint32_t expected_crc);
+  /// Reads a live block whose liveness and expected checksum were already
+  /// snapshotted under the mutex: bounded retries around ReadAttempt.
+  Status ReadLiveBlock(BlockId id, BlockData* out, uint32_t expected_crc);
+  /// Writes the checksum entry for `slot` to the sidecar file (no mirror
+  /// update; callers update crcs_ under the mutex once the batch lands).
+  Status WriteCrcFile(BlockId slot, uint32_t crc);
 
   std::string path_;
   std::string crc_path_;
   FileOptions options_;
   int fd_;
   int crc_fd_;
+
+  mutable std::mutex mu_;  // Guards everything below plus options_.max_blocks.
   uint64_t next_slot_ = 1;  // Slot 0 unused, as in MemBlockDevice.
   std::vector<BlockId> free_slots_;
   std::unordered_set<BlockId> live_;
@@ -115,7 +160,8 @@ class FileBlockDevice : public BlockDevice {
   std::vector<uint32_t> crcs_;
   int inject_read_faults_ = 0;
   int inject_write_errno_ = 0;
-  uint64_t read_retries_ = 0;
+
+  std::atomic<uint64_t> read_retries_{0};
 };
 
 }  // namespace lsmssd

@@ -13,6 +13,25 @@ void IoStats::CopyFrom(const IoStats& other) {
   cache_hits_.store(other.cache_hits(), std::memory_order_relaxed);
   cache_misses_.store(other.cache_misses(), std::memory_order_relaxed);
   bloom_skips_.store(other.bloom_skips(), std::memory_order_relaxed);
+  write_syscalls_.store(other.write_syscalls(), std::memory_order_relaxed);
+  read_syscalls_.store(other.read_syscalls(), std::memory_order_relaxed);
+  batch_writes_.store(other.batch_writes(), std::memory_order_relaxed);
+  batched_blocks_written_.store(other.batched_blocks_written(),
+                                std::memory_order_relaxed);
+  batch_reads_.store(other.batch_reads(), std::memory_order_relaxed);
+  batched_blocks_read_.store(other.batched_blocks_read(),
+                             std::memory_order_relaxed);
+}
+
+void IoStats::OverlaySyscallCounters(const IoStats& other) {
+  write_syscalls_.store(other.write_syscalls(), std::memory_order_relaxed);
+  read_syscalls_.store(other.read_syscalls(), std::memory_order_relaxed);
+  batch_writes_.store(other.batch_writes(), std::memory_order_relaxed);
+  batched_blocks_written_.store(other.batched_blocks_written(),
+                                std::memory_order_relaxed);
+  batch_reads_.store(other.batch_reads(), std::memory_order_relaxed);
+  batched_blocks_read_.store(other.batched_blocks_read(),
+                             std::memory_order_relaxed);
 }
 
 void IoStats::Reset() {
@@ -24,6 +43,12 @@ void IoStats::Reset() {
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
   bloom_skips_.store(0, std::memory_order_relaxed);
+  write_syscalls_.store(0, std::memory_order_relaxed);
+  read_syscalls_.store(0, std::memory_order_relaxed);
+  batch_writes_.store(0, std::memory_order_relaxed);
+  batched_blocks_written_.store(0, std::memory_order_relaxed);
+  batch_reads_.store(0, std::memory_order_relaxed);
+  batched_blocks_read_.store(0, std::memory_order_relaxed);
 }
 
 std::string IoStats::ToString() const {
@@ -34,6 +59,15 @@ std::string IoStats::ToString() const {
   if (cache_hits() > 0 || cache_misses() > 0 || bloom_skips() > 0) {
     out << " cache_hits=" << cache_hits() << " cache_misses=" << cache_misses()
         << " bloom_skips=" << bloom_skips();
+  }
+  if (write_syscalls() > 0 || read_syscalls() > 0 || batch_writes() > 0 ||
+      batch_reads() > 0) {
+    out << " write_syscalls=" << write_syscalls()
+        << " read_syscalls=" << read_syscalls()
+        << " batch_writes=" << batch_writes()
+        << " batched_blocks_written=" << batched_blocks_written()
+        << " batch_reads=" << batch_reads()
+        << " batched_blocks_read=" << batched_blocks_read();
   }
   return out.str();
 }

@@ -45,6 +45,24 @@ class IoStats {
   void RecordCacheMiss() { Bump(cache_misses_); }
   void RecordBloomSkip() { Bump(bloom_skips_); }
 
+  /// Syscall/batch accounting for the vectored I/O path. A batch counter
+  /// ticks once per WriteBlocks/ReadBlocks call that covered more than one
+  /// block; the batched-blocks counters tally the blocks those calls moved.
+  /// Syscall counters tick once per physical pwrite/pwritev/pread/preadv a
+  /// file-backed device issues for block payloads (CRC sidecar writes ride
+  /// along and are counted too). Purely-in-memory devices leave them zero.
+  /// None of these touch the paper's block-write metric.
+  void RecordWriteSyscall() { Bump(write_syscalls_); }
+  void RecordReadSyscall() { Bump(read_syscalls_); }
+  void RecordBatchWrite(uint64_t blocks) {
+    batch_writes_.fetch_add(1, std::memory_order_relaxed);
+    batched_blocks_written_.fetch_add(blocks, std::memory_order_relaxed);
+  }
+  void RecordBatchRead(uint64_t blocks) {
+    batch_reads_.fetch_add(1, std::memory_order_relaxed);
+    batched_blocks_read_.fetch_add(blocks, std::memory_order_relaxed);
+  }
+
   uint64_t block_writes() const { return Load(block_writes_); }
   uint64_t block_reads() const { return Load(block_reads_); }
   uint64_t cached_reads() const { return Load(cached_reads_); }
@@ -53,12 +71,30 @@ class IoStats {
   uint64_t cache_hits() const { return Load(cache_hits_); }
   uint64_t cache_misses() const { return Load(cache_misses_); }
   uint64_t bloom_skips() const { return Load(bloom_skips_); }
+  uint64_t write_syscalls() const { return Load(write_syscalls_); }
+  uint64_t read_syscalls() const { return Load(read_syscalls_); }
+  uint64_t batch_writes() const { return Load(batch_writes_); }
+  uint64_t batched_blocks_written() const {
+    return Load(batched_blocks_written_);
+  }
+  uint64_t batch_reads() const { return Load(batch_reads_); }
+  uint64_t batched_blocks_read() const { return Load(batched_blocks_read_); }
+
+  /// Copies `other`'s syscall/batch counters into this snapshot,
+  /// overwriting them. Decorator stacks keep one IoStats per layer and
+  /// only the file-backed base device issues syscalls, so a snapshot of
+  /// the stack's outer view (logical writes/reads/cache) overlays the
+  /// base's counters to present one complete account.
+  void OverlaySyscallCounters(const IoStats& other);
 
   void Reset();
 
   /// "writes=... reads=... cached_reads=... allocs=... frees=..." plus
   /// "cache_hits=... cache_misses=... bloom_skips=..." when any is
-  /// non-zero (devices without a cache keep the paper-era format).
+  /// non-zero (devices without a cache keep the paper-era format), plus
+  /// "write_syscalls=... read_syscalls=... batch_writes=... ..." when any
+  /// syscall/batch counter is non-zero (in-memory devices and single-block
+  /// workloads keep the historical format).
   std::string ToString() const;
 
  private:
@@ -78,6 +114,12 @@ class IoStats {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> bloom_skips_{0};
+  std::atomic<uint64_t> write_syscalls_{0};
+  std::atomic<uint64_t> read_syscalls_{0};
+  std::atomic<uint64_t> batch_writes_{0};
+  std::atomic<uint64_t> batched_blocks_written_{0};
+  std::atomic<uint64_t> batch_reads_{0};
+  std::atomic<uint64_t> batched_blocks_read_{0};
 };
 
 }  // namespace lsmssd

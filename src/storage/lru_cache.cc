@@ -112,6 +112,19 @@ StatusOr<BlockId> CachedBlockDevice::WriteNewBlock(const BlockData& data) {
   return id_or;
 }
 
+Status CachedBlockDevice::WriteBlocks(const std::vector<BlockData>& blocks,
+                                      std::vector<BlockId>* ids) {
+  const size_t first = ids->size();
+  LSMSSD_RETURN_IF_ERROR(base_->WriteBlocks(blocks, ids));
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    stats_.RecordAllocate();
+    stats_.RecordWrite();
+    cache_.Put((*ids)[first + i], blocks[i]);  // Write-through.
+  }
+  if (blocks.size() > 1) stats_.RecordBatchWrite(blocks.size());
+  return Status::OK();
+}
+
 Status CachedBlockDevice::ReadBlock(BlockId id, BlockData* out) {
   auto data_or = ReadBlockShared(id);
   if (!data_or.ok()) return data_or.status();
@@ -139,6 +152,40 @@ StatusOr<std::shared_ptr<const BlockData>> CachedBlockDevice::ReadBlockShared(
   }
   cache_.Put(id, data_or.value());
   return data_or;
+}
+
+Status CachedBlockDevice::ReadBlocks(const std::vector<BlockId>& ids,
+                                     std::vector<BlockData>* out) {
+  out->resize(ids.size());
+  std::vector<BlockId> miss_ids;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (auto cached = cache_.Get(ids[i])) {
+      (*out)[i] = *cached;
+      stats_.RecordCachedRead();
+      stats_.RecordCacheHit();
+      base_->stats().RecordCachedRead();
+      base_->stats().RecordCacheHit();
+    } else {
+      miss_ids.push_back(ids[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (!miss_ids.empty()) {
+    std::vector<BlockData> fetched;
+    LSMSSD_RETURN_IF_ERROR(base_->ReadBlocks(miss_ids, &fetched));
+    for (size_t m = 0; m < miss_ids.size(); ++m) {
+      stats_.RecordRead();
+      if (cache_.capacity() > 0) {
+        stats_.RecordCacheMiss();
+        base_->stats().RecordCacheMiss();
+      }
+      cache_.Put(miss_ids[m], fetched[m]);
+      (*out)[miss_slots[m]] = std::move(fetched[m]);
+    }
+    if (miss_ids.size() > 1) stats_.RecordBatchRead(miss_ids.size());
+  }
+  return Status::OK();
 }
 
 Status CachedBlockDevice::VerifyBlock(BlockId id) {

@@ -100,12 +100,20 @@ class CachedBlockDevice : public BlockDevice {
 
   size_t block_size() const override { return base_->block_size(); }
   StatusOr<BlockId> WriteNewBlock(const BlockData& data) override;
+  /// Forwards the whole batch to the base device (so slot coalescing and
+  /// batch counters happen there), then write-through caches every block.
+  Status WriteBlocks(const std::vector<BlockData>& blocks,
+                     std::vector<BlockId>* ids) override;
   Status ReadBlock(BlockId id, BlockData* out) override;
   /// Zero-copy: a hit returns the cached image itself; a miss forwards to
   /// the base device's shared read and caches the resulting image, so the
   /// cache and every outstanding reader share one allocation per block.
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
+  /// Serves hits from the cache and batch-reads only the misses from the
+  /// base device, preserving its coalescing for the cold subset.
+  Status ReadBlocks(const std::vector<BlockId>& ids,
+                    std::vector<BlockData>* out) override;
   Status FreeBlock(BlockId id) override;
   /// Bypasses the cache: scrubbing must check the backing copy, not a
   /// (necessarily valid) cached image.

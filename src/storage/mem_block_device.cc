@@ -15,6 +15,7 @@ StatusOr<BlockId> MemBlockDevice::WriteNewBlock(const BlockData& data) {
   if (data.size() > block_size_) {
     return Status::InvalidArgument("block payload larger than block size");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (max_blocks_ != 0 && blocks_.size() >= max_blocks_) {
     return Status::ResourceExhausted(
         "device full: " + std::to_string(blocks_.size()) + " of " +
@@ -31,6 +32,7 @@ StatusOr<BlockId> MemBlockDevice::WriteNewBlock(const BlockData& data) {
 }
 
 Status MemBlockDevice::ReadBlock(BlockId id, BlockData* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
@@ -47,6 +49,7 @@ Status MemBlockDevice::ReadBlock(BlockId id, BlockData* out) {
 
 StatusOr<std::shared_ptr<const BlockData>> MemBlockDevice::ReadBlockShared(
     BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
@@ -61,6 +64,7 @@ StatusOr<std::shared_ptr<const BlockData>> MemBlockDevice::ReadBlockShared(
 }
 
 Status MemBlockDevice::VerifyBlock(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
@@ -76,6 +80,7 @@ Status MemBlockDevice::VerifyBlock(BlockId id) {
 
 Status MemBlockDevice::CorruptBlockForTesting(BlockId id,
                                               const BlockData& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
@@ -93,6 +98,7 @@ Status MemBlockDevice::CorruptBlockForTesting(BlockId id,
 
 Status MemBlockDevice::ReadBlockUnverifiedForTesting(BlockId id,
                                                      BlockData* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id) + " not allocated");
@@ -102,6 +108,7 @@ Status MemBlockDevice::ReadBlockUnverifiedForTesting(BlockId id,
 }
 
 std::unique_ptr<MemBlockDevice> MemBlockDevice::Clone() const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto clone = std::make_unique<MemBlockDevice>(block_size_);
   clone->next_id_ = next_id_;
   clone->max_blocks_ = max_blocks_;
@@ -111,6 +118,7 @@ std::unique_ptr<MemBlockDevice> MemBlockDevice::Clone() const {
 }
 
 Status MemBlockDevice::FreeBlock(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("free of unallocated block " +
@@ -119,6 +127,57 @@ Status MemBlockDevice::FreeBlock(BlockId id) {
   blocks_.erase(it);
   crcs_.erase(id);
   stats_.RecordFree();
+  return Status::OK();
+}
+
+Status MemBlockDevice::WriteBlocks(const std::vector<BlockData>& blocks,
+                                   std::vector<BlockId>* ids) {
+  for (const BlockData& data : blocks) {
+    if (data.size() > block_size_) {
+      return Status::InvalidArgument("block payload larger than block size");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_blocks_ != 0 && blocks_.size() + blocks.size() > max_blocks_) {
+    return Status::ResourceExhausted(
+        "device full: " + std::to_string(blocks_.size()) + " of " +
+        std::to_string(max_blocks_) + " blocks live, batch of " +
+        std::to_string(blocks.size()) + " requested");
+  }
+  ids->reserve(ids->size() + blocks.size());
+  for (const BlockData& data : blocks) {
+    BlockData stored = data;
+    stored.resize(block_size_, 0);
+    const BlockId id = next_id_++;
+    crcs_.emplace(id, crc32c::Value(stored.data(), stored.size()));
+    blocks_.emplace(id, std::make_shared<const BlockData>(std::move(stored)));
+    stats_.RecordAllocate();
+    stats_.RecordWrite();
+    ids->push_back(id);
+  }
+  if (blocks.size() > 1) stats_.RecordBatchWrite(blocks.size());
+  return Status::OK();
+}
+
+Status MemBlockDevice::ReadBlocks(const std::vector<BlockId>& ids,
+                                  std::vector<BlockData>* out) {
+  out->resize(ids.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto it = blocks_.find(ids[i]);
+    if (it == blocks_.end()) {
+      return Status::NotFound("block " + std::to_string(ids[i]) +
+                              " not allocated");
+    }
+    stats_.RecordRead();
+    const BlockData& stored = *it->second;
+    if (crc32c::Value(stored.data(), stored.size()) != crcs_.at(ids[i])) {
+      return Status::Corruption("checksum mismatch on block " +
+                                std::to_string(ids[i]));
+    }
+    (*out)[i] = stored;
+  }
+  if (ids.size() > 1) stats_.RecordBatchRead(ids.size());
   return Status::OK();
 }
 

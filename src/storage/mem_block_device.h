@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,10 @@ namespace lsmssd {
 /// unaffected. A payload mutated behind the device's back (the
 /// CorruptBlockForTesting seam, or a fault-injection decorator) makes every
 /// subsequent read of that id fail with Status::Corruption.
+///
+/// Thread-safety: the block map is guarded by an internal mutex, so reads
+/// may overlap allocations/frees of other blocks (the background
+/// compaction worker relies on this; see BlockDevice).
 class MemBlockDevice : public BlockDevice {
  public:
   explicit MemBlockDevice(size_t block_size = kDefaultBlockSize);
@@ -37,20 +42,38 @@ class MemBlockDevice : public BlockDevice {
   /// the data alive (blocks are immutable once written).
   StatusOr<std::shared_ptr<const BlockData>> ReadBlockShared(
       BlockId id) override;
+  /// Inserts the whole batch under one mutex acquisition (no physical
+  /// coalescing to do in memory; syscall counters stay zero).
+  Status WriteBlocks(const std::vector<BlockData>& blocks,
+                     std::vector<BlockId>* ids) override;
+  Status ReadBlocks(const std::vector<BlockId>& ids,
+                    std::vector<BlockData>* out) override;
   Status FreeBlock(BlockId id) override;
   Status VerifyBlock(BlockId id) override;
   Status CorruptBlockForTesting(BlockId id, const BlockData& data) override;
   Status ReadBlockUnverifiedForTesting(BlockId id, BlockData* out) override;
-  uint64_t live_blocks() const override { return blocks_.size(); }
+  uint64_t live_blocks() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.size();
+  }
 
   /// Caps the number of simultaneously-live blocks; further allocations
   /// return ResourceExhausted until blocks are freed or the cap is raised.
   /// 0 (the default) means unlimited. Models a full SSD.
-  void set_max_blocks(uint64_t max_blocks) { max_blocks_ = max_blocks; }
-  uint64_t max_blocks() const { return max_blocks_; }
+  void set_max_blocks(uint64_t max_blocks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_blocks_ = max_blocks;
+  }
+  uint64_t max_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_blocks_;
+  }
 
   /// True iff `id` is currently allocated. Test/debug helper.
-  bool IsLive(BlockId id) const { return blocks_.contains(id); }
+  bool IsLive(BlockId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.contains(id);
+  }
 
   /// Deep copy of the device's current contents (block ids preserved, I/O
   /// statistics reset). Stands in for a point-in-time device snapshot in
@@ -59,6 +82,7 @@ class MemBlockDevice : public BlockDevice {
 
  private:
   size_t block_size_;
+  mutable std::mutex mu_;    // Guards every field below.
   uint64_t max_blocks_ = 0;  // 0 = unlimited
   BlockId next_id_ = 1;      // 0 is never handed out; eases debugging.
   // Shared so ReadBlockShared serves the image without copying; blocks

@@ -1,5 +1,6 @@
 #include "src/util/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -77,6 +78,79 @@ std::string Histogram::ToCsv() const {
     out << BucketLow(i) << "," << counts_[i] << "," << Frequency(i) << "\n";
   }
   return out.str();
+}
+
+// 16 linear buckets for values < 16, then 16 sub-buckets per power-of-two
+// decade: bucket(v) = (msb(v) - 3) * 16 + next-4-bits(v). Highest decade
+// is msb 63, so 976 buckets cover all of uint64.
+namespace {
+constexpr size_t kLatencyBuckets = (64 - 3) * 16;
+
+size_t Msb(uint64_t v) {
+  size_t b = 0;
+  while (v >>= 1) ++b;
+  return b;
+}
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kLatencyBuckets, 0) {}
+
+size_t LatencyHistogram::BucketOf(uint64_t value) {
+  if (value < 16) return static_cast<size_t>(value);
+  const size_t k = Msb(value);
+  const size_t sub = static_cast<size_t>(value >> (k - 4)) & 15u;
+  return (k - 3) * 16 + sub;
+}
+
+uint64_t LatencyHistogram::BucketLow(size_t bucket) {
+  if (bucket < 16) return bucket;
+  const size_t k = bucket / 16 + 3;
+  const uint64_t sub = bucket % 16;
+  return (16ull + sub) << (k - 4);
+}
+
+void LatencyHistogram::Add(uint64_t value) {
+  ++counts_[BucketOf(value)];
+  ++count_;
+  sum_ += value;
+  if (value > max_) max_ = value;
+}
+
+void LatencyHistogram::Clear() {
+  counts_.assign(kLatencyBuckets, 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the sample answering the percentile (1-based, ceil).
+  const auto rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // The last sample lives in this bucket's range too, but its exact
+      // value is known: report it rather than the bucket floor.
+      if (seen == count_ && counts_[i] == 1) return max_;
+      const uint64_t low = BucketLow(i);
+      return low < max_ ? low : max_;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::ToString() const {
+  const uint64_t mean = count_ == 0 ? 0 : sum_ / count_;
+  return "count=" + std::to_string(count_) + " mean=" + std::to_string(mean) +
+         " p50=" + std::to_string(Percentile(50)) +
+         " p95=" + std::to_string(Percentile(95)) +
+         " p99=" + std::to_string(Percentile(99)) +
+         " max=" + std::to_string(max_);
 }
 
 }  // namespace lsmssd

@@ -61,6 +61,39 @@ class Histogram {
   uint64_t total_ = 0;
 };
 
+/// Log-scale histogram for latency-like values spanning many orders of
+/// magnitude (the write-stall histogram in Db::Stats()). Each power-of-two
+/// decade is split into 16 linear sub-buckets, bounding the relative
+/// quantile error at ~6% while keeping the footprint fixed (976 buckets
+/// covering the full uint64 range). Not internally locked.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(uint64_t value);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max_value() const { return max_; }
+
+  /// Approximate value at percentile `p` in [0, 100] (lower bucket bound;
+  /// exact max for p covering the last sample). 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  /// "count=N mean=M p50=A p95=B p99=C max=D" (zeros when empty).
+  std::string ToString() const;
+
+ private:
+  static size_t BucketOf(uint64_t value);
+  static uint64_t BucketLow(size_t bucket);
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
 }  // namespace lsmssd
 
 #endif  // LSMSSD_UTIL_HISTOGRAM_H_

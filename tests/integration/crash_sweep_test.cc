@@ -209,6 +209,115 @@ TEST(CrashSweepTest, SyncEveryN) { SweepMode("everyn", WalSyncMode::kEveryN); }
 
 TEST(CrashSweepTest, SyncNone) { SweepMode("none", WalSyncMode::kNone); }
 
+/// Crash-point sweep with background *compaction* in flight: commits seal
+/// full memtables onto the queue and the compaction thread runs the
+/// flushes and merges, so the injector's durable steps interleave writer
+/// WAL/checkpoint steps with worker block writes nondeterministically —
+/// the kill lands mid-flush or mid-merge on many of the sweep's points.
+/// The durable frontier is still computed exactly as in SweepMode (WAL
+/// syncs and inline checkpoints happen only on the writer thread), and
+/// recovery must additionally leave zero leaked blocks: the device's live
+/// set is exactly the recovered leaves.
+void SweepBackgroundCompaction(const char* tag, WalSyncMode mode) {
+  FaultInjector injector;
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.wal_sync_mode = mode;
+  dbopts.wal_sync_every_n = 7;
+  dbopts.checkpoint_wal_bytes = 1000;  // Auto-checkpoints mid-workload.
+  // Inline checkpoints keep the durable frontier a pure function of the
+  // writer's own progress; only the compaction worker interleaves.
+  dbopts.background_checkpoint = false;
+  dbopts.background_compaction = true;
+  // A shallow queue so the sweep also crosses throttled and stalled
+  // commits, not just quiescent-worker windows.
+  dbopts.compaction_queue_depth = 2;
+  dbopts.compaction_slowdown_depth = 1;
+  dbopts.fault_injector = &injector;
+
+  // Verification reopens without the injector and without the worker
+  // (tree()/DumpDb inspect the tree without the Db's locks).
+  DbOptions verify_opts = dbopts;
+  verify_opts.background_compaction = false;
+  verify_opts.fault_injector = nullptr;
+
+  const std::vector<Op> ops = MakeWorkload();
+  std::vector<ModelState> prefix_states(1);
+  for (const Op& op : ops) {
+    ModelState next = prefix_states.back();
+    ApplyToModel(&next, op, dbopts.options);
+    prefix_states.push_back(std::move(next));
+  }
+
+  // Pass 1: size the sweep from a disarmed run. The worker's steps
+  // interleave nondeterministically, so the count varies run to run; pad
+  // the range so late crash points stay covered.
+  const std::string count_dir = WipedDir(std::string(tag) + "_count");
+  const RunResult full = RunWorkload(dbopts, count_dir, &injector);
+  ASSERT_GT(full.steps, 0u);
+  const uint64_t sweep_steps = full.steps + 8;
+
+  for (uint64_t crash_at = 0; crash_at < sweep_steps; ++crash_at) {
+    SCOPED_TRACE(std::string(tag) + " crash at step " +
+                 std::to_string(crash_at));
+    const std::string dir =
+        WipedDir(std::string(tag) + "_k" + std::to_string(crash_at));
+    injector.Arm(crash_at);
+    const RunResult crashed = RunWorkload(dbopts, dir, &injector);
+    injector.Disarm();
+
+    auto db_or = Db::Open(verify_opts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    ASSERT_TRUE(db.tree()->CheckInvariants(true).ok());
+
+    // Zero leaked blocks: every live device block is referenced by
+    // exactly one recovered leaf. A flush or merge killed mid-batch must
+    // not leave orphaned allocations behind after recovery.
+    uint64_t leaves = 0;
+    for (size_t i = 1; i < db.tree()->num_levels(); ++i) {
+      leaves += db.tree()->level(i).num_leaves();
+    }
+    EXPECT_EQ(db.tree()->device()->live_blocks(), leaves)
+        << "device live blocks != recovered leaves (leaked blocks)";
+
+    // The recovered contents must equal some prefix state at or past the
+    // durable frontier.
+    const ModelState recovered = DumpDb(&db);
+    bool matched = false;
+    for (size_t i = crashed.durable_ops; i < prefix_states.size(); ++i) {
+      if (prefix_states[i] == recovered) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched)
+        << "recovered state (" << recovered.size()
+        << " keys) matches no workload prefix >= durable frontier "
+        << crashed.durable_ops;
+
+    // Recovery leaves a fully functional Db behind.
+    const Key probe = 7'777;
+    ASSERT_TRUE(db.Put(probe, MakePayload(dbopts.options, probe)).ok());
+    ASSERT_TRUE(db.SyncWal().ok());
+    auto v = db.Get(probe);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), MakePayload(dbopts.options, probe));
+  }
+}
+
+TEST(CrashSweepTest, BackgroundCompactionSyncAlways) {
+  SweepBackgroundCompaction("bgc_always", WalSyncMode::kAlways);
+}
+
+TEST(CrashSweepTest, BackgroundCompactionSyncEveryN) {
+  SweepBackgroundCompaction("bgc_everyn", WalSyncMode::kEveryN);
+}
+
+TEST(CrashSweepTest, BackgroundCompactionSyncNone) {
+  SweepBackgroundCompaction("bgc_none", WalSyncMode::kNone);
+}
+
 // A double-crash must not weaken the guarantee: crash during the
 // workload, recover, then crash again during *recovery's* first
 // checkpoint and recover once more.

@@ -180,5 +180,146 @@ TEST(LsmTreeTest, TombstonesPurgedAtBottomKeepDatasetBounded) {
   }
 }
 
+TEST(BackgroundCompactTest, PutNoMergeNeverTouchesDevice) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  // TinyOptions: L0 overflows at 40 records. PutNoMerge must let the
+  // memtable sail past that without any merge.
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(
+        fx.tree->PutNoMerge(k, MakePayload(fx.options_copy, k)).ok());
+  }
+  EXPECT_EQ(fx.device.stats().block_writes(), 0u);
+  EXPECT_TRUE(fx.tree->MemtableAtCapacity());
+  EXPECT_EQ(fx.tree->memtable().size(), 100u);
+}
+
+TEST(BackgroundCompactTest, SealMovesMemtableAndEmptySealIsNoop) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  fx.tree->SealMemtable();  // Empty: no-op.
+  EXPECT_EQ(fx.tree->sealed_count(), 0u);
+  for (Key k = 0; k < 10; ++k) ASSERT_TRUE(fx.Put(k).ok());
+  fx.tree->SealMemtable();
+  EXPECT_EQ(fx.tree->sealed_count(), 1u);
+  EXPECT_EQ(fx.tree->sealed_records(), 10u);
+  EXPECT_EQ(fx.tree->memtable().size(), 0u);
+  EXPECT_TRUE(fx.tree->HasCompactionWork());
+}
+
+TEST(BackgroundCompactTest, ReadsSeeSealedAndActiveNewestFirst) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  ASSERT_TRUE(fx.tree->PutNoMerge(1, MakePayload(fx.options_copy, 100)).ok());
+  fx.tree->SealMemtable();
+  ASSERT_TRUE(fx.tree->PutNoMerge(1, MakePayload(fx.options_copy, 200)).ok());
+  ASSERT_TRUE(fx.tree->PutNoMerge(2, MakePayload(fx.options_copy, 2)).ok());
+  fx.tree->SealMemtable();
+  ASSERT_TRUE(fx.tree->DeleteNoMerge(2).ok());
+
+  // key 1: the second sealed memtable's version shadows the first's.
+  auto v = fx.tree->Get(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), MakePayload(fx.options_copy, 200));
+  // key 2: the active memtable's tombstone shadows the sealed Put.
+  EXPECT_TRUE(fx.tree->Get(2).status().IsNotFound());
+
+  // Scan and iterator agree.
+  std::vector<std::pair<Key, std::string>> out;
+  ASSERT_TRUE(fx.tree->Scan(0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 1u);
+  EXPECT_EQ(out[0].second, MakePayload(fx.options_copy, 200));
+}
+
+TEST(BackgroundCompactTest, StepsDrainQueueAndRestoreInvariants) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  // Three full memtables on the queue.
+  Key next = 0;
+  for (int m = 0; m < 3; ++m) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          fx.tree->PutNoMerge(next, MakePayload(fx.options_copy, next)).ok());
+      ++next;
+    }
+    fx.tree->SealMemtable();
+  }
+  ASSERT_EQ(fx.tree->sealed_count(), 3u);
+
+  int flushes = 0, merges = 0, steps = 0;
+  for (;; ++steps) {
+    ASSERT_LT(steps, 1000) << "compaction failed to converge";
+    auto step = fx.tree->BackgroundCompactStep();
+    ASSERT_TRUE(step.ok()) << step.status().ToString();
+    if (step.value() == LsmTree::CompactStep::kNone) break;
+    if (step.value() == LsmTree::CompactStep::kFlush) ++flushes;
+    if (step.value() == LsmTree::CompactStep::kMerge) ++merges;
+  }
+  EXPECT_GE(flushes, 3);
+  EXPECT_EQ(fx.tree->sealed_count(), 0u);
+  EXPECT_FALSE(fx.tree->HasCompactionWork());
+  ASSERT_TRUE(fx.tree->CheckInvariants(/*deep=*/true).ok());
+  EXPECT_EQ(fx.tree->TotalRecords(), 120u);
+  for (Key k = 0; k < 120; ++k) {
+    auto v = fx.tree->Get(k);
+    ASSERT_TRUE(v.ok()) << "key " << k;
+    EXPECT_EQ(v.value(), MakePayload(fx.options_copy, k));
+  }
+}
+
+TEST(BackgroundCompactTest, MatchesInlinePathContents) {
+  // Same operations through the inline cascade and the sealed-queue path
+  // end in trees with identical logical contents.
+  TreeFixture inline_fx(TinyOptions(), PolicyKind::kChooseBest);
+  TreeFixture bg_fx(TinyOptions(), PolicyKind::kChooseBest);
+  for (Key k = 0; k < 500; ++k) {
+    const Key key = (k * 37) % 200;
+    ASSERT_TRUE(inline_fx.Put(key).ok());
+    ASSERT_TRUE(
+        bg_fx.tree->PutNoMerge(key, MakePayload(bg_fx.options_copy, key))
+            .ok());
+    if (bg_fx.tree->MemtableAtCapacity()) {
+      bg_fx.tree->SealMemtable();
+      // Drain eagerly about half the time to vary queue depth.
+      if (k % 80 < 40) {
+        for (;;) {
+          auto step = bg_fx.tree->BackgroundCompactStep();
+          ASSERT_TRUE(step.ok());
+          if (step.value() == LsmTree::CompactStep::kNone) break;
+        }
+      }
+    }
+  }
+  for (;;) {
+    auto step = bg_fx.tree->BackgroundCompactStep();
+    ASSERT_TRUE(step.ok());
+    if (step.value() == LsmTree::CompactStep::kNone) break;
+  }
+  ASSERT_TRUE(bg_fx.tree->CheckInvariants(/*deep=*/true).ok());
+
+  std::vector<std::pair<Key, std::string>> a, b;
+  ASSERT_TRUE(inline_fx.tree->Scan(0, 1000, &a).ok());
+  ASSERT_TRUE(bg_fx.tree->Scan(0, 1000, &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackgroundCompactTest, MemtableSnapshotConsolidatesNewestWins) {
+  TreeFixture fx(TinyOptions(), PolicyKind::kChooseBest);
+  ASSERT_TRUE(fx.tree->PutNoMerge(1, MakePayload(fx.options_copy, 10)).ok());
+  ASSERT_TRUE(fx.tree->PutNoMerge(2, MakePayload(fx.options_copy, 20)).ok());
+  fx.tree->SealMemtable();
+  ASSERT_TRUE(fx.tree->PutNoMerge(2, MakePayload(fx.options_copy, 21)).ok());
+  ASSERT_TRUE(fx.tree->DeleteNoMerge(3).ok());
+  fx.tree->SealMemtable();
+  ASSERT_TRUE(fx.tree->PutNoMerge(4, MakePayload(fx.options_copy, 40)).ok());
+
+  std::vector<Record> snap = fx.tree->MemtableSnapshot();
+  ASSERT_EQ(snap.size(), 4u);  // Keys 1, 2, 3 (tombstone), 4.
+  EXPECT_EQ(snap[0].key, 1u);
+  EXPECT_EQ(snap[0].payload, MakePayload(fx.options_copy, 10));
+  EXPECT_EQ(snap[1].key, 2u);
+  EXPECT_EQ(snap[1].payload, MakePayload(fx.options_copy, 21));  // Newer.
+  EXPECT_EQ(snap[2].key, 3u);
+  EXPECT_TRUE(snap[2].is_tombstone());  // Tombstones survive.
+  EXPECT_EQ(snap[3].key, 4u);
+}
+
 }  // namespace
 }  // namespace lsmssd

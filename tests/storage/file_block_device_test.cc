@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <cerrno>
+
 #include <gtest/gtest.h>
 
 namespace lsmssd {
@@ -119,6 +121,177 @@ TEST(FileBlockDeviceTest, ZeroBlockSizeRejected) {
   opts.block_size = 0;
   auto dev_or = FileBlockDevice::Open(TempPath("fbd_zero"), opts);
   EXPECT_TRUE(dev_or.status().IsInvalidArgument());
+}
+
+TEST(FileBlockDeviceBatchTest, WriteBlocksCoalescesContiguousRunIntoTwoSyscalls) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 128;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batchw"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  std::vector<BlockData> blocks;
+  for (uint8_t i = 0; i < 8; ++i) blocks.push_back(BlockData(16, i));
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks(blocks, &ids).ok());
+  ASSERT_EQ(ids.size(), 8u);
+  // Fresh device => 8 consecutive tail slots => one pwritev + one packed
+  // sidecar pwrite. Per-block writes would cost 16 syscalls.
+  EXPECT_EQ(dev.stats().write_syscalls(), 2u);
+  EXPECT_EQ(dev.stats().block_writes(), 8u);
+  EXPECT_EQ(dev.stats().batch_writes(), 1u);
+  EXPECT_EQ(dev.stats().batched_blocks_written(), 8u);
+
+  std::vector<BlockData> out;
+  ASSERT_TRUE(dev.ReadBlocks(ids, &out).ok());
+  EXPECT_EQ(dev.stats().read_syscalls(), 1u);  // One preadv for the run.
+  EXPECT_EQ(dev.stats().block_reads(), 8u);
+  for (uint8_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i][0], i);
+    EXPECT_EQ(out[i].size(), dev.block_size());
+  }
+}
+
+TEST(FileBlockDeviceBatchTest, AllocatesSameSlotsAsPerBlockWritesAscending) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batchorder"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  // Build a free list: slots 1..4 live, free 2 then 4 (LIFO order 4, 2).
+  std::vector<BlockId> first;
+  for (uint8_t i = 1; i <= 4; ++i) {
+    auto id = dev.WriteNewBlock(BlockData(1, i));
+    ASSERT_TRUE(id.ok());
+    first.push_back(id.value());
+  }
+  ASSERT_TRUE(dev.FreeBlock(first[1]).ok());
+  ASSERT_TRUE(dev.FreeBlock(first[3]).ok());
+
+  // A batch of 3 takes the same slot set three WriteNewBlock calls would
+  // (freed 4 and 2, then tail 5), assigned in ascending order so any runs
+  // among them coalesce.
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(
+      dev.WriteBlocks({BlockData(1, 9), BlockData(1, 8), BlockData(1, 7)},
+                      &ids)
+          .ok());
+  EXPECT_EQ(ids, (std::vector<BlockId>{first[1], first[3], 5u}));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    BlockData out;
+    ASSERT_TRUE(dev.ReadBlock(ids[i], &out).ok());
+    EXPECT_EQ(out[0], 9 - i);
+  }
+}
+
+TEST(FileBlockDeviceBatchTest, FreedRunReformsAndCoalesces) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batchrefree"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  // Occupy slots 1..4, then free 2,3,4 in merge-like order (oldest first).
+  std::vector<BlockId> first;
+  for (uint8_t i = 1; i <= 4; ++i) {
+    auto id = dev.WriteNewBlock(BlockData(1, i));
+    ASSERT_TRUE(id.ok());
+    first.push_back(id.value());
+  }
+  for (size_t i = 1; i < 4; ++i) ASSERT_TRUE(dev.FreeBlock(first[i]).ok());
+  const uint64_t syscalls_before = dev.stats().write_syscalls();
+
+  // The batch pops 4,3,2 off the LIFO free list but writes them ascending:
+  // one contiguous run => one pwritev + one packed sidecar pwrite.
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(
+      dev.WriteBlocks({BlockData(1, 9), BlockData(1, 8), BlockData(1, 7)},
+                      &ids)
+          .ok());
+  EXPECT_EQ(ids, (std::vector<BlockId>{first[1], first[2], first[3]}));
+  EXPECT_EQ(dev.stats().write_syscalls(), syscalls_before + 2);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    BlockData out;
+    ASSERT_TRUE(dev.ReadBlock(ids[i], &out).ok());
+    EXPECT_EQ(out[0], 9 - i);
+  }
+}
+
+TEST(FileBlockDeviceBatchTest, WriteBlocksIsAllOrNothingOnInjectedError) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batcherr"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+
+  auto keep = dev.WriteNewBlock(BlockData(1, 1));
+  ASSERT_TRUE(keep.ok());
+  dev.InjectWriteFaultForTesting(ENOSPC);
+  std::vector<BlockId> ids;
+  Status st = dev.WriteBlocks({BlockData(1, 2), BlockData(1, 3)}, &ids);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(dev.live_blocks(), 1u);
+  EXPECT_EQ(dev.stats().block_writes(), 1u);  // Only the pre-fault write.
+
+  // Slots allocated for the failed batch were returned; the next batch
+  // reuses them and the device stays fully functional.
+  ASSERT_TRUE(dev.WriteBlocks({BlockData(1, 2), BlockData(1, 3)}, &ids).ok());
+  ASSERT_EQ(ids.size(), 2u);
+  BlockData out;
+  ASSERT_TRUE(dev.ReadBlock(ids[0], &out).ok());
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST(FileBlockDeviceBatchTest, ExceedingCapIsResourceExhausted) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  opts.max_blocks = 2;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batchcap"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+  std::vector<BlockId> ids;
+  Status st = dev.WriteBlocks(
+      {BlockData(1, 1), BlockData(1, 2), BlockData(1, 3)}, &ids);
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_EQ(dev.live_blocks(), 0u);
+}
+
+TEST(FileBlockDeviceBatchTest, ReadBlocksVerifiesEachBlockChecksum) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batchcrc"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks(
+                     {BlockData(1, 1), BlockData(1, 2), BlockData(1, 3)}, &ids)
+                  .ok());
+  ASSERT_TRUE(dev.CorruptBlockForTesting(ids[1], BlockData(1, 0xee)).ok());
+  std::vector<BlockData> out;
+  Status st = dev.ReadBlocks(ids, &out);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find(std::to_string(ids[1])), std::string::npos);
+}
+
+TEST(FileBlockDeviceBatchTest, ReadBlocksFallsBackPerBlockUnderFaults) {
+  FileBlockDevice::FileOptions opts;
+  opts.block_size = 64;
+  auto dev_or = FileBlockDevice::Open(TempPath("fbd_batchfault"), opts);
+  ASSERT_TRUE(dev_or.ok());
+  auto& dev = *dev_or.value();
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks(
+                     {BlockData(1, 1), BlockData(1, 2), BlockData(1, 3)}, &ids)
+                  .ok());
+  // With the transient-fault seam armed the device must take the per-block
+  // retrying path (the fault fires once per block, then retries succeed).
+  dev.InjectReadFaultsForTesting(2);
+  std::vector<BlockData> out;
+  ASSERT_TRUE(dev.ReadBlocks(ids, &out).ok());
+  EXPECT_GE(dev.read_retries(), 2u);
+  for (uint8_t i = 0; i < 3; ++i) EXPECT_EQ(out[i][0], i + 1);
 }
 
 }  // namespace

@@ -116,5 +116,93 @@ TEST(IoStatsTest, ToStringMentionsCounts) {
   EXPECT_NE(s.ToString().find("writes=2"), std::string::npos);
 }
 
+TEST(IoStatsTest, ToStringHidesBatchCountersUntilUsed) {
+  IoStats s;
+  s.RecordWrite();
+  EXPECT_EQ(s.ToString().find("batch_writes"), std::string::npos);
+  s.RecordBatchWrite(8);
+  const std::string out = s.ToString();
+  EXPECT_NE(out.find("batch_writes=1"), std::string::npos);
+  EXPECT_NE(out.find("batched_blocks_written=8"), std::string::npos);
+}
+
+TEST(MemBlockDeviceBatchTest, WriteBlocksRoundTrip) {
+  MemBlockDevice dev(16);
+  std::vector<BlockData> blocks;
+  for (uint8_t i = 0; i < 5; ++i) blocks.push_back(Bytes({i}));
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks(blocks, &ids).ok());
+  ASSERT_EQ(ids.size(), 5u);
+  std::vector<BlockData> out;
+  ASSERT_TRUE(dev.ReadBlocks(ids, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  for (uint8_t i = 0; i < 5; ++i) EXPECT_EQ(out[i][0], i);
+}
+
+TEST(MemBlockDeviceBatchTest, AccountsLikePerBlockCallsPlusBatchCounters) {
+  MemBlockDevice dev(16);
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks({Bytes({1}), Bytes({2}), Bytes({3})}, &ids).ok());
+  EXPECT_EQ(dev.stats().block_writes(), 3u);
+  EXPECT_EQ(dev.stats().block_allocs(), 3u);
+  EXPECT_EQ(dev.stats().batch_writes(), 1u);
+  EXPECT_EQ(dev.stats().batched_blocks_written(), 3u);
+  std::vector<BlockData> out;
+  ASSERT_TRUE(dev.ReadBlocks(ids, &out).ok());
+  EXPECT_EQ(dev.stats().block_reads(), 3u);
+  EXPECT_EQ(dev.stats().batch_reads(), 1u);
+  EXPECT_EQ(dev.stats().batched_blocks_read(), 3u);
+  // In-memory device: no syscalls, ever.
+  EXPECT_EQ(dev.stats().write_syscalls(), 0u);
+  EXPECT_EQ(dev.stats().read_syscalls(), 0u);
+}
+
+TEST(MemBlockDeviceBatchTest, SingleBlockBatchSkipsBatchCounters) {
+  MemBlockDevice dev(16);
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks({Bytes({1})}, &ids).ok());
+  EXPECT_EQ(dev.stats().batch_writes(), 0u);
+  EXPECT_EQ(dev.stats().block_writes(), 1u);
+}
+
+TEST(MemBlockDeviceBatchTest, WriteBlocksIsAllOrNothingAtCapacity) {
+  MemBlockDevice dev(16);
+  dev.set_max_blocks(2);
+  std::vector<BlockId> ids;
+  Status st = dev.WriteBlocks({Bytes({1}), Bytes({2}), Bytes({3})}, &ids);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(dev.live_blocks(), 0u);
+  EXPECT_EQ(dev.stats().block_writes(), 0u);
+  // The device is intact: a fitting batch still lands.
+  ASSERT_TRUE(dev.WriteBlocks({Bytes({1}), Bytes({2})}, &ids).ok());
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(MemBlockDeviceBatchTest, ReadBlocksFailsOnDeadBlock) {
+  MemBlockDevice dev(16);
+  std::vector<BlockId> ids;
+  ASSERT_TRUE(dev.WriteBlocks({Bytes({1}), Bytes({2})}, &ids).ok());
+  ASSERT_TRUE(dev.FreeBlock(ids[1]).ok());
+  std::vector<BlockData> out;
+  EXPECT_TRUE(dev.ReadBlocks(ids, &out).IsNotFound());
+}
+
+TEST(MemBlockDeviceBatchTest, MatchesIdSequenceOfPerBlockWrites) {
+  // Batched and per-block writes must allocate identical id sequences, so
+  // merge output layout (and every figure) is independent of batching.
+  MemBlockDevice a(16), b(16);
+  std::vector<BlockId> batch_ids;
+  ASSERT_TRUE(a.WriteBlocks({Bytes({1}), Bytes({2}), Bytes({3})}, &batch_ids)
+                  .ok());
+  std::vector<BlockId> loop_ids;
+  for (uint8_t i = 1; i <= 3; ++i) {
+    auto id = b.WriteNewBlock(Bytes({i}));
+    ASSERT_TRUE(id.ok());
+    loop_ids.push_back(id.value());
+  }
+  EXPECT_EQ(batch_ids, loop_ids);
+}
+
 }  // namespace
 }  // namespace lsmssd

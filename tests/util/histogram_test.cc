@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/util/random.h"
 
 namespace lsmssd {
@@ -107,6 +109,87 @@ TEST(HistogramTest, CsvHasOneLinePerBucket) {
   h.Add(1);
   const std::string csv = h.ToCsv();
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  LatencyHistogram h;
+  h.Add(123456789);
+  EXPECT_EQ(h.Percentile(0), 123456789u);
+  EXPECT_EQ(h.Percentile(50), 123456789u);
+  EXPECT_EQ(h.Percentile(100), 123456789u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below 16 land in dedicated linear buckets.
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Add(v);
+  for (uint64_t v = 0; v < 16; ++v) {
+    const double p = 100.0 * static_cast<double>(v + 1) / 16.0;
+    EXPECT_EQ(h.Percentile(p), v) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesBoundedWithinOneBucket) {
+  // Each power-of-two decade splits into 16 sub-buckets, so a reported
+  // percentile is below the true value by at most 1/16 of its decade
+  // (~6.25% relative error).
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Add(v);
+  const uint64_t p50 = h.Percentile(50);
+  EXPECT_LE(p50, 50000u);
+  EXPECT_GE(p50, 46875u);  // 50000 * 15/16.
+  const uint64_t p99 = h.Percentile(99);
+  EXPECT_LE(p99, 99000u);
+  EXPECT_GE(p99, 92812u);
+}
+
+TEST(LatencyHistogramTest, OrderStatisticsAreMonotone) {
+  LatencyHistogram h;
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(1u << 30));
+  uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max_value());
+}
+
+TEST(LatencyHistogramTest, HandlesHugeValues) {
+  LatencyHistogram h;
+  h.Add(std::numeric_limits<uint64_t>::max());
+  h.Add(0);
+  EXPECT_EQ(h.max_value(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(h.Percentile(100), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(h.Percentile(1), 0u);
+}
+
+TEST(LatencyHistogramTest, ClearResets) {
+  LatencyHistogram h;
+  h.Add(42);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(LatencyHistogramTest, ToStringCarriesSummary) {
+  LatencyHistogram h;
+  h.Add(10);
+  h.Add(20);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=2"), std::string::npos);
+  EXPECT_NE(s.find("mean=15"), std::string::npos);
+  EXPECT_NE(s.find("max=20"), std::string::npos);
 }
 
 }  // namespace
