@@ -11,6 +11,7 @@
 #include <cstring>
 #include <shared_mutex>  // std::shared_lock
 
+#include "src/db/fs_util.h"
 #include "src/lsm/manifest.h"
 #include "src/storage/fault_injection_wal_file.h"
 #include "src/util/logging.h"
@@ -19,53 +20,12 @@ namespace lsmssd {
 
 namespace {
 
-Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
-}
-
-bool FileExists(const std::string& path) {
-  return ::access(path.c_str(), F_OK) == 0;
-}
-
-uint64_t FileSizeOrZero(const std::string& path) {
-  struct ::stat st;
-  if (::stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<uint64_t>(st.st_size);
-}
-
-/// fsyncs `dir` itself so a rename inside it is durable.
-Status SyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Errno("open dir " + dir);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Errno("fsync dir " + dir);
-  return Status::OK();
-}
-
-/// Writes `data` (or its first `limit` bytes) to a fresh `path`,
-/// fsyncing when `sync` is set.
-Status WriteFile(const std::string& path, std::string_view data,
-                 bool sync) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("open " + path);
-  size_t done = 0;
-  while (done < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Errno("write " + path);
-    }
-    done += static_cast<size_t>(n);
-  }
-  if (sync && ::fsync(fd) != 0) {
-    ::close(fd);
-    return Errno("fsync " + path);
-  }
-  if (::close(fd) != 0) return Errno("close " + path);
-  return Status::OK();
-}
+// POSIX helpers now live in fs_util.h (shared with db_sharded.cc).
+using fsutil::Errno;
+using fsutil::FileExists;
+using fsutil::FileSizeOrZero;
+using fsutil::SyncDir;
+using fsutil::WriteFile;
 
 /// Iterator wrapper that pins the Db's tree by holding its shared tree
 /// lock until destroyed: the underlying tree iterator stays valid, and
@@ -156,6 +116,9 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   if (dbopts.background_compaction && dbopts.compaction_queue_depth == 0) {
     return Status::InvalidArgument("compaction_queue_depth must be >= 1");
   }
+  if (dbopts.shards == 0) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
   if (dbopts.checkpoint_wal_bytes > 0) {
     // Framed WAL entry: [u32 length][u32 crc][u8 type][u64 key][payload].
     const uint64_t max_entry_bytes = 4 + 4 + 1 + 8 + dbopts.options.payload_size;
@@ -180,6 +143,22 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
     }
   } else if (!S_ISDIR(st.st_mode)) {
     return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+
+  // Sharded layouts branch off here: an existing SHARDS file is
+  // authoritative (the Db reopens sharded even with default options);
+  // otherwise shards > 1 creates one. Everything below this block is the
+  // classic single-shard path, untouched.
+  {
+    size_t layout_shards = 0;
+    if (FileExists(ShardLayoutPath(dir))) {
+      auto layout_or = ReadShardLayout(dir);
+      if (!layout_or.ok()) return layout_or.status();
+      layout_shards = layout_or.value();
+    }
+    if (layout_shards > 0 || dbopts.shards > 1) {
+      return OpenSharded(dbopts, dir, layout_shards);
+    }
   }
 
   const std::string manifest_path = ManifestPath(dir);
@@ -332,6 +311,12 @@ StatusOr<std::unique_ptr<WalWriter>> Db::MakeWalWriter(
 }
 
 void Db::Close() {
+  if (!shards_.empty()) {
+    // The facade has no threads of its own; closing is closing the
+    // children (idempotent, like the single-shard path).
+    for (auto& s : shards_) s->Close();
+    return;
+  }
   {
     std::unique_lock<std::mutex> lk(db_mu_);
     if (closed_) return;
@@ -382,6 +367,15 @@ Status Db::Put(Key key, std::string_view payload) {
 Status Db::Delete(Key key) { return Apply(Record::Tombstone(key)); }
 
 Status Db::Apply(const Record& record) {
+  if (!shards_.empty()) {
+    if (failed()) return FailedStatus();
+    // Keep the cross-shard memory budget honest before admitting the
+    // write, then route: each shard is a complete Db, so WAL order ==
+    // apply order holds per shard (recovery replays per shard).
+    ArbitrateShardMemory();
+    return shards_[ShardOfKey(record.key, shards_.size())]->Apply(record);
+  }
+
   // Validate before logging (and before taking any lock): the WAL must
   // never carry an entry the tree would reject on replay. tree_ and its
   // options are immutable after Open.
@@ -428,6 +422,10 @@ Status Db::Apply(const Record& record) {
       mlk.unlock();
       return FailLocked(std::move(st));
     }
+    // Publish the active-memtable size for a parent facade's memory
+    // arbiter (exact under mem_mu_; the load side is relaxed).
+    mem_active_records_.store(tree_->active_memtable_records(),
+                              std::memory_order_relaxed);
   } else {
     std::unique_lock<SharedMutex> tlk(tree_mu_);
     Status st = record.is_tombstone()
@@ -611,7 +609,10 @@ Status Db::MaybeSealOrStallLocked(std::unique_lock<std::mutex>& lk) {
   // shrunk: writers are serialized by db_mu_ and the worker only pops.
   {
     std::unique_lock<SharedMutex> mlk(mem_mu_);
+    const uint64_t sealed_n = tree_->active_memtable_records();
     tree_->SealMemtable();
+    mem_sealed_records_.fetch_add(sealed_n, std::memory_order_relaxed);
+    mem_active_records_.store(0, std::memory_order_relaxed);
     // Publish depth + kick under comp_mu_ while still holding mem_mu_
     // (mem_mu_ -> comp_mu_ follows the hierarchy): the worker cannot pop
     // the new memtable before its ++sealed_queued_ lands, because a pop
@@ -640,7 +641,11 @@ void Db::CompactionLoop() {
 Status Db::RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped) {
   std::unique_lock<SharedMutex> tlk(tree_mu_);
   Memtable* front = nullptr;
-  {
+  // Flushes normally outrank merges (they bound the writer-visible
+  // queue), but once the L0 buffer is backlogged the merge goes first —
+  // flushing into an already-oversized buffer trades bounded queue depth
+  // for unbounded buffer memory (see LsmTree::L0BufferBacklogged).
+  if (!tree_->L0BufferBacklogged()) {
     // The queue *structure* is shared with sealing writers; shared is
     // enough to pin it while we copy the front pointer. The front
     // memtable's *contents* are then ours to drain under tree_mu_ alone:
@@ -653,6 +658,13 @@ Status Db::RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped) {
     {
       std::unique_lock<SharedMutex> mlk(mem_mu_);
       *popped = tree_->PopSealedIfDrained();
+      // Exact refresh for the facade arbiter: holding tree_mu_ exclusive
+      // (contents) + mem_mu_ exclusive (queue structure) makes reading
+      // the sealed queue's record counts race-free.
+      mem_sealed_records_.store(tree_->sealed_records(),
+                                std::memory_order_relaxed);
+      mem_l0_records_.store(tree_->l0_buffer_records(),
+                            std::memory_order_relaxed);
     }
     *step = LsmTree::CompactStep::kFlush;
     return Status::OK();
@@ -660,6 +672,8 @@ Status Db::RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped) {
   auto step_or = tree_->MergeOverflowStep();
   if (!step_or.ok()) return step_or.status();
   *step = step_or.value();
+  mem_l0_records_.store(tree_->l0_buffer_records(),
+                        std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -720,6 +734,10 @@ void Db::RunCompactionSteps() {
 }
 
 Status Db::WaitForCompaction() {
+  if (!shards_.empty()) {
+    for (auto& s : shards_) LSMSSD_RETURN_IF_ERROR(s->WaitForCompaction());
+    return Status::OK();
+  }
   if (!dbopts_.background_compaction) return Status::OK();
   std::unique_lock<std::mutex> clk(comp_mu_);
   stall_cv_.wait(clk, [&] {
@@ -734,6 +752,9 @@ Status Db::WaitForCompaction() {
 
 StatusOr<std::string> Db::Get(Key key) {
   if (failed()) return FailedStatus();
+  if (!shards_.empty()) {
+    return shards_[ShardOfKey(key, shards_.size())]->Get(key);
+  }
   std::shared_lock<SharedMutex> tlk(tree_mu_);
   if (!dbopts_.background_compaction) return tree_->Get(key);
   // Background mode: the memtable probe needs mem_mu_ (writers mutate the
@@ -752,6 +773,7 @@ StatusOr<std::string> Db::Get(Key key) {
 Status Db::Scan(Key lo, Key hi,
                 std::vector<std::pair<Key, std::string>>* out) {
   if (failed()) return FailedStatus();
+  if (!shards_.empty()) return ShardedScan(lo, hi, out);
   std::shared_lock<SharedMutex> tlk(tree_mu_);
   // The scan's iterator walks the active and sealed memtables, which
   // background-mode writers mutate under mem_mu_ only.
@@ -762,6 +784,7 @@ Status Db::Scan(Key lo, Key hi,
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
   if (failed()) return nullptr;
+  if (!shards_.empty()) return ShardedNewIterator();
   std::shared_lock<SharedMutex> tlk(tree_mu_);
   std::shared_lock<SharedMutex> mlk(mem_mu_, std::defer_lock);
   // In background mode the snapshot must also pin the memtables: the
@@ -776,12 +799,20 @@ std::unique_ptr<Iterator> Db::NewIterator() const {
 }
 
 Status Db::SyncWal() {
+  if (!shards_.empty()) {
+    for (auto& s : shards_) LSMSSD_RETURN_IF_ERROR(s->SyncWal());
+    return Status::OK();
+  }
   std::unique_lock<std::mutex> lk(db_mu_);
   if (failed()) return FailedStatus();
   return ForceSyncAllLocked(lk);
 }
 
 Status Db::Checkpoint() {
+  if (!shards_.empty()) {
+    for (auto& s : shards_) LSMSSD_RETURN_IF_ERROR(s->Checkpoint());
+    return Status::OK();
+  }
   std::unique_lock<std::mutex> lk(db_mu_);
   if (failed()) return FailedStatus();
   return CheckpointLocked(lk);
@@ -964,6 +995,21 @@ void Db::ScrubTickLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 Status Db::Scrub() {
+  if (!shards_.empty()) {
+    // Scrub every shard even after one reports damage: the quarantine
+    // picture in Stats() should cover the whole facade, and per-shard
+    // corruption is independent. First Corruption wins as the verdict.
+    Status verdict = Status::OK();
+    for (auto& s : shards_) {
+      Status st = s->Scrub();
+      if (st.IsCorruption()) {
+        if (verdict.ok()) verdict = st;
+      } else if (!st.ok()) {
+        return st;  // Transport-level failure: surface immediately.
+      }
+    }
+    return verdict;
+  }
   std::vector<BlockId> blocks;
   {
     std::unique_lock<std::mutex> lk(db_mu_);
@@ -999,6 +1045,16 @@ Status Db::Scrub() {
 }
 
 void Db::SetMaxDeviceBlocks(uint64_t max_blocks) {
+  if (!shards_.empty()) {
+    // Ceil-divide so the per-shard caps sum to >= the requested total
+    // (matching the distribution OpenSharded applies at open).
+    const uint64_t per_shard =
+        max_blocks == 0
+            ? 0
+            : (max_blocks + shards_.size() - 1) / shards_.size();
+    for (auto& s : shards_) s->SetMaxDeviceBlocks(per_shard);
+    return;
+  }
   std::unique_lock<std::mutex> lk(db_mu_);
   {
     // Exclusive tree lock: allocation sites read the cap under it.
@@ -1051,6 +1107,7 @@ std::vector<BlockId> Db::CurrentTreeBlocks() const {
 }
 
 DbStats Db::Stats() const {
+  if (!shards_.empty()) return ShardedStats();
   std::unique_lock<std::mutex> lk(db_mu_);
   DbStats s;
   // The tree's device view carries the complete logical account: block
@@ -1091,7 +1148,14 @@ DbStats Db::Stats() const {
 }
 
 std::string DbStats::ToString() const {
-  std::string out = "io: " + io.ToString() + "\n";
+  std::string out;
+  // Single-shard output is byte-identical to previous releases; the
+  // shards line only appears for a sharded facade.
+  if (shards > 1) {
+    out += "shards: " + std::to_string(shards) +
+           " arbiter_seals=" + std::to_string(arbiter_seals) + "\n";
+  }
+  out += "io: " + io.ToString() + "\n";
   out += "wal: entries=" + std::to_string(wal_entries_appended) +
          " bytes=" + std::to_string(wal_bytes_appended) +
          " syncs=" + std::to_string(wal_syncs) + "\n";

@@ -56,6 +56,31 @@ struct DbOptions {
   WalSyncMode wal_sync_mode = WalSyncMode::kAlways;
   uint64_t wal_sync_every_n = 64;  ///< Used by kEveryN only; must be > 0.
 
+  /// Hash-partition keys across this many independent LSM shards, each a
+  /// complete single-shard Db (own memtable pipeline, WAL, device file,
+  /// compaction thread) in a `shard-<i>` subdirectory, fronted by one
+  /// facade so callers are untouched. The partition function (stable
+  /// FNV-1a over the key bytes) and the shard count are recorded in a
+  /// root `SHARDS` layout file at creation; on reopen that file is
+  /// authoritative, so a sharded Db reopens correctly even with the
+  /// default options. 1 (the default) is the classic single-shard layout
+  /// — no layout file, byte-identical behavior to previous releases.
+  /// Opening an existing Db with a *different* non-default shard count,
+  /// or asking for shards > 1 on an existing single-shard directory,
+  /// fails: resharding in place is not supported.
+  size_t shards = 1;
+
+  /// Global memory-arbiter budget for sharded + background-compaction
+  /// mode, in records: when the sum of active/sealed-memtable and
+  /// L0-buffer records across all shards exceeds this, the facade seals
+  /// the shard with the largest active memtable (turning the biggest
+  /// memory holder into flushable work) before admitting the write.
+  /// 0 = the single-shard ceiling, (compaction_queue_depth + 2) * K0 * B
+  /// records, so N shards together use no more memory than one shard
+  /// would. Ignored when shards == 1 or background_compaction is off
+  /// (inline sharded mode keeps N independent K0 budgets; see DESIGN.md).
+  uint64_t shard_memory_budget_records = 0;
+
   /// Automatic checkpoint threshold: a checkpoint runs once the live WAL
   /// (rotated segments + active log) exceeds this many bytes. 0 disables
   /// automatic checkpoints (call Db::Checkpoint() manually). Must
@@ -160,8 +185,14 @@ struct DbStats {
   uint64_t stall_events = 0;         ///< Ops that hit the hard queue-full stall.
   uint64_t stall_micros = 0;
   /// Per-op hard-stall wait times in microseconds (only stalled ops are
-  /// recorded; an empty histogram means no writer ever hit the wall).
+  /// recorded; an empty histogram means no writer ever hit the wall). For
+  /// a sharded Db this is the *merge* of every shard's histogram
+  /// (LatencyHistogram::Merge), not one shard's view.
   LatencyHistogram stall_latency;
+
+  // Sharding (see DbOptions::shards; both trivial when unsharded).
+  uint64_t shards = 1;         ///< Shard count behind this facade.
+  uint64_t arbiter_seals = 0;  ///< Early seals forced by the memory arbiter.
 
   /// Multi-line human-readable summary (CLI stats line).
   std::string ToString() const;
@@ -281,15 +312,46 @@ class Db {
   // ---- Introspection -------------------------------------------------
 
   DbStats Stats() const;
-  const Options& options() const { return tree_->options(); }
+  const Options& options() const {
+    return shards_.empty() ? tree_->options() : shards_.front()->options();
+  }
   const std::string& dir() const { return dir_; }
   /// True after a durability error; all operations refuse until reopen.
-  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// A sharded facade is failed once ANY shard is: the instance died as a
+  /// unit (the crash-recovery contract is per-directory), so one poisoned
+  /// shard refuses the whole facade rather than serving a partial key
+  /// space.
+  bool failed() const {
+    if (shards_.empty()) return failed_.load(std::memory_order_acquire);
+    for (const auto& s : shards_) {
+      if (s->failed()) return true;
+    }
+    return false;
+  }
   /// The underlying tree, for research/diagnostic code. Mutating it
   /// directly bypasses the WAL — such changes are lost on crash — and
   /// bypasses the Db's locks: only touch it while nothing else (including
-  /// a background checkpoint) runs.
+  /// a background checkpoint) runs. nullptr on a sharded facade — use
+  /// shard(i)->tree() per shard instead.
   LsmTree* tree() { return tree_.get(); }
+
+  // ---- Sharding ------------------------------------------------------
+
+  /// Number of shards behind this instance (1 when unsharded).
+  size_t shard_count() const {
+    return shards_.empty() ? 1 : shards_.size();
+  }
+  /// Shard `i` as a full single-shard Db (diagnostics, per-shard stats).
+  /// nullptr when unsharded or out of range. The facade owns it; do not
+  /// Close() it directly.
+  Db* shard(size_t i) {
+    return i < shards_.size() ? shards_[i].get() : nullptr;
+  }
+  /// The stable partition function: FNV-1a 64-bit over the key's 8
+  /// little-endian bytes, mod `shards`. Pure and layout-defining — it is
+  /// what the SHARDS file pins, so it must never change for existing
+  /// layouts.
+  static size_t ShardOfKey(Key key, size_t shards);
 
   // Layout of a Db directory (exposed for tools/tests).
   static std::string ManifestPath(const std::string& dir);
@@ -303,9 +365,56 @@ class Db {
   /// Existing rotated segments in `dir`, sorted by sequence number
   /// (replay order). Exposed so tests can wipe a Db directory completely.
   static std::vector<std::string> ListWalSegments(const std::string& dir);
+  /// Root layout file of a sharded Db (`SHARDS`): shard count + partition
+  /// function, checksummed, written atomically at creation and
+  /// authoritative on reopen. Absent for single-shard layouts.
+  static std::string ShardLayoutPath(const std::string& dir);
+  static std::string ShardLayoutTmpPath(const std::string& dir);
+  /// Directory of shard `i` under a sharded root (`shard-<i>`).
+  static std::string ShardDirPath(const std::string& dir, size_t i);
+  /// Decodes + checksum-verifies an existing SHARDS file; returns the
+  /// shard count. Exposed so offline tools (scrub) can walk a sharded
+  /// root without opening the Db.
+  static StatusOr<size_t> ReadShardLayout(const std::string& dir);
 
  private:
   Db(DbOptions dbopts, std::string dir);
+
+  // ---- Sharded facade (db_sharded.cc) --------------------------------
+
+  /// Opens a Db whose root carries (or will carry) a SHARDS layout:
+  /// writes the layout file on creation, then opens every `shard-<i>`
+  /// child as a single-shard Db with the same options. `layout_shards` is
+  /// the count read from an existing SHARDS file, or 0 when creating.
+  static StatusOr<std::unique_ptr<Db>> OpenSharded(const DbOptions& dbopts,
+                                                   const std::string& dir,
+                                                   size_t layout_shards);
+  /// Encodes and atomically publishes the SHARDS file (tmp + fsync +
+  /// rename + dir fsync).
+  static Status WriteShardLayout(const std::string& dir, size_t shards);
+
+  /// Facade write-path gate: when the cross-shard memory budget is
+  /// exceeded, seals the shard with the largest active memtable. Called
+  /// before routing each modification; background-compaction mode only.
+  void ArbitrateShardMemory();
+  /// Seals this (single-shard) Db's active memtable onto the compaction
+  /// queue even below capacity — the arbiter's reclaim lever. Refuses
+  /// (returns false) rather than stalling when the queue is full, the
+  /// worker is wedged, or the memtable is empty.
+  bool TrySealActiveMemtable();
+  /// This shard's memory-resident record count (active + sealed
+  /// memtables + L0 buffer), from the relaxed accounting atomics.
+  uint64_t ApproxMemRecords() const;
+  /// Stats() over every shard: scalar counters sum, IoStats merge,
+  /// quarantine ids concatenate, stall histograms Merge.
+  DbStats ShardedStats() const;
+  /// Scan via the N-way shard merge iterator.
+  Status ShardedScan(Key lo, Key hi,
+                     std::vector<std::pair<Key, std::string>>* out);
+  /// N-way heap merge over per-shard snapshot iterators, acquired in
+  /// shard order 0..N-1 (the fixed lock order that makes the cut
+  /// consistent and deadlock-free).
+  std::unique_ptr<Iterator> ShardedNewIterator() const;
 
   /// WAL-append + tree apply under the commit lock, group-commit sync per
   /// policy, then trigger/run the auto-checkpoint if the threshold
@@ -399,6 +508,23 @@ class Db {
 
   DbOptions dbopts_;
   std::string dir_;
+
+  // ---- Sharded facade state (empty/zero when unsharded). A facade owns
+  // its children and nothing else: no device, tree, WAL, or threads of
+  // its own — every public method routes or fans out. --------------------
+  std::vector<std::unique_ptr<Db>> shards_;
+  uint64_t shard_mem_budget_ = 0;  ///< Arbiter budget in records (facade).
+  std::atomic<uint64_t> arbiter_seals_{0};
+
+  // Per-shard memory accounting maintained by the single-shard write/
+  // compaction paths and read (relaxed) by the parent facade's arbiter:
+  // active-memtable records (stored under mem_mu_ by writers), sealed-
+  // queue records (added at seal, refreshed by the worker at pop), and
+  // L0-buffer records (refreshed by the worker after each step).
+  std::atomic<uint64_t> mem_active_records_{0};
+  std::atomic<uint64_t> mem_sealed_records_{0};
+  std::atomic<uint64_t> mem_l0_records_{0};
+
   std::unique_ptr<FileBlockDevice> device_;  ///< Base physical device.
   std::unique_ptr<FaultInjectionBlockDevice> fault_device_;  ///< Optional.
   std::unique_ptr<PinnedBlockDevice> pinned_;

@@ -1,0 +1,72 @@
+#ifndef LSMSSD_DB_FS_UTIL_H_
+#define LSMSSD_DB_FS_UTIL_H_
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace lsmssd {
+namespace fsutil {
+
+/// POSIX helpers shared by the Db implementation files (db.cc,
+/// db_sharded.cc). Thin, header-only, and deliberately dumb: every
+/// durability decision (what to sync, when) stays at the call site.
+
+inline Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+inline bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+inline uint64_t FileSizeOrZero(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// fsyncs `dir` itself so a rename inside it is durable.
+inline Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir " + dir);
+  return Status::OK();
+}
+
+/// Writes `data` to a fresh `path`, fsyncing when `sync` is set.
+inline Status WriteFile(const std::string& path, std::string_view data,
+                        bool sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write " + path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync " + path);
+  }
+  if (::close(fd) != 0) return Errno("close " + path);
+  return Status::OK();
+}
+
+}  // namespace fsutil
+}  // namespace lsmssd
+
+#endif  // LSMSSD_DB_FS_UTIL_H_

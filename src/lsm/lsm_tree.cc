@@ -124,6 +124,11 @@ bool LsmTree::L0BufferOverflowing() const {
          options_.level0_capacity_blocks * options_.records_per_block();
 }
 
+bool LsmTree::L0BufferBacklogged() const {
+  return l0_buffer_.size() >= 2 * options_.level0_capacity_blocks *
+                                  options_.records_per_block();
+}
+
 Status LsmTree::FlushSealedStep(Memtable* m) {
   LSMSSD_CHECK(m != nullptr);
   // Absorb `m` into the memory-resident L0 buffer — pure memory, no
@@ -178,10 +183,14 @@ StatusOr<LsmTree::CompactStep> LsmTree::BackgroundCompactStep() {
   // flush step fully absorbs the front one into the L0 buffer (pure
   // memory — see FlushSealedStep), so the pop below always fires. Device
   // I/O happens only in MergeOverflowStep once the buffer overflows.
-  if (Memtable* front = FrontSealed()) {
-    LSMSSD_RETURN_IF_ERROR(FlushSealedStep(front));
-    PopSealedIfDrained();
-    return CompactStep::kFlush;
+  // ... unless the buffer is backlogged: then merges go first so the
+  // buffer stays bounded and the full queue throttles the writers.
+  if (!L0BufferBacklogged()) {
+    if (Memtable* front = FrontSealed()) {
+      LSMSSD_RETURN_IF_ERROR(FlushSealedStep(front));
+      PopSealedIfDrained();
+      return CompactStep::kFlush;
+    }
   }
   return MergeOverflowStep();
 }

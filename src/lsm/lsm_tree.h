@@ -154,6 +154,15 @@ class LsmTree {
   /// only; always 0 on the inline path).
   uint64_t l0_buffer_records() const { return l0_buffer_.size(); }
 
+  /// True once the L0 buffer holds at least twice its nominal K0
+  /// capacity. Flush steps must then yield to overflow merges: a flush
+  /// absorbs a sealed memtable with no device I/O while a merge pays
+  /// real device time, so under a sustained write burst flush-first
+  /// scheduling starves merges and the buffer grows without bound.
+  /// Yielding at 2x caps the buffer near 2*K0*B + one memtable and
+  /// turns the excess into queue backpressure the writers can see.
+  bool L0BufferBacklogged() const;
+
   // ---- Reads ---------------------------------------------------------
 
   /// Returns the payload for `key`, or NotFound.
@@ -188,6 +197,10 @@ class LsmTree {
   const Memtable& memtable() const {
     return compacting_l0_ != nullptr ? *compacting_l0_ : memtable_;
   }
+  /// Record count of the *active* memtable, bypassing the compacting_l0_
+  /// redirect above — what a writer holding the memtable lock should
+  /// report to the sharded facade's memory arbiter.
+  size_t active_memtable_records() const { return memtable_.size(); }
   /// Consolidated snapshot of every memory-resident record (active +
   /// sealed memtables, newest version of each key, tombstones kept), in
   /// key order — what a manifest must persist so deleting WAL segments

@@ -34,6 +34,26 @@ void IoStats::OverlaySyscallCounters(const IoStats& other) {
                              std::memory_order_relaxed);
 }
 
+void IoStats::MergeFrom(const IoStats& other) {
+  auto add = [](std::atomic<uint64_t>& c, uint64_t v) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  };
+  add(block_writes_, other.block_writes());
+  add(block_reads_, other.block_reads());
+  add(cached_reads_, other.cached_reads());
+  add(block_frees_, other.block_frees());
+  add(block_allocs_, other.block_allocs());
+  add(cache_hits_, other.cache_hits());
+  add(cache_misses_, other.cache_misses());
+  add(bloom_skips_, other.bloom_skips());
+  add(write_syscalls_, other.write_syscalls());
+  add(read_syscalls_, other.read_syscalls());
+  add(batch_writes_, other.batch_writes());
+  add(batched_blocks_written_, other.batched_blocks_written());
+  add(batch_reads_, other.batch_reads());
+  add(batched_blocks_read_, other.batched_blocks_read());
+}
+
 void IoStats::Reset() {
   block_writes_.store(0, std::memory_order_relaxed);
   block_reads_.store(0, std::memory_order_relaxed);

@@ -87,6 +87,12 @@ class IoStats {
   /// base's counters to present one complete account.
   void OverlaySyscallCounters(const IoStats& other);
 
+  /// Adds every counter of `other` into this snapshot. Used by the sharded
+  /// Db facade to aggregate per-shard device accounting into one view;
+  /// like CopyFrom, the result is a per-counter relaxed sum, not an atomic
+  /// snapshot across counters.
+  void MergeFrom(const IoStats& other);
+
   void Reset();
 
   /// "writes=... reads=... cached_reads=... allocs=... frees=..." plus

@@ -39,6 +39,14 @@ void Histogram::AddWeighted(uint64_t value, uint64_t weight) {
   total_ += weight;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  LSMSSD_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+               counts_.size() == other.counts_.size())
+      << "Histogram::Merge requires an identical domain and bucket count";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 void Histogram::Clear() {
   for (auto& c : counts_) c = 0;
   total_ = 0;
@@ -114,6 +122,13 @@ void LatencyHistogram::Add(uint64_t value) {
   ++count_;
   sum_ += value;
   if (value > max_) max_ = value;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
 }
 
 void LatencyHistogram::Clear() {

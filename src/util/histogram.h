@@ -23,6 +23,13 @@ class Histogram {
   /// Adds `weight` observations of `value`.
   void AddWeighted(uint64_t value, uint64_t weight);
 
+  /// Adds every observation of `other` into this histogram. Requires an
+  /// identical domain and bucket count (the merge is then exact:
+  /// bucket-wise addition). Merging is associative and commutative, and
+  /// the empty histogram is its identity — aggregators (e.g. cross-shard
+  /// Db::Stats()) may fold in any order.
+  void Merge(const Histogram& other);
+
   void Clear();
 
   size_t num_buckets() const { return counts_.size(); }
@@ -71,6 +78,13 @@ class LatencyHistogram {
   LatencyHistogram();
 
   void Add(uint64_t value);
+
+  /// Adds every observation of `other` into this histogram (bucket-wise;
+  /// count/sum/max combine exactly). Associative and commutative with the
+  /// empty histogram as identity, so per-shard stall histograms can be
+  /// folded into one distribution instead of reporting only one shard's.
+  void Merge(const LatencyHistogram& other);
+
   void Clear();
 
   uint64_t count() const { return count_; }

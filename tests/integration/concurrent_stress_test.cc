@@ -12,6 +12,7 @@
 // data-race check for the whole Db locking layer.
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <random>
 #include <string>
@@ -202,6 +203,165 @@ TEST(ConcurrentStressTest, WritersReadersCheckpointsMatchSerialOracle) {
   const std::map<Key, std::string> recovered(rows.begin(), rows.end());
   EXPECT_TRUE(recovered == expected) << "recovered contents diverge";
   ASSERT_TRUE(db_or.value()->tree()->CheckInvariants(true).ok());
+}
+
+// Same writer/reader mix against a 4-shard facade: routing, the N-way
+// scan merge, the cross-shard memory arbiter, and four independent
+// compaction workers all run under the same serial-oracle check. Under
+// TSan this covers the facade's lock-free accounting reads as well.
+TEST(ConcurrentStressTest, ShardedWritersReadersScansMatchSerialOracle) {
+  const std::string dir = ::testing::TempDir() + "/stress_sharded_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+  dbopts.wal_sync_every_n = 32;
+  dbopts.checkpoint_wal_bytes = 64 * 1024;
+  dbopts.background_checkpoint = true;
+  dbopts.background_compaction = true;
+  dbopts.shards = 4;
+  // Tight budget so the arbiter fires while writers race it.
+  dbopts.shard_memory_budget_records = 64;
+
+  std::map<Key, std::string> expected;
+  for (int w = 0; w < kWriters; ++w) {
+    for (const Op& op : WriterOps(w)) {
+      if (op.is_delete) {
+        expected.erase(op.key);
+      } else {
+        expected[op.key] = MakePayload(dbopts.options, op.payload_seed);
+      }
+    }
+  }
+
+  {
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    ASSERT_EQ(db.shard_count(), 4u);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&db, &failures, w] {
+        const std::vector<Op> ops = WriterOps(w);
+        for (size_t i = 0; i < ops.size(); ++i) {
+          const Op& op = ops[i];
+          const Status st =
+              op.is_delete
+                  ? db.Delete(op.key)
+                  : db.Put(op.key, MakePayload(db.options(), op.payload_seed));
+          if (!st.ok()) {
+            ADD_FAILURE() << "writer " << w << " op " << i << ": "
+                          << st.ToString();
+            failures.fetch_add(1);
+            return;
+          }
+          if (w == 0 && (i + 1) % 10'000 == 0 && !db.Checkpoint().ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          if (w == 1 && (i + 1) % 7'777 == 0 && !db.SyncWal().ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&db, &stop, &dbopts, r] {
+        std::mt19937_64 rng(0xfeed + static_cast<uint64_t>(r));
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Key key = static_cast<Key>(rng() % (kWriters * kKeysPerWriter));
+          switch (rng() % 3) {
+            case 0: {
+              auto v = db.Get(key);
+              if (v.ok()) {
+                EXPECT_EQ(v.value().size(), dbopts.options.payload_size);
+              } else {
+                EXPECT_TRUE(v.status().IsNotFound()) << v.status().ToString();
+              }
+              break;
+            }
+            case 1: {  // Cross-shard merge scan: sorted, unique keys.
+              std::vector<std::pair<Key, std::string>> rows;
+              ASSERT_TRUE(db.Scan(key, key + 64, &rows).ok());
+              for (size_t i = 1; i < rows.size(); ++i) {
+                EXPECT_LT(rows[i - 1].first, rows[i].first);
+              }
+              break;
+            }
+            case 2: {  // Merged iterator over all four shard snapshots.
+              auto it = db.NewIterator();
+              ASSERT_NE(it, nullptr);
+              int n = 0;
+              Key prev = 0;
+              for (it->Seek(key); it->Valid() && n < 32; it->Next(), ++n) {
+                if (n > 0) {
+                  EXPECT_LT(prev, it->key());
+                }
+                prev = it->key();
+                EXPECT_EQ(it->value().size(), dbopts.options.payload_size);
+              }
+              EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+              break;
+            }
+          }
+        }
+      });
+    }
+
+    for (std::thread& t : writers) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : readers) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    ASSERT_FALSE(db.failed());
+    ASSERT_TRUE(db.WaitForCompaction().ok());
+
+    // Quiesced: the merged view must equal the serial oracle.
+    std::vector<std::pair<Key, std::string>> rows;
+    ASSERT_TRUE(db.Scan(0, MaxKeyForSize(8), &rows).ok());
+    const std::map<Key, std::string> got(rows.begin(), rows.end());
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_TRUE(got == expected) << "live contents diverge from the oracle";
+
+    // And every key must live in exactly its hash shard.
+    EXPECT_GT(db.Stats().arbiter_seals, 0u) << "budget never bound";
+    std::mt19937_64 rng(0xabc);
+    for (int i = 0; i < 200; ++i) {
+      const auto it = expected.lower_bound(static_cast<Key>(
+          rng() % (kWriters * kKeysPerWriter)));
+      if (it == expected.end()) continue;
+      const size_t home = Db::ShardOfKey(it->first, 4);
+      for (size_t s = 0; s < 4; ++s) {
+        const bool found = db.shard(s)->Get(it->first).ok();
+        EXPECT_EQ(found, s == home) << "key " << it->first << " shard " << s;
+      }
+    }
+
+    ASSERT_TRUE(db.Checkpoint().ok());
+    db.Close();
+    for (size_t s = 0; s < 4; ++s) {
+      ASSERT_TRUE(db.shard(s)->tree()->CheckInvariants(true).ok())
+          << "shard " << s;
+    }
+  }
+
+  // Round-trip through per-shard recovery.
+  DbOptions verify = dbopts;
+  verify.background_checkpoint = false;
+  auto db_or = Db::Open(verify, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  ASSERT_EQ(db_or.value()->shard_count(), 4u);
+  std::vector<std::pair<Key, std::string>> rows;
+  ASSERT_TRUE(db_or.value()->Scan(0, MaxKeyForSize(8), &rows).ok());
+  const std::map<Key, std::string> recovered(rows.begin(), rows.end());
+  EXPECT_TRUE(recovered == expected) << "recovered contents diverge";
 }
 
 }  // namespace

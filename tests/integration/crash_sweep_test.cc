@@ -17,6 +17,7 @@
 //   * the recovered Db accepts and persists new writes.
 #include <unistd.h>
 
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -562,6 +563,142 @@ TEST(CrashSweepTest, CrashWithScrubAndCheckpointInFlight) {
                          << "frontier " << acked;
 
     // Recovery leaves a fully functional Db behind.
+    const Key probe = 7'777;
+    ASSERT_TRUE(db.Put(probe, MakePayload(dbopts.options, probe)).ok());
+    ASSERT_TRUE(db.SyncWal().ok());
+    auto v = db.Get(probe);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), MakePayload(dbopts.options, probe));
+  }
+}
+
+// Crash-point sweep over a 2-shard facade with both per-shard compaction
+// workers live. The shards share one injector, so the kill can land in
+// either shard's WAL append, block flush, checkpoint rename, or the
+// other shard's anything — and recovery must hold per shard:
+//
+//   * each shard's recovered contents equal some prefix of that shard's
+//     own op subsequence (ops hash-routed to it, in submission order) at
+//     or past its durable frontier — in kAlways mode, every op the
+//     facade acknowledged;
+//   * neither shard's device file leaks blocks (live set == leaves);
+//   * one shard crashing mid-flush never corrupts the other.
+TEST(CrashSweepTest, ShardedKillEveryStepRecoversPerShardPrefixes) {
+  constexpr size_t kShards = 2;
+  FaultInjector injector;
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.wal_sync_mode = WalSyncMode::kAlways;  // Acked == durable.
+  dbopts.checkpoint_wal_bytes = 1000;
+  dbopts.background_checkpoint = false;
+  dbopts.background_compaction = true;
+  dbopts.compaction_queue_depth = 2;
+  dbopts.compaction_slowdown_depth = 1;
+  dbopts.shards = kShards;
+  dbopts.fault_injector = &injector;
+
+  DbOptions verify_opts = dbopts;
+  verify_opts.background_compaction = false;
+  verify_opts.fault_injector = nullptr;
+
+  // Per-shard op subsequences and their prefix states.
+  const std::vector<Op> ops = MakeWorkload();
+  std::vector<std::vector<Op>> shard_ops(kShards);
+  for (const Op& op : ops) {
+    shard_ops[Db::ShardOfKey(op.key, kShards)].push_back(op);
+  }
+  std::vector<std::vector<ModelState>> shard_prefixes(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    ASSERT_FALSE(shard_ops[s].empty()) << "workload misses shard " << s;
+    shard_prefixes[s].emplace_back();
+    for (const Op& op : shard_ops[s]) {
+      ModelState next = shard_prefixes[s].back();
+      ApplyToModel(&next, op, dbopts.options);
+      shard_prefixes[s].push_back(std::move(next));
+    }
+  }
+
+  auto wiped = [](const std::string& tag) {
+    const std::string dir = ::testing::TempDir() + "/sweep_shard_" + tag +
+                            "_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    return dir;
+  };
+
+  // Runs the workload; returns per-shard acked (== durable) op counts.
+  auto run = [&](const std::string& dir) -> std::vector<size_t> {
+    std::vector<size_t> acked(kShards, 0);
+    auto db_or = Db::Open(dbopts, dir);
+    if (!db_or.ok()) {
+      ADD_FAILURE() << "fresh open failed: " << db_or.status().ToString();
+      return acked;
+    }
+    Db& db = *db_or.value();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      Status st = ops[i].is_delete
+                      ? db.Delete(ops[i].key)
+                      : db.Put(ops[i].key, MakePayload(dbopts.options,
+                                                       ops[i].payload_seed));
+      if (!st.ok()) break;  // The process died mid-op.
+      ++acked[Db::ShardOfKey(ops[i].key, kShards)];
+      if (static_cast<int>(i) + 1 == kCheckpointAfterOp &&
+          !db.Checkpoint().ok()) {
+        break;
+      }
+    }
+    return acked;
+  };
+
+  // Pass 1: size the sweep from a disarmed run (two workers interleave
+  // nondeterministically; pad for late crash points).
+  const std::vector<size_t> full = run(wiped("count"));
+  for (size_t s = 0; s < kShards; ++s) {
+    ASSERT_EQ(full[s], shard_ops[s].size());
+  }
+  const uint64_t sweep_steps = injector.steps() + 8;
+
+  for (uint64_t crash_at = 0; crash_at < sweep_steps; ++crash_at) {
+    SCOPED_TRACE("sharded crash at step " + std::to_string(crash_at));
+    const std::string dir = wiped("k" + std::to_string(crash_at));
+    injector.Arm(crash_at);
+    const std::vector<size_t> acked = run(dir);
+    injector.Disarm();
+
+    auto db_or = Db::Open(verify_opts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    ASSERT_EQ(db.shard_count(), kShards);
+
+    for (size_t s = 0; s < kShards; ++s) {
+      SCOPED_TRACE("shard " + std::to_string(s));
+      Db* shard = db.shard(s);
+      ASSERT_TRUE(shard->tree()->CheckInvariants(true).ok());
+
+      // Zero leaked blocks in this shard's device file.
+      uint64_t leaves = 0;
+      for (size_t i = 1; i < shard->tree()->num_levels(); ++i) {
+        leaves += shard->tree()->level(i).num_leaves();
+      }
+      EXPECT_EQ(shard->tree()->device()->live_blocks(), leaves)
+          << "shard device leaks blocks";
+
+      // This shard's contents are a prefix of its own subsequence, at or
+      // past its durable frontier.
+      const ModelState recovered = DumpDb(shard);
+      bool matched = false;
+      for (size_t i = acked[s]; i < shard_prefixes[s].size(); ++i) {
+        if (shard_prefixes[s][i] == recovered) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched)
+          << "recovered state (" << recovered.size()
+          << " keys) matches no shard-op prefix >= durable frontier "
+          << acked[s];
+    }
+
+    // The whole facade stays writable after recovery.
     const Key probe = 7'777;
     ASSERT_TRUE(db.Put(probe, MakePayload(dbopts.options, probe)).ok());
     ASSERT_TRUE(db.SyncWal().ok());

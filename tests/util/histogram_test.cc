@@ -90,6 +90,90 @@ TEST(HistogramTest, BucketLowIsExactInverseOfBucketOf) {
   }
 }
 
+TEST(HistogramTest, MergeEqualsUnionOfSamples) {
+  // Merging B into A must yield exactly the histogram that would have
+  // seen all of A's and B's samples directly.
+  Histogram a(0, 999, 50);
+  Histogram b(0, 999, 50);
+  Histogram both(0, 999, 50);
+  Random rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Uniform(1000);
+    if (i % 3 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    both.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), both.total());
+  for (size_t i = 0; i < a.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), both.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  // (A + B) + C == A + (B + C) == (C + B) + A, bucket for bucket.
+  Random rng(13);
+  auto fill = [&rng](Histogram& h, int n) {
+    for (int i = 0; i < n; ++i) h.Add(rng.Uniform(1'000'000));
+  };
+  Histogram a(0, 999'999, 64), b(0, 999'999, 64), c(0, 999'999, 64);
+  fill(a, 1000);
+  fill(b, 2000);
+  fill(c, 3000);
+
+  Histogram left = a;   // (A + B) + C
+  left.Merge(b);
+  left.Merge(c);
+  Histogram bc = b;     // A + (B + C)
+  bc.Merge(c);
+  Histogram right = a;
+  right.Merge(bc);
+  Histogram rev = c;    // (C + B) + A
+  rev.Merge(b);
+  rev.Merge(a);
+
+  EXPECT_EQ(left.total(), right.total());
+  EXPECT_EQ(left.total(), rev.total());
+  for (size_t i = 0; i < left.num_buckets(); ++i) {
+    EXPECT_EQ(left.bucket_count(i), right.bucket_count(i)) << "bucket " << i;
+    EXPECT_EQ(left.bucket_count(i), rev.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  // The empty histogram is the identity on both sides: merging it in
+  // changes nothing, and merging into it reproduces the other operand —
+  // the inverse direction of MergeEqualsUnionOfSamples.
+  Histogram a(0, 99, 10);
+  a.Add(5);
+  a.Add(42);
+  a.AddWeighted(97, 7);
+
+  Histogram empty(0, 99, 10);
+  Histogram id = a;
+  id.Merge(empty);
+  Histogram onto = empty;
+  onto.Merge(a);
+
+  EXPECT_EQ(id.total(), a.total());
+  EXPECT_EQ(onto.total(), a.total());
+  for (size_t i = 0; i < a.num_buckets(); ++i) {
+    EXPECT_EQ(id.bucket_count(i), a.bucket_count(i)) << "bucket " << i;
+    EXPECT_EQ(onto.bucket_count(i), a.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(HistogramDeathTest, MergeRejectsMismatchedDomains) {
+  Histogram a(0, 99, 10);
+  Histogram wider(0, 199, 10);
+  Histogram finer(0, 99, 20);
+  EXPECT_DEATH(a.Merge(wider), "identical domain");
+  EXPECT_DEATH(a.Merge(finer), "identical domain");
+}
+
 TEST(HistogramTest, FlatDistributionHasLowCv) {
   Histogram h(0, 999'999, 100);
   Random rng(5);
@@ -180,6 +264,67 @@ TEST(LatencyHistogramTest, ClearResets) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.sum(), 0u);
   EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsUnionOfSamples) {
+  LatencyHistogram a, b, both;
+  Random rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Uniform(1u << 28);
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    both.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.max_value(), both.max_value());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(a.Percentile(p), both.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeEmptyIsIdentity) {
+  LatencyHistogram a;
+  a.Add(7);
+  a.Add(1000);
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 1007u);
+  EXPECT_EQ(a.max_value(), 1000u);
+
+  LatencyHistogram onto;
+  onto.Merge(a);
+  EXPECT_EQ(onto.count(), 2u);
+  EXPECT_EQ(onto.sum(), 1007u);
+  EXPECT_EQ(onto.Percentile(100), 1000u);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociative) {
+  LatencyHistogram a, b, c;
+  Random rng(19);
+  for (int i = 0; i < 3000; ++i) a.Add(rng.Uniform(1u << 20));
+  for (int i = 0; i < 4000; ++i) b.Add(rng.Uniform(1u << 24));
+  for (int i = 0; i < 5000; ++i) c.Add(rng.Uniform(1u << 16));
+
+  LatencyHistogram left = a;  // (A + B) + C
+  left.Merge(b);
+  left.Merge(c);
+  LatencyHistogram bc = b;    // A + (B + C)
+  bc.Merge(c);
+  LatencyHistogram right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.max_value(), right.max_value());
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_EQ(left.Percentile(p), right.Percentile(p)) << "p=" << p;
+  }
 }
 
 TEST(LatencyHistogramTest, ToStringCarriesSummary) {

@@ -10,7 +10,7 @@
 //                  [--policy=ChooseBest] [--bloom=0] [--cache-blocks=0]
 //                  [--sync=always|everyn|none] [--sync-n=64]
 //                  [--checkpoint-wal-mb=8] [--threads=1]
-//                  [--background-compaction]
+//                  [--background-compaction] [--shards=1]
 //       Persistent mode: open (or crash-recover) the Db at DIR, apply n
 //       workload requests through the WAL, checkpoint on exit, and print
 //       the Db stats. Re-running continues where the last run stopped.
@@ -21,6 +21,11 @@
 //       path onto a compaction thread (default off, keeping the
 //       historical inline behaviour); the stats line then reports queue
 //       depth, throttle/stall counts, and the stall-latency histogram.
+//       --shards=N hash-partitions keys over N independent LSM shards
+//       (each with its own WAL, device file, and compaction worker); the
+//       layout is recorded in DIR/SHARDS, so later runs may omit the
+//       flag. The stats line then adds the shard count, arbiter seals,
+//       and stall fields aggregated across every shard.
 //
 //   lsmssd_cli trace [--workload=...] [--n=100000] --out=FILE
 //       Capture a deterministic workload trace for replay.
@@ -30,8 +35,10 @@
 //
 //   lsmssd_cli scrub --db-path=DIR
 //       Offline integrity check: verify the checksum of every block the
-//       manifest references without opening the Db. Exits 0 when clean,
-//       1 when any block is corrupt or unreadable.
+//       manifest references without opening the Db. A sharded root
+//       (DIR/SHARDS present) is walked shard by shard with a per-shard
+//       damage report. Exits 0 when clean, 1 when any block is corrupt
+//       or unreadable.
 
 #include <algorithm>
 #include <atomic>
@@ -220,6 +227,12 @@ int CmdRunDb(const Flags& flags) {
   // appear in the stats line below.
   dbopts.background_compaction = flags.contains("background-compaction") &&
                                  FlagOr(flags, "background-compaction", "0") != "0";
+  dbopts.shards =
+      std::strtoull(FlagOr(flags, "shards", "1").c_str(), nullptr, 10);
+  if (dbopts.shards == 0) {
+    std::cerr << "--shards must be >= 1\n";
+    return 2;
+  }
 
   auto db_or = Db::Open(dbopts, flags.at("db-path"));
   if (!db_or.ok()) {
@@ -291,14 +304,22 @@ int CmdRunDb(const Flags& flags) {
     return 1;
   }
 
-  const LsmTree& tree = *db.tree();
-  std::cout << "applied " << n << " requests\n\nindex: " << tree.num_levels()
-            << " levels, " << tree.TotalRecords() << " records, "
-            << tree.ApproximateDataBytes() / (1024.0 * 1024.0) << " MB\n";
-  for (size_t i = 1; i < tree.num_levels(); ++i) {
-    std::cout << "  L" << i << ": " << tree.level(i).size_blocks() << "/"
-              << tree.LevelCapacityBlocks(i) << " blocks, waste "
-              << tree.level(i).waste_factor() << "\n";
+  std::cout << "applied " << n << " requests\n";
+  // One index summary per shard (the facade has no tree of its own);
+  // unsharded output is unchanged.
+  for (size_t s = 0; s < db.shard_count(); ++s) {
+    const LsmTree& tree =
+        db.shard_count() == 1 ? *db.tree() : *db.shard(s)->tree();
+    std::cout << "\nindex";
+    if (db.shard_count() > 1) std::cout << " (shard " << s << ")";
+    std::cout << ": " << tree.num_levels() << " levels, "
+              << tree.TotalRecords() << " records, "
+              << tree.ApproximateDataBytes() / (1024.0 * 1024.0) << " MB\n";
+    for (size_t i = 1; i < tree.num_levels(); ++i) {
+      std::cout << "  L" << i << ": " << tree.level(i).size_blocks() << "/"
+                << tree.LevelCapacityBlocks(i) << " blocks, waste "
+                << tree.level(i).waste_factor() << "\n";
+    }
   }
   std::cout << "\n" << db.Stats().ToString();
   return 0;
@@ -353,17 +374,16 @@ int CmdManifest(const Flags& flags) {
   return 0;
 }
 
-int CmdScrub(const Flags& flags) {
-  if (!flags.contains("db-path")) {
-    std::cerr << "scrub requires --db-path=DIR\n";
-    return 2;
-  }
-  const std::string dir = flags.at("db-path");
+/// Verifies every manifest-live block of the single-shard Db directory
+/// `dir`. `label` prefixes the report line ("" for an unsharded root).
+/// Returns the corrupt-block count, or -1 when the directory itself is
+/// unreadable.
+int64_t ScrubOneDir(const std::string& dir, const std::string& label) {
   auto manifest_or = LoadManifestFromFile(Db::ManifestPath(dir));
   if (!manifest_or.ok()) {
-    std::cerr << "manifest load failed: " << manifest_or.status().ToString()
-              << "\n";
-    return 1;
+    std::cerr << label << "manifest load failed: "
+              << manifest_or.status().ToString() << "\n";
+    return -1;
   }
   const Manifest& m = manifest_or.value();
   std::vector<BlockId> live;
@@ -376,14 +396,14 @@ int CmdScrub(const Flags& flags) {
   fopts.truncate = false;
   auto device_or = FileBlockDevice::Open(Db::DevicePath(dir), fopts);
   if (!device_or.ok()) {
-    std::cerr << "device open failed: " << device_or.status().ToString()
-              << "\n";
-    return 1;
+    std::cerr << label << "device open failed: "
+              << device_or.status().ToString() << "\n";
+    return -1;
   }
   FileBlockDevice* device = device_or.value().get();
   if (Status st = device->RestoreLive(live); !st.ok()) {
-    std::cerr << "restore failed: " << st.ToString() << "\n";
-    return 1;
+    std::cerr << label << "restore failed: " << st.ToString() << "\n";
+    return -1;
   }
   std::sort(live.begin(), live.end());
   uint64_t clean = 0;
@@ -394,11 +414,50 @@ int CmdScrub(const Flags& flags) {
       ++clean;
     } else {
       ++corrupt;
-      std::cerr << "block " << id << ": " << st.ToString() << "\n";
+      std::cerr << label << "block " << id << ": " << st.ToString() << "\n";
     }
   }
-  std::cout << "scrub: " << clean << " clean, " << corrupt
+  std::cout << label << "scrub: " << clean << " clean, " << corrupt
             << " corrupt of " << live.size() << " manifest blocks\n";
+  return static_cast<int64_t>(corrupt);
+}
+
+int CmdScrub(const Flags& flags) {
+  if (!flags.contains("db-path")) {
+    std::cerr << "scrub requires --db-path=DIR\n";
+    return 2;
+  }
+  const std::string dir = flags.at("db-path");
+
+  // A sharded root carries a SHARDS layout file; walk every shard and
+  // report damage per shard so the operator knows which device file to
+  // restore. Any unreadable shard fails the whole scrub.
+  auto layout_or = Db::ReadShardLayout(dir);
+  if (layout_or.ok()) {
+    const size_t n = layout_or.value();
+    std::cout << "sharded root: " << n << " shards\n";
+    uint64_t corrupt_total = 0;
+    bool failed = false;
+    for (size_t s = 0; s < n; ++s) {
+      const int64_t corrupt = ScrubOneDir(
+          Db::ShardDirPath(dir, s), "shard " + std::to_string(s) + ": ");
+      if (corrupt < 0) {
+        failed = true;
+      } else {
+        corrupt_total += static_cast<uint64_t>(corrupt);
+      }
+    }
+    std::cout << "total: " << corrupt_total << " corrupt across " << n
+              << " shards\n";
+    return (failed || corrupt_total > 0) ? 1 : 0;
+  }
+  if (!layout_or.status().IsNotFound()) {
+    // A SHARDS file exists but cannot be trusted (torn or tampered).
+    std::cerr << "shard layout: " << layout_or.status().ToString() << "\n";
+    return 1;
+  }
+
+  const int64_t corrupt = ScrubOneDir(dir, "");
   return corrupt == 0 ? 0 : 1;
 }
 
