@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Loopback server smoke test: start `lsmssd_cli serve` on an ephemeral
+# port, drive a short YCSB-A burst through the wire protocol, shut the
+# server down with SIGTERM, and require a clean exit with zero
+# quarantined blocks. CI runs this under ASan/UBSan so protocol-path
+# memory errors fail the job.
+#
+# Usage: scripts/server_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/tools/lsmssd_cli"
+YCSB="$BUILD_DIR/bench/ext_server_ycsb"
+[[ -x "$CLI" && -x "$YCSB" ]] || {
+  echo "missing $CLI or $YCSB (build first)" >&2
+  exit 2
+}
+
+DB_DIR="$(mktemp -d)"
+SERVE_LOG="$(mktemp)"
+SERVE_PID=
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$DB_DIR" "$SERVE_LOG"
+}
+trap cleanup EXIT
+
+"$CLI" serve --db-path="$DB_DIR" --host=127.0.0.1 --port=0 \
+  --shards=2 --background-compaction --scrub-interval-ms=50 \
+  --checkpoint-wal-mb=1 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+# The serve command prints "listening on HOST:PORT" once bound; poll for
+# it (sanitizer builds start slowly).
+for _ in $(seq 1 300); do
+  grep -q '^listening on ' "$SERVE_LOG" && break
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "server exited before binding:" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+PORT="$(grep -m1 '^listening on ' "$SERVE_LOG" | sed 's/.*://')"
+[[ -n "$PORT" ]] || { echo "could not parse port" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+echo "server up on port $PORT (pid $SERVE_PID)"
+
+# Short burst: enough traffic to seal memtables and trigger checkpoints
+# at --checkpoint-wal-mb=1, small enough for a sanitizer build.
+LSMSSD_SCALE="${LSMSSD_SCALE:-0.1}" "$YCSB" \
+  --connect="127.0.0.1:$PORT" --workloads=a --threads=4 \
+  --json="$DB_DIR/smoke.json"
+
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=
+[[ "$STATUS" -eq 0 ]] || {
+  echo "serve exited $STATUS:" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+grep -q '^quarantined_blocks 0$' "$SERVE_LOG" || {
+  echo "expected 'quarantined_blocks 0' in serve output:" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+echo "server smoke OK:"
+grep -E '^(served|quarantined_blocks)' "$SERVE_LOG"

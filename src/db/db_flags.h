@@ -1,0 +1,43 @@
+#ifndef LSMSSD_DB_DB_FLAGS_H_
+#define LSMSSD_DB_DB_FLAGS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/util/flags.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Appends the flag names DbOptionsFromFlags consumes, so each command
+/// builds its known-flag list as `{its own flags} + Db flags`.
+void AppendDbFlagNames(std::vector<std::string_view>* known);
+
+/// Builds a DbOptions from flags, starting from `base` format options.
+/// One builder shared by every tool that opens a Db (`run`, `scrub`,
+/// `serve`, benches), so a flag means the same thing everywhere.
+///
+/// Flags consumed (all optional):
+///   --policy=Full|RR|ChooseBest|Mixed|TestMixed|PartitionedCB
+///   --bloom=N                bloom bits per key (0 = off)
+///   --cache-blocks=N         buffer cache capacity in blocks (0 = off)
+///   --sync=always|everyn|none   WAL sync mode
+///   --sync-n=N               group-commit batch size (everyn; >= 1)
+///   --checkpoint-wal-mb=N    auto-checkpoint threshold (0 = manual)
+///   --background-compaction[=0|1]
+///   --shards=N               hash-partitioned shards (>= 1)
+///   --scrub-interval-ms=N    online scrub cadence (0 = off)
+///   --max-device-blocks=N    device exhaustion bound (0 = unbounded)
+///
+/// Validation failures return InvalidArgument with the offending flag
+/// named; nothing is created on disk. annihilate_delete_put is forced
+/// off (WAL replay re-applies a suffix of history, which eager
+/// annihilation cannot tolerate).
+StatusOr<DbOptions> DbOptionsFromFlags(const FlagMap& flags,
+                                       const Options& base);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_DB_DB_FLAGS_H_

@@ -1,0 +1,268 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace lsmssd::net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IoError(what + ": " + std::strerror(err));
+}
+
+Status SetSocketTimeout(int fd, int which, int ms) {
+  if (ms <= 0) return Status::OK();
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(timeout)", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const ClientOptions& opts) {
+  if (opts.port == 0) {
+    return Status::InvalidArgument("ClientOptions::port must be set");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(opts.port);
+  if (int rc = getaddrinfo(opts.host.c_str(), port_str.c_str(), &hints, &res);
+      rc != 0) {
+    return Status::IoError("getaddrinfo(" + opts.host +
+                           "): " + gai_strerror(rc));
+  }
+  int fd = -1;
+  Status last = Status::IoError("no addresses for " + opts.host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    // Non-blocking connect so the timeout is enforceable.
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      rc = poll(&pfd, 1, opts.connect_timeout_ms > 0 ? opts.connect_timeout_ms
+                                                     : -1);
+      if (rc == 0) {
+        last = Status::IoError("connect timeout to " + opts.host + ":" +
+                               port_str);
+        close(fd);
+        fd = -1;
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      rc = so_error == 0 ? 0 : -1;
+      errno = so_error;
+    }
+    if (rc != 0) {
+      last = ErrnoStatus("connect " + opts.host + ":" + port_str, errno);
+      close(fd);
+      fd = -1;
+      continue;
+    }
+    fcntl(fd, F_SETFL, flags);  // Back to blocking for request/response.
+    break;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) return last;
+
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (Status st = SetSocketTimeout(fd, SO_RCVTIMEO, opts.io_timeout_ms);
+      !st.ok()) {
+    close(fd);
+    return st;
+  }
+  if (Status st = SetSocketTimeout(fd, SO_SNDTIMEO, opts.io_timeout_ms);
+      !st.ok()) {
+    close(fd);
+    return st;
+  }
+  auto client = std::unique_ptr<Client>(new Client(opts));
+  client->fd_ = fd;
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::Fail(Status st) {
+  if (dead_.ok()) dead_ = st;
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  return st;
+}
+
+Status Client::SendRaw(uint8_t opcode, std::string_view payload) {
+  if (!dead_.ok()) return dead_;
+  const std::string frame = EncodeFrame(opcode, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(ErrnoStatus("send", errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::FillBuffer() {
+  char buf[64 * 1024];
+  const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+  if (n < 0) {
+    if (errno == EINTR) return Status::OK();
+    return ErrnoStatus("recv", errno);
+  }
+  if (n == 0) {
+    return Status::IoError("connection closed by server");
+  }
+  inbuf_.append(buf, static_cast<size_t>(n));
+  return Status::OK();
+}
+
+Status Client::ReceiveResponse(Frame* frame) {
+  if (!dead_.ok()) return dead_;
+  while (true) {
+    size_t consumed = 0;
+    std::string error;
+    switch (DecodeFrame(inbuf_, opts_.max_frame_payload_bytes, frame,
+                        &consumed, &error)) {
+      case FrameDecodeResult::kFrame:
+        inbuf_.erase(0, consumed);
+        if (frame->version != kWireVersion) {
+          // Still surface the server's error payload if it sent one
+          // (kUnsupportedVersion replies carry the server's version).
+          break;
+        }
+        if (!IsResponseOpcode(frame->opcode)) {
+          return Fail(Status::Internal("server sent a request opcode"));
+        }
+        return Status::OK();
+      case FrameDecodeResult::kNeedMore:
+        if (Status st = FillBuffer(); !st.ok()) return Fail(st);
+        continue;
+      case FrameDecodeResult::kMalformed:
+        return Fail(Status::Internal("malformed server frame: " + error));
+    }
+    return Status::OK();
+  }
+}
+
+Status Client::Call(Opcode op, std::string_view payload, Frame* reply) {
+  LSMSSD_RETURN_IF_ERROR(SendRaw(static_cast<uint8_t>(op), payload));
+  LSMSSD_RETURN_IF_ERROR(ReceiveResponse(reply));
+  if (reply->opcode != (static_cast<uint8_t>(op) | kResponseBit)) {
+    return Fail(Status::Internal(
+        "response opcode mismatch: sent " +
+        std::to_string(static_cast<int>(op)) + ", got " +
+        std::to_string(static_cast<int>(reply->opcode))));
+  }
+  return Status::OK();
+}
+
+Status Client::Put(Key key, std::string_view value) {
+  Frame reply;
+  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kPut, EncodePutRequest(key, value),
+                              &reply));
+  std::string_view body;
+  return DecodeResponseStatus(reply.payload, &body);
+}
+
+Status Client::Delete(Key key) {
+  Frame reply;
+  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kDelete, EncodeDeleteRequest(key),
+                              &reply));
+  std::string_view body;
+  return DecodeResponseStatus(reply.payload, &body);
+}
+
+StatusOr<std::string> Client::Get(Key key) {
+  Frame reply;
+  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kGet, EncodeGetRequest(key), &reply));
+  std::string_view body;
+  LSMSSD_RETURN_IF_ERROR(DecodeResponseStatus(reply.payload, &body));
+  return std::string(body);
+}
+
+Status Client::Scan(Key lo, Key hi, uint32_t limit,
+                    std::vector<ScanItem>* out) {
+  Frame reply;
+  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kScan, EncodeScanRequest(lo, hi, limit),
+                              &reply));
+  std::string_view body;
+  LSMSSD_RETURN_IF_ERROR(DecodeResponseStatus(reply.payload, &body));
+  std::vector<ScanItem> items;
+  if (!DecodeScanResponseBody(body, &items)) {
+    return Fail(Status::Internal("undecodable scan response body"));
+  }
+  out->insert(out->end(), std::make_move_iterator(items.begin()),
+              std::make_move_iterator(items.end()));
+  return Status::OK();
+}
+
+StatusOr<ServerStats> Client::Stats() {
+  Frame reply;
+  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kStats, EncodeStatsRequest(), &reply));
+  std::string_view body;
+  LSMSSD_RETURN_IF_ERROR(DecodeResponseStatus(reply.payload, &body));
+  ServerStats stats;
+  stats.text.assign(body);
+  // Parseable prefix: `key value` lines up to the first blank line.
+  std::string_view rest = body;
+  while (!rest.empty()) {
+    const size_t nl = rest.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view()
+                                        : rest.substr(nl + 1);
+    if (line.empty()) break;  // Blank line ends the parseable section.
+    const size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string_view k = line.substr(0, sp);
+    const uint64_t v = std::strtoull(std::string(line.substr(sp + 1)).c_str(),
+                                     nullptr, 10);
+    if (k == "payload_size") stats.payload_size = v;
+    else if (k == "shards") stats.shards = v;
+    else if (k == "checkpoints") stats.checkpoints = v;
+    else if (k == "memtables_sealed") stats.memtables_sealed = v;
+    else if (k == "stall_events") stats.stall_events = v;
+    else if (k == "quarantined_blocks") stats.quarantined_blocks = v;
+    else if (k == "scrub_corruptions") stats.scrub_corruptions = v;
+    else if (k == "scrub_blocks_verified") stats.scrub_blocks_verified = v;
+    else if (k == "frames_processed") stats.frames_processed = v;
+    else if (k == "connections_dropped") stats.connections_dropped = v;
+  }
+  return stats;
+}
+
+}  // namespace lsmssd::net

@@ -1,0 +1,93 @@
+#ifndef LSMSSD_NET_CLIENT_H_
+#define LSMSSD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd::net {
+
+// The *stable public client surface* of the network layer: everything a
+// networked tool or bench needs lives in this header (plus the wire
+// codec it re-exports). Client code must not include src/db headers —
+// the wire protocol, not the Db class, is the compatibility contract.
+
+/// How to reach a server.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;           ///< Required.
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 30000;   ///< Per send/recv syscall; 0 = no timeout.
+  size_t max_frame_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+/// Server-side counters a client can read over the wire (the parseable
+/// prefix of the STATS response; `text` is the full human-readable tail).
+struct ServerStats {
+  uint64_t payload_size = 0;        ///< Fixed record payload width.
+  uint64_t shards = 0;
+  uint64_t checkpoints = 0;
+  uint64_t memtables_sealed = 0;
+  uint64_t stall_events = 0;
+  uint64_t quarantined_blocks = 0;  ///< Checksum-failed blocks right now.
+  uint64_t scrub_corruptions = 0;   ///< Corrupt verdicts since open.
+  uint64_t scrub_blocks_verified = 0;
+  uint64_t frames_processed = 0;    ///< Server-side request frames handled.
+  uint64_t connections_dropped = 0; ///< Malformed-frame connection drops.
+  std::string text;                 ///< Full stats dump (human-readable).
+};
+
+/// Blocking request/response connection to one server. Not thread-safe:
+/// use one Client per thread (the server multiplexes fine). Any transport
+/// or protocol error leaves the connection dead — every later call
+/// returns the same error; reconnect with Connect().
+class Client {
+ public:
+  static StatusOr<std::unique_ptr<Client>> Connect(const ClientOptions& opts);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Inserts or blind-updates `key`. The value must be exactly the
+  /// server's fixed payload width (ServerStats::payload_size).
+  Status Put(Key key, std::string_view value);
+  Status Delete(Key key);
+  /// NotFound when the key is absent.
+  StatusOr<std::string> Get(Key key);
+  /// Live records with lo <= key <= hi in key order, at most `limit`
+  /// (0 = server cap). Appends to *out.
+  Status Scan(Key lo, Key hi, uint32_t limit, std::vector<ScanItem>* out);
+  StatusOr<ServerStats> Stats();
+
+  /// Sends a pre-encoded request frame without waiting for the reply —
+  /// the pipelining primitive (the server processes a connection's frames
+  /// strictly in order). Pair with ReceiveResponse(); callers must
+  /// eventually read exactly one response per sent frame.
+  Status SendRaw(uint8_t opcode, std::string_view payload);
+  /// Receives the next response frame.
+  Status ReceiveResponse(Frame* frame);
+
+ private:
+  explicit Client(const ClientOptions& opts) : opts_(opts) {}
+
+  /// One blocking round trip; checks the response opcode matches.
+  Status Call(Opcode op, std::string_view payload, Frame* reply);
+  Status FillBuffer();       ///< One recv() into inbuf_.
+  Status Fail(Status st);    ///< Latches the first error, closes the fd.
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  std::string inbuf_;
+  Status dead_;  ///< First transport/protocol error; OK while healthy.
+};
+
+}  // namespace lsmssd::net
+
+#endif  // LSMSSD_NET_CLIENT_H_

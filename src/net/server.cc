@@ -1,0 +1,550 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/lsm/iterator.h"
+
+namespace lsmssd::net {
+
+namespace {
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IoError(what + ": " + std::strerror(err));
+}
+}  // namespace
+
+/// Per-connection state. The socket, epoll interest, input buffer, and
+/// lifecycle flags belong to the epoll thread alone; `mu` guards only
+/// the state that crosses the worker boundary (pending requests, the
+/// busy flag, and buffered output).
+struct Server::Connection {
+  int fd = -1;
+  bool dead = false;           ///< Closed and deregistered.
+  bool eof = false;            ///< Peer half-closed; finish then close.
+  bool closing = false;        ///< Close once output drains and idle.
+  bool epollin_armed = true;
+  bool epollout_armed = false;
+  std::string inbuf;
+
+  std::mutex mu;
+  std::deque<Frame> pending;   ///< Decoded requests awaiting a worker.
+  bool busy = false;           ///< A worker owns the pending queue.
+  std::string outbuf;          ///< Encoded responses awaiting the socket.
+  size_t out_off = 0;
+};
+
+StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& opts,
+                                                Db* db) {
+  if (db == nullptr) return Status::InvalidArgument("Server needs a Db");
+  if (opts.workers == 0) {
+    return Status::InvalidArgument("ServerOptions::workers must be >= 1");
+  }
+  auto server = std::unique_ptr<Server>(new Server(opts, db));
+  LSMSSD_RETURN_IF_ERROR(server->Listen());
+  server->started_ = true;
+  server->epoll_thread_ = std::thread([s = server.get()] { s->EpollLoop(); });
+  server->workers_.reserve(opts.workers);
+  for (size_t i = 0; i < opts.workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Listen() {
+  listen_fd_ =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket", errno);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + opts_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return ErrnoStatus("bind " + opts_.host + ":" +
+                           std::to_string(opts_.port),
+                       errno);
+  }
+  if (listen(listen_fd_, opts_.listen_backlog) != 0) {
+    return ErrnoStatus("listen", errno);
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return ErrnoStatus("epoll_create1", errno);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return ErrnoStatus("eventfd", errno);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) {
+    // Start() failed before threads existed; release any fds Listen made.
+    if (listen_fd_ >= 0) close(listen_fd_), listen_fd_ = -1;
+    if (epoll_fd_ >= 0) close(epoll_fd_), epoll_fd_ = -1;
+    if (wake_fd_ >= 0) close(wake_fd_), wake_fd_ = -1;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> l(work_mu_);
+    if (stopping_.exchange(true)) return;  // Already stopped.
+  }
+  work_cv_.notify_all();
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  if (epoll_thread_.joinable()) epoll_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (listen_fd_ >= 0) close(listen_fd_), listen_fd_ = -1;
+  if (epoll_fd_ >= 0) close(epoll_fd_), epoll_fd_ = -1;
+  if (wake_fd_ >= 0) close(wake_fd_), wake_fd_ = -1;
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.connections_accepted = connections_accepted_.load();
+  c.connections_dropped_malformed = connections_dropped_malformed_.load();
+  c.frames_processed = frames_processed_.load();
+  c.unsupported_version_frames = unsupported_version_frames_.load();
+  return c;
+}
+
+// ---- Epoll thread ---------------------------------------------------------
+
+void Server::EpollLoop() {
+  std::vector<epoll_event> events(128);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        epoll_wait(epoll_fd_, events.data(),
+                   static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself broke; shut the loop down.
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        DrainFlushQueue();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // Closed earlier this batch.
+      std::shared_ptr<Connection> conn = it->second;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) HandleReadable(conn);
+      if (!conn->dead && (ev & EPOLLOUT) != 0) TryFlush(conn);
+    }
+  }
+  // Shutdown: close every connection. Workers may still hold references;
+  // they only touch mu-guarded fields, never the fd.
+  for (auto& [fd, conn] : conns_) {
+    conn->dead = true;
+    close(fd);
+  }
+  conns_.clear();
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: wait for the next event.
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_[fd] = conn;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  while (!conn->dead && conn->epollin_armed) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      ParseFrames(conn);
+      continue;
+    }
+    if (n == 0) {
+      conn->eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn);
+    return;
+  }
+  if (conn->dead) return;
+  if (conn->eof) {
+    bool idle;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      idle = !conn->busy && conn->pending.empty() && conn->outbuf.empty();
+    }
+    if (idle) {
+      CloseConn(conn);
+    } else {
+      conn->closing = true;  // Deliver what is in flight, then close.
+    }
+  }
+}
+
+void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
+  size_t pos = 0;
+  bool paused = false;
+  while (!conn->dead && !paused) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const std::string_view rest = std::string_view(conn->inbuf).substr(pos);
+    const FrameDecodeResult r = DecodeFrame(
+        rest, opts_.max_frame_payload_bytes, &frame, &consumed, &error);
+    if (r == FrameDecodeResult::kNeedMore) break;
+    if (r == FrameDecodeResult::kMalformed) {
+      // The byte stream is not trustworthy past this point: there is no
+      // reliable opcode to reply to, so drop the connection. The Db never
+      // saw the bytes — nothing to poison.
+      connections_dropped_malformed_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn);
+      return;
+    }
+    pos += consumed;
+    if (frame.version != kWireVersion) {
+      unsupported_version_frames_.fetch_add(1, std::memory_order_relaxed);
+      const std::string reply = EncodeFrame(
+          static_cast<uint8_t>(frame.opcode | kResponseBit),
+          EncodeProtocolErrorResponse(
+              WireError::kUnsupportedVersion,
+              "server speaks wire version " + std::to_string(kWireVersion)));
+      {
+        std::lock_guard<std::mutex> l(conn->mu);
+        conn->outbuf.append(reply);
+      }
+      conn->closing = true;
+      conn->inbuf.clear();
+      conn->epollin_armed = false;
+      UpdateEpollInterest(conn);
+      TryFlush(conn);
+      return;
+    }
+    bool enqueue = false;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      conn->pending.push_back(std::move(frame));
+      if (!conn->busy) {
+        conn->busy = true;
+        enqueue = true;
+      }
+      paused = conn->pending.size() >= opts_.max_pipelined_requests;
+    }
+    if (enqueue) EnqueueWork(conn);
+  }
+  if (!conn->dead && pos > 0) conn->inbuf.erase(0, pos);
+  if (paused && conn->epollin_armed) {
+    // Pipelining backpressure: stop reading this socket until the worker
+    // drains the queue (TryFlush re-arms and re-parses).
+    conn->epollin_armed = false;
+    UpdateEpollInterest(conn);
+  }
+}
+
+void Server::TryFlush(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  bool blocked = false;
+  bool broken = false;
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    while (conn->out_off < conn->outbuf.size()) {
+      const ssize_t n =
+          send(conn->fd, conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off,
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          break;
+        }
+        broken = true;
+        break;
+      }
+      conn->out_off += static_cast<size_t>(n);
+    }
+    if (conn->out_off == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->out_off = 0;
+    }
+    idle = !conn->busy && conn->pending.empty() && conn->outbuf.empty();
+  }
+  if (broken) {
+    CloseConn(conn);
+    return;
+  }
+  if (blocked) {
+    if (!conn->epollout_armed) {
+      conn->epollout_armed = true;
+      UpdateEpollInterest(conn);
+    }
+    return;
+  }
+  if (conn->epollout_armed) {
+    conn->epollout_armed = false;
+    UpdateEpollInterest(conn);
+  }
+  if ((conn->closing || conn->eof) && idle) {
+    CloseConn(conn);
+    return;
+  }
+  // Resume reading once the pipeline backlog has drained.
+  if (!conn->epollin_armed && !conn->closing && !conn->eof) {
+    size_t backlog;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      backlog = conn->pending.size();
+    }
+    if (backlog < opts_.max_pipelined_requests / 2 + 1) {
+      conn->epollin_armed = true;
+      UpdateEpollInterest(conn);
+      ParseFrames(conn);  // Frames may already be buffered past the pause.
+    }
+  }
+}
+
+void Server::UpdateEpollInterest(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  epoll_event ev{};
+  ev.events = (conn->epollin_armed ? EPOLLIN : 0u) |
+              (conn->epollout_armed ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Server::CloseConn(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conns_.erase(conn->fd);
+  close(conn->fd);
+}
+
+void Server::DrainFlushQueue() {
+  std::vector<std::shared_ptr<Connection>> ready;
+  {
+    std::lock_guard<std::mutex> l(flush_mu_);
+    ready.swap(flush_q_);
+  }
+  for (const auto& conn : ready) {
+    if (!conn->dead) TryFlush(conn);
+  }
+}
+
+// ---- Workers --------------------------------------------------------------
+
+void Server::EnqueueWork(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> l(work_mu_);
+    work_q_.push_back(conn);
+  }
+  work_cv_.notify_one();
+}
+
+void Server::SignalFlush(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> l(flush_mu_);
+    flush_q_.push_back(conn);
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lk(work_mu_);
+      work_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) || !work_q_.empty();
+      });
+      if (work_q_.empty()) return;  // stopping_ and nothing left.
+      conn = std::move(work_q_.front());
+      work_q_.pop_front();
+    }
+    // Drain this connection until its pipeline is empty. Only one worker
+    // holds a given connection at a time (the busy flag), so requests
+    // execute — and respond — strictly in receive order.
+    while (true) {
+      std::deque<Frame> batch;
+      {
+        std::lock_guard<std::mutex> l(conn->mu);
+        if (conn->pending.empty()) {
+          conn->busy = false;
+          break;
+        }
+        batch.swap(conn->pending);
+      }
+      std::string out;
+      for (const Frame& frame : batch) out.append(HandleRequest(frame));
+      {
+        std::lock_guard<std::mutex> l(conn->mu);
+        conn->outbuf.append(out);
+      }
+      SignalFlush(conn);
+    }
+    SignalFlush(conn);  // Final idle/close check for this connection.
+  }
+}
+
+std::string Server::HandleRequest(const Frame& frame) {
+  frames_processed_.fetch_add(1, std::memory_order_relaxed);
+  const uint8_t response_op =
+      static_cast<uint8_t>(frame.opcode | kResponseBit);
+  auto malformed = [&](const char* what) {
+    return EncodeFrame(response_op, EncodeProtocolErrorResponse(
+                                        WireError::kMalformedRequest, what));
+  };
+  std::string body;
+  switch (static_cast<Opcode>(frame.opcode)) {
+    case Opcode::kGet: {
+      Key key = 0;
+      if (!DecodeGetRequest(frame.payload, &key)) {
+        return malformed("undecodable GET payload");
+      }
+      StatusOr<std::string> value = db_->Get(key);
+      body = value.ok() ? EncodeGetResponse(value.value())
+                        : EncodeErrorResponse(value.status());
+      break;
+    }
+    case Opcode::kPut: {
+      Key key = 0;
+      std::string_view value;
+      if (!DecodePutRequest(frame.payload, &key, &value)) {
+        return malformed("undecodable PUT payload");
+      }
+      if (value.size() != db_->options().payload_size) {
+        body = EncodeErrorResponse(Status::InvalidArgument(
+            "payload must be exactly " +
+            std::to_string(db_->options().payload_size) + " bytes, got " +
+            std::to_string(value.size())));
+        break;
+      }
+      const Status st = db_->Put(key, value);
+      body = st.ok() ? EncodeEmptyOkResponse() : EncodeErrorResponse(st);
+      break;
+    }
+    case Opcode::kDelete: {
+      Key key = 0;
+      if (!DecodeDeleteRequest(frame.payload, &key)) {
+        return malformed("undecodable DELETE payload");
+      }
+      const Status st = db_->Delete(key);
+      body = st.ok() ? EncodeEmptyOkResponse() : EncodeErrorResponse(st);
+      break;
+    }
+    case Opcode::kScan: {
+      Key lo = 0;
+      Key hi = 0;
+      uint32_t limit = 0;
+      if (!DecodeScanRequest(frame.payload, &lo, &hi, &limit)) {
+        return malformed("undecodable SCAN payload");
+      }
+      uint32_t cap = opts_.max_scan_results;
+      if (limit != 0 && limit < cap) cap = limit;
+      std::unique_ptr<Iterator> it = db_->NewIterator();
+      if (it == nullptr) {
+        body = EncodeErrorResponse(
+            Status::FailedPrecondition("db is in a failed state"));
+        break;
+      }
+      std::vector<ScanItem> items;
+      for (it->Seek(lo);
+           it->Valid() && it->key() <= hi && items.size() < cap;
+           it->Next()) {
+        items.push_back(ScanItem{it->key(), it->value()});
+      }
+      body = it->status().ok() ? EncodeScanResponse(items)
+                               : EncodeErrorResponse(it->status());
+      break;
+    }
+    case Opcode::kStats:
+      body = EncodeStatsResponse(BuildStatsText());
+      break;
+    default:
+      body = EncodeErrorResponse(Status::Unimplemented(
+          "unknown opcode " + std::to_string(frame.opcode)));
+      break;
+  }
+  return EncodeFrame(response_op, body);
+}
+
+std::string Server::BuildStatsText() {
+  const DbStats s = db_->Stats();
+  std::string t;
+  auto line = [&t](const char* key, uint64_t value) {
+    t += key;
+    t += ' ';
+    t += std::to_string(value);
+    t += '\n';
+  };
+  line("payload_size", db_->options().payload_size);
+  line("shards", s.shards);
+  line("checkpoints", s.checkpoints);
+  line("memtables_sealed", s.memtables_sealed);
+  line("stall_events", s.stall_events);
+  line("quarantined_blocks", s.quarantined_blocks.size());
+  line("scrub_corruptions", s.scrub_corruptions_found);
+  line("scrub_blocks_verified", s.scrub_blocks_verified);
+  line("frames_processed", frames_processed_.load());
+  line("connections_dropped", connections_dropped_malformed_.load());
+  t += '\n';
+  t += s.ToString();
+  return t;
+}
+
+}  // namespace lsmssd::net

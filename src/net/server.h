@@ -1,0 +1,149 @@
+#ifndef LSMSSD_NET_SERVER_H_
+#define LSMSSD_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd::net {
+
+/// Configuration of a Server.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = pick an ephemeral port (see Server::port()).
+  /// Worker threads executing decoded requests against the Db. Workers on
+  /// different connections commit concurrently, so their WAL syncs batch
+  /// through the Db's existing cross-thread group commit — the server
+  /// adds no commit path of its own.
+  size_t workers = 4;
+  size_t max_frame_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Hard cap on one SCAN response (requests asking for more are
+  /// truncated to this many items).
+  uint32_t max_scan_results = 65536;
+  /// Per-connection cap on decoded-but-unexecuted pipelined requests;
+  /// past it the server stops reading that socket until the worker
+  /// drains below (TCP backpressure, bounded memory).
+  size_t max_pipelined_requests = 1024;
+  int listen_backlog = 128;
+};
+
+/// Monotonic server counters (exposed via counters() and over the wire
+/// in the STATS response).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_dropped_malformed = 0;  ///< Frame-level garbage.
+  uint64_t frames_processed = 0;               ///< Request frames executed.
+  uint64_t unsupported_version_frames = 0;
+};
+
+/// Pipelined binary-protocol server over one Db.
+///
+/// Architecture: one epoll thread owns every socket (accept, read, frame
+/// decode, response flush); a pool of worker threads executes decoded
+/// requests against the Db and hands encoded responses back for the
+/// epoll thread to write. A connection's requests execute strictly in
+/// receive order (one worker per connection at a time), so clients may
+/// pipeline freely; different connections execute concurrently, which is
+/// what batches their writes into one group-commit fsync.
+///
+/// Protocol errors are two-tier (see wire.h): a CRC-valid frame with an
+/// undecodable payload gets a kMalformedRequest error response; a frame
+/// that fails magic/reserved/CRC/size validation proves the byte stream
+/// is desynced, and the connection is dropped without a reply — the Db
+/// itself is never poisoned by anything a client sends.
+class Server {
+ public:
+  /// Binds and listens on opts.host:opts.port, then starts the epoll and
+  /// worker threads. `db` must outlive the server and be open; the
+  /// server never Close()s it.
+  static StatusOr<std::unique_ptr<Server>> Start(const ServerOptions& opts,
+                                                 Db* db);
+  ~Server();  ///< Stop()s if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 at Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stops accepting, closes every connection, joins
+  /// all threads. In-flight requests finish against the Db; their
+  /// responses are not guaranteed to be delivered. Idempotent.
+  void Stop();
+
+  ServerCounters counters() const;
+
+ private:
+  struct Connection;
+
+  Server(const ServerOptions& opts, Db* db) : opts_(opts), db_(db) {}
+
+  Status Listen();
+  void EpollLoop();
+  void WorkerLoop();
+
+  // ---- Epoll-thread-only connection management ------------------------
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Parses every complete frame in conn->inbuf, queueing work.
+  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  /// Writes as much buffered output as the socket accepts; arms/disarms
+  /// EPOLLOUT; closes the connection when it is finished or broken.
+  void TryFlush(const std::shared_ptr<Connection>& conn);
+  void UpdateEpollInterest(const std::shared_ptr<Connection>& conn);
+  void CloseConn(const std::shared_ptr<Connection>& conn);
+  /// Drains the worker->epoll flush queue (eventfd handler).
+  void DrainFlushQueue();
+
+  // ---- Worker side ----------------------------------------------------
+  void EnqueueWork(const std::shared_ptr<Connection>& conn);
+  /// Executes one decoded request, returning the encoded response frame.
+  std::string HandleRequest(const Frame& frame);
+  std::string BuildStatsText();
+  /// Signals the epoll thread that `conn` has new output.
+  void SignalFlush(const std::shared_ptr<Connection>& conn);
+
+  ServerOptions opts_;
+  Db* db_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: worker output ready, or Stop().
+  uint16_t port_ = 0;
+
+  std::thread epoll_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  /// Live connections, keyed by fd. Epoll thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_q_;
+
+  std::mutex flush_mu_;
+  std::vector<std::shared_ptr<Connection>> flush_q_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_dropped_malformed_{0};
+  std::atomic<uint64_t> frames_processed_{0};
+  std::atomic<uint64_t> unsupported_version_frames_{0};
+};
+
+}  // namespace lsmssd::net
+
+#endif  // LSMSSD_NET_SERVER_H_

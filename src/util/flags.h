@@ -1,0 +1,52 @@
+#ifndef LSMSSD_UTIL_FLAGS_H_
+#define LSMSSD_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace lsmssd {
+
+/// Parsed `--name=value` command-line flags. A bare `--name` stores "1".
+using FlagMap = std::map<std::string, std::string>;
+
+/// Parses argv[first..argc) into a FlagMap. Every argument must look
+/// like `--name` or `--name=value`; anything else is InvalidArgument.
+/// Pure parsing — no filesystem or process side effects, so a caller can
+/// reject bad invocations before creating any state.
+StatusOr<FlagMap> ParseFlagArgs(int argc, char** argv, int first);
+
+/// The flag's value, or `fallback` when absent.
+std::string FlagOr(const FlagMap& flags, const std::string& name,
+                   const std::string& fallback);
+
+/// Strict decimal parse of a flag (default `fallback` when absent).
+/// Rejects empty values, signs, trailing garbage, and overflow — unlike
+/// strtoull, "--n=12abc" and "--n=-3" are errors, not silent prefixes.
+StatusOr<uint64_t> FlagUint(const FlagMap& flags, const std::string& name,
+                            uint64_t fallback);
+
+/// Strict floating-point parse of a flag (default `fallback` when absent).
+StatusOr<double> FlagDouble(const FlagMap& flags, const std::string& name,
+                            double fallback);
+
+/// Boolean flag: absent -> `fallback`; "1"/"true" -> true; "0"/"false"
+/// -> false (so `--background-compaction` alone means true, and
+/// `--background-compaction=0` turns it back off). Anything else is
+/// InvalidArgument.
+StatusOr<bool> FlagBool(const FlagMap& flags, const std::string& name,
+                        bool fallback);
+
+/// InvalidArgument naming the first flag not in `known` (catches typos
+/// like `--shrads=2` that a lookup-with-default would silently ignore).
+Status CheckKnownFlags(const FlagMap& flags,
+                       const std::vector<std::string_view>& known);
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_FLAGS_H_

@@ -1,0 +1,155 @@
+#include "src/workload/ycsb.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lsmssd {
+
+namespace {
+
+/// FNV-1a over the 8 little-endian bytes of `v`. Stable across platforms
+/// (it is part of what makes a YCSB run reproducible), and the same hash
+/// family Db::ShardOfKey uses — but over record *indices*, so the two
+/// never interact.
+uint64_t Fnv1a64(uint64_t v) {
+  uint64_t h = 14695981039346656037ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t items, double theta)
+    : items_(0), theta_(theta), zetan_(0) {
+  LSMSSD_CHECK(items > 0) << "zipfian needs at least one item";
+  LSMSSD_CHECK(theta > 0 && theta < 1) << "theta must be in (0, 1)";
+  zeta2theta_ = 1.0 + std::pow(0.5, theta_);
+  GrowItems(items);
+}
+
+void ZipfianGenerator::GrowItems(uint64_t items) {
+  if (items <= items_) return;
+  for (uint64_t i = items_; i < items; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+  }
+  items_ = items;
+  ComputeConstants();
+}
+
+void ZipfianGenerator::ComputeConstants() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double n = static_cast<double>(items_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Random* rng) {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (items_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double spread = eta_ * u - eta_ + 1.0;
+  uint64_t item = static_cast<uint64_t>(
+      static_cast<double>(items_) * std::pow(spread, alpha_));
+  if (item >= items_) item = items_ - 1;
+  return item;
+}
+
+YcsbWorkload::YcsbWorkload(const YcsbConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.initial_records > 0 ? config.initial_records : 1,
+            config.zipf_theta),
+      record_count_(config.initial_records) {
+  char normalized = 0;
+  LSMSSD_CHECK(ParseWorkloadName(std::string_view(&config_.workload, 1),
+                                 &normalized))
+      << "unsupported YCSB workload '" << config_.workload << "'";
+  config_.workload = normalized;
+  LSMSSD_CHECK(config_.initial_records > 0);
+  LSMSSD_CHECK(config_.key_min <= config_.key_max);
+  LSMSSD_CHECK(config_.max_scan_len >= 1);
+}
+
+bool YcsbWorkload::ParseWorkloadName(std::string_view name, char* workload) {
+  if (name.size() != 1) return false;
+  const char c = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(name[0])));
+  if (c != 'a' && c != 'b' && c != 'c' && c != 'e' && c != 'f') return false;
+  *workload = c;
+  return true;
+}
+
+const char* YcsbWorkload::MixString(char workload) {
+  switch (workload) {
+    case 'a':
+      return "50% read / 50% update";
+    case 'b':
+      return "95% read / 5% update";
+    case 'c':
+      return "100% read";
+    case 'e':
+      return "95% scan / 5% insert";
+    case 'f':
+      return "50% read / 50% read-modify-write";
+    default:
+      return "?";
+  }
+}
+
+Key YcsbWorkload::KeyForIndex(uint64_t index) const {
+  const uint64_t width = config_.key_max - config_.key_min + 1;
+  // width == 0 would mean the full uint64 domain; the config requires
+  // key_min <= key_max, and practical key spaces are far smaller.
+  return config_.key_min + (width == 0 ? Fnv1a64(index)
+                                       : Fnv1a64(index) % width);
+}
+
+uint64_t YcsbWorkload::NextRecordIndex() {
+  const uint64_t z = zipf_.Next(&rng_);
+  // Scramble: skewed popularity over *some* records, but which records
+  // are hot is spread uniformly (no correlation with insertion order).
+  return Fnv1a64(z) % record_count_;
+}
+
+YcsbRequest YcsbWorkload::Next() {
+  YcsbRequest req;
+  const double p = rng_.NextDouble();
+  switch (config_.workload) {
+    case 'a':
+      req.op = p < 0.5 ? YcsbRequest::Op::kRead : YcsbRequest::Op::kUpdate;
+      break;
+    case 'b':
+      req.op = p < 0.95 ? YcsbRequest::Op::kRead : YcsbRequest::Op::kUpdate;
+      break;
+    case 'c':
+      req.op = YcsbRequest::Op::kRead;
+      break;
+    case 'e':
+      req.op = p < 0.95 ? YcsbRequest::Op::kScan : YcsbRequest::Op::kInsert;
+      break;
+    case 'f':
+      req.op = p < 0.5 ? YcsbRequest::Op::kRead
+                       : YcsbRequest::Op::kReadModifyWrite;
+      break;
+  }
+  if (req.op == YcsbRequest::Op::kInsert) {
+    const uint64_t index = record_count_++;
+    zipf_.GrowItems(record_count_);
+    req.key = KeyForIndex(index);
+    return req;
+  }
+  req.key = KeyForIndex(NextRecordIndex());
+  if (req.op == YcsbRequest::Op::kScan) {
+    req.scan_len = static_cast<uint32_t>(
+        rng_.UniformRange(1, config_.max_scan_len));
+  }
+  return req;
+}
+
+}  // namespace lsmssd

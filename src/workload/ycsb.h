@@ -1,0 +1,113 @@
+#ifndef LSMSSD_WORKLOAD_YCSB_H_
+#define LSMSSD_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/format/key_codec.h"
+#include "src/util/random.h"
+
+namespace lsmssd {
+
+/// One request of a YCSB-style workload. Unlike the paper's generators
+/// (insert/delete mixes driving the write-amortization experiments),
+/// YCSB models a *serving* workload: reads, updates, inserts, scans, and
+/// read-modify-writes against a loaded dataset — what a network server
+/// must answer while compaction and maintenance run underneath.
+struct YcsbRequest {
+  enum class Op { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+  Op op = Op::kRead;
+  Key key = 0;
+  uint32_t scan_len = 0;  ///< Records to scan (kScan only), >= 1.
+};
+
+/// Configuration of a YcsbWorkload.
+struct YcsbConfig {
+  /// Core workload letter (case-insensitive):
+  ///   A  50% read / 50% update      (update heavy)
+  ///   B  95% read /  5% update      (read mostly)
+  ///   C 100% read                   (read only)
+  ///   E  95% scan /  5% insert      (short ranges)
+  ///   F  50% read / 50% read-modify-write
+  char workload = 'a';
+  /// Records loaded before the run; inserts (workload E) grow past it.
+  uint64_t initial_records = 10'000;
+  /// Hashed keys land in [key_min, key_max] (defaults mirror the paper's
+  /// key space). Hash collisions between two record indices are benign —
+  /// both indices were inserted, so every chosen key exists.
+  Key key_min = 1;
+  Key key_max = 1'000'000'000;
+  uint32_t max_scan_len = 100;  ///< Scan lengths uniform in [1, max].
+  double zipf_theta = 0.99;     ///< YCSB's default skew.
+  uint64_t seed = 1;
+};
+
+/// The YCSB zipfian item chooser (Gray et al.'s algorithm, as used by the
+/// YCSB core generators): item 0 is the most popular, with P(i) ~
+/// 1/(i+1)^theta. Supports growing the item count incrementally so
+/// insert-bearing workloads stay O(1) per request.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t items, double theta);
+
+  /// Next item in [0, items()).
+  uint64_t Next(Random* rng);
+
+  /// Raises the item count (no-op if `items` is not larger). Extends the
+  /// zeta sum incrementally — O(added items) total, O(1) per insert.
+  void GrowItems(uint64_t items);
+
+  uint64_t items() const { return items_; }
+
+ private:
+  void ComputeConstants();
+
+  uint64_t items_;
+  double theta_;
+  double zetan_;       ///< zeta(items, theta), extended incrementally.
+  double zeta2theta_;  ///< zeta(2, theta).
+  double alpha_;
+  double eta_;
+};
+
+/// Deterministic YCSB-style request stream. Records are numbered in
+/// insertion order; KeyForIndex scrambles each index into the key space
+/// with FNV-1a (YCSB's "scrambled zipfian": skewed popularity over
+/// records, spread uniformly over the key space so no key range is hot).
+/// The load phase must insert KeyForIndex(0 .. initial_records) before
+/// running the stream.
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& config);
+
+  YcsbRequest Next();
+
+  /// The key of logical record `index` (stable for the config's key
+  /// range; independent of seed).
+  Key KeyForIndex(uint64_t index) const;
+
+  /// Records inserted so far (initial load + workload inserts).
+  uint64_t record_count() const { return record_count_; }
+
+  const YcsbConfig& config() const { return config_; }
+
+  /// Parses "A"/"a".."F" into a validated workload letter (only the five
+  /// implemented core workloads pass; D is not implemented).
+  static bool ParseWorkloadName(std::string_view name, char* workload);
+
+  /// Human-readable mix, e.g. "50% read / 50% update".
+  static const char* MixString(char workload);
+
+ private:
+  /// Scrambled-zipfian record index in [0, record_count_).
+  uint64_t NextRecordIndex();
+
+  YcsbConfig config_;
+  Random rng_;
+  ZipfianGenerator zipf_;
+  uint64_t record_count_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_WORKLOAD_YCSB_H_

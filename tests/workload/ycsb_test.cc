@@ -1,0 +1,182 @@
+#include "src/workload/ycsb.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace lsmssd {
+namespace {
+
+YcsbConfig Config(char workload, uint64_t seed = 7) {
+  YcsbConfig cfg;
+  cfg.workload = workload;
+  cfg.initial_records = 5000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::map<YcsbRequest::Op, uint64_t> CountOps(char workload, uint64_t n) {
+  YcsbWorkload wl(Config(workload));
+  std::map<YcsbRequest::Op, uint64_t> counts;
+  for (uint64_t i = 0; i < n; ++i) ++counts[wl.Next().op];
+  return counts;
+}
+
+TEST(YcsbWorkloadTest, SameSeedSameStream) {
+  YcsbWorkload a(Config('a'));
+  YcsbWorkload b(Config('a'));
+  for (int i = 0; i < 10000; ++i) {
+    const YcsbRequest ra = a.Next();
+    const YcsbRequest rb = b.Next();
+    EXPECT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(ra.scan_len, rb.scan_len);
+  }
+  YcsbWorkload c(Config('a', /*seed=*/8));
+  bool differs = false;
+  YcsbWorkload a2(Config('a'));
+  for (int i = 0; i < 1000 && !differs; ++i) {
+    differs = a2.Next().key != c.Next().key;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical streams";
+}
+
+TEST(YcsbWorkloadTest, MixRatiosMatchTheSuite) {
+  constexpr uint64_t kN = 100000;
+  constexpr double kTol = 0.01;  // 1% absolute on 100k draws.
+  {
+    const auto c = CountOps('a', kN);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kRead) / double(kN), 0.5, kTol);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kUpdate) / double(kN), 0.5, kTol);
+  }
+  {
+    const auto c = CountOps('b', kN);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kRead) / double(kN), 0.95, kTol);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kUpdate) / double(kN), 0.05, kTol);
+  }
+  {
+    const auto c = CountOps('c', kN);
+    EXPECT_EQ(c.at(YcsbRequest::Op::kRead), kN);
+  }
+  {
+    const auto c = CountOps('e', kN);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kScan) / double(kN), 0.95, kTol);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kInsert) / double(kN), 0.05, kTol);
+  }
+  {
+    const auto c = CountOps('f', kN);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kRead) / double(kN), 0.5, kTol);
+    EXPECT_NEAR(c.at(YcsbRequest::Op::kReadModifyWrite) / double(kN), 0.5,
+                kTol);
+  }
+}
+
+TEST(YcsbWorkloadTest, KeysStayInConfiguredRange) {
+  YcsbConfig cfg = Config('a');
+  cfg.key_min = 100;
+  cfg.key_max = 10000;
+  YcsbWorkload wl(cfg);
+  for (int i = 0; i < 20000; ++i) {
+    const YcsbRequest req = wl.Next();
+    EXPECT_GE(req.key, cfg.key_min);
+    EXPECT_LE(req.key, cfg.key_max);
+  }
+}
+
+TEST(YcsbWorkloadTest, ScanLengthsSpanOneToMax) {
+  YcsbConfig cfg = Config('e');
+  cfg.max_scan_len = 25;
+  YcsbWorkload wl(cfg);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 50000; ++i) {
+    const YcsbRequest req = wl.Next();
+    if (req.op != YcsbRequest::Op::kScan) continue;
+    ASSERT_GE(req.scan_len, 1u);
+    ASSERT_LE(req.scan_len, cfg.max_scan_len);
+    seen.insert(req.scan_len);
+  }
+  // Uniform over [1, 25]: essentially every length appears in 47k draws.
+  EXPECT_GT(seen.size(), 20u);
+}
+
+TEST(YcsbWorkloadTest, InsertsGrowTheRecordSpace) {
+  YcsbConfig cfg = Config('e');
+  YcsbWorkload wl(cfg);
+  const uint64_t before = wl.record_count();
+  uint64_t inserts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (wl.Next().op == YcsbRequest::Op::kInsert) ++inserts;
+  }
+  EXPECT_GT(inserts, 0u);
+  EXPECT_EQ(wl.record_count(), before + inserts);
+}
+
+TEST(YcsbWorkloadTest, KeyForIndexIsSeedIndependent) {
+  // The load phase and every runner thread must agree on the key of
+  // record i regardless of their seeds.
+  YcsbWorkload a(Config('a', 1));
+  YcsbWorkload b(Config('b', 999));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.KeyForIndex(i), b.KeyForIndex(i));
+  }
+}
+
+TEST(YcsbWorkloadTest, ParseWorkloadNameAcceptsOnlyImplemented) {
+  char w = 0;
+  for (const char* good : {"a", "A", "b", "c", "e", "f", "F"}) {
+    EXPECT_TRUE(YcsbWorkload::ParseWorkloadName(good, &w)) << good;
+  }
+  for (const char* bad : {"d", "D", "g", "", "aa", "1"}) {
+    EXPECT_FALSE(YcsbWorkload::ParseWorkloadName(bad, &w)) << bad;
+  }
+}
+
+TEST(ZipfianGeneratorTest, SkewAndBounds) {
+  constexpr uint64_t kItems = 1000;
+  ZipfianGenerator zipf(kItems, 0.99);
+  Random rng(3);
+  std::vector<uint64_t> counts(kItems, 0);
+  constexpr uint64_t kDraws = 200000;
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    const uint64_t item = zipf.Next(&rng);
+    ASSERT_LT(item, kItems);
+    ++counts[item];
+  }
+  // Zipf theta=0.99 over 1000 items: item 0 draws a bit under 1/zeta(n)
+  // ~ 13% of the mass; the skew must be obvious and monotone-ish at the
+  // head.
+  EXPECT_GT(counts[0], kDraws / 20);  // >5%.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[100]);
+  // The tail is still reachable.
+  uint64_t tail = 0;
+  for (size_t i = kItems / 2; i < kItems; ++i) tail += counts[i];
+  EXPECT_GT(tail, 0u);
+}
+
+TEST(ZipfianGeneratorTest, GrowKeepsDistributionValid) {
+  ZipfianGenerator zipf(100, 0.99);
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(zipf.Next(&rng), 100u);
+  zipf.GrowItems(200);
+  EXPECT_EQ(zipf.items(), 200u);
+  bool past_old_range = false;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t item = zipf.Next(&rng);
+    ASSERT_LT(item, 200u);
+    past_old_range |= item >= 100;
+  }
+  EXPECT_TRUE(past_old_range) << "grown items never drawn";
+  // Growing to a not-larger count is a no-op.
+  zipf.GrowItems(150);
+  EXPECT_EQ(zipf.items(), 200u);
+}
+
+}  // namespace
+}  // namespace lsmssd

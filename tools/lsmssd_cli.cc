@@ -11,6 +11,7 @@
 //                  [--sync=always|everyn|none] [--sync-n=64]
 //                  [--checkpoint-wal-mb=8] [--threads=1]
 //                  [--background-compaction] [--shards=1]
+//                  [--scrub-interval-ms=0] [--max-device-blocks=0]
 //       Persistent mode: open (or crash-recover) the Db at DIR, apply n
 //       workload requests through the WAL, checkpoint on exit, and print
 //       the Db stats. Re-running continues where the last run stopped.
@@ -27,6 +28,15 @@
 //       flag. The stats line then adds the shard count, arbiter seals,
 //       and stall fields aggregated across every shard.
 //
+//   lsmssd_cli serve --db-path=DIR [--host=127.0.0.1] [--port=0]
+//                    [--workers=4] [Db flags as for run --db-path]
+//       Open the Db and serve it over the versioned binary protocol
+//       (src/net/wire.h) until SIGINT/SIGTERM. Prints
+//       "listening on HOST:PORT" once the socket is bound (--port=0
+//       picks an ephemeral port — parse that line to find it). On
+//       shutdown the server drains, the Db checkpoints, and the stats
+//       (including quarantined_blocks) are printed.
+//
 //   lsmssd_cli trace [--workload=...] [--n=100000] --out=FILE
 //       Capture a deterministic workload trace for replay.
 //
@@ -39,53 +49,45 @@
 //       (DIR/SHARDS present) is walked shard by shard with a per-shard
 //       damage report. Exits 0 when clean, 1 when any block is corrupt
 //       or unreadable.
+//
+// Flag parsing, validation, and DbOptions construction are shared with
+// every other tool through src/db/db_flags.h — a bad flag fails with
+// usage before anything touches the filesystem.
 
+#include <csignal>
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
+#include <chrono>
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/harness/experiment.h"
 #include "src/db/db.h"
+#include "src/db/db_flags.h"
 #include "src/lsm/manifest.h"
+#include "src/net/server.h"
 #include "src/storage/file_block_device.h"
 #include "src/workload/trace.h"
 
 namespace lsmssd::bench {
 namespace {
 
-using Flags = std::map<std::string, std::string>;
+using Flags = FlagMap;
 
-Flags ParseFlags(int argc, char** argv, int first) {
-  Flags flags;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      std::cerr << "unexpected argument: " << arg << "\n";
-      std::exit(2);
-    }
-    const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg.substr(2)] = "1";
-    } else {
-      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-    }
-  }
-  return flags;
+/// Prints a flag error plus the usage pointer; returns exit code 2.
+/// Called before any directory is created, so a typo never leaves
+/// state behind.
+int FailUsage(const Status& status) {
+  std::cerr << status.message() << "\n"
+            << "usage: lsmssd_cli run|serve|trace|manifest|scrub "
+               "[--flag=value ...] (see source header for flags)\n";
+  return 2;
 }
 
-std::string FlagOr(const Flags& flags, const std::string& name,
-                   const std::string& fallback) {
-  auto it = flags.find(name);
-  return it == flags.end() ? fallback : it->second;
-}
-
-WorkloadSpec SpecFromFlags(const Flags& flags) {
+StatusOr<WorkloadSpec> SpecFromFlags(const Flags& flags) {
   WorkloadSpec spec;
   const std::string name = FlagOr(flags, "workload", "uniform");
   if (name == "uniform") {
@@ -95,38 +97,51 @@ WorkloadSpec SpecFromFlags(const Flags& flags) {
   } else if (name == "tpc") {
     spec.kind = WorkloadKind::kTpc;
   } else {
-    std::cerr << "unknown workload: " << name << "\n";
-    std::exit(2);
+    return Status::InvalidArgument("unknown workload: " + name +
+                                   " (use uniform|normal|tpc)");
   }
-  spec.seed = std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
-  spec.sigma_fraction =
-      std::atof(FlagOr(flags, "sigma", "0.005").c_str());
+  LSMSSD_ASSIGN_OR_RETURN(spec.seed, FlagUint(flags, "seed", 1));
+  LSMSSD_ASSIGN_OR_RETURN(spec.sigma_fraction,
+                          FlagDouble(flags, "sigma", 0.005));
   return spec;
 }
 
 int CmdRun(const Flags& flags) {
+  if (Status st = CheckKnownFlags(
+          flags, {"workload", "seed", "sigma", "policy", "preserve", "bloom",
+                  "cache-blocks", "size-mb", "requests-mb", "trace-in"});
+      !st.ok()) {
+    return FailUsage(st);
+  }
   PolicyKind kind;
   const std::string policy_name = FlagOr(flags, "policy", "ChooseBest");
   if (!ParsePolicyKind(policy_name, &kind)) {
-    std::cerr << "unknown policy: " << policy_name
-              << " (use Full|RR|ChooseBest|Mixed|TestMixed|PartitionedCB)\n";
-    return 2;
+    return FailUsage(Status::InvalidArgument(
+        "unknown policy: " + policy_name +
+        " (use Full|RR|ChooseBest|Mixed|TestMixed|PartitionedCB)"));
   }
   Options options = BenchOptions();
-  options.bloom_bits_per_key =
-      std::strtoull(FlagOr(flags, "bloom", "0").c_str(), nullptr, 10);
+  auto bloom_or = FlagUint(flags, "bloom", 0);
+  if (!bloom_or.ok()) return FailUsage(bloom_or.status());
+  options.bloom_bits_per_key = *bloom_or;
   // Buffer cache in blocks (0 = off). Caching never changes write counts;
   // hits/misses show up in the device stats line.
-  options.cache_blocks =
-      std::strtoull(FlagOr(flags, "cache-blocks", "0").c_str(), nullptr, 10);
+  auto cache_or = FlagUint(flags, "cache-blocks", 0);
+  if (!cache_or.ok()) return FailUsage(cache_or.status());
+  options.cache_blocks = *cache_or;
   PolicySpec policy{policy_name, kind,
                     FlagOr(flags, "preserve", "1") != "0"};
 
-  const double size_mb = std::atof(FlagOr(flags, "size-mb", "1.5").c_str());
-  const double window_mb =
-      std::atof(FlagOr(flags, "requests-mb", "2").c_str());
+  auto size_or = FlagDouble(flags, "size-mb", 1.5);
+  if (!size_or.ok()) return FailUsage(size_or.status());
+  auto window_or = FlagDouble(flags, "requests-mb", 2);
+  if (!window_or.ok()) return FailUsage(window_or.status());
+  const double size_mb = *size_or;
+  const double window_mb = *window_or;
 
-  Experiment exp(options, policy, SpecFromFlags(flags));
+  auto spec_or = SpecFromFlags(flags);
+  if (!spec_or.ok()) return FailUsage(spec_or.status());
+  Experiment exp(options, policy, *spec_or);
 
   // Optional trace replay instead of the generator.
   std::unique_ptr<TraceWorkload> trace_workload;
@@ -182,59 +197,54 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+/// Prints the per-shard index summary and the stats line (shared by the
+/// run and serve epilogues).
+void PrintDbSummary(Db& db) {
+  // One index summary per shard (the facade has no tree of its own);
+  // unsharded output is unchanged.
+  for (size_t s = 0; s < db.shard_count(); ++s) {
+    const LsmTree& tree =
+        db.shard_count() == 1 ? *db.tree() : *db.shard(s)->tree();
+    std::cout << "\nindex";
+    if (db.shard_count() > 1) std::cout << " (shard " << s << ")";
+    std::cout << ": " << tree.num_levels() << " levels, "
+              << tree.TotalRecords() << " records, "
+              << tree.ApproximateDataBytes() / (1024.0 * 1024.0) << " MB\n";
+    for (size_t i = 1; i < tree.num_levels(); ++i) {
+      std::cout << "  L" << i << ": " << tree.level(i).size_blocks() << "/"
+                << tree.LevelCapacityBlocks(i) << " blocks, waste "
+                << tree.level(i).waste_factor() << "\n";
+    }
+  }
+  std::cout << "\n" << db.Stats().ToString();
+}
+
 // Persistent mode: the workload runs against a crash-safe Db directory
 // instead of a fresh in-memory device. Every request goes through the
 // WAL; the run ends with a checkpoint so the next invocation restores
 // from the manifest alone.
 int CmdRunDb(const Flags& flags) {
-  DbOptions dbopts;
-  dbopts.options = BenchOptions();
-  // WAL replay re-applies a suffix of the history, which eager
-  // tombstone+insert annihilation cannot tolerate; Db rejects it.
-  dbopts.options.annihilate_delete_put = false;
-  dbopts.options.bloom_bits_per_key =
-      std::strtoull(FlagOr(flags, "bloom", "0").c_str(), nullptr, 10);
-  dbopts.options.cache_blocks =
-      std::strtoull(FlagOr(flags, "cache-blocks", "0").c_str(), nullptr, 10);
-
-  const std::string policy_name = FlagOr(flags, "policy", "ChooseBest");
-  if (!ParsePolicyKind(policy_name, &dbopts.policy)) {
-    std::cerr << "unknown policy: " << policy_name
-              << " (use Full|RR|ChooseBest|Mixed|TestMixed|PartitionedCB)\n";
-    return 2;
+  std::vector<std::string_view> known = {"db-path", "workload", "seed",
+                                         "sigma",   "n",        "threads"};
+  AppendDbFlagNames(&known);
+  if (Status st = CheckKnownFlags(flags, known); !st.ok()) {
+    return FailUsage(st);
   }
-
-  const std::string sync = FlagOr(flags, "sync", "everyn");
-  if (sync == "always") {
-    dbopts.wal_sync_mode = WalSyncMode::kAlways;
-  } else if (sync == "everyn") {
-    dbopts.wal_sync_mode = WalSyncMode::kEveryN;
-    dbopts.wal_sync_every_n = std::strtoull(
-        FlagOr(flags, "sync-n", "64").c_str(), nullptr, 10);
-  } else if (sync == "none") {
-    dbopts.wal_sync_mode = WalSyncMode::kNone;
-  } else {
-    std::cerr << "unknown sync mode: " << sync << " (use always|everyn|none)\n";
-    return 2;
+  auto dbopts_or = DbOptionsFromFlags(flags, BenchOptions());
+  if (!dbopts_or.ok()) return FailUsage(dbopts_or.status());
+  auto n_or = FlagUint(flags, "n", 50000);
+  if (!n_or.ok()) return FailUsage(n_or.status());
+  auto threads_or = FlagUint(flags, "threads", 1);
+  if (!threads_or.ok()) return FailUsage(threads_or.status());
+  if (*threads_or == 0) {
+    return FailUsage(Status::InvalidArgument("--threads must be >= 1"));
   }
-  dbopts.checkpoint_wal_bytes =
-      std::strtoull(FlagOr(flags, "checkpoint-wal-mb", "8").c_str(), nullptr,
-                    10) *
-      1024 * 1024;
-  // Off by default: the historical inline path merges on the write path.
-  // With the flag, commits seal full memtables onto the compaction queue
-  // and a worker thread flushes/merges them; stall and queue-depth fields
-  // appear in the stats line below.
-  dbopts.background_compaction = flags.contains("background-compaction") &&
-                                 FlagOr(flags, "background-compaction", "0") != "0";
-  dbopts.shards =
-      std::strtoull(FlagOr(flags, "shards", "1").c_str(), nullptr, 10);
-  if (dbopts.shards == 0) {
-    std::cerr << "--shards must be >= 1\n";
-    return 2;
-  }
+  auto base_spec_or = SpecFromFlags(flags);
+  if (!base_spec_or.ok()) return FailUsage(base_spec_or.status());
+  const uint64_t n = *n_or;
+  const uint64_t threads = *threads_or;
 
-  auto db_or = Db::Open(dbopts, flags.at("db-path"));
+  auto db_or = Db::Open(*dbopts_or, flags.at("db-path"));
   if (!db_or.ok()) {
     std::cerr << "open failed: " << db_or.status().ToString() << "\n";
     return 1;
@@ -247,17 +257,9 @@ int CmdRunDb(const Flags& flags) {
               << s.recovery_wal_entries_replayed << " WAL entries\n";
   }
 
-  const auto n =
-      std::strtoull(FlagOr(flags, "n", "50000").c_str(), nullptr, 10);
-  const auto threads =
-      std::strtoull(FlagOr(flags, "threads", "1").c_str(), nullptr, 10);
-  if (threads == 0) {
-    std::cerr << "--threads must be >= 1\n";
-    return 2;
-  }
   if (threads == 1) {
     // Single stream: byte-identical to the historical sequential path.
-    auto workload = MakeWorkload(SpecFromFlags(flags));
+    auto workload = MakeWorkload(*base_spec_or);
     for (uint64_t i = 0; i < n; ++i) {
       const WorkloadRequest req = workload->Next();
       Status st = req.kind == WorkloadRequest::Kind::kDelete
@@ -272,7 +274,7 @@ int CmdRunDb(const Flags& flags) {
     // T concurrent writers, each with its own generator (seed+t) and an
     // even share of the n requests; group commit batches their syncs and
     // the maintenance thread absorbs the checkpoints.
-    const WorkloadSpec base_spec = SpecFromFlags(flags);
+    const WorkloadSpec base_spec = *base_spec_or;
     std::atomic<bool> ok{true};
     std::vector<std::thread> workers;
     for (uint64_t t = 0; t < threads; ++t) {
@@ -305,35 +307,113 @@ int CmdRunDb(const Flags& flags) {
   }
 
   std::cout << "applied " << n << " requests\n";
-  // One index summary per shard (the facade has no tree of its own);
-  // unsharded output is unchanged.
-  for (size_t s = 0; s < db.shard_count(); ++s) {
-    const LsmTree& tree =
-        db.shard_count() == 1 ? *db.tree() : *db.shard(s)->tree();
-    std::cout << "\nindex";
-    if (db.shard_count() > 1) std::cout << " (shard " << s << ")";
-    std::cout << ": " << tree.num_levels() << " levels, "
-              << tree.TotalRecords() << " records, "
-              << tree.ApproximateDataBytes() / (1024.0 * 1024.0) << " MB\n";
-    for (size_t i = 1; i < tree.num_levels(); ++i) {
-      std::cout << "  L" << i << ": " << tree.level(i).size_blocks() << "/"
-                << tree.LevelCapacityBlocks(i) << " blocks, waste "
-                << tree.level(i).waste_factor() << "\n";
-    }
-  }
-  std::cout << "\n" << db.Stats().ToString();
+  PrintDbSummary(db);
   return 0;
 }
 
-int CmdTrace(const Flags& flags) {
-  if (!flags.contains("out")) {
-    std::cerr << "trace requires --out=FILE\n";
-    return 2;
+std::atomic<int> g_stop_signal{0};
+
+void HandleStopSignal(int sig) { g_stop_signal.store(sig); }
+
+// Serve the Db over the versioned binary protocol until SIGINT/SIGTERM.
+int CmdServe(const Flags& flags) {
+  std::vector<std::string_view> known = {"db-path", "host", "port",
+                                         "workers"};
+  AppendDbFlagNames(&known);
+  if (Status st = CheckKnownFlags(flags, known); !st.ok()) {
+    return FailUsage(st);
   }
-  const auto n = std::strtoull(FlagOr(flags, "n", "100000").c_str(),
-                               nullptr, 10);
-  auto workload = MakeWorkload(SpecFromFlags(flags));
-  const auto trace = CaptureTrace(workload.get(), n);
+  if (!flags.contains("db-path")) {
+    return FailUsage(
+        Status::InvalidArgument("serve requires --db-path=DIR"));
+  }
+  auto dbopts_or = DbOptionsFromFlags(flags, BenchOptions());
+  if (!dbopts_or.ok()) return FailUsage(dbopts_or.status());
+  auto port_or = FlagUint(flags, "port", 0);
+  if (!port_or.ok()) return FailUsage(port_or.status());
+  if (*port_or > 65535) {
+    return FailUsage(Status::InvalidArgument("--port must be <= 65535"));
+  }
+  auto workers_or = FlagUint(flags, "workers", 4);
+  if (!workers_or.ok()) return FailUsage(workers_or.status());
+  if (*workers_or == 0) {
+    return FailUsage(Status::InvalidArgument("--workers must be >= 1"));
+  }
+
+  auto db_or = Db::Open(*dbopts_or, flags.at("db-path"));
+  if (!db_or.ok()) {
+    std::cerr << "open failed: " << db_or.status().ToString() << "\n";
+    return 1;
+  }
+  Db& db = *db_or.value();
+  {
+    const DbStats s = db.Stats();
+    std::cout << "opened " << db.dir() << ": restored "
+              << s.recovery_manifest_blocks << " manifest blocks, replayed "
+              << s.recovery_wal_entries_replayed << " WAL entries\n";
+  }
+
+  net::ServerOptions sopts;
+  sopts.host = FlagOr(flags, "host", "127.0.0.1");
+  sopts.port = static_cast<uint16_t>(*port_or);
+  sopts.workers = static_cast<size_t>(*workers_or);
+  auto server_or = net::Server::Start(sopts, &db);
+  if (!server_or.ok()) {
+    std::cerr << "server start failed: " << server_or.status().ToString()
+              << "\n";
+    return 1;
+  }
+  net::Server& server = **server_or;
+  // Scripted callers (the CI smoke job, the bench in spawn mode) parse
+  // this exact line for the resolved port; keep it first and flushed.
+  std::cout << "listening on " << sopts.host << ":" << server.port()
+            << std::endl;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  while (g_stop_signal.load() == 0 && !db.failed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int sig = g_stop_signal.load();
+  std::cout << (sig != 0 ? (sig == SIGINT ? "SIGINT" : "SIGTERM")
+                         : "db failure")
+            << ": shutting down\n";
+
+  server.Stop();
+  const net::ServerCounters counters = server.counters();
+  if (Status st = db.Checkpoint(); !st.ok()) {
+    std::cerr << "final checkpoint failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "served " << counters.frames_processed << " frames over "
+            << counters.connections_accepted << " connections ("
+            << counters.connections_dropped_malformed
+            << " dropped malformed, " << counters.unsupported_version_frames
+            << " unsupported-version)\n";
+  std::cout << "quarantined_blocks " << db.Stats().quarantined_blocks.size()
+            << "\n";
+  PrintDbSummary(db);
+  return db.failed() ? 1 : 0;
+}
+
+int CmdTrace(const Flags& flags) {
+  if (Status st = CheckKnownFlags(flags,
+                                  {"workload", "seed", "sigma", "n", "out"});
+      !st.ok()) {
+    return FailUsage(st);
+  }
+  if (!flags.contains("out")) {
+    return FailUsage(Status::InvalidArgument("trace requires --out=FILE"));
+  }
+  auto n_or = FlagUint(flags, "n", 100000);
+  if (!n_or.ok()) return FailUsage(n_or.status());
+  auto spec_or = SpecFromFlags(flags);
+  if (!spec_or.ok()) return FailUsage(spec_or.status());
+  auto workload = MakeWorkload(*spec_or);
+  const auto trace = CaptureTrace(workload.get(), *n_or);
   Status st = SaveTraceToFile(trace, flags.at("out"));
   if (!st.ok()) {
     std::cerr << "save failed: " << st.ToString() << "\n";
@@ -345,9 +425,11 @@ int CmdTrace(const Flags& flags) {
 }
 
 int CmdManifest(const Flags& flags) {
+  if (Status st = CheckKnownFlags(flags, {"dump"}); !st.ok()) {
+    return FailUsage(st);
+  }
   if (!flags.contains("dump")) {
-    std::cerr << "manifest requires --dump=FILE\n";
-    return 2;
+    return FailUsage(Status::InvalidArgument("manifest requires --dump=FILE"));
   }
   auto manifest = LoadManifestFromFile(flags.at("dump"));
   if (!manifest.ok()) {
@@ -423,9 +505,11 @@ int64_t ScrubOneDir(const std::string& dir, const std::string& label) {
 }
 
 int CmdScrub(const Flags& flags) {
+  if (Status st = CheckKnownFlags(flags, {"db-path"}); !st.ok()) {
+    return FailUsage(st);
+  }
   if (!flags.contains("db-path")) {
-    std::cerr << "scrub requires --db-path=DIR\n";
-    return 2;
+    return FailUsage(Status::InvalidArgument("scrub requires --db-path=DIR"));
   }
   const std::string dir = flags.at("db-path");
 
@@ -463,15 +547,18 @@ int CmdScrub(const Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr
-        << "usage: lsmssd_cli run|trace|manifest|scrub [--flag=value ...]\n";
+    std::cerr << "usage: lsmssd_cli run|serve|trace|manifest|scrub "
+                 "[--flag=value ...]\n";
     return 2;
   }
   const std::string command = argv[1];
-  const Flags flags = ParseFlags(argc, argv, 2);
+  auto flags_or = ParseFlagArgs(argc, argv, 2);
+  if (!flags_or.ok()) return FailUsage(flags_or.status());
+  const Flags& flags = *flags_or;
   if (command == "run") {
     return flags.contains("db-path") ? CmdRunDb(flags) : CmdRun(flags);
   }
+  if (command == "serve") return CmdServe(flags);
   if (command == "trace") return CmdTrace(flags);
   if (command == "manifest") return CmdManifest(flags);
   if (command == "scrub") return CmdScrub(flags);
