@@ -116,6 +116,9 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   if (dbopts.background_compaction && dbopts.compaction_queue_depth == 0) {
     return Status::InvalidArgument("compaction_queue_depth must be >= 1");
   }
+  if (dbopts.background_compaction && dbopts.compaction_workers == 0) {
+    return Status::InvalidArgument("compaction_workers must be >= 1");
+  }
   if (dbopts.shards == 0) {
     return Status::InvalidArgument("shards must be >= 1");
   }
@@ -294,7 +297,20 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
     db->maintenance_ = std::thread(&Db::MaintenanceLoop, db.get());
   }
   if (dbopts.background_compaction) {
-    db->compaction_ = std::thread(&Db::CompactionLoop, db.get());
+    if (dbopts.compaction_rate_limit_blocks_per_sec > 0) {
+      const uint64_t burst =
+          dbopts.compaction_rate_burst_blocks > 0
+              ? dbopts.compaction_rate_burst_blocks
+              : std::max<uint64_t>(
+                    64, dbopts.compaction_rate_limit_blocks_per_sec / 8);
+      db->merge_rate_limiter_ = std::make_unique<RateLimiter>(
+          dbopts.compaction_rate_limit_blocks_per_sec, burst);
+      db->tree_->set_merge_rate_limiter(db->merge_rate_limiter_.get());
+    }
+    db->compaction_pool_.reserve(dbopts.compaction_workers);
+    for (size_t i = 0; i < dbopts.compaction_workers; ++i) {
+      db->compaction_pool_.emplace_back(&Db::CompactionLoop, db.get());
+    }
   }
   return db;
 }
@@ -330,7 +346,9 @@ void Db::Close() {
     stop_compaction_ = true;
   }
   comp_cv_.notify_all();
-  if (compaction_.joinable()) compaction_.join();
+  for (std::thread& t : compaction_pool_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 Db::~Db() {
@@ -558,19 +576,22 @@ Status Db::MaybeSealOrStallLocked(std::unique_lock<std::mutex>& lk) {
   };
 
   // Soft throttle: with the queue deep, delay every op a little so the
-  // worker gains ground before writers hit the hard wall. The sleep holds
-  // db_mu_ on purpose — it must slow the whole commit path.
+  // workers gain ground before writers hit the hard wall. The wait holds
+  // db_mu_ on purpose — it must slow the whole commit path. It is a
+  // condvar wait, not an unconditional sleep: every worker step notifies
+  // stall_cv_, so the moment the queue drains below the threshold (or
+  // compaction wedges) the writer proceeds instead of serving out the
+  // full slowdown_micros penalty.
   if (dbopts_.compaction_slowdown_depth > 0) {
-    bool deep = false;
-    {
-      std::lock_guard<std::mutex> clk(comp_mu_);
-      deep = sealed_queued_ >= dbopts_.compaction_slowdown_depth;
-    }
-    if (deep) {
+    std::unique_lock<std::mutex> clk(comp_mu_);
+    if (sealed_queued_ >= dbopts_.compaction_slowdown_depth) {
       const auto t0 = Clock::now();
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(dbopts_.compaction_slowdown_micros));
-      std::lock_guard<std::mutex> clk(comp_mu_);
+      stall_cv_.wait_for(
+          clk, std::chrono::microseconds(dbopts_.compaction_slowdown_micros),
+          [&] {
+            return sealed_queued_ < dbopts_.compaction_slowdown_depth ||
+                   !compaction_error_.ok() || failed();
+          });
       ++throttle_events_;
       throttle_micros_ += micros_since(t0);
     }
@@ -622,7 +643,11 @@ Status Db::MaybeSealOrStallLocked(std::unique_lock<std::mutex>& lk) {
     ++memtables_sealed_;
     compaction_scheduled_ = true;
   }
-  comp_cv_.notify_one();
+  // notify_all, not notify_one: comp_cv_ carries two kinds of waiters —
+  // idle workers waiting for work AND pacing workers waiting out rate-
+  // limiter debt (which a deepening queue must interrupt, see
+  // PaceMergeRate). A single notify could be swallowed by the wrong kind.
+  comp_cv_.notify_all();
   return Status::OK();
 }
 
@@ -638,43 +663,142 @@ void Db::CompactionLoop() {
   }
 }
 
+bool Db::TryClaimLevelsLocked(size_t lo, size_t hi) {
+  if (level_claims_.size() < hi + 1) level_claims_.resize(hi + 1, 0);
+  for (size_t i = lo; i <= hi; ++i) {
+    if (level_claims_[i] != 0) return false;
+  }
+  for (size_t i = lo; i <= hi; ++i) level_claims_[i] = 1;
+  return true;
+}
+
+void Db::ReleaseLevelsLocked(size_t lo, size_t hi) {
+  for (size_t i = lo; i <= hi; ++i) {
+    LSMSSD_CHECK(i < level_claims_.size() && level_claims_[i] != 0);
+    level_claims_[i] = 0;
+  }
+}
+
 Status Db::RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped) {
-  std::unique_lock<SharedMutex> tlk(tree_mu_);
-  Memtable* front = nullptr;
-  // Flushes normally outrank merges (they bound the writer-visible
-  // queue), but once the L0 buffer is backlogged the merge goes first —
-  // flushing into an already-oversized buffer trades bounded queue depth
-  // for unbounded buffer memory (see LsmTree::L0BufferBacklogged).
-  if (!tree_->L0BufferBacklogged()) {
-    // The queue *structure* is shared with sealing writers; shared is
-    // enough to pin it while we copy the front pointer. The front
-    // memtable's *contents* are then ours to drain under tree_mu_ alone:
-    // writers only ever touch the active memtable.
-    std::shared_lock<SharedMutex> mlk(mem_mu_);
-    front = tree_->FrontSealed();
+  // Phase 1 — flush. Flushes normally outrank merges (they bound the
+  // writer-visible queue), but once the L0 buffer is backlogged the merge
+  // goes first — flushing into an already-oversized buffer trades bounded
+  // queue depth for unbounded buffer memory (see
+  // LsmTree::L0BufferBacklogged). A flush runs entirely under mem_mu_
+  // exclusive — it drains the front sealed memtable into the memory-
+  // resident L0 buffer, pure memory work — so it overlaps a merge step
+  // another worker is running under tree_mu_. What it must NOT overlap is
+  // an L0 *spill* (which reads and erases the buffer under tree_mu_, not
+  // mem_mu_): the claim on "level 0" serializes the two buffer mutators.
+  // Claim BEFORE peeking: L0BufferBacklogged reads the buffer's size, and
+  // a spill erases the buffer under tree_mu_ (not mem_mu_), so the size is
+  // only stable once claim {0} excludes the other mutator. The claim is
+  // cheap and released immediately when there is nothing to flush.
+  bool flush_claimed = false;
+  {
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    flush_claimed = TryClaimLevelsLocked(0, 0);
   }
-  if (front != nullptr) {
-    LSMSSD_RETURN_IF_ERROR(tree_->FlushSealedStep(front));
+  if (flush_claimed) {
+    bool do_flush = false;
     {
-      std::unique_lock<SharedMutex> mlk(mem_mu_);
-      *popped = tree_->PopSealedIfDrained();
-      // Exact refresh for the facade arbiter: holding tree_mu_ exclusive
-      // (contents) + mem_mu_ exclusive (queue structure) makes reading
-      // the sealed queue's record counts race-free.
-      mem_sealed_records_.store(tree_->sealed_records(),
-                                std::memory_order_relaxed);
-      mem_l0_records_.store(tree_->l0_buffer_records(),
-                            std::memory_order_relaxed);
+      std::shared_lock<SharedMutex> mlk(mem_mu_);
+      do_flush =
+          !tree_->L0BufferBacklogged() && tree_->FrontSealed() != nullptr;
     }
-    *step = LsmTree::CompactStep::kFlush;
-    return Status::OK();
+    Status st;
+    if (do_flush) {
+      std::unique_lock<SharedMutex> mlk(mem_mu_);
+      // Re-fetch under the exclusive hold: another worker may have
+      // finished the front memtable between the peek and the claim.
+      if (Memtable* front = tree_->FrontSealed(); front != nullptr) {
+        st = tree_->FlushSealedStep(front);
+        if (st.ok()) {
+          *popped = tree_->PopSealedIfDrained();
+          // Exact refresh for the facade arbiter: mem_mu_ exclusive makes
+          // reading the queue's record counts race-free.
+          mem_sealed_records_.store(tree_->sealed_records(),
+                                    std::memory_order_relaxed);
+          mem_l0_records_.store(tree_->l0_buffer_records(),
+                                std::memory_order_relaxed);
+          *step = LsmTree::CompactStep::kFlush;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> clk(comp_mu_);
+      ReleaseLevelsLocked(0, 0);
+    }
+    if (!st.ok()) return st;
+    if (*step == LsmTree::CompactStep::kFlush) return Status::OK();
+    // The front vanished while we claimed: fall through to the merges.
   }
-  auto step_or = tree_->MergeOverflowStep();
+
+  // Phase 2 — merge. One exclusive tree_mu_ hold per step keeps level
+  // publication serialized; the claim {source, source+1} keeps a second
+  // worker from picking the same pair the moment we drop tree_mu_ between
+  // steps, and (for source 0) excludes concurrent flush absorption into
+  // the buffer being spilled.
+  std::unique_lock<SharedMutex> tlk(tree_mu_);
+  size_t source = 0;
+  bool claimed = false;
+  {
+    // mem_mu_ shared: L0BufferOverflowing reads the buffer's size, which a
+    // concurrent flush mutates under mem_mu_.
+    std::shared_lock<SharedMutex> mlk(mem_mu_);
+    const std::vector<size_t> sources = tree_->OverflowingMergeSources();
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    for (size_t s : sources) {
+      if (TryClaimLevelsLocked(s, s + 1)) {
+        source = s;
+        claimed = true;
+        break;
+      }
+    }
+  }
+  if (!claimed) return Status::OK();  // Nothing overflowing, or all claimed.
+  // Safe to run without mem_mu_ even for source 0: the claim excludes
+  // flushes, and workers are the only L0-buffer mutators (comp_mu_'s
+  // claim handoff provides the happens-before edge between their holds).
+  auto step_or = tree_->MergeSourceStep(source);
+  {
+    std::lock_guard<std::mutex> clk(comp_mu_);
+    ReleaseLevelsLocked(source, source + 1);
+  }
   if (!step_or.ok()) return step_or.status();
   *step = step_or.value();
-  mem_l0_records_.store(tree_->l0_buffer_records(),
-                        std::memory_order_relaxed);
+  {
+    std::shared_lock<SharedMutex> mlk(mem_mu_);
+    mem_l0_records_.store(tree_->l0_buffer_records(),
+                          std::memory_order_relaxed);
+  }
   return Status::OK();
+}
+
+void Db::PaceMergeRate() {
+  if (merge_rate_limiter_ == nullptr) return;
+  const std::chrono::microseconds delay = merge_rate_limiter_->DelayNeeded();
+  if (delay.count() <= 0) return;
+  // Cap each pause so a worker re-evaluates the world (new work, shutdown)
+  // at least every 100ms even under a huge debt.
+  const auto capped = std::min(delay, std::chrono::microseconds(100000));
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::unique_lock<std::mutex> clk(comp_mu_);
+  // Fairness: merges yield pacing to flushes when the sealed queue is deep
+  // — a paused worker must not hold writers at the stall wall just to
+  // honor a rate limit. Sealing notifies comp_cv_, which interrupts the
+  // wait the moment the queue deepens.
+  const size_t fairness_depth =
+      std::max<size_t>(1, dbopts_.compaction_slowdown_depth);
+  if (sealed_queued_ >= fairness_depth) return;
+  comp_cv_.wait_for(clk, capped, [&] {
+    return stop_compaction_ || sealed_queued_ >= fairness_depth;
+  });
+  ++rate_pauses_;
+  rate_pause_micros_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
 }
 
 void Db::RunCompactionSteps() {
@@ -682,7 +806,7 @@ void Db::RunCompactionSteps() {
   {
     std::lock_guard<std::mutex> clk(comp_mu_);
     compaction_scheduled_ = false;
-    worker_active_ = true;
+    ++active_compaction_workers_;
   }
   Status err;
   while (!failed()) {
@@ -714,10 +838,14 @@ void Db::RunCompactionSteps() {
       break;
     }
     if (step == LsmTree::CompactStep::kNone) break;
+    // Pay off rate-limiter debt *between* steps, off every lock: the loop
+    // re-scans for work afterwards, so claimed-but-unfinished work never
+    // leaks — a worker exits only after seeing kNone for itself.
+    if (step == LsmTree::CompactStep::kMerge) PaceMergeRate();
   }
   {
     std::lock_guard<std::mutex> clk(comp_mu_);
-    worker_active_ = false;
+    --active_compaction_workers_;
   }
   stall_cv_.notify_all();
   // ResourceExhausted and Corruption are retryable backpressure (exactly
@@ -741,7 +869,7 @@ Status Db::WaitForCompaction() {
   if (!dbopts_.background_compaction) return Status::OK();
   std::unique_lock<std::mutex> clk(comp_mu_);
   stall_cv_.wait(clk, [&] {
-    return (sealed_queued_ == 0 && !worker_active_ &&
+    return (sealed_queued_ == 0 && active_compaction_workers_ == 0 &&
             !compaction_scheduled_) ||
            !compaction_error_.ok() || failed();
   });
@@ -881,6 +1009,10 @@ Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
   std::string manifest_data;
   {
     std::shared_lock<SharedMutex> tlk(tree_mu_);
+    // mem_mu_ too (tree -> mem follows the hierarchy): the snapshot reads
+    // the L0 buffer and the sealed queue, which a concurrent flush step
+    // mutates under mem_mu_ alone — tree_mu_ no longer covers them.
+    std::shared_lock<SharedMutex> mlk(mem_mu_);
     manifest_data = EncodeManifest(*tree_);
     pinned_->BeginCheckpoint(CurrentTreeBlocks());
   }
@@ -1069,7 +1201,7 @@ void Db::SetMaxDeviceBlocks(uint64_t max_blocks) {
       compaction_error_ = Status::OK();
       compaction_scheduled_ = true;
     }
-    comp_cv_.notify_one();
+    comp_cv_.notify_all();
     stall_cv_.notify_all();
   }
 }
@@ -1142,6 +1274,8 @@ DbStats Db::Stats() const {
     s.throttle_micros = throttle_micros_;
     s.stall_events = stall_events_;
     s.stall_micros = stall_micros_;
+    s.compaction_rate_pauses = rate_pauses_;
+    s.compaction_rate_pause_micros = rate_pause_micros_;
     s.stall_latency = stall_hist_;
   }
   return s;
@@ -1179,7 +1313,10 @@ std::string DbStats::ToString() const {
          " throttle_events=" + std::to_string(throttle_events) +
          " throttle_micros=" + std::to_string(throttle_micros) +
          " stall_events=" + std::to_string(stall_events) +
-         " stall_micros=" + std::to_string(stall_micros) + "\n";
+         " stall_micros=" + std::to_string(stall_micros) +
+         " rate_pauses=" + std::to_string(compaction_rate_pauses) +
+         " rate_pause_micros=" + std::to_string(compaction_rate_pause_micros) +
+         "\n";
   out += "stall_latency_us: " + stall_latency.ToString() + "\n";
   return out;
 }

@@ -22,6 +22,7 @@
 #include "src/storage/file_block_device.h"
 #include "src/storage/io_stats.h"
 #include "src/util/histogram.h"
+#include "src/util/rate_limiter.h"
 #include "src/util/shared_mutex.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
@@ -121,6 +122,33 @@ struct DbOptions {
   /// Memory ceiling: (compaction_queue_depth + 1) * K0 * B records.
   size_t compaction_queue_depth = 4;
 
+  /// Background compaction worker threads (>= 1; background mode only).
+  /// With one worker (the default, previous behavior) flushes and merges
+  /// alternate on a single thread, so one long merge head-of-line blocks
+  /// every flush behind it and the sealed queue backs up into throttles
+  /// and stalls. With more workers the steps are scheduled through a
+  /// per-level ownership table: flushes run under the memtable lock only
+  /// and claim the L0 buffer; a merge of level s claims {s, s+1} and
+  /// holds the exclusive tree lock for its step (level publication stays
+  /// a single serialized step) — so a flush proceeds concurrently with a
+  /// long merge, and no two workers ever write the same level.
+  size_t compaction_workers = 1;
+
+  /// Token-bucket cap on the aggregate background merge write rate, in
+  /// data blocks per second; 0 = unpaced (previous behavior). Merge steps
+  /// charge the bucket as they write and the worker sleeps off any debt
+  /// *between* steps with no locks held, smoothing merge I/O over time
+  /// instead of emitting it in bursts (the write-latency-variance
+  /// pathology of unthrottled compaction; see DESIGN.md). Fairness: the
+  /// pacing pause is skipped while the sealed queue is at or past
+  /// compaction_slowdown_depth — when writers are already being
+  /// throttled, merges run at full speed to drain the backlog.
+  uint64_t compaction_rate_limit_blocks_per_sec = 0;
+
+  /// Bucket capacity for the rate limiter, in blocks; bounds how large a
+  /// burst an idle period can buy. 0 = auto (max(64, limit/8)).
+  uint64_t compaction_rate_burst_blocks = 0;
+
   /// Soft backpressure: while the queue holds at least this many sealed
   /// memtables, every modification sleeps compaction_slowdown_micros
   /// before committing, slowing writers so the worker can catch up
@@ -184,6 +212,10 @@ struct DbStats {
   uint64_t throttle_micros = 0;
   uint64_t stall_events = 0;         ///< Ops that hit the hard queue-full stall.
   uint64_t stall_micros = 0;
+  /// Pacing pauses the rate limiter imposed on merge workers (zero when
+  /// compaction_rate_limit_blocks_per_sec is 0).
+  uint64_t compaction_rate_pauses = 0;
+  uint64_t compaction_rate_pause_micros = 0;
   /// Per-op hard-stall wait times in microseconds (only stalled ops are
   /// recorded; an empty histogram means no writer ever hit the wall). For
   /// a sharded Db this is the *merge* of every shard's histogram
@@ -448,12 +480,13 @@ class Db {
   /// until Close().
   void MaintenanceLoop();
 
-  /// Background compaction thread (started only in background mode):
-  /// sleeps on comp_cv_ until a writer seals a memtable (or the cap is
-  /// raised), then runs RunCompactionSteps. Deliberately NOT the
-  /// maintenance thread: that one parks on db_mu_, and a hard-stalled
-  /// writer waits for compaction progress *while holding db_mu_* — a
-  /// worker that needed db_mu_ to wake could then never run.
+  /// Background compaction worker body (compaction_workers threads run
+  /// it in background mode): sleeps on comp_cv_ until a writer seals a
+  /// memtable (or the cap is raised), then runs RunCompactionSteps.
+  /// Deliberately NOT the maintenance thread: that one parks on db_mu_,
+  /// and a hard-stalled writer waits for compaction progress *while
+  /// holding db_mu_* — a worker that needed db_mu_ to wake could then
+  /// never run.
   void CompactionLoop();
 
   // ---- Background compaction (see DESIGN.md, "Compaction scheduling
@@ -474,10 +507,28 @@ class Db {
   /// and release db_mu_ first.
   void RunCompactionSteps();
 
-  /// One bounded worker step: tree_mu_ exclusive for the merge, mem_mu_
-  /// only around the sealed-queue structure (peek/pop), so writers keep
-  /// appending to the active memtable throughout.
+  /// One bounded worker step, scheduled through the per-level ownership
+  /// table (level_claims_, under comp_mu_): a flush claims the L0 buffer
+  /// ("level 0") and runs under mem_mu_ exclusive only — pure memory, no
+  /// tree lock, so it proceeds while another worker holds tree_mu_ for a
+  /// long merge; a merge claims its source level pair {s, s+1} and runs
+  /// under tree_mu_ exclusive (serialized level publication). Claims are
+  /// try-acquire only (a worker never blocks holding one lock waiting
+  /// for a claim), and work that is visible but claimed by another
+  /// worker is left to that worker's drain loop, which always rescans
+  /// before exiting. Writers keep appending throughout either step kind.
   Status RunOneCompactionStep(LsmTree::CompactStep* step, bool* popped);
+
+  /// Claims every level in [lo, hi] for the calling worker, or claims
+  /// nothing and returns false if any is taken. Requires comp_mu_.
+  bool TryClaimLevelsLocked(size_t lo, size_t hi);
+  void ReleaseLevelsLocked(size_t lo, size_t hi);
+
+  /// Pays off the rate limiter's token debt after a merge step: sleeps
+  /// (bounded, off every lock) on comp_cv_ until the debt is covered —
+  /// or returns early when the sealed queue gets deep (fairness: merges
+  /// yield their pacing to flush pressure) or the Db is stopping.
+  void PaceMergeRate();
 
   /// One background scrub batch: picks the next scrub_batch_blocks live
   /// blocks after the round-robin cursor and verifies them under the
@@ -541,21 +592,30 @@ class Db {
   //          it shared; level mutations and deferred-free recycling hold
   //          it exclusive. Inline-mode writers take it exclusive per op
   //          (always while also holding db_mu_); background-mode writers
-  //          never take it — only the compaction worker does, one merge
-  //          step per hold. Writer-preferring so tight read loops cannot
-  //          starve commits (std::shared_mutex on glibc would).
-  // mem_mu_  memory-resident state lock: the active memtable's contents
-  //          and the sealed-queue structure. Writers hold it exclusive
-  //          for the in-memory apply and for sealing; readers hold it
-  //          shared for the memtable probe (and for an iterator's whole
-  //          lifetime); the worker holds it briefly around sealed-queue
-  //          peek/pop. This is the split that takes merges off the write
-  //          path: a writer needs only db_mu_ + mem_mu_, a merge step
-  //          needs tree_mu_ — they never contend.
+  //          never take it — only compaction workers do, one merge step
+  //          per exclusive hold (level publication stays serialized even
+  //          with compaction_workers > 1). Writer-preferring so tight
+  //          read loops cannot starve commits (std::shared_mutex on
+  //          glibc would).
+  // mem_mu_  memory-resident state lock: the active memtable's contents,
+  //          the sealed-queue structure, and flush absorption into the
+  //          tree's L0 buffer (a flush step runs entirely under mem_mu_
+  //          exclusive, never tree_mu_ — pure memory, so it overlaps an
+  //          in-flight merge). Writers hold it exclusive for the
+  //          in-memory apply and for sealing; readers hold it shared for
+  //          the memtable probe (and for an iterator's whole lifetime).
+  //          This is the split that takes merges off the write path: a
+  //          writer needs only db_mu_ + mem_mu_, a merge step needs
+  //          tree_mu_ — they never contend. The L0 buffer's contents are
+  //          mutated either under [mem_mu_ exclusive + claim on level 0]
+  //          (flush) or [tree_mu_ exclusive + claim on level 0] (L0
+  //          spill); readers snapshotting it hold tree_mu_ AND mem_mu_
+  //          shared.
   // comp_mu_ leaf lock (never held while acquiring any other): compaction
-  //          queue depth, worker state, stall/throttle counters. Guards
+  //          queue depth, worker state, the per-level ownership table
+  //          (level_claims_), stall/throttle/pacing counters. Guards
   //          stall_cv_, on which stalled writers wait *while holding
-  //          db_mu_* — which is why the worker must not touch db_mu_
+  //          db_mu_* — which is why workers must not touch db_mu_
   //          between steps.
   mutable std::mutex db_mu_;
   mutable SharedMutex tree_mu_;
@@ -567,7 +627,9 @@ class Db {
   std::condition_variable stall_cv_;  ///< Compaction progress (comp_mu_).
   std::condition_variable comp_cv_;   ///< Work for the worker (comp_mu_).
   std::thread maintenance_;
-  std::thread compaction_;  ///< Worker thread (background mode only).
+  /// Compaction worker pool, compaction_workers threads (background mode
+  /// only; previously a single thread).
+  std::vector<std::thread> compaction_pool_;
 
   std::atomic<bool> failed_{false};
   bool closed_ = false;               ///< Close() ran (under db_mu_).
@@ -578,9 +640,16 @@ class Db {
 
   // Background-compaction state (under comp_mu_).
   size_t sealed_queued_ = 0;      ///< Sealed memtables awaiting drain.
-  bool worker_active_ = false;    ///< RunCompactionSteps is running.
-  bool compaction_scheduled_ = false;  ///< Kicked, worker not started yet.
+  size_t active_compaction_workers_ = 0;  ///< Workers inside RunCompactionSteps.
+  bool compaction_scheduled_ = false;  ///< Kicked, no worker started on it yet.
   bool stop_compaction_ = false;  ///< Tells CompactionLoop to exit.
+  /// Per-level ownership table (index 0 = the L0 buffer, i = level Li):
+  /// nonzero while a worker owns the level for its current step. A flush
+  /// claims {0}; a merge of source s claims {s, s+1}. This is what makes
+  /// the two L0-buffer mutators (flush absorb under mem_mu_, L0 spill
+  /// under tree_mu_) mutually exclusive, and guarantees no two workers
+  /// ever write the same level.
+  std::vector<uint8_t> level_claims_;
   /// Sticky worker error (ResourceExhausted/Corruption): surfaced to
   /// writers that must seal, cleared by a later successful step or by
   /// SetMaxDeviceBlocks. Durability errors poison the Db instead.
@@ -593,7 +662,14 @@ class Db {
   uint64_t throttle_micros_ = 0;
   uint64_t stall_events_ = 0;
   uint64_t stall_micros_ = 0;
+  uint64_t rate_pauses_ = 0;        ///< Merge pacing pauses taken.
+  uint64_t rate_pause_micros_ = 0;  ///< Time merge workers spent pacing.
   LatencyHistogram stall_hist_;
+
+  /// Token bucket charged by merge block-writes (set on the tree at
+  /// Open when compaction_rate_limit_blocks_per_sec > 0), drained by
+  /// PaceMergeRate between worker steps.
+  std::unique_ptr<RateLimiter> merge_rate_limiter_;
 
   // Group-commit bookkeeping (under db_mu_). Sequence numbers count WAL
   // entries appended since open; they survive rotation (unlike the

@@ -9,6 +9,7 @@ void AppendDbFlagNames(std::vector<std::string_view>* known) {
       "sync-n",          "checkpoint-wal-mb",
       "background-compaction", "shards",
       "scrub-interval-ms", "max-device-blocks",
+      "compaction-workers", "compaction-rate-limit",
   };
   for (std::string_view n : kNames) known->push_back(n);
 }
@@ -57,6 +58,16 @@ StatusOr<DbOptions> DbOptionsFromFlags(const FlagMap& flags,
 
   LSMSSD_ASSIGN_OR_RETURN(dbopts.background_compaction,
                           FlagBool(flags, "background-compaction", false));
+
+  LSMSSD_ASSIGN_OR_RETURN(dbopts.compaction_workers,
+                          FlagUint(flags, "compaction-workers", 1));
+  if (dbopts.compaction_workers == 0) {
+    return Status::InvalidArgument("--compaction-workers must be >= 1");
+  }
+  // Merge block-writes per second; 0 = unlimited (burst stays at the
+  // DbOptions auto default).
+  LSMSSD_ASSIGN_OR_RETURN(dbopts.compaction_rate_limit_blocks_per_sec,
+                          FlagUint(flags, "compaction-rate-limit", 0));
 
   LSMSSD_ASSIGN_OR_RETURN(dbopts.shards, FlagUint(flags, "shards", 1));
   if (dbopts.shards == 0) {

@@ -312,7 +312,9 @@ bool Db::TrySealActiveMemtable() {
     ++memtables_sealed_;
     compaction_scheduled_ = true;
   }
-  comp_cv_.notify_one();
+  // notify_all: comp_cv_ also carries rate-limiter pacing waiters, which a
+  // deepening queue must interrupt (see Db::PaceMergeRate).
+  comp_cv_.notify_all();
   return true;
 }
 
@@ -382,6 +384,8 @@ DbStats Db::ShardedStats() const {
     agg.throttle_micros += s.throttle_micros;
     agg.stall_events += s.stall_events;
     agg.stall_micros += s.stall_micros;
+    agg.compaction_rate_pauses += s.compaction_rate_pauses;
+    agg.compaction_rate_pause_micros += s.compaction_rate_pause_micros;
     agg.stall_latency.Merge(s.stall_latency);
   }
   std::sort(agg.quarantined_blocks.begin(), agg.quarantined_blocks.end());

@@ -157,11 +157,21 @@ bool LsmTree::PopSealedIfDrained() {
   return true;
 }
 
-StatusOr<LsmTree::CompactStep> LsmTree::MergeOverflowStep() {
-  // The L0 buffer is the shallowest "level": spill a policy-selected
+std::vector<size_t> LsmTree::OverflowingMergeSources() const {
+  // The L0 buffer is the shallowest "level": it spills a policy-selected
   // window once it reaches K0 capacity, exactly like the inline path's
   // overflow test on its memtable.
-  if (L0BufferOverflowing()) {
+  std::vector<size_t> sources;
+  if (L0BufferOverflowing()) sources.push_back(0);
+  for (size_t i = 1; i < num_levels(); ++i) {
+    if (LevelOverflowing(i)) sources.push_back(i);
+  }
+  return sources;
+}
+
+StatusOr<LsmTree::CompactStep> LsmTree::MergeSourceStep(size_t source) {
+  if (source == 0) {
+    if (!L0BufferOverflowing()) return CompactStep::kNone;
     if (num_levels() == 1) AddLevel();
     compacting_l0_ = &l0_buffer_;
     Status st = ExecuteMerge(0);
@@ -169,13 +179,18 @@ StatusOr<LsmTree::CompactStep> LsmTree::MergeOverflowStep() {
     LSMSSD_RETURN_IF_ERROR(st);
     return CompactStep::kMerge;
   }
-  for (size_t i = 1; i < num_levels(); ++i) {
-    if (!LevelOverflowing(i)) continue;
-    if (i + 1 == num_levels()) AddLevel();
-    LSMSSD_RETURN_IF_ERROR(ExecuteMerge(i));
-    return CompactStep::kMerge;
+  if (source >= num_levels() || !LevelOverflowing(source)) {
+    return CompactStep::kNone;
   }
-  return CompactStep::kNone;
+  if (source + 1 == num_levels()) AddLevel();
+  LSMSSD_RETURN_IF_ERROR(ExecuteMerge(source));
+  return CompactStep::kMerge;
+}
+
+StatusOr<LsmTree::CompactStep> LsmTree::MergeOverflowStep() {
+  const std::vector<size_t> sources = OverflowingMergeSources();
+  if (sources.empty()) return CompactStep::kNone;
+  return MergeSourceStep(sources.front());
 }
 
 StatusOr<LsmTree::CompactStep> LsmTree::BackgroundCompactStep() {
@@ -294,7 +309,7 @@ Status LsmTree::ExecuteMerge(size_t source_level) {
   Level* target = mutable_level(target_index);
   const bool bottom = IsBottomLevel(target_index);
   MergeExecutor executor(options_, device_, target, bottom,
-                         options_.preserve_blocks);
+                         options_.preserve_blocks, merge_rate_limiter_);
 
   MergeSource source;
   // L0 input is *copied* out of the memtable and erased only after the

@@ -17,6 +17,7 @@
 #include "src/policy/merge_policy.h"
 #include "src/storage/block_device.h"
 #include "src/storage/lru_cache.h"
+#include "src/util/rate_limiter.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 
@@ -123,13 +124,19 @@ class LsmTree {
   /// phases itself so each can run under exactly the locks it needs.
   StatusOr<CompactStep> BackgroundCompactStep();
 
-  // The phases of one step. Locking contracts (Db's discipline): the
-  // sealed *queue structure* is shared with writers (SealMemtable) and
-  // readers, so FrontSealed needs at least the shared memtable lock and
-  // PopSealedIfDrained the exclusive one; the *contents* of a sealed
-  // memtable and the on-SSD levels are only touched by merges and
-  // readers, so FlushSealedStep/MergeOverflowStep need the exclusive
-  // tree lock (and no memtable lock — writers keep running).
+  // The phases of one step. Locking contracts (Db's discipline, see
+  // DESIGN.md "Compaction scheduling & write stalls"): FrontSealed/
+  // FlushSealedStep/PopSealedIfDrained touch only memory-resident state
+  // (the sealed queue and the L0 buffer), so a flush runs entirely under
+  // the exclusive *memtable* lock — it never takes the tree lock, which
+  // is what lets flushes proceed while another worker holds the tree
+  // lock for a long merge. Merge steps (OverflowingMergeSources +
+  // MergeSourceStep) mutate levels and device metadata and need the
+  // exclusive tree lock. The L0 buffer is written by both a flush
+  // (absorb) and an L0 spill (Slice/EraseRange inside MergeSourceStep(0));
+  // neither lock alone orders those two, so Db's per-level ownership
+  // table additionally guarantees at most one worker owns "level 0" at
+  // a time (flush and L0 spill both claim it).
 
   /// The sealed memtable the next flush step drains (the oldest), or
   /// nullptr when the queue is empty.
@@ -149,6 +156,26 @@ class LsmTree {
   /// One policy-selected merge out of the shallowest overflowing level —
   /// the L0 buffer first, then the on-SSD levels — or kNone.
   StatusOr<CompactStep> MergeOverflowStep();
+
+  /// Merge sources currently overflowing, shallowest first: 0 when the
+  /// L0 buffer is at K0 capacity, then every on-SSD level over K_i. A
+  /// multi-worker caller claims one source s (owning levels {s, s+1} in
+  /// its ownership table) and runs MergeSourceStep(s).
+  std::vector<size_t> OverflowingMergeSources() const;
+
+  /// One policy-selected merge out of `source` (0 = the L0 buffer spill,
+  /// i >= 1 = level Li into Li+1), growing the tree by one level first
+  /// when the target does not exist yet. Returns kNone when `source` is
+  /// no longer overflowing (another worker's flush may race the scan for
+  /// source 0 — the buffer only grows, so this is conservative). Failure
+  /// atomicity matches MergeExecutor::Merge.
+  StatusOr<CompactStep> MergeSourceStep(size_t source);
+
+  /// Installs the token bucket charged by merge block-writes (may be
+  /// null to disable). Not owned; set once before compaction starts.
+  void set_merge_rate_limiter(RateLimiter* limiter) {
+    merge_rate_limiter_ = limiter;
+  }
 
   /// Records currently absorbed into the L0 buffer (background path
   /// only; always 0 on the inline path).
@@ -280,6 +307,9 @@ class LsmTree {
   /// return the sealed memtable being drained instead of the active one.
   Memtable* compacting_l0_ = nullptr;
   std::vector<std::unique_ptr<Level>> levels_;  // levels_[0] is L1.
+  /// Charged per merge output-block write when set (see merge.h). Null
+  /// on the inline path and in research/bench code.
+  RateLimiter* merge_rate_limiter_ = nullptr;
   LsmStats stats_;
 };
 

@@ -129,6 +129,18 @@ Status Client::SendRaw(uint8_t opcode, std::string_view payload) {
         send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired. With nothing of the frame on the wire the
+        // connection is still aligned — the caller may retry. A torn
+        // frame, by contrast, desynchronizes the stream for good.
+        if (sent == 0) {
+          return Status::TimedOut("send timed out after " +
+                                  std::to_string(opts_.io_timeout_ms) + "ms");
+        }
+        return Fail(Status::TimedOut(
+            "send timed out mid-frame (" + std::to_string(sent) + "/" +
+            std::to_string(frame.size()) + " bytes); stream desynchronized"));
+      }
       return Fail(ErrnoStatus("send", errno));
     }
     sent += static_cast<size_t>(n);
@@ -141,6 +153,11 @@ Status Client::FillBuffer() {
   const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
   if (n < 0) {
     if (errno == EINTR) return Status::OK();
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired: the server is slow or stalled, not broken.
+      return Status::TimedOut("recv timed out after " +
+                              std::to_string(opts_.io_timeout_ms) + "ms");
+    }
     return ErrnoStatus("recv", errno);
   }
   if (n == 0) {
@@ -169,7 +186,12 @@ Status Client::ReceiveResponse(Frame* frame) {
         }
         return Status::OK();
       case FrameDecodeResult::kNeedMore:
-        if (Status st = FillBuffer(); !st.ok()) return Fail(st);
+        if (Status st = FillBuffer(); !st.ok()) {
+          // A timeout is NOT fatal: inbuf_ keeps any partial frame, the
+          // stream stays aligned, and a later ReceiveResponse resumes
+          // exactly where this one left off. Everything else latches.
+          return st.IsTimedOut() ? st : Fail(st);
+        }
         continue;
       case FrameDecodeResult::kMalformed:
         return Fail(Status::Internal("malformed server frame: " + error));

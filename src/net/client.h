@@ -23,7 +23,10 @@ struct ClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;           ///< Required.
   int connect_timeout_ms = 5000;
-  int io_timeout_ms = 30000;   ///< Per send/recv syscall; 0 = no timeout.
+  /// Per send/recv syscall; 0 = no timeout (block forever). Expiry
+  /// surfaces as a non-fatal TimedOut status — see the Client class
+  /// comment for retry semantics.
+  int io_timeout_ms = 30000;
   size_t max_frame_payload_bytes = kDefaultMaxPayloadBytes;
 };
 
@@ -46,7 +49,14 @@ struct ServerStats {
 /// Blocking request/response connection to one server. Not thread-safe:
 /// use one Client per thread (the server multiplexes fine). Any transport
 /// or protocol error leaves the connection dead — every later call
-/// returns the same error; reconnect with Connect().
+/// returns the same error; reconnect with Connect() — with one exception:
+/// a TimedOut status (io_timeout_ms expired waiting on a slow or stalled
+/// server) is non-fatal. On a receive timeout any partial frame stays
+/// buffered and the stream stays aligned, so the caller may simply call
+/// ReceiveResponse() again (the reply to the *original* request is still
+/// owed — do not send a new request first). A send timeout is non-fatal
+/// only when no byte of the frame went out; timing out mid-frame tears
+/// the stream and latches the connection dead like any other error.
 class Client {
  public:
   static StatusOr<std::unique_ptr<Client>> Connect(const ClientOptions& opts);

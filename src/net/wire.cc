@@ -42,7 +42,9 @@ WireError WireErrorFromStatus(const Status& status) {
   for (const CodePair& p : kCodeTable) {
     if (p.status == status.code()) return p.wire;
   }
-  return WireError::kInternal;  // Unreachable: the table is total.
+  // Codes that never originate server-side (e.g. the client-local
+  // kTimedOut) have no wire encoding; collapse them to kInternal.
+  return WireError::kInternal;
 }
 
 Status StatusFromWire(WireError code, std::string message) {

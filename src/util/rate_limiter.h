@@ -1,0 +1,83 @@
+#ifndef LSMSSD_UTIL_RATE_LIMITER_H_
+#define LSMSSD_UTIL_RATE_LIMITER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace lsmssd {
+
+/// Token-bucket pacing for background merge block-writes, debt-model
+/// variant: Charge() never blocks — it draws tokens (possibly driving the
+/// balance negative) at the I/O site, and the compaction worker later asks
+/// DelayNeeded() how long to pause, *off every lock*, before its next
+/// step. Splitting "account" from "wait" this way keeps the limiter out of
+/// the merge's tree-lock hold entirely: readers and flushes never stall
+/// behind a pacing sleep, only the merge cadence itself is smoothed.
+///
+/// The bucket refills at `blocks_per_sec` and caps accumulated credit at
+/// `burst_blocks`, so an idle period buys at most one burst of unpaced
+/// writes. Thread-safe; shared by all compaction workers so the rate bounds
+/// the *aggregate* merge write rate, not per-worker.
+class RateLimiter {
+ public:
+  RateLimiter(uint64_t blocks_per_sec, uint64_t burst_blocks)
+      : rate_(static_cast<double>(blocks_per_sec)),
+        burst_(static_cast<double>(std::max<uint64_t>(1, burst_blocks))),
+        tokens_(static_cast<double>(std::max<uint64_t>(1, burst_blocks))),
+        last_(Clock::now()) {}
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  bool enabled() const { return rate_ > 0; }
+
+  /// Draws `blocks` tokens. Never blocks; the balance may go negative
+  /// (debt), to be slept off by a later DelayNeeded() caller.
+  void Charge(uint64_t blocks) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    RefillLocked();
+    tokens_ -= static_cast<double>(blocks);
+    charged_ += blocks;
+  }
+
+  /// Time until the balance returns to zero (zero if not in debt).
+  std::chrono::microseconds DelayNeeded() {
+    if (!enabled()) return std::chrono::microseconds(0);
+    std::lock_guard<std::mutex> lk(mu_);
+    RefillLocked();
+    if (tokens_ >= 0) return std::chrono::microseconds(0);
+    return std::chrono::microseconds(
+        static_cast<int64_t>(-tokens_ / rate_ * 1e6) + 1);
+  }
+
+  /// Total blocks ever charged (stats).
+  uint64_t charged() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return charged_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void RefillLocked() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed_s =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  }
+
+  const double rate_;   ///< Tokens (blocks) per second; 0 disables.
+  const double burst_;  ///< Max accumulated credit.
+  std::mutex mu_;
+  double tokens_;  ///< Current balance; negative = debt.
+  uint64_t charged_ = 0;
+  Clock::time_point last_;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_RATE_LIMITER_H_

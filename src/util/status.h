@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  kTimedOut = 10,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
@@ -67,6 +68,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +85,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const {
@@ -124,6 +129,8 @@ inline std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
   }
   return "Unknown";
 }

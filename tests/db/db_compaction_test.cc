@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,93 @@ TEST(DbCompactionTest, RejectsZeroQueueDepth) {
   dbopts.compaction_queue_depth = 0;
   auto db_or = Db::Open(dbopts, FreshDir("zdepth"));
   EXPECT_TRUE(db_or.status().IsInvalidArgument());
+}
+
+TEST(DbCompactionTest, RejectsZeroCompactionWorkers) {
+  DbOptions dbopts = BgDbOptions();
+  dbopts.compaction_workers = 0;
+  auto db_or = Db::Open(dbopts, FreshDir("zworkers"));
+  EXPECT_TRUE(db_or.status().IsInvalidArgument());
+}
+
+TEST(DbCompactionTest, ThrottleCollapsesOnceQueueDrains) {
+  // The soft throttle is a condvar wait with a queue-depth predicate, not
+  // an unconditional sleep: a throttled writer resumes the moment the
+  // worker pops below the threshold. With slowdown_micros set to five
+  // SECONDS, a single full-penalty sleep would blow the wall-clock bound —
+  // passing proves writers only ever wait out the actual drain time.
+  DbOptions dbopts = BgDbOptions();
+  dbopts.compaction_queue_depth = 4;
+  dbopts.compaction_slowdown_depth = 1;
+  dbopts.compaction_slowdown_micros = 5'000'000;
+  auto db_or = Db::Open(dbopts, FreshDir("throttle"));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Db& db = *db_or.value();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Key k = 0; k < 400; ++k) {  // ~10 seals at TinyOptions' 40/memtable.
+    ASSERT_TRUE(db.Put(k, MakePayload(dbopts.options, k)).ok()) << k;
+  }
+  ASSERT_TRUE(db.WaitForCompaction().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  const DbStats stats = db.Stats();
+  EXPECT_GT(stats.memtables_sealed, 1u);
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "a throttled writer served out the full slowdown penalty; "
+         "throttle_events=" << stats.throttle_events
+      << " throttle_micros=" << stats.throttle_micros;
+  if (stats.throttle_events > 0) {
+    EXPECT_LT(stats.throttle_micros / stats.throttle_events, 1'000'000u)
+        << "average throttle wait should track drain time, not the penalty";
+  }
+  for (Key k = 0; k < 400; ++k) {
+    ASSERT_TRUE(db.Get(k).ok()) << k;
+  }
+}
+
+TEST(DbCompactionTest, ParallelWorkersDrainWithRateLimit) {
+  // Multiple workers + the merge rate limiter: contents, invariants, and
+  // idle semantics (WaitForCompaction waits out pacing pauses too) all
+  // hold. Burst 1 forces real debt so PaceMergeRate actually runs.
+  DbOptions dbopts = BgDbOptions();
+  dbopts.compaction_workers = 3;
+  dbopts.compaction_queue_depth = 2;
+  dbopts.compaction_rate_limit_blocks_per_sec = 5000;
+  dbopts.compaction_rate_burst_blocks = 1;
+  auto db_or = Db::Open(dbopts, FreshDir("parworkers"));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Db& db = *db_or.value();
+
+  std::map<Key, std::string> oracle;
+  Random rng(20260809);
+  for (int i = 0; i < 1500; ++i) {
+    const Key k = rng.Uniform(300);
+    if (rng.Uniform(10) == 0) {
+      ASSERT_TRUE(db.Delete(k).ok());
+      oracle.erase(k);
+    } else {
+      const std::string payload = MakePayload(dbopts.options, k + i);
+      ASSERT_TRUE(db.Put(k, payload).ok());
+      oracle[k] = payload;
+    }
+  }
+  ASSERT_TRUE(db.WaitForCompaction().ok());
+  ASSERT_TRUE(db.tree()->CheckInvariants(/*deep=*/true).ok());
+
+  for (Key k = 0; k < 300; ++k) {
+    auto v = db.Get(k);
+    auto it = oracle.find(k);
+    if (it == oracle.end()) {
+      EXPECT_TRUE(v.status().IsNotFound()) << k;
+    } else {
+      ASSERT_TRUE(v.ok()) << k << ": " << v.status().ToString();
+      EXPECT_EQ(v.value(), it->second) << k;
+    }
+  }
+  const DbStats stats = db.Stats();
+  EXPECT_EQ(stats.compaction_queue_depth, 0u);
+  EXPECT_NE(stats.ToString().find("rate_pauses="), std::string::npos);
 }
 
 TEST(DbCompactionTest, WritesReadableWhileWorkerDrains) {

@@ -118,6 +118,8 @@ TEST_F(DbOptionsFromFlagsTest, DefaultsAreServingDefaults) {
   EXPECT_EQ(o.wal_sync_every_n, 64u);
   EXPECT_EQ(o.checkpoint_wal_bytes, 8u * 1024 * 1024);
   EXPECT_FALSE(o.background_compaction);
+  EXPECT_EQ(o.compaction_workers, 1u);
+  EXPECT_EQ(o.compaction_rate_limit_blocks_per_sec, 0u);
   EXPECT_EQ(o.shards, 1u);
   EXPECT_EQ(o.scrub_interval_ms, 0u);
   EXPECT_EQ(o.max_device_blocks, 0u);
@@ -130,8 +132,9 @@ TEST_F(DbOptionsFromFlagsTest, AllFlagsReachTheirFields) {
   auto dbopts_or = Build({"--policy=TestMixed", "--bloom=10",
                           "--cache-blocks=32", "--sync=always",
                           "--checkpoint-wal-mb=2", "--background-compaction",
-                          "--shards=4", "--scrub-interval-ms=50",
-                          "--max-device-blocks=999"});
+                          "--compaction-workers=3",
+                          "--compaction-rate-limit=5000", "--shards=4",
+                          "--scrub-interval-ms=50", "--max-device-blocks=999"});
   ASSERT_TRUE(dbopts_or.ok()) << dbopts_or.status().message();
   const DbOptions& o = dbopts_or.value();
   EXPECT_EQ(o.policy, PolicyKind::kTestMixed);
@@ -140,6 +143,8 @@ TEST_F(DbOptionsFromFlagsTest, AllFlagsReachTheirFields) {
   EXPECT_EQ(o.wal_sync_mode, WalSyncMode::kAlways);
   EXPECT_EQ(o.checkpoint_wal_bytes, 2u * 1024 * 1024);
   EXPECT_TRUE(o.background_compaction);
+  EXPECT_EQ(o.compaction_workers, 3u);
+  EXPECT_EQ(o.compaction_rate_limit_blocks_per_sec, 5000u);
   EXPECT_EQ(o.shards, 4u);
   EXPECT_EQ(o.scrub_interval_ms, 50u);
   EXPECT_EQ(o.max_device_blocks, 999u);
@@ -160,6 +165,9 @@ TEST_F(DbOptionsFromFlagsTest, BadValuesAreInvalidArgumentNamingTheFlag) {
       {{"--bloom=ten"}, "bloom"},
       {{"--checkpoint-wal-mb=1.5"}, "checkpoint-wal-mb"},
       {{"--background-compaction=maybe"}, "background-compaction"},
+      {{"--compaction-workers=0"}, "compaction-workers"},
+      {{"--compaction-workers=many"}, "compaction-workers"},
+      {{"--compaction-rate-limit=fast"}, "compaction-rate-limit"},
   };
   for (const Case& c : kCases) {
     auto dbopts_or = Build(c.args);

@@ -58,11 +58,11 @@ struct Op {
 };
 
 /// Writer w's deterministic op sequence over its own key residue class.
-std::vector<Op> WriterOps(int w) {
+std::vector<Op> WriterOps(int w, size_t ops_per_writer = kOpsPerWriter) {
   std::mt19937_64 rng(0xba5e + static_cast<uint64_t>(w));
   std::vector<Op> ops;
-  ops.reserve(kOpsPerWriter);
-  for (size_t i = 0; i < kOpsPerWriter; ++i) {
+  ops.reserve(ops_per_writer);
+  for (size_t i = 0; i < ops_per_writer; ++i) {
     const Key key = static_cast<Key>(w) +
                     kWriters * static_cast<Key>(rng() % kKeysPerWriter);
     const bool is_delete = rng() % 8 == 0;
@@ -75,25 +75,12 @@ std::vector<Op> WriterOps(int w) {
   return ops;
 }
 
-TEST(BackgroundCompactionStressTest, WritersReadersMatchSerialOracle) {
-  const std::string dir = FreshDir("oracle");
-  DbOptions dbopts;
-  dbopts.options = TinyOptions();
-  dbopts.wal_sync_mode = WalSyncMode::kEveryN;
-  dbopts.wal_sync_every_n = 32;  // Cross-thread group commit.
-  dbopts.checkpoint_wal_bytes = 64 * 1024;  // Many background checkpoints.
-  dbopts.background_checkpoint = true;
-  dbopts.background_compaction = true;
-  // Shallow queue + tight slowdown: writers regularly cross the throttle
-  // and stall thresholds instead of staying in the fast path.
-  dbopts.compaction_queue_depth = 3;
-  dbopts.compaction_slowdown_depth = 1;
-  dbopts.compaction_slowdown_micros = 50;
-
+void RunStressAgainstOracle(const std::string& dir, const DbOptions& dbopts,
+                            size_t ops_per_writer) {
   // The serial oracle: per-writer replay over disjoint key sets.
   std::map<Key, std::string> expected;
   for (int w = 0; w < kWriters; ++w) {
-    for (const Op& op : WriterOps(w)) {
+    for (const Op& op : WriterOps(w, ops_per_writer)) {
       if (op.is_delete) {
         expected.erase(op.key);
       } else {
@@ -112,8 +99,8 @@ TEST(BackgroundCompactionStressTest, WritersReadersMatchSerialOracle) {
 
     std::vector<std::thread> writers;
     for (int w = 0; w < kWriters; ++w) {
-      writers.emplace_back([&db, &failures, w] {
-        const std::vector<Op> ops = WriterOps(w);
+      writers.emplace_back([&db, &failures, w, ops_per_writer] {
+        const std::vector<Op> ops = WriterOps(w, ops_per_writer);
         for (size_t i = 0; i < ops.size(); ++i) {
           const Op& op = ops[i];
           const Status st =
@@ -227,6 +214,47 @@ TEST(BackgroundCompactionStressTest, WritersReadersMatchSerialOracle) {
   const std::map<Key, std::string> recovered(rows.begin(), rows.end());
   EXPECT_TRUE(recovered == expected) << "recovered contents diverge";
   ASSERT_TRUE(db_or.value()->tree()->CheckInvariants(true).ok());
+}
+
+TEST(BackgroundCompactionStressTest, WritersReadersMatchSerialOracle) {
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+  dbopts.wal_sync_every_n = 32;  // Cross-thread group commit.
+  dbopts.checkpoint_wal_bytes = 64 * 1024;  // Many background checkpoints.
+  dbopts.background_checkpoint = true;
+  dbopts.background_compaction = true;
+  // Shallow queue + tight slowdown: writers regularly cross the throttle
+  // and stall thresholds instead of staying in the fast path.
+  dbopts.compaction_queue_depth = 3;
+  dbopts.compaction_slowdown_depth = 1;
+  dbopts.compaction_slowdown_micros = 50;
+  RunStressAgainstOracle(FreshDir("oracle"), dbopts, kOpsPerWriter);
+}
+
+TEST(BackgroundCompactionStressTest, ParallelWorkersMatchSerialOracle) {
+  // The worker-pool variant: three compaction workers race over the
+  // ownership table — flushes (under mem_mu_ + claim{0}) overlap merges
+  // (under tree_mu_ + claim{s,s+1}) — with the merge rate limiter on
+  // (burst 1 forces real pacing pauses, and their fairness bypass when the
+  // shallow queue deepens). Under TSan this is the data-race check for
+  // the parallel-compaction locking layer; the oracle + recovery check
+  // catches lost or misordered L0-buffer mutations (e.g. a flush shifting
+  // record positions under an in-flight spill's erase range).
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+  dbopts.wal_sync_every_n = 32;
+  dbopts.checkpoint_wal_bytes = 64 * 1024;
+  dbopts.background_checkpoint = true;
+  dbopts.background_compaction = true;
+  dbopts.compaction_workers = 3;
+  dbopts.compaction_queue_depth = 2;  // Even shallower: constant pressure.
+  dbopts.compaction_slowdown_depth = 1;
+  dbopts.compaction_slowdown_micros = 50;
+  dbopts.compaction_rate_limit_blocks_per_sec = 20'000;
+  dbopts.compaction_rate_burst_blocks = 1;
+  RunStressAgainstOracle(FreshDir("parallel"), dbopts, 8'000);
 }
 
 }  // namespace

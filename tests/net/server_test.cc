@@ -383,5 +383,88 @@ TEST(ServerTest, ConcurrentClientsShareOneGroupCommit) {
   }
 }
 
+/// A listening loopback socket that accepts but replies only when told —
+/// impersonating a stalled server for client-timeout tests.
+struct StalledServer {
+  StalledServer() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    LSMSSD_CHECK(listen_fd >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // Ephemeral.
+    LSMSSD_CHECK(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1);
+    LSMSSD_CHECK(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0);
+    LSMSSD_CHECK(::listen(listen_fd, 1) == 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    LSMSSD_CHECK(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                               &len) == 0);
+    port = ntohs(bound.sin_port);
+  }
+  ~StalledServer() {
+    if (conn_fd >= 0) ::close(conn_fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  void Accept() {
+    conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    LSMSSD_CHECK(conn_fd >= 0);
+  }
+  void Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(conn_fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      LSMSSD_CHECK(n > 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  int listen_fd = -1;
+  int conn_fd = -1;
+  uint16_t port = 0;
+};
+
+TEST(ServerTest, ReceiveTimeoutIsNonFatalAndResumable) {
+  StalledServer stalled;
+  ClientOptions copts;
+  copts.port = stalled.port;
+  copts.io_timeout_ms = 200;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).value();
+  stalled.Accept();
+
+  // The request goes out, but no reply comes: ReceiveResponse must return
+  // TimedOut instead of blocking forever — and must NOT latch the
+  // connection dead.
+  ASSERT_TRUE(client
+                  ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                            EncodeGetRequest(42))
+                  .ok());
+  Frame frame;
+  Status st = client->ReceiveResponse(&frame);
+  ASSERT_TRUE(st.IsTimedOut()) << st.ToString();
+
+  // Feed half a response frame; the next receive still times out (the
+  // partial frame stays buffered, the stream stays aligned).
+  const std::string reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet) | kResponseBit,
+                  EncodeErrorResponse(Status::NotFound("nope")));
+  stalled.Send(std::string_view(reply).substr(0, reply.size() / 2));
+  st = client->ReceiveResponse(&frame);
+  ASSERT_TRUE(st.IsTimedOut()) << st.ToString();
+
+  // The server wakes up and completes the frame: the owed response now
+  // arrives intact on the same connection.
+  stalled.Send(std::string_view(reply).substr(reply.size() / 2));
+  st = client->ReceiveResponse(&frame);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(frame.opcode, static_cast<uint8_t>(Opcode::kGet) | kResponseBit);
+  std::string_view body;
+  EXPECT_TRUE(DecodeResponseStatus(frame.payload, &body).IsNotFound());
+}
+
 }  // namespace
 }  // namespace lsmssd::net
