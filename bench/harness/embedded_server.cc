@@ -28,15 +28,21 @@ StatusOr<std::unique_ptr<EmbeddedServer>> EmbeddedServer::Start(
   if (opts.dir.empty()) {
     return Status::InvalidArgument("EmbeddedServerOptions::dir is required");
   }
-  std::filesystem::remove_all(opts.dir);
+  if (opts.wipe_dir) std::filesystem::remove_all(opts.dir);
 
   DbOptions dbopts;
   dbopts.options = BenchOptions();
   dbopts.options.annihilate_delete_put = false;  // Db requires it off.
-  // Group commit: concurrent client connections (one worker each) batch
-  // their WAL syncs — the regime the server exists to exercise.
-  dbopts.wal_sync_mode = WalSyncMode::kEveryN;
-  dbopts.wal_sync_every_n = 64;
+  if (opts.wal_sync_always) {
+    // Chaos soak: an acked write must be durable at the moment of the
+    // ack, or the lost-write oracle has nothing to hold the server to.
+    dbopts.wal_sync_mode = WalSyncMode::kAlways;
+  } else {
+    // Group commit: concurrent client connections (one worker each) batch
+    // their WAL syncs — the regime the server exists to exercise.
+    dbopts.wal_sync_mode = WalSyncMode::kEveryN;
+    dbopts.wal_sync_every_n = 64;
+  }
   dbopts.checkpoint_wal_bytes = opts.checkpoint_wal_mb * 1024 * 1024;
   dbopts.background_compaction = opts.background_compaction;
   dbopts.shards = opts.shards;
@@ -51,6 +57,13 @@ StatusOr<std::unique_ptr<EmbeddedServer>> EmbeddedServer::Start(
 
   net::ServerOptions sopts;
   sopts.workers = opts.server_workers;
+  sopts.port = opts.port;
+  if (opts.max_pending_frames != 0) {
+    sopts.max_pending_frames = opts.max_pending_frames;
+  }
+  if (opts.overload_retry_after_ms != 0) {
+    sopts.overload_retry_after_ms = opts.overload_retry_after_ms;
+  }
   auto server_or = net::Server::Start(sopts, es->impl_->db.get());
   if (!server_or.ok()) return server_or.status();
   es->impl_->server = std::move(server_or).value();
@@ -62,7 +75,7 @@ StatusOr<EmbeddedServer::Report> EmbeddedServer::Stop() {
   if (!impl.server) {
     return Status::FailedPrecondition("EmbeddedServer already stopped");
   }
-  impl.server->Stop();
+  impl.server->Drain(/*deadline_ms=*/5000);
   const net::ServerCounters counters = impl.server->counters();
   Db& db = *impl.db;
 
@@ -101,6 +114,21 @@ StatusOr<EmbeddedServer::Report> EmbeddedServer::Stop() {
   impl.db.reset();
   std::filesystem::remove_all(impl.dir);
   return report;
+}
+
+Status EmbeddedServer::Kill() {
+  Impl& impl = *impl_;
+  if (!impl.server) {
+    return Status::FailedPrecondition("EmbeddedServer already stopped");
+  }
+  // Abrupt: connections are cut with whatever was in flight, no drain,
+  // no final checkpoint, and the directory survives for the restart to
+  // recover from (WAL replay + last checkpoint).
+  impl.server->Stop();
+  impl.server.reset();
+  impl.db->Close();
+  impl.db.reset();
+  return Status::OK();
 }
 
 }  // namespace lsmssd::bench

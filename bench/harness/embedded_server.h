@@ -22,6 +22,18 @@ struct EmbeddedServerOptions {
   uint64_t scrub_interval_ms = 0;
   uint64_t checkpoint_wal_mb = 8;
   bool background_compaction = true;
+  /// Overload knobs (pass-through to net::ServerOptions); 0 = default.
+  size_t max_pending_frames = 0;
+  uint32_t overload_retry_after_ms = 0;
+  /// Fixed port (0 = ephemeral). A chaos restart re-binds the port the
+  /// clients already hold (SO_REUSEADDR makes the re-bind immediate).
+  uint16_t port = 0;
+  /// False = recover from an existing dir instead of wiping it — the
+  /// restart half of a kill/restart cycle.
+  bool wipe_dir = true;
+  /// Sync the WAL on every commit instead of group-commit kEveryN. The
+  /// chaos soak needs acked == durable for its lost-write oracle.
+  bool wal_sync_always = false;
 };
 
 /// An lsmssd server running inside the bench process. This header
@@ -61,6 +73,13 @@ class EmbeddedServer {
   /// leak-checks device blocks against the tree. The Db directory is
   /// removed afterwards.
   StatusOr<Report> Stop();
+
+  /// Chaos kill: abruptly stops the server (connections dropped, no
+  /// drain) and closes the Db WITHOUT a final checkpoint, leaving the
+  /// directory behind — recovery must come from the WAL + last
+  /// checkpoint, exactly as after a process kill. Restart with
+  /// Start(wipe_dir=false, same dir, same port).
+  Status Kill();
 
  private:
   struct Impl;

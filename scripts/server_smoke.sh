@@ -31,7 +31,8 @@ trap cleanup EXIT
 SERVE_PID=$!
 
 # The serve command prints "listening on HOST:PORT" once bound; poll for
-# it (sanitizer builds start slowly).
+# the line only to learn the ephemeral port (sanitizer builds start
+# slowly).
 for _ in $(seq 1 300); do
   grep -q '^listening on ' "$SERVE_LOG" && break
   kill -0 "$SERVE_PID" 2>/dev/null || {
@@ -43,6 +44,14 @@ for _ in $(seq 1 300); do
 done
 PORT="$(grep -m1 '^listening on ' "$SERVE_LOG" | sed 's/.*://')"
 [[ -n "$PORT" ]] || { echo "could not parse port" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+
+# Readiness = the server answers a PING frame end to end (bound is not
+# the same as serving). Retries with backoff instead of sleep-waiting.
+"$CLI" ping --host=127.0.0.1 --port="$PORT" --timeout-ms=2000 --attempts=50 || {
+  echo "server never answered PING:" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
 echo "server up on port $PORT (pid $SERVE_PID)"
 
 # Short burst: enough traffic to seal memtables and trigger checkpoints
@@ -66,4 +75,4 @@ grep -q '^quarantined_blocks 0$' "$SERVE_LOG" || {
   exit 1
 }
 echo "server smoke OK:"
-grep -E '^(served|quarantined_blocks)' "$SERVE_LOG"
+grep -E '^(served|drain|quarantined_blocks)' "$SERVE_LOG"

@@ -10,15 +10,35 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "src/util/backoff.h"
 
 namespace lsmssd::net {
 
 namespace {
 
+/// Classifies a transport errno: "the peer went away" is retryable
+/// Unavailable; everything else (bad fd, ENOMEM, ...) is a broken local
+/// resource and stays fatal IoError.
 Status ErrnoStatus(const std::string& what, int err) {
-  return Status::IoError(what + ": " + std::strerror(err));
+  const std::string msg = what + ": " + std::strerror(err);
+  switch (err) {
+    case ECONNRESET:
+    case ECONNREFUSED:
+    case ECONNABORTED:
+    case EPIPE:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETRESET:
+    case ETIMEDOUT:
+      return Status::Unavailable(msg);
+    default:
+      return Status::IoError(msg);
+  }
 }
 
 Status SetSocketTimeout(int fd, int which, int ms) {
@@ -32,9 +52,9 @@ Status SetSocketTimeout(int fd, int which, int ms) {
   return Status::OK();
 }
 
-}  // namespace
-
-StatusOr<std::unique_ptr<Client>> Client::Connect(const ClientOptions& opts) {
+/// Dials opts.host:opts.port with the connect timeout; on success returns
+/// a blocking fd with TCP_NODELAY and the I/O timeouts applied.
+StatusOr<int> Dial(const ClientOptions& opts) {
   if (opts.port == 0) {
     return Status::InvalidArgument("ClientOptions::port must be set");
   }
@@ -66,8 +86,8 @@ StatusOr<std::unique_ptr<Client>> Client::Connect(const ClientOptions& opts) {
       rc = poll(&pfd, 1, opts.connect_timeout_ms > 0 ? opts.connect_timeout_ms
                                                      : -1);
       if (rc == 0) {
-        last = Status::IoError("connect timeout to " + opts.host + ":" +
-                               port_str);
+        last = Status::Unavailable("connect timeout to " + opts.host + ":" +
+                                   port_str);
         close(fd);
         fd = -1;
         continue;
@@ -102,13 +122,43 @@ StatusOr<std::unique_ptr<Client>> Client::Connect(const ClientOptions& opts) {
     close(fd);
     return st;
   }
+  return fd;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const ClientOptions& opts) {
+  auto fd = Dial(opts);
+  LSMSSD_RETURN_IF_ERROR(fd.status());
   auto client = std::unique_ptr<Client>(new Client(opts));
-  client->fd_ = fd;
+  client->fd_ = *fd;
   return client;
 }
 
 Client::~Client() {
   if (fd_ >= 0) close(fd_);
+}
+
+Status Client::Reconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  // Replies owed on the torn stream will never arrive: write them off so
+  // the fresh stream starts with clean reply bookkeeping.
+  stats_.abandoned_replies += pending_.size();
+  pending_.clear();
+  inbuf_.clear();
+  dead_ = Status::OK();
+  auto fd = Dial(opts_);
+  if (!fd.ok()) {
+    dead_ = fd.status();
+    return fd.status();
+  }
+  fd_ = *fd;
+  ++stats_.reconnects;
+  if (opts_.fault_injector != nullptr) opts_.fault_injector->OnReconnect();
+  return Status::OK();
 }
 
 Status Client::Fail(Status st) {
@@ -120,16 +170,50 @@ Status Client::Fail(Status st) {
   return st;
 }
 
+ssize_t Client::IoSend(const void* buf, size_t len, int* err) {
+  if (opts_.fault_injector != nullptr) {
+    const auto action = opts_.fault_injector->Next(SocketOp::kSend);
+    if (action.kind == SocketFaultInjector::Action::Kind::kErrno) {
+      *err = action.err;
+      return -1;
+    }
+    if (action.kind == SocketFaultInjector::Action::Kind::kShort &&
+        len > action.cap_bytes) {
+      len = action.cap_bytes;
+    }
+  }
+  const ssize_t n = send(fd_, buf, len, MSG_NOSIGNAL);
+  *err = errno;
+  return n;
+}
+
+ssize_t Client::IoRecv(void* buf, size_t len, int* err) {
+  if (opts_.fault_injector != nullptr) {
+    const auto action = opts_.fault_injector->Next(SocketOp::kRecv);
+    if (action.kind == SocketFaultInjector::Action::Kind::kErrno) {
+      *err = action.err;
+      return -1;
+    }
+    if (action.kind == SocketFaultInjector::Action::Kind::kShort &&
+        len > action.cap_bytes) {
+      len = action.cap_bytes;
+    }
+  }
+  const ssize_t n = recv(fd_, buf, len, 0);
+  *err = errno;
+  return n;
+}
+
 Status Client::SendRaw(uint8_t opcode, std::string_view payload) {
   if (!dead_.ok()) return dead_;
   const std::string frame = EncodeFrame(opcode, payload);
   size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n =
-        send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    int err = 0;
+    const ssize_t n = IoSend(frame.data() + sent, frame.size() - sent, &err);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) {
         // SO_SNDTIMEO expired. With nothing of the frame on the wire the
         // connection is still aligned — the caller may retry. A torn
         // frame, by contrast, desynchronizes the stream for good.
@@ -141,27 +225,31 @@ Status Client::SendRaw(uint8_t opcode, std::string_view payload) {
             "send timed out mid-frame (" + std::to_string(sent) + "/" +
             std::to_string(frame.size()) + " bytes); stream desynchronized"));
       }
-      return Fail(ErrnoStatus("send", errno));
+      return Fail(ErrnoStatus("send", err));
     }
     sent += static_cast<size_t>(n);
   }
+  pending_.push_back(PendingReply{next_seq_++, false});
   return Status::OK();
 }
 
 Status Client::FillBuffer() {
   char buf[64 * 1024];
-  const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+  int err = 0;
+  const ssize_t n = IoRecv(buf, sizeof(buf), &err);
   if (n < 0) {
-    if (errno == EINTR) return Status::OK();
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (err == EINTR) return Status::OK();
+    if (err == EAGAIN || err == EWOULDBLOCK) {
       // SO_RCVTIMEO expired: the server is slow or stalled, not broken.
       return Status::TimedOut("recv timed out after " +
                               std::to_string(opts_.io_timeout_ms) + "ms");
     }
-    return ErrnoStatus("recv", errno);
+    return ErrnoStatus("recv", err);
   }
   if (n == 0) {
-    return Status::IoError("connection closed by server");
+    // Orderly close by the peer mid-conversation: it went away; the
+    // connection (not the local machinery) is what broke.
+    return Status::Unavailable("connection closed by server");
   }
   inbuf_.append(buf, static_cast<size_t>(n));
   return Status::OK();
@@ -174,8 +262,18 @@ Status Client::ReceiveResponse(Frame* frame) {
     std::string error;
     switch (DecodeFrame(inbuf_, opts_.max_frame_payload_bytes, frame,
                         &consumed, &error)) {
-      case FrameDecodeResult::kFrame:
+      case FrameDecodeResult::kFrame: {
         inbuf_.erase(0, consumed);
+        bool abandoned = false;
+        if (!pending_.empty()) {
+          abandoned = pending_.front().abandoned;
+          pending_.pop_front();
+        }
+        if (abandoned) {
+          // The reply to a request whose caller gave up waiting. Drop it
+          // and keep reading: the next frame answers a newer request.
+          continue;
+        }
         if (frame->version != kWireVersion) {
           // Still surface the server's error payload if it sent one
           // (kUnsupportedVersion replies carry the server's version).
@@ -185,6 +283,7 @@ Status Client::ReceiveResponse(Frame* frame) {
           return Fail(Status::Internal("server sent a request opcode"));
         }
         return Status::OK();
+      }
       case FrameDecodeResult::kNeedMore:
         if (Status st = FillBuffer(); !st.ok()) {
           // A timeout is NOT fatal: inbuf_ keeps any partial frame, the
@@ -200,49 +299,133 @@ Status Client::ReceiveResponse(Frame* frame) {
   }
 }
 
-Status Client::Call(Opcode op, std::string_view payload, Frame* reply) {
-  LSMSSD_RETURN_IF_ERROR(SendRaw(static_cast<uint8_t>(op), payload));
-  LSMSSD_RETURN_IF_ERROR(ReceiveResponse(reply));
-  if (reply->opcode != (static_cast<uint8_t>(op) | kResponseBit)) {
-    return Fail(Status::Internal(
-        "response opcode mismatch: sent " +
-        std::to_string(static_cast<int>(op)) + ", got " +
-        std::to_string(static_cast<int>(reply->opcode))));
+Status Client::Invoke(Opcode op, std::string_view payload, bool is_write,
+                      std::string* ok_body) {
+  const RetryPolicy& rp = opts_.retry;
+  const int max_attempts = rp.max_attempts < 1 ? 1 : rp.max_attempts;
+  ExponentialBackoff::Options bo;
+  bo.initial_ms = rp.initial_backoff_ms;
+  bo.max_ms = rp.max_backoff_ms;
+  bo.multiplier = rp.multiplier;
+  bo.jitter = rp.jitter;
+  bo.seed = rp.seed;
+  ExponentialBackoff backoff(bo);
+  Status last = Status::OK();
+  // True while a reply for an already-sent request is owed on a healthy
+  // stream — the retry then *waits*, it does not resend.
+  bool awaiting_reply = false;
+  uint32_t retry_after_hint = 0;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retries;
+      if (!awaiting_reply) {
+        int delay = backoff.NextDelayMs();
+        if (retry_after_hint > static_cast<uint32_t>(delay)) {
+          delay = static_cast<int>(retry_after_hint);
+        }
+        retry_after_hint = 0;
+        if (delay > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+      }
+    }
+    if ((fd_ < 0 || !dead_.ok()) && max_attempts > 1) {
+      if (Status st = Reconnect(); !st.ok()) {
+        last = st;
+        if (st.IsUnavailable()) continue;  // server down; back off, re-dial
+        return st;
+      }
+      awaiting_reply = false;
+    }
+    if (!awaiting_reply) {
+      if (Status st = SendRaw(static_cast<uint8_t>(op), payload); !st.ok()) {
+        last = st;
+        // A send-phase failure means the server did not execute: a torn
+        // request frame is discarded whole on the peer. Resending is
+        // safe for every op, writes included.
+        if (st.IsTimedOut()) {
+          ++stats_.send_timeouts;
+          continue;
+        }
+        if (st.IsUnavailable()) continue;
+        return st;
+      }
+      awaiting_reply = true;
+    }
+    Frame reply;
+    if (Status st = ReceiveResponse(&reply); !st.ok()) {
+      last = st;
+      if (st.IsTimedOut()) {
+        // Reply still owed on an aligned stream: keep waiting, do not
+        // resend (resending here is what double-applies).
+        ++stats_.recv_timeouts;
+        continue;
+      }
+      if (st.IsUnavailable() && (!is_write || rp.retry_writes)) {
+        // Ambiguous: the request may or may not have executed before the
+        // connection died. Reads resend freely; writes only by opt-in.
+        awaiting_reply = false;
+        continue;
+      }
+      return st;
+    }
+    awaiting_reply = false;
+    if (reply.opcode != (static_cast<uint8_t>(op) | kResponseBit)) {
+      return Fail(Status::Internal(
+          "response opcode mismatch: sent " +
+          std::to_string(static_cast<int>(op)) + ", got " +
+          std::to_string(static_cast<int>(reply.opcode))));
+    }
+    std::string_view body;
+    Status st = DecodeResponseStatus(reply.payload, &body);
+    if (st.ok()) {
+      if (ok_body != nullptr) ok_body->assign(body);
+      return Status::OK();
+    }
+    if (st.IsUnavailable()) {
+      // kOverloaded / kShuttingDown: the server rejected the request
+      // *before* executing it — always safe to resend, and kOverloaded
+      // carries a retry-after floor for the backoff.
+      ++stats_.overloaded_replies;
+      ParseRetryAfterMs(st.message(), &retry_after_hint);
+      last = st;
+      continue;
+    }
+    return st;  // Application-level result (NotFound, backpressure, ...).
   }
-  return Status::OK();
+  if (awaiting_reply && !pending_.empty()) {
+    // Every attempt timed out with the reply still owed. Mark it so a
+    // later call on this client drains it instead of misparsing it as
+    // its own answer.
+    pending_.back().abandoned = true;
+    ++stats_.abandoned_replies;
+  }
+  return last;
 }
 
 Status Client::Put(Key key, std::string_view value) {
-  Frame reply;
-  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kPut, EncodePutRequest(key, value),
-                              &reply));
-  std::string_view body;
-  return DecodeResponseStatus(reply.payload, &body);
+  return Invoke(Opcode::kPut, EncodePutRequest(key, value), /*is_write=*/true,
+                nullptr);
 }
 
 Status Client::Delete(Key key) {
-  Frame reply;
-  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kDelete, EncodeDeleteRequest(key),
-                              &reply));
-  std::string_view body;
-  return DecodeResponseStatus(reply.payload, &body);
+  return Invoke(Opcode::kDelete, EncodeDeleteRequest(key), /*is_write=*/true,
+                nullptr);
 }
 
 StatusOr<std::string> Client::Get(Key key) {
-  Frame reply;
-  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kGet, EncodeGetRequest(key), &reply));
-  std::string_view body;
-  LSMSSD_RETURN_IF_ERROR(DecodeResponseStatus(reply.payload, &body));
-  return std::string(body);
+  std::string body;
+  LSMSSD_RETURN_IF_ERROR(
+      Invoke(Opcode::kGet, EncodeGetRequest(key), /*is_write=*/false, &body));
+  return body;
 }
 
 Status Client::Scan(Key lo, Key hi, uint32_t limit,
                     std::vector<ScanItem>* out) {
-  Frame reply;
-  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kScan, EncodeScanRequest(lo, hi, limit),
-                              &reply));
-  std::string_view body;
-  LSMSSD_RETURN_IF_ERROR(DecodeResponseStatus(reply.payload, &body));
+  std::string body;
+  LSMSSD_RETURN_IF_ERROR(Invoke(Opcode::kScan,
+                                EncodeScanRequest(lo, hi, limit),
+                                /*is_write=*/false, &body));
   std::vector<ScanItem> items;
   if (!DecodeScanResponseBody(body, &items)) {
     return Fail(Status::Internal("undecodable scan response body"));
@@ -252,15 +435,19 @@ Status Client::Scan(Key lo, Key hi, uint32_t limit,
   return Status::OK();
 }
 
+Status Client::Ping() {
+  return Invoke(Opcode::kPing, std::string_view(), /*is_write=*/false,
+                nullptr);
+}
+
 StatusOr<ServerStats> Client::Stats() {
-  Frame reply;
-  LSMSSD_RETURN_IF_ERROR(Call(Opcode::kStats, EncodeStatsRequest(), &reply));
-  std::string_view body;
-  LSMSSD_RETURN_IF_ERROR(DecodeResponseStatus(reply.payload, &body));
+  std::string body;
+  LSMSSD_RETURN_IF_ERROR(Invoke(Opcode::kStats, EncodeStatsRequest(),
+                                /*is_write=*/false, &body));
   ServerStats stats;
-  stats.text.assign(body);
+  stats.text = body;
   // Parseable prefix: `key value` lines up to the first blank line.
-  std::string_view rest = body;
+  std::string_view rest = stats.text;
   while (!rest.empty()) {
     const size_t nl = rest.find('\n');
     const std::string_view line =
@@ -283,6 +470,9 @@ StatusOr<ServerStats> Client::Stats() {
     else if (k == "scrub_blocks_verified") stats.scrub_blocks_verified = v;
     else if (k == "frames_processed") stats.frames_processed = v;
     else if (k == "connections_dropped") stats.connections_dropped = v;
+    else if (k == "frames_shed_overload") stats.frames_shed_overload = v;
+    else if (k == "frames_rejected_shutdown") stats.frames_rejected_shutdown = v;
+    else if (k == "connections_dropped_slow") stats.connections_dropped_slow = v;
   }
   return stats;
 }

@@ -1,0 +1,70 @@
+#include "src/net/fault_socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace lsmssd::net {
+
+SocketFaultInjector::Action SocketFaultInjector::Next(SocketOp op) {
+  Action action;
+  const uint64_t step = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // An armed clock that has fired models the network staying down: every
+  // op from then on is a reset, until the sweep driver Disarms it.
+  if (clock_ != nullptr && clock_->Step()) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    action.kind = Action::Kind::kErrno;
+    action.err = ECONNRESET;
+    return action;
+  }
+  if (pending_reset_.load(std::memory_order_relaxed)) {
+    pending_reset_.store(false, std::memory_order_relaxed);
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    action.kind = Action::Kind::kErrno;
+    action.err = ECONNRESET;
+    return action;
+  }
+
+  auto fires = [step](uint64_t every) { return every != 0 && step % every == 0; };
+
+  if (fires(config_.delay_every)) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_ms));
+    return action;  // delayed, then passes through
+  }
+  if (fires(config_.eintr_every)) {
+    eintr_.fetch_add(1, std::memory_order_relaxed);
+    action.kind = Action::Kind::kErrno;
+    action.err = EINTR;
+    return action;
+  }
+  if (fires(config_.eagain_every)) {
+    eagain_.fetch_add(1, std::memory_order_relaxed);
+    action.kind = Action::Kind::kErrno;
+    action.err = EAGAIN;
+    return action;
+  }
+  if (fires(config_.short_every)) {
+    short_ios_.fetch_add(1, std::memory_order_relaxed);
+    action.kind = Action::Kind::kShort;
+    action.cap_bytes = config_.short_bytes == 0 ? 1 : config_.short_bytes;
+    return action;
+  }
+  if (fires(config_.truncate_every) && op == SocketOp::kSend) {
+    truncations_.fetch_add(1, std::memory_order_relaxed);
+    pending_reset_.store(true, std::memory_order_relaxed);
+    action.kind = Action::Kind::kShort;
+    action.cap_bytes = config_.short_bytes == 0 ? 1 : config_.short_bytes;
+    return action;
+  }
+  if (fires(config_.reset_every)) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    action.kind = Action::Kind::kErrno;
+    action.err = ECONNRESET;
+    return action;
+  }
+  return action;
+}
+
+}  // namespace lsmssd::net

@@ -1,0 +1,120 @@
+#ifndef LSMSSD_NET_FAULT_SOCKET_H_
+#define LSMSSD_NET_FAULT_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/storage/fault_injection.h"
+
+namespace lsmssd::net {
+
+/// Which syscall the client is about to issue. Rules can target one side
+/// of the stream (e.g. short reads only).
+enum class SocketOp { kSend, kRecv };
+
+/// Periodic fault rules, all counted in injector steps (one step per
+/// intercepted send/recv attempt). A rule with period 0 is off; a rule
+/// with period N fires on every N-th step it is eligible for. At most one
+/// rule fires per step, checked in the order: delay, eintr, eagain,
+/// short, truncate, reset — so configs with distinct periods produce a
+/// deterministic interleaving.
+struct SocketFaultConfig {
+  /// Sleep `delay_ms` before the op (models a congested or distant peer).
+  uint64_t delay_every = 0;
+  int delay_ms = 1;
+  /// Fail the op with EINTR (signal delivery mid-syscall).
+  uint64_t eintr_every = 0;
+  /// Fail the op with EAGAIN (kernel buffer momentarily full/empty).
+  uint64_t eagain_every = 0;
+  /// Cap the op at `short_bytes` bytes (partial read/write).
+  uint64_t short_every = 0;
+  size_t short_bytes = 3;
+  /// Cap a *send* at `short_bytes`, then fail every subsequent op with
+  /// ECONNRESET until OnReconnect(): a mid-frame truncation as seen by
+  /// the peer (it receives a frame prefix, then EOF).
+  uint64_t truncate_every = 0;
+  /// Fail the op with ECONNRESET (peer reset / network partition).
+  uint64_t reset_every = 0;
+};
+
+/// The network analogue of FaultInjectionBlockDevice: a deterministic
+/// fault schedule the client consults before every send/recv. Shares the
+/// step-clock idiom with storage::FaultInjector — in fact it *ticks* one,
+/// so Arm(k) on the underlying clock turns step k (and all later steps,
+/// the clock latches) into a permanent connection reset. That gives
+/// sweeps the same shape as the crash sweeps in tests/db: for k in
+/// 0..N, arm at k, run the op sequence, assert the invariant.
+///
+/// One injector drives one client (the step sequence is the
+/// determinism contract); Next() is nevertheless thread-safe so a
+/// misconfigured share degrades to interleaved-but-counted, not UB.
+class SocketFaultInjector {
+ public:
+  /// What the intercepted I/O wrapper should do for this op.
+  struct Action {
+    enum class Kind : uint8_t {
+      kPass,   ///< Perform the op normally.
+      kErrno,  ///< Do not perform the op; fail with errno `err`.
+      kShort,  ///< Perform the op but cap the byte count at `cap_bytes`.
+    };
+    Kind kind = Kind::kPass;
+    int err = 0;
+    size_t cap_bytes = 0;
+  };
+
+  /// Injection totals, for bench reporting and test assertions.
+  struct Counters {
+    uint64_t delays = 0;
+    uint64_t eintr = 0;
+    uint64_t eagain = 0;
+    uint64_t short_ios = 0;
+    uint64_t truncations = 0;
+    uint64_t resets = 0;
+  };
+
+  /// `clock` may be null (periodic rules only, no armed-step sweeps);
+  /// when set it is ticked once per Next() and is not owned.
+  SocketFaultInjector(FaultInjector* clock, const SocketFaultConfig& config)
+      : clock_(clock), config_(config) {}
+
+  /// Decides the fate of the next I/O attempt. Performs the injected
+  /// delay itself (sleeping here keeps the wrapper trivial).
+  Action Next(SocketOp op);
+
+  /// The client calls this after tearing down and re-dialing the
+  /// connection: a pending truncation-reset applies to the torn stream,
+  /// not the fresh one. (An *armed clock* keeps resetting — a tripped
+  /// FaultInjector models the network staying down until Disarm.)
+  void OnReconnect() { pending_reset_.store(false, std::memory_order_relaxed); }
+
+  Counters counters() const {
+    Counters c;
+    c.delays = delays_.load(std::memory_order_relaxed);
+    c.eintr = eintr_.load(std::memory_order_relaxed);
+    c.eagain = eagain_.load(std::memory_order_relaxed);
+    c.short_ios = short_ios_.load(std::memory_order_relaxed);
+    c.truncations = truncations_.load(std::memory_order_relaxed);
+    c.resets = resets_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  /// Steps consumed so far (== intercepted I/O attempts).
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector* clock_;
+  const SocketFaultConfig config_;
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<bool> pending_reset_{false};
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> eintr_{0};
+  std::atomic<uint64_t> eagain_{0};
+  std::atomic<uint64_t> short_ios_{0};
+  std::atomic<uint64_t> truncations_{0};
+  std::atomic<uint64_t> resets_{0};
+};
+
+}  // namespace lsmssd::net
+
+#endif  // LSMSSD_NET_FAULT_SOCKET_H_

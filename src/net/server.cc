@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -35,9 +36,22 @@ struct Server::Connection {
   bool epollout_armed = false;
   std::string inbuf;
 
+  /// One queued unit of a connection's in-order response stream. Shed
+  /// markers (overload / drain rejections) ride the same queue as real
+  /// requests so their error responses interleave in receive order; their
+  /// payload bytes are dropped at parse time, so a marker costs a few
+  /// dozen bytes and zero Db work.
+  struct WorkItem {
+    enum class Kind : uint8_t { kExecute, kShedOverload, kShedShutdown };
+    Frame frame;
+    Kind kind = Kind::kExecute;
+  };
+
   std::mutex mu;
-  std::deque<Frame> pending;   ///< Decoded requests awaiting a worker.
+  std::deque<WorkItem> pending;  ///< Decoded requests awaiting a worker.
   bool busy = false;           ///< A worker owns the pending queue.
+  bool aborted = false;        ///< mu-side mirror of `dead`: the peer is
+                               ///< gone; workers skip the queued Db work.
   std::string outbuf;          ///< Encoded responses awaiting the socket.
   size_t out_off = 0;
 };
@@ -126,12 +140,42 @@ void Server::Stop() {
   if (wake_fd_ >= 0) close(wake_fd_), wake_fd_ = -1;
 }
 
+bool Server::Drain(int deadline_ms) {
+  if (!started_ || stopping_.load(std::memory_order_acquire)) {
+    Stop();
+    return true;
+  }
+  draining_.store(true, std::memory_order_release);
+  // Wake the epoll thread: it closes the listener, marks every
+  // connection closing, and flushes — all fd work stays on its thread.
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(deadline_ms < 0 ? 0 : deadline_ms);
+  bool clean = false;
+  while (true) {
+    if (live_conns_.load(std::memory_order_relaxed) == 0 &&
+        pending_frames_.load(std::memory_order_relaxed) == 0) {
+      clean = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Stop();
+  return clean;
+}
+
 ServerCounters Server::counters() const {
   ServerCounters c;
   c.connections_accepted = connections_accepted_.load();
   c.connections_dropped_malformed = connections_dropped_malformed_.load();
   c.frames_processed = frames_processed_.load();
   c.unsupported_version_frames = unsupported_version_frames_.load();
+  c.frames_shed_overload = frames_shed_overload_.load();
+  c.frames_rejected_shutdown = frames_rejected_shutdown_.load();
+  c.connections_dropped_slow = connections_dropped_slow_.load();
   return c;
 }
 
@@ -146,6 +190,26 @@ void Server::EpollLoop() {
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll itself broke; shut the loop down.
+    }
+    if (draining_.load(std::memory_order_acquire) && !drain_begun_) {
+      // Drain housekeeping, once: retire the listener (no new
+      // connections) and put every live connection on the
+      // close-when-idle path. Frames already buffered or still arriving
+      // are answered (executed or kShuttingDown) before the close.
+      drain_begun_ = true;
+      if (listen_fd_ >= 0) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      std::vector<std::shared_ptr<Connection>> live;
+      live.reserve(conns_.size());
+      for (const auto& [fd, conn] : conns_) live.push_back(conn);
+      for (const auto& conn : live) {
+        if (conn->dead) continue;
+        conn->closing = true;
+        TryFlush(conn);  // Closes immediately when already idle.
+      }
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
@@ -176,7 +240,12 @@ void Server::EpollLoop() {
   // they only touch mu-guarded fields, never the fd.
   for (auto& [fd, conn] : conns_) {
     conn->dead = true;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      conn->aborted = true;
+    }
     close(fd);
+    live_conns_.fetch_sub(1, std::memory_order_relaxed);
   }
   conns_.clear();
 }
@@ -199,6 +268,7 @@ void Server::AcceptNew() {
     ev.data.fd = fd;
     epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    live_conns_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -273,10 +343,28 @@ void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
       TryFlush(conn);
       return;
     }
+    // Admission decision, made before any Db work: drain rejections and
+    // overload sheds become lightweight markers on the same in-order
+    // queue (their payload bytes are released here), so a client that
+    // pipelined N frames still receives exactly N responses in order.
+    using Kind = Connection::WorkItem::Kind;
+    Kind kind = Kind::kExecute;
+    if (draining_.load(std::memory_order_acquire)) {
+      kind = Kind::kShedShutdown;
+      frames_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    } else if (opts_.max_pending_frames > 0 &&
+               pending_frames_.load(std::memory_order_relaxed) >=
+                   static_cast<int64_t>(opts_.max_pending_frames)) {
+      kind = Kind::kShedOverload;
+      frames_shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      pending_frames_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (kind != Kind::kExecute) frame.payload = std::string();
     bool enqueue = false;
     {
       std::lock_guard<std::mutex> l(conn->mu);
-      conn->pending.push_back(std::move(frame));
+      conn->pending.push_back(Connection::WorkItem{std::move(frame), kind});
       if (!conn->busy) {
         conn->busy = true;
         enqueue = true;
@@ -299,6 +387,7 @@ void Server::TryFlush(const std::shared_ptr<Connection>& conn) {
   bool blocked = false;
   bool broken = false;
   bool idle = false;
+  size_t backlog_bytes = 0;
   {
     std::lock_guard<std::mutex> l(conn->mu);
     while (conn->out_off < conn->outbuf.size()) {
@@ -321,9 +410,20 @@ void Server::TryFlush(const std::shared_ptr<Connection>& conn) {
       conn->outbuf.clear();
       conn->out_off = 0;
     }
+    backlog_bytes = conn->outbuf.size() - conn->out_off;
     idle = !conn->busy && conn->pending.empty() && conn->outbuf.empty();
   }
   if (broken) {
+    CloseConn(conn);
+    return;
+  }
+  if (opts_.max_conn_backlog_bytes > 0 &&
+      backlog_bytes > opts_.max_conn_backlog_bytes) {
+    // Slow-client eviction: the peer pipelines requests but does not
+    // read responses; its backlog, not the worker pool, is the memory
+    // it is consuming. Dropping the connection frees it — the client
+    // observes a reset (Unavailable) and may reconnect with backoff.
+    connections_dropped_slow_.fetch_add(1, std::memory_order_relaxed);
     CloseConn(conn);
     return;
   }
@@ -369,9 +469,14 @@ void Server::UpdateEpollInterest(const std::shared_ptr<Connection>& conn) {
 void Server::CloseConn(const std::shared_ptr<Connection>& conn) {
   if (conn->dead) return;
   conn->dead = true;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    conn->aborted = true;
+  }
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   conns_.erase(conn->fd);
   close(conn->fd);
+  live_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Server::DrainFlushQueue() {
@@ -420,7 +525,8 @@ void Server::WorkerLoop() {
     // holds a given connection at a time (the busy flag), so requests
     // execute — and respond — strictly in receive order.
     while (true) {
-      std::deque<Frame> batch;
+      std::deque<Connection::WorkItem> batch;
+      bool aborted = false;
       {
         std::lock_guard<std::mutex> l(conn->mu);
         if (conn->pending.empty()) {
@@ -428,9 +534,39 @@ void Server::WorkerLoop() {
           break;
         }
         batch.swap(conn->pending);
+        aborted = conn->aborted;
       }
+      int64_t executes = 0;
+      for (const Connection::WorkItem& item : batch) {
+        if (item.kind == Connection::WorkItem::Kind::kExecute) ++executes;
+      }
+      if (executes > 0) {
+        pending_frames_.fetch_sub(executes, std::memory_order_relaxed);
+      }
+      if (aborted) continue;  // Peer gone: nobody will read the responses,
+                              // so skip the Db work (and any duplicate
+                              // application a retrying client would risk).
       std::string out;
-      for (const Frame& frame : batch) out.append(HandleRequest(frame));
+      for (const Connection::WorkItem& item : batch) {
+        const uint8_t response_op =
+            static_cast<uint8_t>(item.frame.opcode | kResponseBit);
+        switch (item.kind) {
+          case Connection::WorkItem::Kind::kExecute:
+            out.append(HandleRequest(item.frame));
+            break;
+          case Connection::WorkItem::Kind::kShedOverload:
+            out.append(EncodeFrame(
+                response_op,
+                EncodeOverloadedResponse(opts_.overload_retry_after_ms)));
+            break;
+          case Connection::WorkItem::Kind::kShedShutdown:
+            out.append(EncodeFrame(
+                response_op,
+                EncodeProtocolErrorResponse(WireError::kShuttingDown,
+                                            "server draining")));
+            break;
+        }
+      }
       {
         std::lock_guard<std::mutex> l(conn->mu);
         conn->outbuf.append(out);
@@ -442,6 +578,7 @@ void Server::WorkerLoop() {
 }
 
 std::string Server::HandleRequest(const Frame& frame) {
+  if (opts_.worker_hook_for_testing) opts_.worker_hook_for_testing();
   frames_processed_.fetch_add(1, std::memory_order_relaxed);
   const uint8_t response_op =
       static_cast<uint8_t>(frame.opcode | kResponseBit);
@@ -515,6 +652,12 @@ std::string Server::HandleRequest(const Frame& frame) {
     case Opcode::kStats:
       body = EncodeStatsResponse(BuildStatsText());
       break;
+    case Opcode::kPing:
+      if (!frame.payload.empty()) {
+        return malformed("PING carries no payload");
+      }
+      body = EncodeEmptyOkResponse();
+      break;
     default:
       body = EncodeErrorResponse(Status::Unimplemented(
           "unknown opcode " + std::to_string(frame.opcode)));
@@ -542,6 +685,9 @@ std::string Server::BuildStatsText() {
   line("scrub_blocks_verified", s.scrub_blocks_verified);
   line("frames_processed", frames_processed_.load());
   line("connections_dropped", connections_dropped_malformed_.load());
+  line("frames_shed_overload", frames_shed_overload_.load());
+  line("frames_rejected_shutdown", frames_rejected_shutdown_.load());
+  line("connections_dropped_slow", connections_dropped_slow_.load());
   t += '\n';
   t += s.ToString();
   return t;

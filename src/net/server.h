@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,7 +37,24 @@ struct ServerOptions {
   /// past it the server stops reading that socket until the worker
   /// drains below (TCP backpressure, bounded memory).
   size_t max_pipelined_requests = 1024;
+  /// Pool-wide cap on decoded-but-unexecuted requests across all
+  /// connections. Past it the server *sheds*: each excess request is
+  /// answered kOverloaded (with a retry-after hint) without touching the
+  /// Db or keeping its payload, instead of queueing without bound. The
+  /// rejection still flows through the connection's in-order response
+  /// stream. 0 disables shedding.
+  size_t max_pending_frames = 4096;
+  /// Retry-after hint embedded in kOverloaded responses.
+  uint32_t overload_retry_after_ms = 10;
+  /// Slow-client eviction: a connection whose unsent response backlog
+  /// exceeds this many bytes after a flush attempt is dropped (counted in
+  /// connections_dropped_slow). Protects server memory from clients that
+  /// pipeline requests but never read responses. 0 disables.
+  size_t max_conn_backlog_bytes = 8u << 20;
   int listen_backlog = 128;
+  /// Test seam: when set, workers call this once per executed request,
+  /// before touching the Db. Lets tests hold the pool busy at a barrier.
+  std::function<void()> worker_hook_for_testing;
 };
 
 /// Monotonic server counters (exposed via counters() and over the wire
@@ -46,6 +64,9 @@ struct ServerCounters {
   uint64_t connections_dropped_malformed = 0;  ///< Frame-level garbage.
   uint64_t frames_processed = 0;               ///< Request frames executed.
   uint64_t unsupported_version_frames = 0;
+  uint64_t frames_shed_overload = 0;     ///< Answered kOverloaded, unexecuted.
+  uint64_t frames_rejected_shutdown = 0; ///< Answered kShuttingDown (drain).
+  uint64_t connections_dropped_slow = 0; ///< Evicted over the backlog cap.
 };
 
 /// Pipelined binary-protocol server over one Db.
@@ -78,10 +99,20 @@ class Server {
   /// The bound port (resolves port 0 at Start).
   uint16_t port() const { return port_; }
 
-  /// Graceful shutdown: stops accepting, closes every connection, joins
+  /// Abrupt shutdown: stops accepting, closes every connection, joins
   /// all threads. In-flight requests finish against the Db; their
   /// responses are not guaranteed to be delivered. Idempotent.
   void Stop();
+
+  /// Graceful drain (the SIGTERM path): stop accepting, answer every
+  /// already-accepted frame — executed requests with their real response,
+  /// requests arriving after the drain begins with kShuttingDown — flush
+  /// all responses, and close each connection as it goes idle. Once every
+  /// connection has drained, or `deadline_ms` elapses, falls through to
+  /// Stop(). Returns true when the drain completed before the deadline
+  /// (no connection was cut with undelivered output). Idempotent;
+  /// callers checkpoint the Db afterwards.
+  bool Drain(int deadline_ms);
 
   ServerCounters counters() const;
 
@@ -126,7 +157,15 @@ class Server {
   std::thread epoll_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
+  bool drain_begun_ = false;  ///< Epoll thread: drain housekeeping done.
+
+  /// Decoded-but-unexecuted requests across all connections (shed markers
+  /// excluded) — the quantity max_pending_frames caps.
+  std::atomic<int64_t> pending_frames_{0};
+  /// Open connections; Drain() waits for this to reach zero.
+  std::atomic<int64_t> live_conns_{0};
 
   /// Live connections, keyed by fd. Epoll thread only.
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
@@ -142,6 +181,9 @@ class Server {
   std::atomic<uint64_t> connections_dropped_malformed_{0};
   std::atomic<uint64_t> frames_processed_{0};
   std::atomic<uint64_t> unsupported_version_frames_{0};
+  std::atomic<uint64_t> frames_shed_overload_{0};
+  std::atomic<uint64_t> frames_rejected_shutdown_{0};
+  std::atomic<uint64_t> connections_dropped_slow_{0};
 };
 
 }  // namespace lsmssd::net

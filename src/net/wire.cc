@@ -61,6 +61,11 @@ Status StatusFromWire(WireError code, std::string message) {
     case WireError::kMalformedRequest:
       return Status::InvalidArgument("malformed request: " +
                                      std::move(message));
+    case WireError::kOverloaded:
+      return Status::Unavailable("server overloaded: " + std::move(message));
+    case WireError::kShuttingDown:
+      return Status::Unavailable("server shutting down: " +
+                                 std::move(message));
     default:
       return Status::Internal("unknown wire error code " +
                               std::to_string(static_cast<int>(code)) + ": " +
@@ -253,6 +258,30 @@ std::string EncodeErrorResponse(const Status& status) {
 
 std::string EncodeProtocolErrorResponse(WireError code, std::string_view msg) {
   return EncodeErrorBody(code, msg);
+}
+
+std::string EncodeOverloadedResponse(uint32_t retry_after_ms) {
+  return EncodeErrorBody(
+      WireError::kOverloaded,
+      "retry_after_ms=" + std::to_string(retry_after_ms));
+}
+
+bool ParseRetryAfterMs(std::string_view message, uint32_t* retry_after_ms) {
+  static constexpr std::string_view kTag = "retry_after_ms=";
+  const size_t at = message.find(kTag);
+  if (at == std::string_view::npos) return false;
+  uint64_t value = 0;
+  size_t pos = at + kTag.size();
+  if (pos >= message.size() || message[pos] < '0' || message[pos] > '9') {
+    return false;
+  }
+  for (; pos < message.size() && message[pos] >= '0' && message[pos] <= '9';
+       ++pos) {
+    value = value * 10 + static_cast<uint64_t>(message[pos] - '0');
+    if (value > UINT32_MAX) return false;
+  }
+  *retry_after_ms = static_cast<uint32_t>(value);
+  return true;
 }
 
 std::string EncodeGetResponse(std::string_view value) {

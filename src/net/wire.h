@@ -58,6 +58,10 @@ enum class Opcode : uint8_t {
   kDelete = 3,
   kScan = 4,
   kStats = 5,
+  /// Health check: empty request payload, empty OK response. Added within
+  /// v1 (additive); older servers answer kUnimplemented, which callers
+  /// should treat as "alive but old".
+  kPing = 6,
 };
 
 /// True for the opcode byte of a response frame.
@@ -84,6 +88,14 @@ enum class WireError : uint8_t {
   kInternal = 9,
   kUnsupportedVersion = 100,  ///< Valid frame, unknown version byte.
   kMalformedRequest = 101,    ///< Opcode known, payload undecodable.
+  /// Load shed: the server's pending-work cap is full and this request
+  /// was rejected WITHOUT executing (retry is always safe, writes
+  /// included). The message carries a `retry_after_ms=<N>` hint — see
+  /// ParseRetryAfterMs. Decodes to Status::Unavailable client-side.
+  kOverloaded = 102,
+  /// Graceful drain: the server is shutting down and this request was
+  /// rejected without executing. Decodes to Status::Unavailable.
+  kShuttingDown = 103,
 };
 
 /// Status -> wire code (kOk for OK). Every StatusCode has a distinct
@@ -166,6 +178,14 @@ struct ScanItem {
 std::string EncodeErrorResponse(const Status& status);
 /// Like EncodeErrorResponse but for the protocol-level codes.
 std::string EncodeProtocolErrorResponse(WireError code, std::string_view msg);
+
+/// kOverloaded response body carrying a machine-readable backoff hint in
+/// the message (`retry_after_ms=<N>`).
+std::string EncodeOverloadedResponse(uint32_t retry_after_ms);
+
+/// Extracts the `retry_after_ms=<N>` hint from an error message (the
+/// client feeds it into its backoff). False when no hint is present.
+bool ParseRetryAfterMs(std::string_view message, uint32_t* retry_after_ms);
 
 /// OK responses. Get carries the value; Put/Delete carry nothing; Scan
 /// carries a count then (key, u32 length, value) triples; Stats carries

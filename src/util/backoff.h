@@ -1,0 +1,70 @@
+#ifndef LSMSSD_UTIL_BACKOFF_H_
+#define LSMSSD_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace lsmssd {
+
+/// Exponential backoff with decorrelating jitter, used by the network
+/// client's retry policy (src/net/client.h). Delays grow geometrically
+/// from `initial_ms` up to `max_ms`; each delay is then jittered downward
+/// by up to `jitter` of itself so a fleet of clients kicked off by the
+/// same event (a server restart, an overload shed) does not retry in
+/// lockstep. All randomness flows through a seeded Random, so tests and
+/// the chaos bench replay identical schedules.
+class ExponentialBackoff {
+ public:
+  struct Options {
+    int initial_ms = 2;
+    int max_ms = 250;
+    double multiplier = 2.0;
+    /// Fraction of each delay randomized away: the n-th delay is uniform
+    /// in [base*(1-jitter), base]. 0 = fully deterministic.
+    double jitter = 0.5;
+    uint64_t seed = 1;
+  };
+
+  explicit ExponentialBackoff(const Options& opts)
+      : opts_(Sanitize(opts)), rng_(opts_.seed), base_ms_(opts_.initial_ms) {}
+
+  /// The next delay in milliseconds (and advances the schedule). Never
+  /// exceeds max_ms; never goes below 0.
+  int NextDelayMs() {
+    const double base = base_ms_;
+    base_ms_ = std::min<double>(opts_.max_ms, base_ms_ * opts_.multiplier);
+    ++attempts_;
+    const double cut = base * opts_.jitter * rng_.NextDouble();
+    const double delay = base - cut;
+    return static_cast<int>(delay < 0 ? 0 : delay);
+  }
+
+  /// Back to the initial delay (e.g. after a successful request).
+  void Reset() {
+    base_ms_ = opts_.initial_ms;
+    attempts_ = 0;
+  }
+
+  /// Delays handed out since construction or the last Reset().
+  int attempts() const { return attempts_; }
+
+ private:
+  static Options Sanitize(Options o) {
+    if (o.initial_ms < 0) o.initial_ms = 0;
+    if (o.max_ms < o.initial_ms) o.max_ms = o.initial_ms;
+    if (o.multiplier < 1.0) o.multiplier = 1.0;
+    o.jitter = std::clamp(o.jitter, 0.0, 1.0);
+    return o;
+  }
+
+  Options opts_;
+  Random rng_;
+  double base_ms_;
+  int attempts_ = 0;
+};
+
+}  // namespace lsmssd
+
+#endif  // LSMSSD_UTIL_BACKOFF_H_

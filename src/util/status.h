@@ -21,6 +21,11 @@ enum class StatusCode {
   kUnimplemented = 8,
   kInternal = 9,
   kTimedOut = 10,
+  /// The peer is temporarily unreachable (connection reset/refused, peer
+  /// closed, server overloaded or draining). Retryable with backoff, unlike
+  /// kIoError which signals a broken local resource. Client-local: it has
+  /// no wire encoding (see net::WireErrorFromStatus).
+  kUnavailable = 11,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
@@ -71,6 +76,9 @@ class Status {
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +94,7 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const {
@@ -131,6 +140,8 @@ inline std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

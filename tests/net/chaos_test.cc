@@ -1,0 +1,479 @@
+// Chaos-path tests: the socket fault seam (src/net/fault_socket.h), the
+// client's retry/backoff/reconnect machinery, and the partial-frame
+// satellite — a response truncated at EVERY byte offset must leave the
+// client either cleanly Unavailable (peer closed) or TimedOut-and-
+// resumable (peer stalled); it must never misparse a partial frame.
+//
+// Scripted servers (raw loopback sockets driven byte-by-byte from a
+// thread) stand in for the real server so each failure is placed at an
+// exact point in the conversation.
+
+#include "src/net/fault_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/db/db.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/storage/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace lsmssd::net {
+namespace {
+
+using lsmssd::testing::TinyOptions;
+using Action = SocketFaultInjector::Action;
+
+// ---------------------------------------------------------------------------
+// SocketFaultInjector unit tests (no sockets involved).
+// ---------------------------------------------------------------------------
+
+TEST(SocketFaultInjectorTest, PeriodicRulesAreDeterministic) {
+  SocketFaultConfig cfg;
+  cfg.eintr_every = 3;
+  cfg.reset_every = 5;
+  SocketFaultInjector a(nullptr, cfg), b(nullptr, cfg);
+  for (int i = 0; i < 60; ++i) {
+    const Action x = a.Next(SocketOp::kRecv);
+    const Action y = b.Next(SocketOp::kRecv);
+    EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind)) << i;
+    EXPECT_EQ(x.err, y.err) << i;
+  }
+  EXPECT_EQ(a.counters().eintr, b.counters().eintr);
+  EXPECT_EQ(a.counters().resets, b.counters().resets);
+  EXPECT_EQ(a.steps(), 60u);
+}
+
+TEST(SocketFaultInjectorTest, AtMostOneRuleFiresCheckedInOrder) {
+  // Steps divisible by both 3 and 6 must pick eintr (checked first);
+  // reset fires only on the multiples of 3 that are not multiples of 6.
+  SocketFaultConfig cfg;
+  cfg.eintr_every = 6;
+  cfg.reset_every = 3;
+  SocketFaultInjector inj(nullptr, cfg);
+  std::vector<int> eintr_steps, reset_steps;
+  for (int step = 1; step <= 12; ++step) {
+    const Action a = inj.Next(SocketOp::kSend);
+    if (a.err == EINTR) eintr_steps.push_back(step);
+    if (a.err == ECONNRESET) reset_steps.push_back(step);
+  }
+  EXPECT_EQ(eintr_steps, (std::vector<int>{6, 12}));
+  EXPECT_EQ(reset_steps, (std::vector<int>{3, 9}));
+}
+
+TEST(SocketFaultInjectorTest, TruncateIsSendOnlyAndArmsAReset) {
+  SocketFaultConfig cfg;
+  cfg.truncate_every = 3;
+  cfg.short_bytes = 2;
+  SocketFaultInjector inj(nullptr, cfg);
+
+  // Steps 1..3 are recvs: truncation never fires on the receive side.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kRecv).kind),
+              static_cast<int>(Action::Kind::kPass));
+  }
+  // Steps 4,5 pass; step 6 is a send on a multiple of 3: short write...
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kSend).kind),
+            static_cast<int>(Action::Kind::kPass));
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kSend).kind),
+            static_cast<int>(Action::Kind::kPass));
+  const Action trunc = inj.Next(SocketOp::kSend);
+  EXPECT_EQ(static_cast<int>(trunc.kind),
+            static_cast<int>(Action::Kind::kShort));
+  EXPECT_EQ(trunc.cap_bytes, 2u);
+  // ...and the op after it observes the torn stream.
+  const Action after = inj.Next(SocketOp::kRecv);
+  EXPECT_EQ(static_cast<int>(after.kind),
+            static_cast<int>(Action::Kind::kErrno));
+  EXPECT_EQ(after.err, ECONNRESET);
+
+  // Step 8 passes; step 9 truncates again, but this time the client
+  // reconnects first: the pending reset belongs to the torn stream and
+  // is cleared.
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kSend).kind),
+            static_cast<int>(Action::Kind::kPass));
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kSend).kind),
+            static_cast<int>(Action::Kind::kShort));
+  inj.OnReconnect();
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kRecv).kind),
+            static_cast<int>(Action::Kind::kPass));
+  EXPECT_EQ(inj.counters().truncations, 2u);
+  EXPECT_EQ(inj.counters().resets, 1u);
+}
+
+TEST(SocketFaultInjectorTest, ArmedClockIsAPermanentResetUntilDisarm) {
+  FaultInjector clock;
+  SocketFaultConfig cfg;  // No periodic rules: only the clock acts.
+  SocketFaultInjector inj(&clock, cfg);
+  clock.Arm(2);  // Steps 0 and 1 pass; step 2 trips.
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kSend).kind),
+            static_cast<int>(Action::Kind::kPass));
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kRecv).kind),
+            static_cast<int>(Action::Kind::kPass));
+  for (int i = 0; i < 5; ++i) {
+    const Action a = inj.Next(SocketOp::kSend);
+    EXPECT_EQ(a.err, ECONNRESET) << "tripped clock must keep resetting";
+  }
+  EXPECT_TRUE(clock.tripped());
+  clock.Disarm();
+  EXPECT_EQ(static_cast<int>(inj.Next(SocketOp::kRecv).kind),
+            static_cast<int>(Action::Kind::kPass));
+  EXPECT_EQ(inj.counters().resets, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Scripted loopback servers.
+// ---------------------------------------------------------------------------
+
+/// A listening socket whose conversation is driven explicitly by the
+/// test: accept / read-exact / send / close, one step at a time.
+struct ScriptServer {
+  ScriptServer() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    LSMSSD_CHECK(listen_fd >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    LSMSSD_CHECK(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1);
+    LSMSSD_CHECK(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0);
+    LSMSSD_CHECK(::listen(listen_fd, 4) == 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    LSMSSD_CHECK(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                               &len) == 0);
+    port = ntohs(bound.sin_port);
+  }
+  ~ScriptServer() {
+    CloseConn();
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  void Accept() {
+    CloseConn();
+    conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    LSMSSD_CHECK(conn_fd >= 0);
+  }
+  /// Reads exactly n bytes (so a later close sends FIN, not RST).
+  void ReadExact(size_t n) {
+    std::string got(n, '\0');
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t r = ::recv(conn_fd, got.data() + off, n - off, 0);
+      LSMSSD_CHECK(r > 0) << "script read failed at " << off << "/" << n;
+      off += static_cast<size_t>(r);
+    }
+  }
+  void Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(conn_fd, bytes.data() + off, bytes.size() - off,
+                 MSG_NOSIGNAL);
+      LSMSSD_CHECK(n > 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+  void CloseConn() {
+    if (conn_fd >= 0) ::close(conn_fd), conn_fd = -1;
+  }
+
+  int listen_fd = -1;
+  int conn_fd = -1;
+  uint16_t port = 0;
+};
+
+std::unique_ptr<Client> MustConnect(uint16_t port, int io_timeout_ms,
+                                    RetryPolicy retry = RetryPolicy()) {
+  ClientOptions copts;
+  copts.port = port;
+  copts.io_timeout_ms = io_timeout_ms;
+  copts.retry = retry;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 4;
+  auto client_or = Client::Connect(copts);
+  LSMSSD_CHECK(client_or.ok()) << client_or.status().ToString();
+  return std::move(client_or).value();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: partial-frame truncation at every byte offset.
+// ---------------------------------------------------------------------------
+
+TEST(TruncationSweepTest, PeerCloseAfterEveryPrefixIsCleanlyUnavailable) {
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet), EncodeGetRequest(7));
+  const std::string reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet) | kResponseBit,
+                  EncodeErrorResponse(Status::NotFound("nope")));
+  for (size_t off = 1; off < reply.size(); ++off) {
+    ScriptServer server;
+    auto client = MustConnect(server.port, /*io_timeout_ms=*/2000);
+    std::thread script([&] {
+      server.Accept();
+      server.ReadExact(request.size());
+      server.Send(std::string_view(reply).substr(0, off));
+      server.CloseConn();  // FIN mid-frame.
+    });
+    ASSERT_TRUE(client
+                    ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                              EncodeGetRequest(7))
+                    .ok())
+        << "offset " << off;
+    Frame frame;
+    const Status st = client->ReceiveResponse(&frame);
+    // The defining property: a frame cut at ANY offset is never
+    // surfaced as a (mis)parsed response.
+    EXPECT_TRUE(st.IsUnavailable()) << "offset " << off << ": "
+                                    << st.ToString();
+    // The connection is latched dead with the same retryable error.
+    Frame again;
+    EXPECT_TRUE(client->ReceiveResponse(&again).IsUnavailable())
+        << "offset " << off;
+    script.join();
+  }
+}
+
+TEST(TruncationSweepTest, StallAfterEveryPrefixTimesOutThenResumesAligned) {
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet), EncodeGetRequest(7));
+  const std::string reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet) | kResponseBit,
+                  EncodeErrorResponse(Status::NotFound("nope")));
+  for (size_t off = 1; off < reply.size(); ++off) {
+    ScriptServer server;
+    auto client = MustConnect(server.port, /*io_timeout_ms=*/50);
+    std::thread script([&] {
+      server.Accept();
+      server.ReadExact(request.size());
+      server.Send(std::string_view(reply).substr(0, off));
+      // Stall: say nothing until the client has timed out once.
+    });
+    ASSERT_TRUE(client
+                    ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                              EncodeGetRequest(7))
+                    .ok());
+    Frame frame;
+    Status st = client->ReceiveResponse(&frame);
+    ASSERT_TRUE(st.IsTimedOut()) << "offset " << off << ": " << st.ToString();
+    script.join();
+
+    // The server wakes up: the rest of the frame completes the original
+    // reply — the partial prefix was buffered, the stream is aligned.
+    server.Send(std::string_view(reply).substr(off));
+    st = client->ReceiveResponse(&frame);
+    ASSERT_TRUE(st.ok()) << "offset " << off << ": " << st.ToString();
+    std::string_view body;
+    EXPECT_TRUE(DecodeResponseStatus(frame.payload, &body).IsNotFound())
+        << "offset " << off;
+
+    // And the alignment survives into the next full exchange.
+    ASSERT_TRUE(client
+                    ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                              EncodeGetRequest(8))
+                    .ok());
+    server.ReadExact(request.size());
+    server.Send(reply);
+    st = client->ReceiveResponse(&frame);
+    ASSERT_TRUE(st.ok()) << "offset " << off << ": " << st.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retry / reconnect semantics against scripted failures.
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, ReadRetriesAcrossAPeerReset) {
+  ScriptServer server;
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet), EncodeGetRequest(42));
+  const std::string reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet) | kResponseBit,
+                  EncodeErrorResponse(Status::NotFound("nope")));
+  std::thread script([&] {
+    server.Accept();                    // Connection 1:
+    server.ReadExact(request.size());   //   take the request...
+    server.CloseConn();                 //   ...and hang up. Ambiguous!
+    server.Accept();                    // Connection 2 (the reconnect):
+    server.ReadExact(request.size());
+    server.Send(reply);                 //   answer properly.
+  });
+
+  RetryPolicy rp;
+  rp.max_attempts = 5;
+  auto client = MustConnect(server.port, 2000, rp);
+  const Status st = client->Get(42).status();
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();  // The app-level answer.
+  EXPECT_EQ(client->stats().reconnects, 1u);
+  EXPECT_GE(client->stats().retries, 1u);
+  script.join();
+}
+
+TEST(RetryTest, AmbiguousWriteIsNotResentWithoutOptIn) {
+  ScriptServer server;
+  const std::string put_payload = EncodePutRequest(1, "v");
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kPut), put_payload);
+  std::thread script([&] {
+    server.Accept();
+    server.ReadExact(request.size());  // The write *was delivered*...
+    server.CloseConn();                // ...but the ack never came.
+  });
+
+  RetryPolicy rp;
+  rp.max_attempts = 5;  // Retries allowed — but not for ambiguous writes.
+  auto client = MustConnect(server.port, 2000, rp);
+  const Status st = client->Put(1, "v");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(client->stats().retries, 0u) << "write must not be resent";
+  EXPECT_EQ(client->stats().reconnects, 0u);
+  script.join();
+}
+
+TEST(RetryTest, AmbiguousWriteIsResentWithOptIn) {
+  ScriptServer server;
+  const std::string put_payload = EncodePutRequest(1, "v");
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kPut), put_payload);
+  const std::string ok_reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kPut) | kResponseBit,
+                  EncodeEmptyOkResponse());
+  std::thread script([&] {
+    server.Accept();
+    server.ReadExact(request.size());
+    server.CloseConn();
+    server.Accept();  // The opted-in client resends on a fresh conn.
+    server.ReadExact(request.size());
+    server.Send(ok_reply);
+  });
+
+  RetryPolicy rp;
+  rp.max_attempts = 5;
+  rp.retry_writes = true;
+  auto client = MustConnect(server.port, 2000, rp);
+  EXPECT_TRUE(client->Put(1, "v").ok());
+  EXPECT_EQ(client->stats().reconnects, 1u);
+  script.join();
+}
+
+TEST(RetryTest, OverloadedReplyIsRetriedOnTheSameConnection) {
+  ScriptServer server;
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet), EncodeGetRequest(9));
+  const std::string shed_reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet) | kResponseBit,
+                  EncodeOverloadedResponse(/*retry_after_ms=*/3));
+  const std::string real_reply =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet) | kResponseBit,
+                  EncodeErrorResponse(Status::NotFound("nope")));
+  std::thread script([&] {
+    server.Accept();
+    server.ReadExact(request.size());
+    server.Send(shed_reply);           // "Come back later."
+    server.ReadExact(request.size());  // Same connection, retried frame.
+    server.Send(real_reply);
+  });
+
+  RetryPolicy rp;
+  rp.max_attempts = 3;
+  auto client = MustConnect(server.port, 2000, rp);
+  const Status st = client->Get(9).status();
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  EXPECT_EQ(client->stats().overloaded_replies, 1u);
+  EXPECT_EQ(client->stats().retries, 1u);
+  EXPECT_EQ(client->stats().reconnects, 0u) << "shed is not a torn conn";
+  script.join();
+}
+
+TEST(RetryTest, ExhaustedAttemptsSurfaceTheLastError) {
+  ScriptServer server;
+  const std::string request =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kGet), EncodeGetRequest(1));
+  std::thread script([&] {
+    for (int i = 0; i < 3; ++i) {
+      server.Accept();
+      server.ReadExact(request.size());
+      server.CloseConn();
+    }
+  });
+  RetryPolicy rp;
+  rp.max_attempts = 3;
+  auto client = MustConnect(server.port, 2000, rp);
+  const Status st = client->Get(1).status();
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(client->stats().retries, 2u);  // Attempts 2 and 3.
+  script.join();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a faulty client against the real server.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosEndToEndTest, FaultyClientConvergesAgainstRealServer) {
+  const std::string dir = ::testing::TempDir() + "/net_chaos_e2e_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.checkpoint_wal_bytes = 0;
+  auto db_or = Db::Open(dbopts, dir);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(db_or).value();
+  auto server_or = Server::Start(ServerOptions(), db.get());
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto server = std::move(server_or).value();
+
+  SocketFaultConfig fcfg;
+  fcfg.eintr_every = 7;
+  fcfg.eagain_every = 11;
+  fcfg.short_every = 5;
+  fcfg.truncate_every = 23;
+  fcfg.reset_every = 31;
+  SocketFaultInjector injector(nullptr, fcfg);
+
+  ClientOptions copts;
+  copts.port = server->port();
+  copts.io_timeout_ms = 1000;
+  copts.fault_injector = &injector;
+  copts.retry.max_attempts = 10;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 8;
+  copts.retry.retry_writes = true;  // Blind stamped puts: idempotent.
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).value();
+
+  const std::string value(db->options().payload_size, 'z');
+  for (Key k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(client->Put(k, value).ok()) << "put " << k;
+  }
+  for (Key k = 1; k <= 100; ++k) {
+    auto got = client->Get(k);
+    ASSERT_TRUE(got.ok()) << "get " << k << ": " << got.status().ToString();
+    EXPECT_EQ(*got, value) << k;
+  }
+  // The schedule above guarantees faults actually happened — and the
+  // client absorbed every one of them.
+  EXPECT_GT(injector.counters().resets, 0u);
+  EXPECT_GT(injector.counters().truncations, 0u);
+  EXPECT_GT(client->stats().reconnects, 0u);
+  EXPECT_GT(client->stats().retries, 0u);
+
+  server->Stop();
+  db->Close();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lsmssd::net

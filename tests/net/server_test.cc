@@ -14,8 +14,11 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -464,6 +467,259 @@ TEST(ServerTest, ReceiveTimeoutIsNonFatalAndResumable) {
   EXPECT_EQ(frame.opcode, static_cast<uint8_t>(Opcode::kGet) | kResponseBit);
   std::string_view body;
   EXPECT_TRUE(DecodeResponseStatus(frame.payload, &body).IsNotFound());
+}
+
+TEST(ServerTest, PingIsACheapHealthCheck) {
+  ServerFixture fx("ping");
+  auto client = fx.Connect();
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Ping().ok());
+
+  // PING carries no payload by contract; a stuffed one is malformed —
+  // answered as an error, connection kept (the stream is still trusted).
+  ASSERT_TRUE(
+      client->SendRaw(static_cast<uint8_t>(Opcode::kPing), "x").ok());
+  Frame frame;
+  ASSERT_TRUE(client->ReceiveResponse(&frame).ok());
+  std::string_view body;
+  const Status st = DecodeResponseStatus(frame.payload, &body);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("malformed"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(client->Ping().ok()) << "connection must survive";
+}
+
+/// Blocks the (single) worker inside the first executed request until
+/// Release(); later requests pass straight through.
+struct WorkerGate {
+  std::function<void()> Hook() {
+    return [this] {
+      std::unique_lock<std::mutex> lock(mu);
+      if (blocked_once) return;
+      blocked_once = true;
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool blocked_once = false;
+  bool entered = false;
+  bool released = false;
+};
+
+TEST(ServerTest, OverloadShedsInOrderInsteadOfQueueingUnbounded) {
+  WorkerGate gate;
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.max_pending_frames = 2;
+  sopts.overload_retry_after_ms = 7;
+  sopts.worker_hook_for_testing = gate.Hook();
+  ServerFixture fx("overload", TinyDbOptions(), sopts);
+  auto client = fx.Connect();
+
+  // Frame #1 is swapped into the worker's batch (leaving the pending
+  // count at zero) and then parks inside the gate.
+  ASSERT_TRUE(client
+                  ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                            EncodeGetRequest(1))
+                  .ok());
+  gate.AwaitEntered();
+
+  // With the worker wedged, frames #2 and #3 fill the pool-wide cap;
+  // #4 and #5 must be shed at admission, not queued.
+  for (Key k = 2; k <= 5; ++k) {
+    ASSERT_TRUE(client
+                    ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                              EncodeGetRequest(k))
+                    .ok());
+  }
+  gate.Release();
+
+  // Replies still arrive strictly in request order: three real answers
+  // (NotFound on an empty store), then two kOverloaded rejections that
+  // carry the configured retry-after hint.
+  for (Key k = 1; k <= 5; ++k) {
+    Frame frame;
+    ASSERT_TRUE(client->ReceiveResponse(&frame).ok()) << k;
+    std::string_view body;
+    const Status st = DecodeResponseStatus(frame.payload, &body);
+    if (k <= 3) {
+      EXPECT_TRUE(st.IsNotFound()) << k << ": " << st.ToString();
+    } else {
+      EXPECT_TRUE(st.IsUnavailable()) << k << ": " << st.ToString();
+      EXPECT_NE(st.message().find("overloaded"), std::string::npos);
+      uint32_t hint = 0;
+      ASSERT_TRUE(ParseRetryAfterMs(st.message(), &hint)) << st.ToString();
+      EXPECT_EQ(hint, 7u);
+    }
+  }
+  EXPECT_EQ(fx.server->counters().frames_shed_overload, 2u);
+  EXPECT_EQ(fx.server->counters().frames_processed, 3u);
+
+  // The shed counters travel the wire in the stats dump.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->frames_shed_overload, 2u);
+  EXPECT_EQ(stats->frames_rejected_shutdown, 0u);
+  EXPECT_EQ(stats->connections_dropped_slow, 0u);
+}
+
+TEST(ServerTest, DrainAnswersEveryInFlightFrameThenRejectsLateOnes) {
+  WorkerGate gate;
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.worker_hook_for_testing = gate.Hook();
+  ServerFixture fx("drain", TinyDbOptions(), sopts);
+  const Options& options = fx.db->options();
+
+  // Four connections each pipeline a burst of PUTs, none of which can
+  // complete while the gate holds the worker.
+  constexpr int kConns = 4;
+  constexpr Key kBurst = 8;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int c = 0; c < kConns; ++c) clients.push_back(fx.Connect());
+  for (int c = 0; c < kConns; ++c) {
+    for (Key i = 1; i <= kBurst; ++i) {
+      const Key key = static_cast<Key>(c) * 1000 + i;
+      ASSERT_TRUE(clients[c]
+                      ->SendRaw(static_cast<uint8_t>(Opcode::kPut),
+                                EncodePutRequest(key, Payload(options, key)))
+                      .ok());
+    }
+  }
+  gate.AwaitEntered();
+
+  // Drain while all 32 frames are in flight.
+  std::thread drainer([&] { EXPECT_TRUE(fx.server->Drain(5000)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // The listener is gone: new connections are refused...
+  {
+    ClientOptions copts;
+    copts.port = fx.server->port();
+    auto refused = Client::Connect(copts);
+    EXPECT_FALSE(refused.ok());
+  }
+  // ...and frames arriving on live connections after drain-begin are
+  // rejected, not executed.
+  for (int c = 0; c < kConns; ++c) {
+    ASSERT_TRUE(clients[c]
+                    ->SendRaw(static_cast<uint8_t>(Opcode::kGet),
+                              EncodeGetRequest(1))
+                    .ok());
+  }
+  gate.Release();
+
+  // Every accepted frame is answered before the connection closes: the
+  // full burst succeeds, then the late frame gets kShuttingDown.
+  for (int c = 0; c < kConns; ++c) {
+    for (Key i = 1; i <= kBurst; ++i) {
+      Frame frame;
+      ASSERT_TRUE(clients[c]->ReceiveResponse(&frame).ok())
+          << "conn " << c << " frame " << i;
+      std::string_view body;
+      EXPECT_TRUE(DecodeResponseStatus(frame.payload, &body).ok())
+          << "conn " << c << " frame " << i;
+    }
+    Frame late;
+    ASSERT_TRUE(clients[c]->ReceiveResponse(&late).ok()) << c;
+    std::string_view body;
+    const Status st = DecodeResponseStatus(late.payload, &body);
+    EXPECT_TRUE(st.IsUnavailable()) << c << ": " << st.ToString();
+    EXPECT_NE(st.message().find("shutting down"), std::string::npos);
+  }
+  drainer.join();
+
+  EXPECT_EQ(fx.server->counters().frames_processed, kConns * kBurst);
+  EXPECT_EQ(fx.server->counters().frames_rejected_shutdown,
+            static_cast<uint64_t>(kConns));
+
+  // Nothing accepted was lost: the store holds every acked write.
+  for (int c = 0; c < kConns; ++c) {
+    for (Key i = 1; i <= kBurst; ++i) {
+      const Key key = static_cast<Key>(c) * 1000 + i;
+      auto got = fx.db->Get(key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      EXPECT_EQ(*got, Payload(options, key));
+    }
+  }
+}
+
+TEST(ServerTest, DrainWithIdleConnectionsCompletesImmediately) {
+  ServerFixture fx("drainidle");
+  auto a = fx.Connect();
+  auto b = fx.Connect();
+  ASSERT_TRUE(a->Ping().ok());
+  ASSERT_TRUE(b->Ping().ok());
+  EXPECT_TRUE(fx.server->Drain(2000));
+  // Idle connections were simply closed; the next call observes it.
+  Frame frame;
+  EXPECT_FALSE(a->ReceiveResponse(&frame).ok());
+}
+
+TEST(ServerTest, SlowClientIsEvictedByBacklogCapNotBufferedForever) {
+  ServerOptions sopts;
+  sopts.max_conn_backlog_bytes = 1024;
+  ServerFixture fx("slowpoke", TinyDbOptions(), sopts);
+  const Options& options = fx.db->options();
+  constexpr Key kSeeded = 500;  // ~16 KiB per full-range scan response.
+  {
+    auto seeder = fx.Connect();
+    for (Key k = 1; k <= kSeeded; ++k) {
+      ASSERT_TRUE(seeder->Put(k, Payload(options, k)).ok());
+    }
+  }
+
+  // A reader that requests large scans and never drains its socket. A
+  // tiny fixed SO_RCVBUF (set before connect) pins the TCP window so
+  // kernel autotuning cannot absorb the responses: they pile up in the
+  // server's userspace backlog until the cap evicts the connection.
+  // Sends are best-effort: the server may (correctly) reset the
+  // connection mid-burst.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny)), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string scan = EncodeFrame(static_cast<uint8_t>(Opcode::kScan),
+                                       EncodeScanRequest(1, kSeeded, 0));
+  for (int i = 0; i < 1000; ++i) {
+    const ssize_t n = ::send(fd, scan.data(), scan.size(), MSG_NOSIGNAL);
+    if (n <= 0) break;  // Evicted while we were still pouring requests.
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fx.server->counters().connections_dropped_slow == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fx.server->counters().connections_dropped_slow, 1u);
+  ::close(fd);
+
+  // The abuse cost one connection, not the server: a polite client is
+  // served as usual.
+  auto client = fx.Connect();
+  auto got = client->Get(1);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, Payload(options, 1));
 }
 
 }  // namespace

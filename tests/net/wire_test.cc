@@ -370,5 +370,55 @@ TEST(WirePrimitivesTest, ReadersRejectShortBuffers) {
   EXPECT_LT(a, b);
 }
 
+TEST(WireProtocolTest, PingOpcodeIsStable) {
+  // Additive protocol evolution: kPing landed as 6 and must never move.
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kPing), 6);
+}
+
+TEST(WireErrorMappingTest, ProtocolRejectionsDecodeToUnavailable) {
+  const Status overloaded = StatusFromWire(WireError::kOverloaded, "busy");
+  EXPECT_TRUE(overloaded.IsUnavailable()) << overloaded.ToString();
+  EXPECT_EQ(overloaded.message(), "server overloaded: busy");
+
+  const Status draining = StatusFromWire(WireError::kShuttingDown, "bye");
+  EXPECT_TRUE(draining.IsUnavailable()) << draining.ToString();
+  EXPECT_EQ(draining.message(), "server shutting down: bye");
+}
+
+TEST(WireErrorMappingTest, ClientLocalCodesFallBackToInternal) {
+  // kTimedOut and kUnavailable describe the *transport as seen by one
+  // client* — they have no wire encoding. If one is ever (wrongly) fed
+  // to the encoder it degrades to kInternal rather than minting a new
+  // wire value.
+  EXPECT_EQ(WireErrorFromStatus(Status::Unavailable("x")),
+            WireError::kInternal);
+  EXPECT_EQ(WireErrorFromStatus(Status::TimedOut("x")), WireError::kInternal);
+}
+
+TEST(WireErrorMappingTest, RetryAfterHintParses) {
+  uint32_t ms = 0;
+  EXPECT_TRUE(ParseRetryAfterMs("retry_after_ms=25", &ms));
+  EXPECT_EQ(ms, 25u);
+  EXPECT_TRUE(
+      ParseRetryAfterMs("server overloaded: retry_after_ms=0", &ms));
+  EXPECT_EQ(ms, 0u);
+
+  EXPECT_FALSE(ParseRetryAfterMs("no hint here", &ms));
+  EXPECT_FALSE(ParseRetryAfterMs("retry_after_ms=", &ms));
+  EXPECT_FALSE(ParseRetryAfterMs("retry_after_ms=soon", &ms));
+  EXPECT_FALSE(ParseRetryAfterMs("retry_after_ms=99999999999", &ms))
+      << "out-of-range hint must not wrap";
+}
+
+TEST(WireErrorMappingTest, OverloadedResponseRoundTripsWithHint) {
+  const std::string payload = EncodeOverloadedResponse(42);
+  std::string_view body;
+  const Status decoded = DecodeResponseStatus(payload, &body);
+  EXPECT_TRUE(decoded.IsUnavailable()) << decoded.ToString();
+  uint32_t ms = 0;
+  ASSERT_TRUE(ParseRetryAfterMs(decoded.message(), &ms)) << decoded.message();
+  EXPECT_EQ(ms, 42u);
+}
+
 }  // namespace
 }  // namespace lsmssd::net

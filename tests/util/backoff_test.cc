@@ -1,0 +1,96 @@
+#include "src/util/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmssd {
+namespace {
+
+TEST(BackoffTest, GrowsGeometricallyWithoutJitter) {
+  ExponentialBackoff::Options o;
+  o.initial_ms = 2;
+  o.max_ms = 1000;
+  o.multiplier = 2.0;
+  o.jitter = 0.0;
+  ExponentialBackoff b(o);
+  EXPECT_EQ(b.NextDelayMs(), 2);
+  EXPECT_EQ(b.NextDelayMs(), 4);
+  EXPECT_EQ(b.NextDelayMs(), 8);
+  EXPECT_EQ(b.NextDelayMs(), 16);
+  EXPECT_EQ(b.attempts(), 4);
+}
+
+TEST(BackoffTest, CapsAtMax) {
+  ExponentialBackoff::Options o;
+  o.initial_ms = 100;
+  o.max_ms = 250;
+  o.multiplier = 3.0;
+  o.jitter = 0.0;
+  ExponentialBackoff b(o);
+  EXPECT_EQ(b.NextDelayMs(), 100);
+  EXPECT_EQ(b.NextDelayMs(), 250);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(b.NextDelayMs(), 250);
+}
+
+TEST(BackoffTest, JitterStaysInRangeAndVaries) {
+  ExponentialBackoff::Options o;
+  o.initial_ms = 100;
+  o.max_ms = 100;  // Fixed base isolates the jitter.
+  o.jitter = 0.5;
+  o.seed = 7;
+  ExponentialBackoff b(o);
+  bool varied = false;
+  int prev = -1;
+  for (int i = 0; i < 50; ++i) {
+    const int d = b.NextDelayMs();
+    EXPECT_GE(d, 50);   // base * (1 - jitter)
+    EXPECT_LE(d, 100);  // base
+    if (prev >= 0 && d != prev) varied = true;
+    prev = d;
+  }
+  EXPECT_TRUE(varied) << "jitter produced a constant schedule";
+}
+
+TEST(BackoffTest, SeededSchedulesAreDeterministic) {
+  ExponentialBackoff::Options o;
+  o.seed = 42;
+  ExponentialBackoff a(o), b(o);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs());
+
+  o.seed = 43;
+  ExponentialBackoff c(o);
+  bool diverged = false;
+  ExponentialBackoff d(ExponentialBackoff::Options{});  // seed 1
+  for (int i = 0; i < 30; ++i) {
+    if (c.NextDelayMs() != d.NextDelayMs()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, ResetRestartsTheSchedule) {
+  ExponentialBackoff::Options o;
+  o.initial_ms = 10;
+  o.jitter = 0.0;
+  ExponentialBackoff b(o);
+  EXPECT_EQ(b.NextDelayMs(), 10);
+  EXPECT_EQ(b.NextDelayMs(), 20);
+  b.Reset();
+  EXPECT_EQ(b.attempts(), 0);
+  EXPECT_EQ(b.NextDelayMs(), 10);
+}
+
+TEST(BackoffTest, SanitizesHostileOptions) {
+  ExponentialBackoff::Options o;
+  o.initial_ms = -5;
+  o.max_ms = -10;
+  o.multiplier = 0.1;   // Would shrink: clamped to 1.0.
+  o.jitter = 3.0;       // Clamped to 1.0.
+  ExponentialBackoff b(o);
+  for (int i = 0; i < 10; ++i) {
+    const int d = b.NextDelayMs();
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 0);  // initial and max both clamp to 0.
+  }
+}
+
+}  // namespace
+}  // namespace lsmssd

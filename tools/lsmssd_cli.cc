@@ -35,13 +35,27 @@
 //       and stall fields aggregated across every shard.
 //
 //   lsmssd_cli serve --db-path=DIR [--host=127.0.0.1] [--port=0]
-//                    [--workers=4] [Db flags as for run --db-path]
+//                    [--workers=4] [--drain-timeout-ms=5000]
+//                    [--max-pending-frames=4096]
+//                    [Db flags as for run --db-path]
 //       Open the Db and serve it over the versioned binary protocol
 //       (src/net/wire.h) until SIGINT/SIGTERM. Prints
 //       "listening on HOST:PORT" once the socket is bound (--port=0
 //       picks an ephemeral port — parse that line to find it). On
-//       shutdown the server drains, the Db checkpoints, and the stats
+//       SIGTERM/SIGINT the server *drains*: it stops accepting, answers
+//       every in-flight frame (stragglers get kShuttingDown), flushes,
+//       and only then falls back to cutting connections at the
+//       --drain-timeout-ms deadline; the Db checkpoints and the stats
 //       (including quarantined_blocks) are printed.
+//       --max-pending-frames caps decoded-but-unexecuted requests across
+//       all connections; excess requests are answered kOverloaded with a
+//       retry-after hint instead of queueing without bound.
+//
+//   lsmssd_cli ping --port=P [--host=127.0.0.1] [--timeout-ms=1000]
+//                   [--attempts=1]
+//       Health check: one PING round trip (exit 0 = server answered).
+//       --attempts>1 retries with exponential backoff — the readiness
+//       poll `scripts/server_smoke.sh` uses instead of sleeping.
 //
 //   lsmssd_cli trace [--workload=...] [--n=100000] --out=FILE
 //       Capture a deterministic workload trace for replay.
@@ -74,6 +88,7 @@
 #include "src/db/db.h"
 #include "src/db/db_flags.h"
 #include "src/lsm/manifest.h"
+#include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/storage/file_block_device.h"
 #include "src/workload/trace.h"
@@ -88,7 +103,7 @@ using Flags = FlagMap;
 /// state behind.
 int FailUsage(const Status& status) {
   std::cerr << status.message() << "\n"
-            << "usage: lsmssd_cli run|serve|trace|manifest|scrub "
+            << "usage: lsmssd_cli run|serve|ping|trace|manifest|scrub "
                "[--flag=value ...] (see source header for flags)\n";
   return 2;
 }
@@ -330,8 +345,9 @@ void HandleStopSignal(int sig) { g_stop_signal.store(sig); }
 
 // Serve the Db over the versioned binary protocol until SIGINT/SIGTERM.
 int CmdServe(const Flags& flags) {
-  std::vector<std::string_view> known = {"db-path", "host", "port",
-                                         "workers"};
+  std::vector<std::string_view> known = {"db-path", "host", "port", "workers",
+                                         "drain-timeout-ms",
+                                         "max-pending-frames"};
   AppendDbFlagNames(&known);
   if (Status st = CheckKnownFlags(flags, known); !st.ok()) {
     return FailUsage(st);
@@ -352,6 +368,10 @@ int CmdServe(const Flags& flags) {
   if (*workers_or == 0) {
     return FailUsage(Status::InvalidArgument("--workers must be >= 1"));
   }
+  auto drain_ms_or = FlagUint(flags, "drain-timeout-ms", 5000);
+  if (!drain_ms_or.ok()) return FailUsage(drain_ms_or.status());
+  auto max_pending_or = FlagUint(flags, "max-pending-frames", 4096);
+  if (!max_pending_or.ok()) return FailUsage(max_pending_or.status());
 
   auto db_or = Db::Open(*dbopts_or, flags.at("db-path"));
   if (!db_or.ok()) {
@@ -370,6 +390,7 @@ int CmdServe(const Flags& flags) {
   sopts.host = FlagOr(flags, "host", "127.0.0.1");
   sopts.port = static_cast<uint16_t>(*port_or);
   sopts.workers = static_cast<size_t>(*workers_or);
+  sopts.max_pending_frames = static_cast<size_t>(*max_pending_or);
   auto server_or = net::Server::Start(sopts, &db);
   if (!server_or.ok()) {
     std::cerr << "server start failed: " << server_or.status().ToString()
@@ -395,8 +416,12 @@ int CmdServe(const Flags& flags) {
                          : "db failure")
             << ": shutting down\n";
 
-  server.Stop();
+  const bool drained =
+      server.Drain(static_cast<int>(std::min<uint64_t>(*drain_ms_or, 1u << 30)));
   const net::ServerCounters counters = server.counters();
+  std::cout << "drain " << (drained ? "clean" : "timed out") << " ("
+            << counters.frames_rejected_shutdown
+            << " frames rejected kShuttingDown)\n";
   if (Status st = db.Checkpoint(); !st.ok()) {
     std::cerr << "final checkpoint failed: " << st.ToString() << "\n";
     return 1;
@@ -405,11 +430,70 @@ int CmdServe(const Flags& flags) {
             << counters.connections_accepted << " connections ("
             << counters.connections_dropped_malformed
             << " dropped malformed, " << counters.unsupported_version_frames
-            << " unsupported-version)\n";
+            << " unsupported-version, " << counters.frames_shed_overload
+            << " shed overloaded)\n";
   std::cout << "quarantined_blocks " << db.Stats().quarantined_blocks.size()
             << "\n";
   PrintDbSummary(db);
   return db.failed() ? 1 : 0;
+}
+
+// One PING round trip, with optional retry/backoff — the scriptable
+// readiness probe (a server that answers PING is accepting and serving).
+int CmdPing(const Flags& flags) {
+  if (Status st = CheckKnownFlags(flags,
+                                  {"host", "port", "timeout-ms", "attempts"});
+      !st.ok()) {
+    return FailUsage(st);
+  }
+  auto port_or = FlagUint(flags, "port", 0);
+  if (!port_or.ok()) return FailUsage(port_or.status());
+  if (*port_or == 0 || *port_or > 65535) {
+    return FailUsage(Status::InvalidArgument("ping requires --port=1..65535"));
+  }
+  auto timeout_or = FlagUint(flags, "timeout-ms", 1000);
+  if (!timeout_or.ok()) return FailUsage(timeout_or.status());
+  auto attempts_or = FlagUint(flags, "attempts", 1);
+  if (!attempts_or.ok()) return FailUsage(attempts_or.status());
+  if (*attempts_or == 0) {
+    return FailUsage(Status::InvalidArgument("--attempts must be >= 1"));
+  }
+
+  net::ClientOptions copts;
+  copts.host = FlagOr(flags, "host", "127.0.0.1");
+  copts.port = static_cast<uint16_t>(*port_or);
+  copts.connect_timeout_ms = static_cast<int>(*timeout_or);
+  copts.io_timeout_ms = static_cast<int>(*timeout_or);
+  copts.retry.max_attempts = static_cast<int>(*attempts_or);
+  copts.retry.initial_backoff_ms = 50;
+  copts.retry.max_backoff_ms = 500;
+
+  // Connect() itself is outside the client's retry loop (there is no
+  // client yet), so the probe retries the dial here with the same
+  // budget — connection refused just means "not listening yet".
+  const auto start = std::chrono::steady_clock::now();
+  Status last = Status::OK();
+  for (uint64_t attempt = 1; attempt <= *attempts_or; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<uint64_t>(50 * attempt, 500)));
+    }
+    auto client_or = net::Client::Connect(copts);
+    if (!client_or.ok()) {
+      last = client_or.status();
+      continue;
+    }
+    last = (*client_or)->Ping();
+    if (last.ok()) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      std::cout << "pong from " << copts.host << ":" << copts.port << " in "
+                << elapsed.count() << "ms (attempt " << attempt << ")\n";
+      return 0;
+    }
+  }
+  std::cerr << "ping failed: " << last.ToString() << "\n";
+  return 1;
 }
 
 int CmdTrace(const Flags& flags) {
@@ -560,7 +644,7 @@ int CmdScrub(const Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: lsmssd_cli run|serve|trace|manifest|scrub "
+    std::cerr << "usage: lsmssd_cli run|serve|ping|trace|manifest|scrub "
                  "[--flag=value ...]\n";
     return 2;
   }
@@ -572,6 +656,7 @@ int Main(int argc, char** argv) {
     return flags.contains("db-path") ? CmdRunDb(flags) : CmdRun(flags);
   }
   if (command == "serve") return CmdServe(flags);
+  if (command == "ping") return CmdPing(flags);
   if (command == "trace") return CmdTrace(flags);
   if (command == "manifest") return CmdManifest(flags);
   if (command == "scrub") return CmdScrub(flags);
