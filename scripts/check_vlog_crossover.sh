@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Crossover gate over BENCH_vlog_crossover.json (ext_vlog_crossover):
+# key–value separation must deliver a real write-cost win where it is
+# supposed to — at 1015-byte payloads (one inline record per 1 KiB
+# block) the separated mode has to write at most half the bytes per
+# byte of user data that inline mode does. The metric is a byte count
+# (device blocks + WAL + vlog appends over a seeded workload), not a
+# timing, so the gate is stable on noisy CI boxes; 2x is well below the
+# measured ~2.2x but far above any accounting bug that would erase the
+# win. The sanity checks on the small-payload end pin the shape of the
+# curve: below the 17-byte threshold separation cannot engage, so the
+# two modes must coincide.
+#
+# Usage: scripts/check_vlog_crossover.sh [JSON_PATH]
+set -euo pipefail
+
+JSON="${1:-BENCH_vlog_crossover.json}"
+[[ -f "$JSON" ]] || {
+  echo "missing $JSON (run ext_vlog_crossover first)" >&2
+  exit 2
+}
+
+python3 - "$JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rows = {r["payload_bytes"]: r for r in doc.get("sweep", [])}
+for p in (15, 40, 105, 250, 1015):
+    if p not in rows:
+        sys.exit(f"FAIL: sweep has no payload_bytes={p} row")
+
+# Headline: >= 2x write-cost win at 1015 B.
+win = doc.get("win_1015", 0.0)
+if win < 2.0:
+    sys.exit(f"FAIL: inline/vlog write-cost ratio at 1015 B is {win:.2f}, "
+             "need >= 2.0")
+
+# Shape: below the threshold the vlog cannot engage, so the modes must
+# write identical byte counts (ratio exactly 1 up to float formatting).
+r15 = rows[15]["cost_ratio"]
+if abs(r15 - 1.0) > 0.01:
+    sys.exit(f"FAIL: at 15 B (< vlog threshold) the modes must coincide, "
+             f"got cost_ratio={r15:.3f}")
+if rows[15]["vlog"]["vlog_bytes"] != 0:
+    sys.exit("FAIL: at 15 B (< vlog threshold) no bytes may reach the vlog")
+
+# A crossover must exist inside the swept range: separation wins
+# somewhere at or below 250 B and keeps winning from there up.
+crossover = doc.get("crossover_payload_bytes", 0)
+if crossover == 0 or crossover > 250:
+    sys.exit(f"FAIL: no crossover at or below 250 B "
+             f"(crossover_payload_bytes={crossover})")
+for p in (crossover, 1015):
+    if rows[p]["cost_ratio"] <= 1.0:
+        sys.exit(f"FAIL: separation should win at {p} B, "
+                 f"cost_ratio={rows[p]['cost_ratio']:.3f}")
+
+print(f"OK: crossover at {crossover} B; "
+      f"1015 B write-cost win {win:.2f}x (>= 2.0x)")
+EOF

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <shared_mutex>  // std::shared_lock
 
 #include "src/db/fs_util.h"
@@ -55,6 +57,55 @@ class SnapshotIterator : public Iterator {
   std::unique_ptr<Iterator> base_;
 };
 
+/// Iterator layer for key–value separation: the base (a SnapshotIterator,
+/// which holds the Db's read locks for its lifetime) yields pointer
+/// payloads; value() resolves the current one through the value log,
+/// caching per position. A corrupt entry surfaces through status() with
+/// an empty value rather than tearing the whole iteration down.
+class VlogResolvingIterator : public Iterator {
+ public:
+  using Resolver = std::function<Status(std::string_view, Key, std::string*)>;
+  VlogResolvingIterator(std::unique_ptr<Iterator> base, Resolver resolver)
+      : base_(std::move(base)), resolver_(std::move(resolver)) {}
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override {
+    resolved_valid_ = false;
+    base_->SeekToFirst();
+  }
+  void Seek(Key target) override {
+    resolved_valid_ = false;
+    base_->Seek(target);
+  }
+  void Next() override {
+    resolved_valid_ = false;
+    base_->Next();
+  }
+  Key key() const override { return base_->key(); }
+  const std::string& value() const override {
+    if (!resolved_valid_) {
+      Status st = resolver_(base_->value(), base_->key(), &resolved_);
+      if (!st.ok()) {
+        resolved_.clear();
+        status_ = std::move(st);
+      }
+      resolved_valid_ = true;
+    }
+    return resolved_;
+  }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return base_->status();
+  }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  Resolver resolver_;
+  mutable std::string resolved_;
+  mutable bool resolved_valid_ = false;
+  mutable Status status_;
+};
+
 }  // namespace
 
 std::string Db::ManifestPath(const std::string& dir) {
@@ -97,6 +148,30 @@ std::vector<std::string> Db::ListWalSegments(const std::string& dir) {
   return paths;
 }
 
+std::string Db::VlogSegmentPath(const std::string& dir, uint64_t n) {
+  return dir + "/vlog-" + std::to_string(n);
+}
+
+std::vector<uint64_t> Db::ListVlogSegments(const std::string& dir) {
+  static const std::string kPrefix = "vlog-";
+  std::vector<uint64_t> segments;
+  ::DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return {};
+  while (struct ::dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string tail = name.substr(kPrefix.size());
+    if (tail.empty() ||
+        tail.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    segments.push_back(std::stoull(tail));
+  }
+  ::closedir(d);
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
 Db::Db(DbOptions dbopts, std::string dir)
     : dbopts_(std::move(dbopts)), dir_(std::move(dir)) {}
 
@@ -122,9 +197,18 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   if (dbopts.shards == 0) {
     return Status::InvalidArgument("shards must be >= 1");
   }
+  if (dbopts.vlog_gc_ratio < 0 || dbopts.vlog_gc_ratio >= 1) {
+    return Status::InvalidArgument("vlog_gc_ratio must be in [0, 1)");
+  }
+  if (dbopts.options.vlog_value_threshold != 0 &&
+      dbopts.vlog_segment_bytes == 0) {
+    return Status::InvalidArgument("vlog_segment_bytes must be > 0");
+  }
   if (dbopts.checkpoint_wal_bytes > 0) {
     // Framed WAL entry: [u32 length][u32 crc][u8 type][u64 key][payload].
-    const uint64_t max_entry_bytes = 4 + 4 + 1 + 8 + dbopts.options.payload_size;
+    // In vlog mode the WAL carries the 16-byte pointer, not the value.
+    const uint64_t max_entry_bytes =
+        4 + 4 + 1 + 8 + dbopts.options.stored_payload_size();
     if (dbopts.checkpoint_wal_bytes < 2 * max_entry_bytes) {
       return Status::InvalidArgument(
           "checkpoint_wal_bytes=" + std::to_string(dbopts.checkpoint_wal_bytes) +
@@ -232,13 +316,72 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   if (!tree_or.ok()) return tree_or.status();
   db->tree_ = std::move(tree_or).value();
 
+  // Key–value separation: the stored threshold is format-defining, so
+  // the *tree's* options (manifest-authoritative) decide, not the
+  // caller's. Discover the durable segments before replay — WAL pointer
+  // records are validated against the durable vlog frontier below.
+  db->vlog_on_ = db->tree_->options().vlog_enabled();
+  const VlogManifestState& vm = manifest.vlog;  // Zeros without a manifest.
+  uint64_t vlog_last = 0;  // Highest existing segment = the head.
+  std::map<uint64_t, uint64_t> vlog_sizes;  // Durable size per segment.
+  std::map<uint64_t, uint64_t> vlog_frontier;  // Max replayed pointer end.
+  if (db->vlog_on_) {
+    db->vlog_tail_file_ = vm.tail_file;
+    db->vlog_pending_tail_ = vm.tail_file;
+    vlog_last = vm.head_file;
+    for (uint64_t n : ListVlogSegments(dir)) {
+      if (n < vm.tail_file) {
+        // Crash between the manifest publishing this tail and the segment
+        // unlink: every live entry was already rewritten, finish the job.
+        (void)::unlink(VlogSegmentPath(dir, n).c_str());
+        continue;
+      }
+      vlog_sizes[n] = FileSizeOrZero(VlogSegmentPath(dir, n));
+      vlog_last = std::max(vlog_last, n);
+    }
+    // The manifest's tree state references entries up to head_offset; a
+    // head segment shorter than that lost durable (fsynced) bytes.
+    if (vm.head_offset > 0) {
+      auto it = vlog_sizes.find(vm.head_file);
+      if (it == vlog_sizes.end() || it->second < vm.head_offset) {
+        return Status::Corruption(
+            "vlog segment " + std::to_string(vm.head_file) +
+            " is shorter than the manifest frontier");
+      }
+    }
+  }
+
+  // A WAL pointer record "dangles" when its entry ends past the durable
+  // bytes of its segment: the WAL fsync outran the vlog bytes (a crash in
+  // the window between the vlog sync and the WAL sync, or kNone losing
+  // the page cache). Dangling entries are always a *suffix* of the active
+  // log in commit order — vlog appends precede WAL appends under the
+  // commit lock and both tear as prefixes — so recovery drops the suffix.
+  // Pointers *below* the manifest tail are stale (GC already rewrote
+  // those keys later in the log) and replay harmlessly as blind writes.
+  auto vlog_dangles = [&](const Record& r) -> bool {
+    if (!db->vlog_on_ || r.is_tombstone()) return false;
+    VlogPointer ptr;
+    if (!DecodeVlogPointer(r.payload, &ptr)) return true;
+    if (ptr.file < vm.tail_file) return false;
+    auto it = vlog_sizes.find(ptr.file);
+    const uint64_t size = it == vlog_sizes.end() ? 0 : it->second;
+    const uint64_t end = ptr.offset + vlog::kEntryHeaderSize + ptr.length;
+    if (end > size) return true;
+    uint64_t& f = vlog_frontier[ptr.file];
+    f = std::max(f, end);
+    return false;
+  };
+
   // Replay the WAL on top of the checkpoint, oldest first: rotated
   // segments (a checkpoint's manifest write crashed after rotating the
   // log), then the active log. Blind-write semantics make this safe even
   // when the manifest already includes a prefix of the replayed entries
   // (crash between manifest rename and segment unlink).
-  auto replay_records = [&db](const std::vector<Record>& records) -> Status {
-    for (const Record& r : records) {
+  auto replay_records = [&db](const std::vector<Record>& records,
+                              size_t limit) -> Status {
+    for (size_t i = 0; i < limit; ++i) {
+      const Record& r = records[i];
       Status st = r.is_tombstone() ? db->tree_->Delete(r.key)
                                    : db->tree_->Put(r.key, r.payload);
       if (!st.ok()) {
@@ -260,12 +403,21 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
     if (!seg_or.ok()) return seg_or.status();
     // Rotation only ever renames a fully synced, quiesced log, so a torn
     // tail in a *segment* is real corruption, not a benign crash artifact
-    // (unlike the active log below).
+    // (unlike the active log below). The same holds for its vlog bytes:
+    // rotation happens after a full sync pass that covers the vlog first,
+    // so a rotated entry whose pointer dangles lost durable data.
     if (seg_valid_bytes < FileSizeOrZero(seg_path)) {
       return Status::Corruption("rotated WAL segment " + seg_path +
                                 " has a torn tail");
     }
-    LSMSSD_RETURN_IF_ERROR(replay_records(seg_or.value()));
+    for (const Record& r : seg_or.value()) {
+      if (vlog_dangles(r)) {
+        return Status::Corruption("rotated WAL segment " + seg_path +
+                                  " references lost vlog bytes");
+      }
+    }
+    LSMSSD_RETURN_IF_ERROR(replay_records(seg_or.value(),
+                                          seg_or.value().size()));
     db->wal_old_bytes_ += seg_valid_bytes;
     const uint64_t seq = std::stoull(seg_path.substr(seg_path.rfind('.') + 1));
     db->next_wal_segment_ = std::max(db->next_wal_segment_, seq + 1);
@@ -273,9 +425,22 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
 
   const std::string wal_path = WalPath(dir);
   size_t wal_valid_bytes = 0;
-  auto replay_or = WalReader::ReadAll(wal_path, &wal_valid_bytes);
+  std::vector<size_t> wal_entry_offsets;
+  auto replay_or = WalReader::ReadAll(wal_path, &wal_valid_bytes,
+                                      &wal_entry_offsets);
   if (!replay_or.ok()) return replay_or.status();
-  LSMSSD_RETURN_IF_ERROR(replay_records(replay_or.value()));
+  // Active log: cut at the first dangling pointer (suffix drop — all
+  // acked-durable entries had their vlog bytes synced first, so only an
+  // unacknowledged tail can dangle).
+  size_t wal_keep = replay_or.value().size();
+  for (size_t i = 0; i < replay_or.value().size(); ++i) {
+    if (vlog_dangles(replay_or.value()[i])) {
+      wal_keep = i;
+      wal_valid_bytes = wal_entry_offsets[i];
+      break;
+    }
+  }
+  LSMSSD_RETURN_IF_ERROR(replay_records(replay_or.value(), wal_keep));
 
   // The log's intact prefix stays (a crash before the next checkpoint
   // must replay it again), but a torn tail is cut off *before* new
@@ -292,8 +457,41 @@ StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& dbopts,
   db->wal_ = std::move(writer_or).value();
   db->wal_recovered_bytes_ = wal_valid_bytes;
 
+  if (db->vlog_on_) {
+    // The head segment may carry bytes past every durable reference —
+    // orphan entries whose WAL frames were lost, or a torn half-entry
+    // from a sync crash. Truncate it to the durable frontier so no
+    // unreferenced byte survives recovery; sealed segments keep orphan
+    // *whole* entries (they are dead, GC reclaims them with the segment).
+    uint64_t head_frontier = 0;
+    if (auto it = vlog_frontier.find(vlog_last); it != vlog_frontier.end()) {
+      head_frontier = it->second;
+    }
+    if (vm.head_file == vlog_last) {
+      head_frontier = std::max(head_frontier, vm.head_offset);
+    }
+    const std::string head_path = VlogSegmentPath(dir, vlog_last);
+    if (FileSizeOrZero(head_path) > head_frontier &&
+        ::truncate(head_path.c_str(),
+                   static_cast<off_t>(head_frontier)) != 0) {
+      return Errno("truncate vlog head " + head_path);
+    }
+    for (uint64_t n = vm.tail_file; n <= vlog_last; ++n) {
+      if (n != vlog_last && vlog_sizes.find(n) == vlog_sizes.end()) {
+        continue;  // Never referenced (checked above) and absent: skip.
+      }
+      auto file_or = db->MakeVlogFile(n, /*writable=*/n == vlog_last);
+      if (!file_or.ok()) return file_or.status();
+      db->vlog_files_[n] = std::move(file_or).value();
+    }
+    db->vlog_head_file_ = vlog_last;
+    db->vlog_head_offset_ = head_frontier;
+    db->vlog_head_ = db->vlog_files_[vlog_last].get();
+  }
+
   if ((dbopts.background_checkpoint && dbopts.checkpoint_wal_bytes > 0) ||
-      dbopts.scrub_interval_ms > 0) {
+      dbopts.scrub_interval_ms > 0 ||
+      (db->vlog_on_ && dbopts.vlog_gc_ratio > 0)) {
     db->maintenance_ = std::thread(&Db::MaintenanceLoop, db.get());
   }
   if (dbopts.background_compaction) {
@@ -326,6 +524,19 @@ StatusOr<std::unique_ptr<WalWriter>> Db::MakeWalWriter(
   return WalWriter::Open(path);
 }
 
+StatusOr<std::shared_ptr<VlogFile>> Db::MakeVlogFile(uint64_t n,
+                                                     bool writable) const {
+  auto base_or = PosixVlogFile::Open(VlogSegmentPath(dir_, n));
+  if (!base_or.ok()) return base_or.status();
+  // Only the head is appended, so only it needs the injected page-cache
+  // model; sealed segments are fully durable and read straight through.
+  if (writable && dbopts_.fault_injector != nullptr) {
+    return std::shared_ptr<VlogFile>(std::make_shared<FaultInjectionVlogFile>(
+        std::move(base_or).value(), dbopts_.fault_injector));
+  }
+  return std::shared_ptr<VlogFile>(std::move(base_or).value());
+}
+
 void Db::Close() {
   if (!shards_.empty()) {
     // The facade has no threads of its own; closing is closing the
@@ -353,6 +564,8 @@ void Db::Close() {
 
 Db::~Db() {
   Close();
+  // Value bytes before the pointers that reference them, as everywhere.
+  if (!failed() && vlog_head_ != nullptr) (void)vlog_head_->Sync();
   if (!failed() && wal_ != nullptr) (void)wal_->Sync();
 }
 
@@ -408,7 +621,10 @@ Status Db::Apply(const Record& record) {
 
   std::unique_lock<std::mutex> lk(db_mu_);
   if (failed()) return FailedStatus();
+  return ApplyLocked(record, lk);
+}
 
+Status Db::ApplyLocked(const Record& in, std::unique_lock<std::mutex>& lk) {
   // Background mode: make room in the memtable pipeline *before* the WAL
   // append (throttle, seal a full memtable, stall on a full queue), so an
   // op that must be refused — compaction wedged on a full device — is
@@ -417,6 +633,19 @@ Status Db::Apply(const Record& record) {
     LSMSSD_RETURN_IF_ERROR(MaybeSealOrStallLocked(lk));
     if (failed()) return FailedStatus();
   }
+
+  // Key–value separation: move the value into the log first and commit a
+  // 16-byte pointer instead — the WAL frame, memtable, and every block
+  // the record ever occupies carry the pointer, so merges move O(pointer)
+  // bytes per record no matter how large the value.
+  Record pointer_record;
+  const Record* rec = &in;
+  if (vlog_on_ && !in.is_tombstone()) {
+    pointer_record = in;
+    LSMSSD_RETURN_IF_ERROR(VlogAppendLocked(&pointer_record));
+    rec = &pointer_record;
+  }
+  const Record& record = *rec;
 
   // Append + apply under one continuous db_mu_ hold, so tree apply order
   // is exactly WAL append order (recovery replays the same sequence).
@@ -504,6 +733,42 @@ Status Db::Apply(const Record& record) {
   return Status::OK();
 }
 
+Status Db::VlogAppendLocked(Record* record) {
+  if (vlog_head_offset_ >= dbopts_.vlog_segment_bytes) {
+    LSMSSD_RETURN_IF_ERROR(RollVlogLocked());
+  }
+  const std::string entry = vlog::EncodeEntry(record->key, record->payload);
+  if (Status st = vlog_head_->Append(entry); !st.ok()) {
+    return FailLocked(std::move(st));
+  }
+  VlogPointer ptr;
+  ptr.file = static_cast<uint32_t>(vlog_head_file_);
+  ptr.offset = vlog_head_offset_;
+  ptr.length = static_cast<uint32_t>(record->payload.size());
+  vlog_head_offset_ += entry.size();
+  vlog_bytes_appended_ += entry.size();
+  record->payload = EncodeVlogPointerToString(ptr);
+  return Status::OK();
+}
+
+Status Db::RollVlogLocked() {
+  // Seal with an fsync so sealed segments are never torn: recovery can
+  // treat any short/garbled tail as damage, and the head-only truncation
+  // below (Open) stays sound.
+  if (Status st = vlog_head_->Sync(); !st.ok()) {
+    return FailLocked(std::move(st));
+  }
+  auto file_or = MakeVlogFile(vlog_head_file_ + 1, /*writable=*/true);
+  if (!file_or.ok()) return FailLocked(file_or.status());
+  ++vlog_head_file_;
+  vlog_head_offset_ = 0;
+  std::lock_guard<std::mutex> vlk(vlog_mu_);
+  auto& slot = vlog_files_[vlog_head_file_];
+  slot = std::move(file_or).value();
+  vlog_head_ = slot.get();
+  return Status::OK();
+}
+
 Status Db::SyncCoveringLocked(std::unique_lock<std::mutex>& lk,
                               uint64_t target) {
   while (seq_synced_ < target) {
@@ -515,12 +780,18 @@ Status Db::SyncCoveringLocked(std::unique_lock<std::mutex>& lk,
       continue;
     }
     // Become the leader: claim everything appended so far, fsync once for
-    // the whole batch with the commit lock released, and publish.
+    // the whole batch with the commit lock released, and publish. The
+    // vlog head syncs FIRST: a WAL-durable pointer whose value bytes were
+    // lost would dangle (recovery tolerates a dangling *suffix* only
+    // because of this ordering). Segments sealed before the claim were
+    // synced at roll time.
     sync_in_progress_ = true;
     const uint64_t cover = seq_appended_;
     sync_target_ = std::max(sync_target_, cover);
+    VlogFile* vlog_head = vlog_head_;
     lk.unlock();
-    Status st = wal_->Sync();
+    Status st = vlog_head != nullptr ? vlog_head->Sync() : Status::OK();
+    if (st.ok()) st = wal_->Sync();
     lk.lock();
     sync_in_progress_ = false;
     if (!st.ok()) {
@@ -551,8 +822,10 @@ Status Db::ForceSyncAllLocked(std::unique_lock<std::mutex>& lk) {
     sync_in_progress_ = true;
     const uint64_t cover = seq_appended_;
     sync_target_ = std::max(sync_target_, cover);
+    VlogFile* vlog_head = vlog_head_;  // Value bytes before pointers.
     lk.unlock();
-    Status st = wal_->Sync();
+    Status st = vlog_head != nullptr ? vlog_head->Sync() : Status::OK();
+    if (st.ok()) st = wal_->Sync();
     lk.lock();
     sync_in_progress_ = false;
     if (!st.ok()) {
@@ -884,18 +1157,34 @@ StatusOr<std::string> Db::Get(Key key) {
     return shards_[ShardOfKey(key, shards_.size())]->Get(key);
   }
   std::shared_lock<SharedMutex> tlk(tree_mu_);
-  if (!dbopts_.background_compaction) return tree_->Get(key);
-  // Background mode: the memtable probe needs mem_mu_ (writers mutate the
-  // active memtable without tree_mu_); the level walk below runs under
-  // tree_mu_ alone, off the writers' locks.
-  {
-    std::shared_lock<SharedMutex> mlk(mem_mu_);
-    if (const Record* r = tree_->FindInMemtables(key)) {
-      if (r->is_tombstone()) return Status::NotFound("deleted");
-      return r->payload;
+  // In vlog mode the pointer must be resolved before the read locks drop:
+  // holding mem_mu_ shared through the whole lookup keeps a GC rewrite
+  // (which commits under mem_mu_ exclusive) from superseding the pointer
+  // — and therefore keeps a checkpoint from unlinking its segment —
+  // between the tree probe and the vlog read.
+  std::shared_lock<SharedMutex> mlk(mem_mu_, std::defer_lock);
+  if (dbopts_.background_compaction && vlog_on_) mlk.lock();
+
+  StatusOr<std::string> stored = [&]() -> StatusOr<std::string> {
+    if (!dbopts_.background_compaction) return tree_->Get(key);
+    // Background mode: the memtable probe needs mem_mu_ (writers mutate
+    // the active memtable without tree_mu_); the level walk below runs
+    // under tree_mu_ alone, off the writers' locks — except in vlog mode,
+    // where mlk already pins mem_mu_ for the whole lookup (above).
+    {
+      std::shared_lock<SharedMutex> probe(mem_mu_, std::defer_lock);
+      if (!mlk.owns_lock()) probe.lock();
+      if (const Record* r = tree_->FindInMemtables(key)) {
+        if (r->is_tombstone()) return Status::NotFound("deleted");
+        return r->payload;
+      }
     }
-  }
-  return tree_->GetFromLevels(key);
+    return tree_->GetFromLevels(key);
+  }();
+  if (!vlog_on_ || !stored.ok()) return stored;
+  std::string value;
+  LSMSSD_RETURN_IF_ERROR(ResolveVlogValue(stored.value(), key, &value));
+  return value;
 }
 
 Status Db::Scan(Key lo, Key hi,
@@ -907,7 +1196,18 @@ Status Db::Scan(Key lo, Key hi,
   // background-mode writers mutate under mem_mu_ only.
   std::shared_lock<SharedMutex> mlk(mem_mu_, std::defer_lock);
   if (dbopts_.background_compaction) mlk.lock();
-  return tree_->Scan(lo, hi, out);
+  if (!vlog_on_) return tree_->Scan(lo, hi, out);
+  // Resolve the pointers in place before the locks drop (same reasoning
+  // as Get: no GC rewrite can supersede them while mem_mu_ is pinned).
+  const size_t first = out->size();
+  LSMSSD_RETURN_IF_ERROR(tree_->Scan(lo, hi, out));
+  for (size_t i = first; i < out->size(); ++i) {
+    std::string value;
+    LSMSSD_RETURN_IF_ERROR(
+        ResolveVlogValue((*out)[i].second, (*out)[i].first, &value));
+    (*out)[i].second = std::move(value);
+  }
+  return Status::OK();
 }
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
@@ -922,8 +1222,17 @@ std::unique_ptr<Iterator> Db::NewIterator() const {
   if (dbopts_.background_compaction) mlk.lock();
   auto base = tree_->NewIterator();
   if (base == nullptr) return nullptr;
-  return std::make_unique<SnapshotIterator>(std::move(tlk), std::move(mlk),
-                                            std::move(base));
+  auto snap = std::make_unique<SnapshotIterator>(std::move(tlk),
+                                                 std::move(mlk),
+                                                 std::move(base));
+  if (!vlog_on_) return snap;
+  // The snapshot's locks pin the tree state the pointers came from, so
+  // value() resolves against segments no GC can reclaim mid-iteration.
+  return std::make_unique<VlogResolvingIterator>(
+      std::move(snap), [this](std::string_view stored, Key key,
+                              std::string* out) {
+        return ResolveVlogValue(stored, key, out);
+      });
 }
 
 Status Db::SyncWal() {
@@ -1007,13 +1316,27 @@ Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
   //    records must be in the manifest before step 5 deletes the WAL
   //    segments that carry them.
   std::string manifest_data;
+  uint64_t vlog_publish_tail = 0;
   {
     std::shared_lock<SharedMutex> tlk(tree_mu_);
     // mem_mu_ too (tree -> mem follows the hierarchy): the snapshot reads
     // the L0 buffer and the sealed queue, which a concurrent flush step
     // mutates under mem_mu_ alone — tree_mu_ no longer covers them.
     std::shared_lock<SharedMutex> mlk(mem_mu_);
-    manifest_data = EncodeManifest(*tree_);
+    if (vlog_on_) {
+      // The vlog frontier is durable: step 1 synced the head before the
+      // WAL, and db_mu_ has been held since, so head/offset still match
+      // the fsynced file. Publishing pending_tail_ here makes the GC'd
+      // range reclaimable only after this manifest lands (step 5b).
+      VlogManifestState vstate;
+      vstate.head_file = vlog_head_file_;
+      vstate.head_offset = vlog_head_offset_;
+      vstate.tail_file = vlog_pending_tail_;
+      vlog_publish_tail = vlog_pending_tail_;
+      manifest_data = EncodeManifest(*tree_, vstate);
+    } else {
+      manifest_data = EncodeManifest(*tree_);
+    }
     pinned_->BeginCheckpoint(CurrentTreeBlocks());
   }
 
@@ -1040,6 +1363,20 @@ Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
   }
   wal_old_bytes_ = 0;
 
+  // 5b. The manifest's tail no longer references the GC'd segments —
+  //     unlink them. A crash before this leaks nothing: recovery reads
+  //     the published tail and deletes everything below it (blind
+  //     re-unlink, ENOENT-tolerant).
+  if (vlog_on_ && vlog_publish_tail > vlog_tail_file_) {
+    if (injector != nullptr && injector->Step()) {
+      return FailLocked(
+          Status::IoError("injected fault: crash before vlog segment unlink"));
+    }
+    if (Status vst = VlogDropBelowLocked(vlog_publish_tail); !vst.ok()) {
+      return FailLocked(std::move(vst));
+    }
+  }
+
   // 6. Blocks only the *previous* manifest referenced may now recycle.
   //    Exclusive tree lock: recycling frees device slots a concurrent
   //    reader might otherwise probe mid-read.
@@ -1054,11 +1391,14 @@ Status Db::CheckpointBodyLocked(std::unique_lock<std::mutex>& lk) {
 void Db::MaintenanceLoop() {
   std::unique_lock<std::mutex> lk(db_mu_);
   const bool scrub_enabled = dbopts_.scrub_interval_ms > 0;
+  const bool auto_gc = vlog_on_ && dbopts_.vlog_gc_ratio > 0;
   for (;;) {
-    if (scrub_enabled) {
-      // Wake early for explicit work; a timeout is a scrub tick.
+    if (scrub_enabled || auto_gc) {
+      // Wake early for explicit work; a timeout is a scrub/GC tick.
+      const uint64_t tick_ms =
+          scrub_enabled ? dbopts_.scrub_interval_ms : 20;
       maint_cv_.wait_for(
-          lk, std::chrono::milliseconds(dbopts_.scrub_interval_ms),
+          lk, std::chrono::milliseconds(tick_ms),
           [this] { return stop_maintenance_ || checkpoint_requested_; });
     } else {
       maint_cv_.wait(
@@ -1081,6 +1421,16 @@ void Db::MaintenanceLoop() {
         (void)CheckpointLocked(lk);
         continue;
       }
+    }
+    if (auto_gc && VlogGcWantedLocked()) {
+      // One sealed segment per tick keeps the pause bounded; the next
+      // tick re-evaluates the garbage ratio. The checkpoint publishes the
+      // advanced tail so the reclaimed segment is actually deleted.
+      if (VlogGcSegmentLocked(lk).ok() && !failed() &&
+          vlog_pending_tail_ > vlog_tail_file_) {
+        (void)CheckpointLocked(lk);
+      }
+      if (failed()) continue;
     }
     if (scrub_enabled) ScrubTickLocked(lk);
   }
@@ -1176,6 +1526,190 @@ Status Db::Scrub() {
   return Status::OK();
 }
 
+Status Db::ResolveVlogValue(std::string_view stored, Key key,
+                            std::string* out) const {
+  VlogPointer ptr;
+  if (!DecodeVlogPointer(stored, &ptr)) {
+    return Status::Corruption("malformed vlog pointer for key " +
+                              std::to_string(key));
+  }
+  std::shared_ptr<VlogFile> file;
+  {
+    std::lock_guard<std::mutex> vlk(vlog_mu_);
+    if (vlog_quarantine_.count({ptr.file, ptr.offset}) != 0) {
+      return Status::Corruption(
+          "vlog segment " + std::to_string(ptr.file) + " entry at offset " +
+          std::to_string(ptr.offset) + " is quarantined");
+    }
+    auto it = vlog_files_.find(ptr.file);
+    if (it == vlog_files_.end()) {
+      return Status::Corruption("pointer into unknown vlog segment " +
+                                std::to_string(ptr.file));
+    }
+    file = it->second;
+  }
+  Status st = vlog::ReadEntry(file.get(), ptr.offset, key, ptr.length, out);
+  if (st.IsCorruption()) {
+    // Quarantine the single damaged entry — the Db keeps serving every
+    // other key (mirroring block quarantine: damage is data-local, not
+    // instance-fatal).
+    std::lock_guard<std::mutex> vlk(vlog_mu_);
+    if (vlog_quarantine_.insert({ptr.file, ptr.offset}).second) {
+      vlog_quarantined_entries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Corruption("vlog segment " + std::to_string(ptr.file) +
+                              ": " + st.message());
+  }
+  return st;
+}
+
+bool Db::VlogGcWantedLocked() const {
+  if (vlog_pending_tail_ >= vlog_head_file_) return false;  // Head only.
+  uint64_t total = vlog_head_offset_;
+  {
+    std::lock_guard<std::mutex> vlk(vlog_mu_);
+    for (uint64_t n = vlog_pending_tail_; n < vlog_head_file_; ++n) {
+      auto it = vlog_files_.find(n);
+      if (it != vlog_files_.end()) total += it->second->size();
+    }
+  }
+  if (total == 0) return false;
+  uint64_t records = 0;
+  {
+    std::shared_lock<SharedMutex> tlk(tree_mu_);
+    std::shared_lock<SharedMutex> mlk(mem_mu_);
+    records = tree_->TotalRecords();
+  }
+  // Conservative live floor: every live key stores exactly one entry of
+  // header + payload_size bytes; anything beyond that is dead weight
+  // (superseded versions, orphans, tombstoned values).
+  const uint64_t live =
+      records * (vlog::kEntryHeaderSize + tree_->options().payload_size);
+  if (live >= total) return false;
+  return static_cast<double>(total - live) >=
+         dbopts_.vlog_gc_ratio * static_cast<double>(total);
+}
+
+Status Db::VlogGcSegmentLocked(std::unique_lock<std::mutex>& lk) {
+  const uint64_t seg = vlog_pending_tail_;
+  if (!vlog_on_ || seg >= vlog_head_file_) return Status::OK();
+  std::shared_ptr<VlogFile> file;
+  {
+    std::lock_guard<std::mutex> vlk(vlog_mu_);
+    auto it = vlog_files_.find(seg);
+    if (it == vlog_files_.end()) {
+      // Never created (or never referenced) — nothing to rewrite.
+      vlog_pending_tail_ = seg + 1;
+      return Status::OK();
+    }
+    file = it->second;
+  }
+
+  // Scan off the commit lock — the segment is sealed and immutable. Each
+  // entry is probed and (when live) rewritten under one continuous db_mu_
+  // hold, so no writer can slip between the liveness check and the
+  // re-append. "Live" means the tree's newest version of the key is a put
+  // whose stored payload is exactly this entry's pointer; anything else —
+  // overwritten, deleted, or an orphan whose WAL frame never became
+  // durable — is dead and simply not carried forward.
+  uint64_t rewrites = 0;
+  lk.unlock();
+  uint64_t intact_end = 0;
+  Status scan_st = vlog::ScanEntries(
+      file.get(), 0,
+      [&](const vlog::EntryInfo& info, const std::string& value) -> Status {
+        VlogPointer ptr;
+        ptr.file = static_cast<uint32_t>(seg);
+        ptr.offset = info.offset;
+        ptr.length = info.length;
+        const std::string want = EncodeVlogPointerToString(ptr);
+        std::unique_lock<std::mutex> inner(db_mu_);
+        if (failed()) return FailedStatus();
+        bool live = false;
+        {
+          std::shared_lock<SharedMutex> tlk(tree_mu_);
+          if (dbopts_.background_compaction) {
+            bool probed = false;
+            {
+              std::shared_lock<SharedMutex> mlk(mem_mu_);
+              if (const Record* r = tree_->FindInMemtables(info.key)) {
+                live = !r->is_tombstone() && r->payload == want;
+                probed = true;
+              }
+            }
+            if (!probed) {
+              auto cur = tree_->GetFromLevels(info.key);
+              live = cur.ok() && cur.value() == want;
+            }
+          } else {
+            auto cur = tree_->Get(info.key);
+            live = cur.ok() && cur.value() == want;
+          }
+        }
+        if (!live) return Status::OK();
+        LSMSSD_RETURN_IF_ERROR(
+            ApplyLocked(Record::Put(info.key, value), inner));
+        ++rewrites;
+        return Status::OK();
+      },
+      &intact_end);
+  lk.lock();
+  LSMSSD_RETURN_IF_ERROR(scan_st);
+  if (failed()) return FailedStatus();
+  if (intact_end != file->size()) {
+    // Sealed segments were fsynced whole at roll time; a short scan means
+    // real damage. Refuse to advance the tail over bytes that may still
+    // hold the only copy of a live value.
+    return Status::Corruption("vlog segment " + std::to_string(seg) +
+                              " has unreadable entries; GC refused");
+  }
+  vlog_gc_rewrites_ += rewrites;
+  vlog_pending_tail_ = seg + 1;
+  return Status::OK();
+}
+
+Status Db::VlogDropBelowLocked(uint64_t tail) {
+  for (uint64_t n = vlog_tail_file_; n < tail; ++n) {
+    const std::string path = VlogSegmentPath(dir_, n);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink vlog segment " + path);
+    }
+    ++vlog_segments_reclaimed_;
+  }
+  std::lock_guard<std::mutex> vlk(vlog_mu_);
+  for (uint64_t n = vlog_tail_file_; n < tail; ++n) vlog_files_.erase(n);
+  for (auto it = vlog_quarantine_.begin();
+       it != vlog_quarantine_.end() && it->first < tail;) {
+    it = vlog_quarantine_.erase(it);
+  }
+  vlog_tail_file_ = tail;
+  return Status::OK();
+}
+
+Status Db::CompactVlog() {
+  if (!shards_.empty()) {
+    for (auto& s : shards_) LSMSSD_RETURN_IF_ERROR(s->CompactVlog());
+    return Status::OK();
+  }
+  if (!vlog_on_) return Status::OK();
+  std::unique_lock<std::mutex> lk(db_mu_);
+  if (failed()) return FailedStatus();
+  // One pass over the segments sealed *now*: rewrites land in the
+  // current head (or its successors), which stays out of this pass —
+  // chasing the moving head would re-copy every live value forever.
+  const uint64_t stop = vlog_head_file_;
+  while (vlog_pending_tail_ < stop) {
+    LSMSSD_RETURN_IF_ERROR(VlogGcSegmentLocked(lk));
+    if (failed()) return FailedStatus();
+  }
+  if (vlog_pending_tail_ > vlog_tail_file_) {
+    // Publish the new tail (and delete the reclaimed segments) now; a
+    // crash before this checkpoint re-runs the GC, which converges.
+    LSMSSD_RETURN_IF_ERROR(CheckpointLocked(lk));
+  }
+  return Status::OK();
+}
+
 void Db::SetMaxDeviceBlocks(uint64_t max_blocks) {
   if (!shards_.empty()) {
     // Ceil-divide so the per-shard caps sum to >= the requested total
@@ -1263,6 +1797,14 @@ DbStats Db::Stats() const {
   s.scrub_blocks_verified = scrub_blocks_verified_;
   s.scrub_corruptions_found = scrub_corruptions_;
   s.write_backpressure_events = backpressure_events_;
+  if (vlog_on_) {
+    s.vlog_segments = vlog_head_file_ - vlog_tail_file_ + 1;
+    s.vlog_bytes_appended = vlog_bytes_appended_;
+    s.vlog_gc_rewrites = vlog_gc_rewrites_;
+    s.vlog_segments_reclaimed = vlog_segments_reclaimed_;
+    s.vlog_quarantined_entries =
+        vlog_quarantined_entries_.load(std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> clk(comp_mu_);
     s.memtables_sealed = memtables_sealed_;
@@ -1305,6 +1847,16 @@ std::string DbStats::ToString() const {
          " scrub_corruptions=" + std::to_string(scrub_corruptions_found) +
          " backpressure_events=" + std::to_string(write_backpressure_events) +
          "\n";
+  // Only with key–value separation on — default output stays
+  // byte-identical (vlog_segments is 0 whenever vlog mode is off).
+  if (vlog_segments > 0) {
+    out += "vlog: segments=" + std::to_string(vlog_segments) +
+           " bytes_appended=" + std::to_string(vlog_bytes_appended) +
+           " gc_rewrites=" + std::to_string(vlog_gc_rewrites) +
+           " reclaimed=" + std::to_string(vlog_segments_reclaimed) +
+           " quarantined_entries=" + std::to_string(vlog_quarantined_entries) +
+           "\n";
+  }
   out += "compaction: sealed=" + std::to_string(memtables_sealed) +
          " bg_flushes=" + std::to_string(background_flushes) +
          " bg_merges=" + std::to_string(background_merges) +

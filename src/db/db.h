@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -13,6 +15,7 @@
 
 #include "src/db/pinned_block_device.h"
 #include "src/format/options.h"
+#include "src/format/vlog_pointer.h"
 #include "src/lsm/iterator.h"
 #include "src/lsm/lsm_tree.h"
 #include "src/lsm/wal.h"
@@ -20,6 +23,7 @@
 #include "src/storage/fault_injection.h"
 #include "src/storage/fault_injection_block_device.h"
 #include "src/storage/file_block_device.h"
+#include "src/storage/vlog_file.h"
 #include "src/storage/io_stats.h"
 #include "src/util/histogram.h"
 #include "src/util/rate_limiter.h"
@@ -172,6 +176,19 @@ struct DbOptions {
   uint64_t scrub_interval_ms = 0;
   uint64_t scrub_batch_blocks = 32;
 
+  /// Value-log GC trigger (only meaningful when Options::vlog_enabled()):
+  /// when the estimated dead fraction of the value log reaches this
+  /// ratio, the maintenance thread rewrites the live entries out of the
+  /// oldest segment, advances the tail, and checkpoints to reclaim it.
+  /// 0 disables automatic GC (Db::CompactVlog() still works); must be
+  /// < 1 otherwise.
+  double vlog_gc_ratio = 0.0;
+
+  /// Value-log segment roll threshold: once the head segment reaches
+  /// this many bytes it is sealed (fsynced) and a fresh `vlog-<n+1>`
+  /// starts. Smaller segments mean finer-grained GC. Must be > 0.
+  uint64_t vlog_segment_bytes = 4ull << 20;
+
   /// Test seam: when set, every durable step (block write/flush, WAL
   /// append/sync, segment rotate/unlink, manifest write/rename) consults
   /// this injector, and a tripped injector kills the instance mid-step —
@@ -225,6 +242,14 @@ struct DbStats {
   // Sharding (see DbOptions::shards; both trivial when unsharded).
   uint64_t shards = 1;         ///< Shard count behind this facade.
   uint64_t arbiter_seals = 0;  ///< Early seals forced by the memory arbiter.
+
+  // Value log (all zero when key–value separation is off; the ToString
+  // summary omits the vlog line entirely in that case).
+  uint64_t vlog_segments = 0;         ///< Segments in [tail, head] right now.
+  uint64_t vlog_bytes_appended = 0;   ///< Entry bytes appended since open.
+  uint64_t vlog_gc_rewrites = 0;      ///< Live entries GC re-appended.
+  uint64_t vlog_segments_reclaimed = 0;  ///< Segments GC deleted since open.
+  uint64_t vlog_quarantined_entries = 0; ///< Entries failing checksum reads.
 
   /// Multi-line human-readable summary (CLI stats line).
   std::string ToString() const;
@@ -336,6 +361,13 @@ class Db {
   /// lock, concurrently with reads.
   Status Scrub();
 
+  /// Garbage-collects the value log synchronously: rewrites the live
+  /// entries of every sealed segment to the head, advances the tail over
+  /// them, and checkpoints so the reclaimed segments are deleted. No-op
+  /// (OK) when key–value separation is off or only the head segment
+  /// exists. Fans out to every shard on a sharded facade.
+  Status CompactVlog();
+
   /// Raises (or clears, with 0) the device's live-block cap. Writers
   /// backpressured by ResourceExhausted make progress again on their next
   /// operation once capacity allows.
@@ -397,6 +429,11 @@ class Db {
   /// Existing rotated segments in `dir`, sorted by sequence number
   /// (replay order). Exposed so tests can wipe a Db directory completely.
   static std::vector<std::string> ListWalSegments(const std::string& dir);
+  /// Path of value-log segment `n` (vlog-<n>); present only when
+  /// key–value separation is on.
+  static std::string VlogSegmentPath(const std::string& dir, uint64_t n);
+  /// Existing vlog segment numbers in `dir`, sorted ascending.
+  static std::vector<uint64_t> ListVlogSegments(const std::string& dir);
   /// Root layout file of a sharded Db (`SHARDS`): shard count + partition
   /// function, checksummed, written atomically at creation and
   /// authoritative on reopen. Absent for single-shard layouts.
@@ -548,6 +585,47 @@ class Db {
   StatusOr<std::unique_ptr<WalWriter>> MakeWalWriter(
       const std::string& path) const;
 
+  // ---- Value log (DESIGN.md §11; all no-ops unless
+  // Options::vlog_enabled()) ---------------------------------------------
+
+  /// Opens vlog segment `n` for append+read, wrapping it for fault
+  /// injection when `writable` (the head — reads of sealed segments never
+  /// consult the injector).
+  StatusOr<std::shared_ptr<VlogFile>> MakeVlogFile(uint64_t n,
+                                                   bool writable) const;
+  /// Appends `record`'s payload to the head vlog segment (rolling it
+  /// first if over vlog_segment_bytes) and rewrites `record` in place to
+  /// carry the 16-byte pointer. Requires db_mu_; runs before the WAL
+  /// append so a WAL-durable pointer always has vlog bytes behind it
+  /// (modulo the sync-ordering window recovery handles).
+  Status VlogAppendLocked(Record* record);
+  /// Seals the current head segment (fsync, so sealed segments are never
+  /// torn) and starts `vlog-<head+1>`. Requires db_mu_.
+  Status RollVlogLocked();
+  /// Resolves a stored 16-byte pointer payload to the user value via the
+  /// segment reader map. A checksum/shape mismatch quarantines the entry
+  /// (further reads keep failing fast) and returns Corruption naming it —
+  /// the Db is NOT poisoned; the damage is one value, not the instance.
+  Status ResolveVlogValue(std::string_view stored, Key key,
+                          std::string* out) const;
+  /// The WAL-append + tree-apply body of Apply (record already in stored
+  /// form); factored out so GC can rewrite entries under its held lock.
+  Status ApplyLocked(const Record& record, std::unique_lock<std::mutex>& lk);
+  /// GC of one sealed segment: scan it (off-lock; sealed segments are
+  /// immutable), re-Put every entry the tree still points at, then
+  /// advance the pending tail over it. The segment is only deleted after
+  /// a checkpoint publishes the new tail — a crash at any step before
+  /// that leaves it in place and GC simply re-runs. `lk` must hold
+  /// db_mu_; released during the scan.
+  Status VlogGcSegmentLocked(std::unique_lock<std::mutex>& lk);
+  /// Auto-GC trigger: estimated dead fraction of the log >= vlog_gc_ratio,
+  /// using TotalRecords * entry-size as a conservative live-byte floor
+  /// (every live key stores exactly one entry). Requires db_mu_.
+  bool VlogGcWantedLocked() const;
+  /// Unlinks segments below `tail` and drops their readers (after the
+  /// manifest recording `tail` is durable). Requires db_mu_.
+  Status VlogDropBelowLocked(uint64_t tail);
+
   /// Marks the instance failed, wakes every waiter, and passes `st`
   /// through. Requires db_mu_ held.
   Status FailLocked(Status st);
@@ -693,6 +771,31 @@ class Db {
   uint64_t scrub_corruptions_ = 0;
   uint64_t backpressure_events_ = 0;
   BlockId scrub_cursor_ = 0;  ///< Background scrub resumes after this id.
+
+  // ---- Value log state (empty/zero when key–value separation is off).
+  // Writer-side fields are under db_mu_ (vlog appends happen in commit
+  // order, before the WAL append). The segment reader map and the
+  // quarantine set are under vlog_mu_, a leaf lock readers take without
+  // db_mu_ — Get resolves pointers under the shared tree locks only.
+  bool vlog_on_ = false;              ///< tree options' vlog_enabled().
+  uint64_t vlog_head_file_ = 0;       ///< Segment being appended.
+  uint64_t vlog_head_offset_ = 0;     ///< Append end within the head.
+  uint64_t vlog_tail_file_ = 0;       ///< Manifest-published tail.
+  uint64_t vlog_pending_tail_ = 0;    ///< GC-advanced, awaiting publish.
+  VlogFile* vlog_head_ = nullptr;     ///< Borrowed from vlog_files_.
+  uint64_t vlog_bytes_appended_ = 0;
+  uint64_t vlog_gc_rewrites_ = 0;
+  uint64_t vlog_segments_reclaimed_ = 0;
+
+  mutable std::mutex vlog_mu_;  ///< Leaf lock (never held acquiring others).
+  /// Every open segment in [tail, head], shared so a reader holding one
+  /// across an unlink keeps a valid fd (POSIX keeps the data alive).
+  mutable std::map<uint64_t, std::shared_ptr<VlogFile>> vlog_files_;
+  /// (segment, offset) of entries that failed verification; kept failing
+  /// fast instead of re-reading damaged bytes. Cleared when GC reclaims
+  /// the segment.
+  mutable std::set<std::pair<uint64_t, uint64_t>> vlog_quarantine_;
+  mutable std::atomic<uint64_t> vlog_quarantined_entries_{0};
 };
 
 }  // namespace lsmssd

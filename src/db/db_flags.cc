@@ -10,6 +10,7 @@ void AppendDbFlagNames(std::vector<std::string_view>* known) {
       "background-compaction", "shards",
       "scrub-interval-ms", "max-device-blocks",
       "compaction-workers", "compaction-rate-limit",
+      "vlog-threshold",    "vlog-gc-ratio",
   };
   for (std::string_view n : kNames) known->push_back(n);
 }
@@ -78,6 +79,24 @@ StatusOr<DbOptions> DbOptionsFromFlags(const FlagMap& flags,
                           FlagUint(flags, "scrub-interval-ms", 0));
   LSMSSD_ASSIGN_OR_RETURN(dbopts.max_device_blocks,
                           FlagUint(flags, "max-device-blocks", 0));
+
+  // Key–value separation (0 keeps it off, the default). The threshold is
+  // a payload-size floor; Options::Validate re-checks it against the
+  // pointer size, but catching it here names the flag for the user.
+  LSMSSD_ASSIGN_OR_RETURN(dbopts.options.vlog_value_threshold,
+                          FlagUint(flags, "vlog-threshold", 0));
+  if (dbopts.options.vlog_value_threshold != 0 &&
+      dbopts.options.vlog_value_threshold <= kVlogPointerSize) {
+    return Status::InvalidArgument(
+        "--vlog-threshold must be 0 (off) or > " +
+        std::to_string(kVlogPointerSize) +
+        " (smaller values would store more than they save)");
+  }
+  LSMSSD_ASSIGN_OR_RETURN(dbopts.vlog_gc_ratio,
+                          FlagDouble(flags, "vlog-gc-ratio", 0.0));
+  if (dbopts.vlog_gc_ratio < 0.0 || dbopts.vlog_gc_ratio >= 1.0) {
+    return Status::InvalidArgument("--vlog-gc-ratio must be in [0, 1)");
+  }
   return dbopts;
 }
 

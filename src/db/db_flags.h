@@ -30,6 +30,11 @@ void AppendDbFlagNames(std::vector<std::string_view>* known);
 ///   --shards=N               hash-partitioned shards (>= 1)
 ///   --scrub-interval-ms=N    online scrub cadence (0 = off)
 ///   --max-device-blocks=N    device exhaustion bound (0 = unbounded)
+///   --vlog-threshold=N       key–value separation: payloads of at least
+///                            N bytes go to the value log (0 = off; must
+///                            exceed the 16-byte pointer)
+///   --vlog-gc-ratio=R        background vlog GC when the dead fraction
+///                            reaches R, in [0, 1) (0 = manual GC only)
 ///
 /// Validation failures return InvalidArgument with the offending flag
 /// named; nothing is created on disk. annihilate_delete_put is forced

@@ -375,6 +375,11 @@ DbStats Db::ShardedStats() const {
     agg.scrub_blocks_verified += s.scrub_blocks_verified;
     agg.scrub_corruptions_found += s.scrub_corruptions_found;
     agg.write_backpressure_events += s.write_backpressure_events;
+    agg.vlog_segments += s.vlog_segments;
+    agg.vlog_bytes_appended += s.vlog_bytes_appended;
+    agg.vlog_gc_rewrites += s.vlog_gc_rewrites;
+    agg.vlog_segments_reclaimed += s.vlog_segments_reclaimed;
+    agg.vlog_quarantined_entries += s.vlog_quarantined_entries;
     agg.memtables_sealed += s.memtables_sealed;
     agg.background_flushes += s.background_flushes;
     agg.background_merges += s.background_merges;

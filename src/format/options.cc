@@ -19,6 +19,9 @@ Status Options::Validate(uint32_t device_block_size) const {
   }
   if (delta <= 0.0 || delta >= 1.0) return fail("delta must be in (0,1)");
   if (level0_capacity_blocks < 1) return fail("K0 must be >= 1 block");
+  if (vlog_value_threshold != 0 && vlog_value_threshold <= kVlogPointerSize) {
+    return fail("vlog_value_threshold must be 0 or exceed the 16-byte pointer");
+  }
   if (device_block_size != 0 && block_size != device_block_size) {
     return Status::InvalidArgument(
         "options block_size " + std::to_string(block_size) +

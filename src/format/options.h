@@ -9,6 +9,11 @@
 
 namespace lsmssd {
 
+/// Width of the fixed vlog pointer record stored in the tree when
+/// key–value separation is on: u32 file number + u64 offset + u32
+/// length (src/format/vlog_pointer.h).
+inline constexpr size_t kVlogPointerSize = 16;
+
 /// Configuration of an LSM tree. Defaults reproduce the paper's
 /// experimental setup (Section V): 4 KB blocks, 4-byte keys in [0, 1e9],
 /// 100-byte payloads, order Gamma = 10, K0 = 4000 blocks (16 MB),
@@ -83,8 +88,32 @@ struct Options {
   /// the bottom level either way.
   bool annihilate_delete_put = false;
 
+  /// Key–value separation threshold in bytes (0 = off, the paper's
+  /// layout). When payload_size >= threshold the tree stores a
+  /// fixed-width 16-byte vlog pointer per record and the payload bytes
+  /// live in a per-Db append-only checksummed value log (WiscKey-style;
+  /// see DESIGN.md §11). Format-defining: stored in the manifest and
+  /// validated against it on reopen, like payload_size itself.
+  size_t vlog_value_threshold = 0;
+
+  /// True when this configuration separates values into the vlog.
+  /// Because every record's payload is exactly payload_size bytes, the
+  /// decision is whole-tree, not per-record.
+  bool vlog_enabled() const {
+    return vlog_value_threshold > 0 && payload_size >= vlog_value_threshold;
+  }
+
+  /// Payload width as stored in tree blocks: the vlog pointer when
+  /// separation is on, the full payload otherwise. Everything that
+  /// serializes records (block encode/parse, manifest replay, WAL
+  /// framing through Db) uses this width; payload_size keeps the
+  /// user-visible value width for the API and workload generators.
+  size_t stored_payload_size() const {
+    return vlog_enabled() ? kVlogPointerSize : payload_size;
+  }
+
   /// Bytes of one serialized record.
-  size_t record_size() const { return 1 + key_size + payload_size; }
+  size_t record_size() const { return 1 + key_size + stored_payload_size(); }
 
   /// B: records per block, net of the 4-byte block header.
   size_t records_per_block() const {

@@ -28,10 +28,10 @@ void RecordBlockBuilder::Add(const Record& record) {
     LSMSSD_CHECK_LT(records_.back().key, record.key)
         << "records must be added in strictly increasing key order";
   }
-  LSMSSD_DCHECK(record.payload.size() == options_.payload_size ||
+  LSMSSD_DCHECK(record.payload.size() == options_.stored_payload_size() ||
                 (record.is_tombstone() && record.payload.empty()))
       << "payload size " << record.payload.size() << " vs configured "
-      << options_.payload_size;
+      << options_.stored_payload_size();
   records_.push_back(record);
 }
 

@@ -36,7 +36,7 @@ StatusOr<RecordBlockView> RecordBlockView::Parse(const Options& options,
   }
 
   RecordBlockView view(data + kHeaderSize, count, options.key_size,
-                       options.payload_size);
+                       options.stored_payload_size());
   // Validate types and strict key order once; accessors trust the image
   // afterwards. O(count) key decodes, zero allocation.
   Key prev_key = 0;

@@ -1,0 +1,50 @@
+#include "src/format/vlog_pointer.h"
+
+namespace lsmssd {
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void EncodeVlogPointer(const VlogPointer& ptr, std::string* out) {
+  out->reserve(out->size() + kVlogPointerSize);
+  PutU32(ptr.file, out);
+  PutU64(ptr.offset, out);
+  PutU32(ptr.length, out);
+}
+
+std::string EncodeVlogPointerToString(const VlogPointer& ptr) {
+  std::string out;
+  EncodeVlogPointer(ptr, &out);
+  return out;
+}
+
+bool DecodeVlogPointer(std::string_view data, VlogPointer* ptr) {
+  if (data.size() != kVlogPointerSize) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  ptr->file = GetU32(p);
+  ptr->offset = GetU64(p + 4);
+  ptr->length = GetU32(p + 12);
+  return true;
+}
+
+}  // namespace lsmssd

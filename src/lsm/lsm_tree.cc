@@ -52,7 +52,7 @@ void LsmTree::set_policy(std::unique_ptr<MergePolicy> policy) {
 }
 
 Status LsmTree::Put(Key key, std::string_view payload) {
-  if (payload.size() != options_.payload_size) {
+  if (payload.size() != options_.stored_payload_size()) {
     return Status::InvalidArgument("payload must be exactly payload_size");
   }
   if (key > MaxKeyForSize(options_.key_size)) {
@@ -73,7 +73,7 @@ Status LsmTree::Delete(Key key) {
 }
 
 Status LsmTree::PutNoMerge(Key key, std::string_view payload) {
-  if (payload.size() != options_.payload_size) {
+  if (payload.size() != options_.stored_payload_size()) {
     return Status::InvalidArgument("payload must be exactly payload_size");
   }
   if (key > MaxKeyForSize(options_.key_size)) {

@@ -10,7 +10,12 @@ namespace lsmssd {
 
 namespace {
 
-constexpr char kMagic[8] = {'L', 'S', 'M', 'S', 'S', 'D', '0', '1'};
+// v1 manifests predate key–value separation: no vlog_value_threshold
+// in the options block and no vlog bounds after the levels. They are
+// still decoded (threshold 0, vlog bounds zero); new manifests are
+// always written as v2.
+constexpr char kMagicV1[8] = {'L', 'S', 'M', 'S', 'S', 'D', '0', '1'};
+constexpr char kMagicV2[8] = {'L', 'S', 'M', 'S', 'S', 'D', '0', '2'};
 
 void PutU64(std::string* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -84,9 +89,10 @@ void EncodeOptions(const Options& o, std::string* out) {
   PutU64(out, o.cache_blocks);
   PutU64(out, o.bloom_bits_per_key);
   PutU64(out, o.annihilate_delete_put ? 1 : 0);
+  PutU64(out, o.vlog_value_threshold);
 }
 
-bool DecodeOptions(Reader* r, Options* o) {
+bool DecodeOptions(Reader* r, Options* o, bool v2) {
   uint64_t u;
   if (!r->ReadU64(&u)) return false;
   o->block_size = u;
@@ -106,6 +112,12 @@ bool DecodeOptions(Reader* r, Options* o) {
   o->bloom_bits_per_key = u;
   if (!r->ReadU64(&u)) return false;
   o->annihilate_delete_put = (u != 0);
+  if (v2) {
+    if (!r->ReadU64(&u)) return false;
+    o->vlog_value_threshold = u;
+  } else {
+    o->vlog_value_threshold = 0;
+  }
   return true;
 }
 
@@ -130,7 +142,12 @@ bool DecodeRecord(Reader* r, Record* record) {
 }  // namespace
 
 std::string EncodeManifest(const LsmTree& tree) {
-  std::string out(kMagic, sizeof(kMagic));
+  return EncodeManifest(tree, VlogManifestState());
+}
+
+std::string EncodeManifest(const LsmTree& tree,
+                           const VlogManifestState& vlog) {
+  std::string out(kMagicV2, sizeof(kMagicV2));
   std::string body;
   EncodeOptions(tree.options(), &body);
 
@@ -155,14 +172,22 @@ std::string EncodeManifest(const LsmTree& tree) {
     }
   }
 
+  // Value-log bounds (zeros when separation is off).
+  PutU64(&body, vlog.head_file);
+  PutU64(&body, vlog.head_offset);
+  PutU64(&body, vlog.tail_file);
+
   out += body;
-  PutU64(&out, Checksum(out, sizeof(kMagic), out.size()));
+  PutU64(&out, Checksum(out, sizeof(kMagicV2), out.size()));
   return out;
 }
 
 StatusOr<Manifest> DecodeManifest(const std::string& data) {
-  if (data.size() < sizeof(kMagic) + 8 ||
-      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (data.size() < sizeof(kMagicV2) + 8) {
+    return Status::Corruption("bad manifest magic");
+  }
+  const bool v2 = std::memcmp(data.data(), kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(data.data(), kMagicV1, sizeof(kMagicV1)) != 0) {
     return Status::Corruption("bad manifest magic");
   }
   // Verify the trailing checksum over everything between magic and it.
@@ -173,17 +198,17 @@ StatusOr<Manifest> DecodeManifest(const std::string& data) {
       stored |= static_cast<uint64_t>(static_cast<uint8_t>(data[tail + i]))
                 << (8 * i);
     }
-    if (stored != Checksum(data, sizeof(kMagic), tail)) {
+    if (stored != Checksum(data, sizeof(kMagicV2), tail)) {
       return Status::Corruption("manifest checksum mismatch");
     }
   }
 
   Reader r(data);
   std::string magic;
-  (void)r.ReadBytes(sizeof(kMagic), &magic);
+  (void)r.ReadBytes(sizeof(kMagicV2), &magic);
 
   Manifest manifest;
-  if (!DecodeOptions(&r, &manifest.options)) {
+  if (!DecodeOptions(&r, &manifest.options, v2)) {
     return Status::Corruption("truncated options");
   }
   if (Status st = manifest.options.Validate(); !st.ok()) {
@@ -237,6 +262,16 @@ StatusOr<Manifest> DecodeManifest(const std::string& data) {
       leaves.push_back(leaf);
     }
   }
+  if (v2) {
+    if (!r.ReadU64(&manifest.vlog.head_file) ||
+        !r.ReadU64(&manifest.vlog.head_offset) ||
+        !r.ReadU64(&manifest.vlog.tail_file)) {
+      return Status::Corruption("truncated vlog bounds");
+    }
+    if (manifest.vlog.tail_file > manifest.vlog.head_file) {
+      return Status::Corruption("vlog tail beyond head");
+    }
+  }
   return manifest;
 }
 
@@ -271,7 +306,7 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Restore(
     if (r.is_tombstone()) {
       tree->memtable_.Delete(r.key);
     } else {
-      if (r.payload.size() != options.payload_size) {
+      if (r.payload.size() != options.stored_payload_size()) {
         return Status::Corruption("manifest memtable payload size mismatch");
       }
       tree->memtable_.Put(r.key, r.payload);

@@ -25,15 +25,32 @@ class LsmTree;
 /// the manifest is the practical checkpoint of exactly that in-memory
 /// state. Bloom filters are not serialized — they are rebuilt from the
 /// data blocks on restore when enabled.
+/// Durable bounds of the value log at checkpoint time (zeros when
+/// key–value separation is off). `head_file`/`head_offset` is the
+/// durable append frontier — every pointer the manifest's tree state
+/// references ends at or before it — and `tail_file` is the oldest
+/// segment still holding live values; segments below it were fully
+/// rewritten by GC and are deleted once the manifest that says so is
+/// durable (DESIGN.md §11).
+struct VlogManifestState {
+  uint64_t head_file = 0;
+  uint64_t head_offset = 0;
+  uint64_t tail_file = 0;
+};
+
 struct Manifest {
   Options options;
   std::vector<Record> memtable_records;       ///< In key order.
   std::vector<std::vector<LeafMeta>> levels;  ///< levels[0] is L1.
+  VlogManifestState vlog;                     ///< Zeros when vlog is off.
 };
 
 /// Serializes the live state of `tree` into a portable byte string
 /// (little-endian, versioned, checksummed).
 std::string EncodeManifest(const LsmTree& tree);
+
+/// As above, recording the value-log bounds (Db's checkpoint path).
+std::string EncodeManifest(const LsmTree& tree, const VlogManifestState& vlog);
 
 /// Parses a manifest; fails with Corruption on malformed input.
 StatusOr<Manifest> DecodeManifest(const std::string& data);

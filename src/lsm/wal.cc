@@ -99,9 +99,11 @@ Status WalWriter::Sync() { return file_->Sync(); }
 
 Status WalWriter::Truncate() { return file_->Truncate(); }
 
-StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path,
-                                                 size_t* valid_bytes) {
+StatusOr<std::vector<Record>> WalReader::ReadAll(
+    const std::string& path, size_t* valid_bytes,
+    std::vector<size_t>* entry_offsets) {
   if (valid_bytes != nullptr) *valid_bytes = 0;
+  if (entry_offsets != nullptr) entry_offsets->clear();
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::vector<Record>{};  // Nothing to replay.
   std::string data;
@@ -140,6 +142,7 @@ StatusOr<std::vector<Record>> WalReader::ReadAll(const std::string& path,
     record.key = GetU64(payload.data() + 1);
     record.payload = payload.substr(9);
     records.push_back(std::move(record));
+    if (entry_offsets != nullptr) entry_offsets->push_back(pos);
     pos += 8 + length;
   }
   if (valid_bytes != nullptr) *valid_bytes = pos;

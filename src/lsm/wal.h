@@ -80,9 +80,13 @@ class WalReader {
   /// discarding the entries behind it. When `valid_bytes` is non-null
   /// it receives the byte length of the intact prefix — recovery must
   /// truncate the file to it before appending new entries, or they would
-  /// land unreachable behind the torn tail.
-  static StatusOr<std::vector<Record>> ReadAll(const std::string& path,
-                                               size_t* valid_bytes = nullptr);
+  /// land unreachable behind the torn tail. When `entry_offsets` is
+  /// non-null it receives the frame-start byte offset of each returned
+  /// entry — vlog recovery truncates the log at the first entry whose
+  /// value pointer exceeds the durable vlog frontier (DESIGN.md §11).
+  static StatusOr<std::vector<Record>> ReadAll(
+      const std::string& path, size_t* valid_bytes = nullptr,
+      std::vector<size_t>* entry_offsets = nullptr);
 };
 
 }  // namespace lsmssd

@@ -354,7 +354,12 @@ void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
       frames_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     } else if (opts_.max_pending_frames > 0 &&
                pending_frames_.load(std::memory_order_relaxed) >=
-                   static_cast<int64_t>(opts_.max_pending_frames)) {
+                   static_cast<int64_t>(opts_.max_pending_frames) &&
+               frame.opcode != static_cast<uint8_t>(Opcode::kPing) &&
+               frame.opcode != static_cast<uint8_t>(Opcode::kStats)) {
+      // Health probes are always admitted: an operator diagnosing an
+      // overloaded server must still get PING/STATS answers — they do
+      // no Db work, so admitting them cannot deepen the overload.
       kind = Kind::kShedOverload;
       frames_shed_overload_.fetch_add(1, std::memory_order_relaxed);
     } else {

@@ -123,6 +123,8 @@ TEST_F(DbOptionsFromFlagsTest, DefaultsAreServingDefaults) {
   EXPECT_EQ(o.shards, 1u);
   EXPECT_EQ(o.scrub_interval_ms, 0u);
   EXPECT_EQ(o.max_device_blocks, 0u);
+  EXPECT_EQ(o.options.vlog_value_threshold, 0u);  // KV separation off.
+  EXPECT_EQ(o.vlog_gc_ratio, 0.0);
   // The builder must force annihilation off even though TinyOptions
   // leaves it configurable: WAL replay cannot tolerate it.
   EXPECT_FALSE(o.options.annihilate_delete_put);
@@ -134,7 +136,8 @@ TEST_F(DbOptionsFromFlagsTest, AllFlagsReachTheirFields) {
                           "--checkpoint-wal-mb=2", "--background-compaction",
                           "--compaction-workers=3",
                           "--compaction-rate-limit=5000", "--shards=4",
-                          "--scrub-interval-ms=50", "--max-device-blocks=999"});
+                          "--scrub-interval-ms=50", "--max-device-blocks=999",
+                          "--vlog-threshold=128", "--vlog-gc-ratio=0.4"});
   ASSERT_TRUE(dbopts_or.ok()) << dbopts_or.status().message();
   const DbOptions& o = dbopts_or.value();
   EXPECT_EQ(o.policy, PolicyKind::kTestMixed);
@@ -148,6 +151,8 @@ TEST_F(DbOptionsFromFlagsTest, AllFlagsReachTheirFields) {
   EXPECT_EQ(o.shards, 4u);
   EXPECT_EQ(o.scrub_interval_ms, 50u);
   EXPECT_EQ(o.max_device_blocks, 999u);
+  EXPECT_EQ(o.options.vlog_value_threshold, 128u);
+  EXPECT_EQ(o.vlog_gc_ratio, 0.4);
 }
 
 TEST_F(DbOptionsFromFlagsTest, BadValuesAreInvalidArgumentNamingTheFlag) {
@@ -168,6 +173,12 @@ TEST_F(DbOptionsFromFlagsTest, BadValuesAreInvalidArgumentNamingTheFlag) {
       {{"--compaction-workers=0"}, "compaction-workers"},
       {{"--compaction-workers=many"}, "compaction-workers"},
       {{"--compaction-rate-limit=fast"}, "compaction-rate-limit"},
+      {{"--vlog-threshold=8"}, "vlog-threshold"},    // <= pointer size.
+      {{"--vlog-threshold=16"}, "vlog-threshold"},   // == pointer size.
+      {{"--vlog-threshold=lots"}, "vlog-threshold"},
+      {{"--vlog-gc-ratio=1.0"}, "vlog-gc-ratio"},    // Must stay < 1.
+      {{"--vlog-gc-ratio=-0.1"}, "vlog-gc-ratio"},
+      {{"--vlog-gc-ratio=half"}, "vlog-gc-ratio"},
   };
   for (const Case& c : kCases) {
     auto dbopts_or = Build(c.args);

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include "src/db/db.h"
+#include "src/storage/vlog_file.h"
 #include "src/workload/driver.h"
 #include "tests/test_util.h"
 
@@ -79,6 +80,9 @@ std::string WipedDir(const std::string& tag) {
   ::unlink(Db::WalPath(dir).c_str());
   for (const std::string& seg : Db::ListWalSegments(dir)) {
     ::unlink(seg.c_str());
+  }
+  for (uint64_t n : Db::ListVlogSegments(dir)) {
+    ::unlink(Db::VlogSegmentPath(dir, n).c_str());
   }
   ::rmdir(dir.c_str());
   return dir;
@@ -717,6 +721,145 @@ TEST(CrashSweepTest, ShardedKillEveryStepRecoversPerShardPrefixes) {
     ASSERT_TRUE(v.ok());
     EXPECT_EQ(v.value(), MakePayload(dbopts.options, probe));
   }
+}
+
+// Crash-point sweep with key–value separation on (DESIGN.md §11). Every
+// durable step now includes the vlog appends/syncs and the GC's
+// publish-then-unlink, and the mid-run CompactVlog() puts pointer
+// rewrites, the tail advance, and the crash-before-vlog-unlink window
+// inside the sweep. Per crash point, recovery must additionally hold:
+//
+//   * every surviving tree pointer resolves to its exact value (the
+//     verification Scan fails on any dangling or corrupt pointer);
+//   * no leaked dead range: the segments on disk are exactly the
+//     manifest's [tail, head] window — a below-tail file that recovery
+//     failed to delete would show up as an extra;
+//   * a post-recovery CompactVlog() pass succeeds and loses nothing.
+constexpr int kVlogGcAfterOp = 60;
+
+/// RunWorkload with vlog GC in the middle. The durable frontier counts
+/// *operations* (not WAL entries — GC rewrites append entries of their
+/// own), taken conservatively: ops acked before the last observed
+/// sync/checkpoint are certainly durable.
+RunResult RunVlogWorkload(const DbOptions& dbopts, const std::string& dir,
+                          FaultInjector* injector) {
+  RunResult result;
+  auto db_or = Db::Open(dbopts, dir);
+  if (!db_or.ok()) {
+    ADD_FAILURE() << "fresh open failed: " << db_or.status().ToString();
+    return result;
+  }
+  Db& db = *db_or.value();
+  const std::vector<Op> ops = MakeWorkload();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const uint64_t covered_before =
+        db.Stats().wal_syncs + db.Stats().checkpoints;
+    Status st = ops[i].is_delete
+                    ? db.Delete(ops[i].key)
+                    : db.Put(ops[i].key, MakePayload(dbopts.options,
+                                                     ops[i].payload_seed));
+    if (st.ok() && static_cast<int>(i) + 1 == kCheckpointAfterOp) {
+      st = db.Checkpoint();
+    }
+    if (st.ok() && static_cast<int>(i) + 1 == kVlogGcAfterOp) {
+      st = db.CompactVlog();  // Rewrites + tail publish + segment unlink.
+    }
+    const DbStats stats = db.Stats();
+    if (stats.wal_syncs + stats.checkpoints > covered_before) {
+      result.durable_ops = i + (st.ok() ? 1 : 0);
+    }
+    if (!st.ok()) break;  // The process died mid-op.
+  }
+  db_or.value().reset();
+  result.steps = injector->steps();
+  return result;
+}
+
+void SweepVlogMode(const char* tag, WalSyncMode mode) {
+  FaultInjector injector;
+  DbOptions dbopts;
+  dbopts.options = TinyOptions();
+  dbopts.options.vlog_value_threshold = 17;  // Every 20-byte payload.
+  dbopts.vlog_segment_bytes = 6 * (vlog::kEntryHeaderSize + 20);  // Rolls.
+  dbopts.wal_sync_mode = mode;
+  dbopts.wal_sync_every_n = 7;
+  dbopts.checkpoint_wal_bytes = 1000;  // Auto-checkpoints mid-workload.
+  dbopts.background_checkpoint = false;
+  dbopts.fault_injector = &injector;
+
+  // Pass 1: count the crash points.
+  const std::string count_dir = WipedDir(std::string(tag) + "_count");
+  const RunResult full = RunVlogWorkload(dbopts, count_dir, &injector);
+  ASSERT_GT(full.steps, 0u);
+
+  const std::vector<Op> ops = MakeWorkload();
+  std::vector<ModelState> prefix_states(1);
+  for (const Op& op : ops) {
+    ModelState next = prefix_states.back();
+    ApplyToModel(&next, op, dbopts.options);
+    prefix_states.push_back(std::move(next));
+  }
+
+  for (uint64_t crash_at = 0; crash_at < full.steps; ++crash_at) {
+    SCOPED_TRACE(std::string(tag) + " crash at step " +
+                 std::to_string(crash_at));
+    const std::string dir =
+        WipedDir(std::string(tag) + "_k" + std::to_string(crash_at));
+    injector.Arm(crash_at);
+    const RunResult crashed = RunVlogWorkload(dbopts, dir, &injector);
+    injector.Disarm();
+
+    auto db_or = Db::Open(dbopts, dir);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    Db& db = *db_or.value();
+    ASSERT_TRUE(db.tree()->CheckInvariants(true).ok());
+
+    // Zero lost live values: DumpDb resolves every pointer through the
+    // vlog, so a single dangling or corrupt entry fails the Scan.
+    const ModelState recovered = DumpDb(&db);
+    bool matched = false;
+    for (size_t i = crashed.durable_ops; i < prefix_states.size(); ++i) {
+      if (prefix_states[i] == recovered) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched)
+        << "recovered state (" << recovered.size()
+        << " keys) matches no workload prefix >= durable frontier "
+        << crashed.durable_ops;
+
+    // Zero leaked dead ranges: disk holds exactly the manifest's
+    // [tail, head] segment window (recovery re-deletes below-tail files
+    // left by a crash between manifest publish and unlink).
+    EXPECT_EQ(Db::ListVlogSegments(dir).size(), db.Stats().vlog_segments)
+        << "vlog segments on disk leak past the [tail, head] window";
+
+    // The recovered Db keeps working, and a fresh GC pass loses nothing.
+    const Key probe = 7'777;
+    ASSERT_TRUE(db.Put(probe, MakePayload(dbopts.options, probe)).ok());
+    ASSERT_TRUE(db.SyncWal().ok());
+    ASSERT_TRUE(db.CompactVlog().ok());
+    EXPECT_EQ(Db::ListVlogSegments(dir).size(), db.Stats().vlog_segments);
+    ModelState after_gc = DumpDb(&db);
+    after_gc.erase(probe);
+    EXPECT_EQ(after_gc, recovered) << "post-recovery GC changed contents";
+    auto v = db.Get(probe);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), MakePayload(dbopts.options, probe));
+  }
+}
+
+TEST(CrashSweepTest, VlogSyncAlways) {
+  SweepVlogMode("vlog_always", WalSyncMode::kAlways);
+}
+
+TEST(CrashSweepTest, VlogSyncEveryN) {
+  SweepVlogMode("vlog_everyn", WalSyncMode::kEveryN);
+}
+
+TEST(CrashSweepTest, VlogSyncNone) {
+  SweepVlogMode("vlog_none", WalSyncMode::kNone);
 }
 
 }  // namespace

@@ -576,6 +576,52 @@ TEST(ServerTest, OverloadShedsInOrderInsteadOfQueueingUnbounded) {
   EXPECT_EQ(stats->connections_dropped_slow, 0u);
 }
 
+TEST(ServerTest, HealthProbesAdmittedWhileOverloadShedsWrites) {
+  WorkerGate gate;
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.max_pending_frames = 2;
+  sopts.overload_retry_after_ms = 7;
+  sopts.worker_hook_for_testing = gate.Hook();
+  ServerFixture fx("overload_ping", TinyDbOptions(), sopts);
+  const Options& options = fx.db->options();
+  auto client = fx.Connect();
+
+  // Frame #1 parks inside the worker; #2 and #3 fill the pool-wide cap.
+  for (Key k = 1; k <= 3; ++k) {
+    ASSERT_TRUE(client
+                    ->SendRaw(static_cast<uint8_t>(Opcode::kPut),
+                              EncodePutRequest(k, Payload(options, k)))
+                    .ok());
+    if (k == 1) gate.AwaitEntered();
+  }
+  // At the cap: a PUT is shed, but PING and STATS must still be
+  // admitted — an operator diagnosing the overload needs them.
+  ASSERT_TRUE(client
+                  ->SendRaw(static_cast<uint8_t>(Opcode::kPut),
+                            EncodePutRequest(4, Payload(options, 4)))
+                  .ok());
+  ASSERT_TRUE(client->SendRaw(static_cast<uint8_t>(Opcode::kPing), "").ok());
+  ASSERT_TRUE(client->SendRaw(static_cast<uint8_t>(Opcode::kStats), "").ok());
+  gate.Release();
+
+  // In order: three real PUT acks, the shed PUT, then the two probes —
+  // both answered for real, not rejected.
+  for (int i = 1; i <= 6; ++i) {
+    Frame frame;
+    ASSERT_TRUE(client->ReceiveResponse(&frame).ok()) << "frame " << i;
+    std::string_view body;
+    const Status st = DecodeResponseStatus(frame.payload, &body);
+    if (i == 4) {
+      EXPECT_TRUE(st.IsUnavailable()) << i << ": " << st.ToString();
+      EXPECT_NE(st.message().find("overloaded"), std::string::npos);
+    } else {
+      EXPECT_TRUE(st.ok()) << i << ": " << st.ToString();
+    }
+  }
+  EXPECT_EQ(fx.server->counters().frames_shed_overload, 1u);
+}
+
 TEST(ServerTest, DrainAnswersEveryInFlightFrameThenRejectsLateOnes) {
   WorkerGate gate;
   ServerOptions sopts;
